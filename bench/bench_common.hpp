@@ -1,0 +1,57 @@
+// Shared apparatus for the table/figure benches: a profiled latency
+// estimator, a proxy suite on a synthetic probe batch, and helpers for
+// uniform-cell genotypes. Kept header-only so each bench binary stays a
+// single translation unit.
+#pragma once
+
+#include <iostream>
+#include <memory>
+
+#include "src/core/micronas.hpp"
+#include "src/core/report.hpp"
+#include "src/data/synthetic.hpp"
+
+namespace micronas::bench {
+
+struct Apparatus {
+  McuSpec mcu;
+  std::unique_ptr<LatencyEstimator> estimator;
+  std::unique_ptr<ProxySuite> suite;
+  std::unique_ptr<SupernetHwModel> hw_model;
+  nb201::SurrogateOracle oracle;
+
+  /// `batch` probe images at `input_size`, proxy nets with `channels`.
+  Apparatus(std::uint64_t seed, int batch, int input_size = 8, int channels = 4,
+            nb201::Dataset dataset = nb201::Dataset::kCifar10, int lr_grid = 10) {
+    Rng rng(seed);
+    ProfilerOptions popts;  // jittered profiling, median-of-7
+    LatencyTable table = build_latency_table(mcu, rng, MacroNetConfig{}, popts);
+    estimator = std::make_unique<LatencyEstimator>(
+        std::move(table), profile_constant_overhead_ms(mcu, rng, popts), mcu.clock_hz);
+
+    ProxySuiteConfig cfg;
+    cfg.proxy_net.input_size = input_size;
+    cfg.proxy_net.base_channels = channels;
+    cfg.proxy_net.num_classes = dataset_spec(dataset).num_classes;
+    cfg.lr.grid = lr_grid;
+    cfg.lr.input_size = input_size;
+
+    Rng data_rng = rng.fork(0xDA7A);
+    SyntheticDataset ds(dataset_spec(dataset), data_rng);
+    Batch b = ds.sample_batch_resized(batch, input_size, data_rng);
+    suite = std::make_unique<ProxySuite>(cfg, std::move(b.images), estimator.get());
+    hw_model = std::make_unique<SupernetHwModel>(MacroNetConfig{}, estimator.get());
+  }
+};
+
+inline nb201::Genotype uniform_cell(nb201::Op op) {
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(op);
+  return nb201::Genotype(ops);
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace micronas::bench

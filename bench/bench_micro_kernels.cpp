@@ -1,0 +1,161 @@
+// Google-benchmark microkernels for the numerical substrates, including
+// the proxy-cost-vs-batch-size curve that motivates the paper's batch
+// = 32 choice (§II.A.1: "Increasing beyond 32 to 128 ... significantly
+// escalates search costs").
+#include <benchmark/benchmark.h>
+
+#include "src/data/synthetic.hpp"
+#include "src/hw/latency_estimator.hpp"
+#include "src/mcusim/profiler.hpp"
+#include "src/proxies/linear_regions.hpp"
+#include "src/proxies/ntk.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace micronas {
+namespace {
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor x(Shape{1, c, 16, 16});
+  Tensor w(Shape{c, c, 3, 3});
+  rng.fill_normal(x.data());
+  rng.fill_normal(w.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::conv2d_forward(x, w, nullptr, 1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 9LL * c * c * 256);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Conv2dForwardGemm(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor x(Shape{1, c, 16, 16});
+  Tensor w(Shape{c, c, 3, 3});
+  rng.fill_normal(x.data());
+  rng.fill_normal(w.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::conv2d_forward_gemm(x, w, nullptr, 1, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 9LL * c * c * 256);
+}
+BENCHMARK(BM_Conv2dForwardGemm)->Arg(4)->Arg(8)->Arg(16);
+
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Tensor x(Shape{1, c, 16, 16});
+  Tensor w(Shape{c, c, 3, 3});
+  rng.fill_normal(x.data());
+  rng.fill_normal(w.data());
+  const Tensor y = ops::conv2d_forward(x, w, nullptr, 1, 1);
+  Tensor gy(y.shape(), 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::conv2d_backward(x, w, false, 1, 1, gy));
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(4)->Arg(8);
+
+/// The paper's cost argument: NTK proxy cost vs batch size.
+void BM_NtkConditionVsBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  CellNetConfig cfg;
+  cfg.input_size = 8;
+  cfg.base_channels = 4;
+  Rng data_rng(3);
+  Tensor probe(Shape{batch, 3, 8, 8});
+  data_rng.fill_normal(probe.data());
+  const nb201::Genotype g = nb201::Genotype::from_index(14000);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ntk_condition(g, cfg, probe, rng).condition_number);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_NtkConditionVsBatch)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_LinearRegionCount(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  CellNetConfig cfg;
+  cfg.input_size = 8;
+  cfg.base_channels = 4;
+  LinearRegionOptions opts;
+  opts.grid = grid;
+  const nb201::Genotype g = nb201::Genotype::from_index(14000);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_linear_regions(g, cfg, rng, opts).region_count);
+  }
+}
+BENCHMARK(BM_LinearRegionCount)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_SymEig(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  std::vector<std::vector<float>> rows(static_cast<std::size_t>(n));
+  for (auto& r : rows) {
+    r.resize(static_cast<std::size_t>(n) * 4);
+    rng.fill_normal(r);
+  }
+  const Matrix gram = gram_matrix(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sym_eig(gram).eigenvalues);
+  }
+}
+BENCHMARK(BM_SymEig)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LatencyEstimate(benchmark::State& state) {
+  Rng rng(7);
+  ProfilerOptions opts;
+  opts.deterministic = true;
+  LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, opts);
+  const LatencyEstimator est(std::move(table),
+                             profile_constant_overhead_ms(McuSpec{}, rng, opts));
+  const MacroModel m = build_macro_model(nb201::Genotype::from_index(9999));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate_ms(m));
+  }
+}
+BENCHMARK(BM_LatencyEstimate);
+
+void BM_McuSimulate(benchmark::State& state) {
+  const MacroModel m = build_macro_model(nb201::Genotype::from_index(9999));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_network(m).latency_ms);
+  }
+}
+BENCHMARK(BM_McuSimulate);
+
+void BM_SurrogateAccuracy(benchmark::State& state) {
+  const nb201::SurrogateOracle oracle;
+  int idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.accuracy(nb201::Genotype::from_index(idx % 15625),
+                                             nb201::Dataset::kCifar10));
+    ++idx;
+  }
+}
+BENCHMARK(BM_SurrogateAccuracy);
+
+void BM_MacroModelBuild(benchmark::State& state) {
+  int idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_macro_model(nb201::Genotype::from_index(idx % 15625)).layers.size());
+    ++idx;
+  }
+}
+BENCHMARK(BM_MacroModelBuild);
+
+void BM_SyntheticBatch(benchmark::State& state) {
+  Rng rng(8);
+  SyntheticDataset ds(dataset_spec(nb201::Dataset::kCifar10), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.sample_batch_resized(32, 16, rng).images.numel());
+  }
+}
+BENCHMARK(BM_SyntheticBatch);
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,86 @@
+// The paper's latency-modeling workflow as a standalone study:
+//   1. profile every op shape in the search space on the (simulated)
+//      STM32F746 into a lookup table,
+//   2. persist the table as a reusable artifact,
+//   3. validate the compositional estimator against end-to-end
+//      measurements,
+//   4. show where the estimator's error comes from (SRAM pressure).
+//
+//   ./latency_model_study --table-path /tmp/f746_lut.txt --sample 80
+#include <iostream>
+
+#include "src/common/cli.hpp"
+#include "src/core/report.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/hw/latency_estimator.hpp"
+#include "src/mcusim/profiler.hpp"
+#include "src/nb201/space.hpp"
+#include "src/stats/correlation.hpp"
+#include "src/stats/summary.hpp"
+
+using namespace micronas;
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, {"table-path", "sample", "seed"});
+    const std::string table_path = args.get_string("table-path", "/tmp/micronas_f746_lut.txt");
+    const int sample_size = args.get_int("sample", 80);
+    Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+    const McuSpec mcu;
+    std::cout << "Step 1: profiling " << enumerate_search_space_layers().size()
+              << " distinct op shapes on the simulated STM32F746 (216 MHz, median of 7 runs)\n";
+    LatencyTable table = build_latency_table(mcu, rng);
+    const double overhead_ms = profile_constant_overhead_ms(mcu, rng);
+    std::cout << "  profiled " << table.size() << " LUT entries + constant overhead "
+              << TablePrinter::fmt(overhead_ms, 3) << " ms\n";
+
+    std::cout << "Step 2: saving the table to " << table_path << " and reloading\n";
+    table.save(table_path);
+    LatencyTable reloaded = LatencyTable::load(table_path);
+    std::cout << "  round-trip OK (" << reloaded.size() << " entries)\n";
+
+    const LatencyEstimator estimator(std::move(reloaded), overhead_ms, mcu.clock_hz);
+
+    std::cout << "Step 3: validating the estimator on " << sample_size
+              << " random architectures\n\n";
+    Rng arch_rng = rng.fork(1);
+    Rng jitter_rng = rng.fork(2);
+    std::vector<double> predicted, measured;
+    std::vector<double> err_pressured, err_free;
+    for (const auto& g : nb201::sample_genotypes(arch_rng, sample_size)) {
+      const MacroModel m = build_macro_model(g);
+      const double est = estimator.estimate_ms(m);
+      const double sim = measure_latency_ms(m, mcu, jitter_rng);
+      predicted.push_back(est);
+      measured.push_back(sim);
+      const double rel = std::abs(est - sim) / sim;
+      if (simulate_network(m, mcu).sram_pressure) {
+        err_pressured.push_back(rel);
+      } else {
+        err_free.push_back(rel);
+      }
+    }
+
+    TablePrinter table_out({"Metric", "Value"});
+    table_out.add_row({"MAPE", TablePrinter::fmt(stats::mape(predicted, measured) * 100.0, 2) + " %"});
+    table_out.add_row({"Spearman rho", TablePrinter::fmt(stats::spearman_rho(predicted, measured), 4)});
+    if (!err_free.empty()) {
+      table_out.add_row({"Mean error (no SRAM pressure)",
+                         TablePrinter::fmt(stats::summarize(err_free).mean * 100.0, 2) + " %"});
+    }
+    if (!err_pressured.empty()) {
+      table_out.add_row({"Mean error (SRAM-pressured)",
+                         TablePrinter::fmt(stats::summarize(err_pressured).mean * 100.0, 2) + " %"});
+    }
+    std::cout << table_out.render();
+
+    std::cout << "\nStep 4: the residual error concentrates in SRAM-pressured networks — the "
+                 "cross-layer effect per-op profiling cannot observe. This is the model gap a "
+                 "board-validated LUT carries too, and why the paper validates end-to-end.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,72 @@
+// Quickstart: score a single NAS-Bench-201 cell with every MicroNAS
+// indicator — the 60-second tour of the public API.
+//
+//   ./quickstart                                   # a strong default cell
+//   ./quickstart --arch "|nor_conv_3x3~0|+|none~0|nor_conv_3x3~1|+..."
+//   ./quickstart --index 4096 --dataset cifar100
+#include <iostream>
+
+#include "src/common/cli.hpp"
+#include "src/core/micronas.hpp"
+#include "src/core/report.hpp"
+
+using namespace micronas;
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, {"arch", "index", "dataset", "seed"});
+
+    // Pick the architecture: by string, by index, or the classic
+    // residual-style strong cell by default.
+    nb201::Genotype genotype;
+    if (args.has("arch")) {
+      genotype = nb201::Genotype::from_string(args.get_string("arch", ""));
+    } else if (args.has("index")) {
+      genotype = nb201::Genotype::from_index(args.get_int("index", 0));
+    } else {
+      genotype = nb201::Genotype::from_string(
+          "|nor_conv_3x3~0|+|nor_conv_3x3~0|nor_conv_3x3~1|+"
+          "|skip_connect~0|nor_conv_3x3~1|nor_conv_3x3~2|");
+    }
+
+    MicroNasConfig cfg;
+    cfg.dataset = nb201::dataset_from_name(args.get_string("dataset", "cifar10"));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    cfg.batch_size = 16;
+    cfg.proxy_net.input_size = 8;
+    cfg.proxy_net.base_channels = 4;
+    cfg.lr.grid = 12;
+    cfg.lr.input_size = 8;
+
+    std::cout << "MicroNAS quickstart\n"
+              << "  cell: " << genotype.to_string() << "\n"
+              << "  dataset: " << nb201::dataset_name(cfg.dataset) << "\n\n"
+              << "Profiling the MCU and evaluating indicators...\n\n";
+
+    MicroNas nas(cfg);
+    const DiscoveredModel m = nas.evaluate(genotype);
+
+    TablePrinter table({"Indicator", "Value", "Meaning"});
+    table.add_row({"NTK condition number", TablePrinter::fmt(m.indicators.ntk_condition, 1),
+                   "trainability (lower = better)"});
+    table.add_row({"Linear-region richness", TablePrinter::fmt(m.indicators.linear_regions, 1),
+                   "expressivity, boundary crossings (higher = better)"});
+    table.add_row({"FLOPs", TablePrinter::fmt(m.indicators.flops_m, 2) + " M",
+                   "compute cost on the deployment skeleton"});
+    table.add_row({"Params", TablePrinter::fmt(m.indicators.params_m, 3) + " M",
+                   "flash-resident weights"});
+    table.add_row({"Latency (LUT estimate)", TablePrinter::fmt(m.indicators.latency_ms, 1) + " ms",
+                   "per-op lookup table + constant overhead"});
+    table.add_row({"Latency (measured)", TablePrinter::fmt(m.measured_latency_ms, 1) + " ms",
+                   "median of 7 simulated MCU runs"});
+    table.add_row({"Peak SRAM", TablePrinter::fmt(m.indicators.peak_sram_kb, 1) + " KB",
+                   "live activation high-water mark"});
+    table.add_row({"Accuracy (surrogate)", TablePrinter::fmt(m.accuracy, 2) + " %",
+                   "stand-in for the NB201 trained tables"});
+    std::cout << table.render();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,66 @@
+#include "src/common/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace micronas {
+
+CliArgs::CliArgs(int argc, const char* const* argv, const std::vector<std::string>& known) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(tok);
+      continue;
+    }
+    tok = tok.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      name = tok.substr(0, eq);
+      value = tok.substr(eq + 1);
+    } else {
+      name = tok;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare flag treated as boolean
+      }
+    }
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    values_[name] = value;
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::optional<std::string> CliArgs::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+int CliArgs::get_int(const std::string& name, int fallback) const {
+  const auto v = raw(name);
+  return v ? std::stoi(*v) : fallback;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  return v ? std::stod(*v) : fallback;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+}  // namespace micronas

@@ -1,0 +1,39 @@
+// Tiny command-line flag parser for the examples and benches.
+//
+// Supports `--name value` and `--name=value` forms with typed getters
+// and defaults; unknown flags are an error so typos fail fast.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace micronas {
+
+class CliArgs {
+ public:
+  /// Parse argv. `known` lists accepted flag names (without `--`).
+  CliArgs(int argc, const char* const* argv, const std::vector<std::string>& known);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace micronas

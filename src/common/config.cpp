@@ -1,0 +1,84 @@
+#include "src/common/config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace micronas {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+void Config::set(const std::string& key, const std::string& value) { entries_[key] = value; }
+
+void Config::set_int(const std::string& key, long long value) { entries_[key] = std::to_string(value); }
+
+void Config::set_double(const std::string& key, double value) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << value;
+  entries_[key] = ss.str();
+}
+
+bool Config::has(const std::string& key) const { return entries_.count(key) > 0; }
+
+std::string Config::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) throw std::out_of_range("Config: missing key '" + key + "'");
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key, const std::string& fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+long long Config::get_int(const std::string& key) const { return std::stoll(get(key)); }
+
+double Config::get_double(const std::string& key) const { return std::stod(get(key)); }
+
+std::string Config::to_string() const {
+  std::ostringstream ss;
+  for (const auto& [k, v] : entries_) ss << k << " = " << v << "\n";
+  return ss.str();
+}
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("Config: malformed line " + std::to_string(lineno) + ": " + line);
+    }
+    cfg.set(trim(t.substr(0, eq)), trim(t.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Config: cannot open for write: " + path);
+  out << to_string();
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace micronas

@@ -1,0 +1,39 @@
+// Simple key=value configuration store with file round-trip.
+//
+// Used to persist profiling/calibration artifacts (e.g. the latency
+// lookup table header) in a human-diffable text format.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace micronas {
+
+/// Ordered string->string map with typed accessors and `#` comments.
+class Config {
+ public:
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, long long value);
+  void set_double(const std::string& key, double value);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key) const;                  // throws if absent
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key) const;                // throws if absent/bad
+  double get_double(const std::string& key) const;                // throws if absent/bad
+
+  /// Serialize as `key = value` lines, keys sorted.
+  std::string to_string() const;
+  /// Parse `key = value` lines; `#`-prefixed lines and blanks ignored.
+  static Config parse(const std::string& text);
+
+  void save(const std::string& path) const;
+  static Config load(const std::string& path);
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace micronas

@@ -1,0 +1,50 @@
+#include "src/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace micronas {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("CsvWriter: header required");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) throw std::invalid_argument("CsvWriter: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream ss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) ss << ",";
+      ss << escape(row[i]);
+    }
+    ss << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return ss.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("CsvWriter::save: cannot open " + path);
+  out << to_string();
+}
+
+}  // namespace micronas

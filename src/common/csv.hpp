@@ -1,0 +1,31 @@
+// Minimal CSV writer with RFC-4180 quoting.
+//
+// Benches print human-readable tables to stdout and can additionally
+// persist machine-readable CSVs (plot scripts, regression tracking).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace micronas {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);  // throws on width mismatch
+
+  std::string to_string() const;
+  void save(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Quote a single field per RFC 4180 (exposed for tests).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace micronas

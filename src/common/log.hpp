@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr.
+//
+// Benches and examples print their tabular *results* to stdout; all
+// diagnostics go through this logger so result streams stay parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace micronas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: LOG(kInfo) << "x = " << x;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { detail::log_emit(level_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace micronas
+
+#define MICRONAS_LOG(level) ::micronas::LogStream(::micronas::LogLevel::level)

@@ -1,0 +1,101 @@
+#include "src/core/micronas.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "src/common/log.hpp"
+#include "src/data/synthetic.hpp"
+
+namespace micronas {
+
+MicroNas::MicroNas(MicroNasConfig config)
+    : config_(std::move(config)), rng_(config_.seed), oracle_() {
+  if (config_.batch_size < 2) throw std::invalid_argument("MicroNas: batch_size must be >= 2");
+
+  // Stage 1 (Fig. 1): profile the target MCU into a latency LUT plus
+  // constant overhead, then freeze the estimator.
+  Rng profile_rng = rng_.fork(0xBEEF);
+  LatencyTable table = build_latency_table(config_.mcu, profile_rng, config_.deploy_net,
+                                           config_.profiler);
+  const double overhead_ms = profile_constant_overhead_ms(config_.mcu, profile_rng,
+                                                          config_.profiler);
+  estimator_ = std::make_unique<LatencyEstimator>(std::move(table), overhead_ms,
+                                                  config_.mcu.clock_hz);
+
+  // Stage 2: probe mini-batch from the (synthetic) target dataset at
+  // the proxy network's input resolution.
+  const DatasetSpec spec = dataset_spec(config_.dataset);
+  config_.proxy_net.input_channels = spec.channels;
+  config_.proxy_net.num_classes = spec.num_classes;
+  Rng data_rng = rng_.fork(0xDA7A);
+  SyntheticDataset dataset(spec, data_rng);
+  Batch batch = dataset.sample_batch_resized(config_.batch_size, config_.proxy_net.input_size,
+                                             data_rng);
+
+  ProxySuiteConfig suite_config;
+  suite_config.proxy_net = config_.proxy_net;
+  suite_config.deploy_net = config_.deploy_net;
+  suite_config.ntk = config_.ntk;
+  suite_config.lr = config_.lr;
+  suite_ = std::make_unique<ProxySuite>(suite_config, std::move(batch.images), estimator_.get());
+  hw_model_ = std::make_unique<SupernetHwModel>(config_.deploy_net, estimator_.get());
+}
+
+DiscoveredModel MicroNas::finish(const nb201::Genotype& genotype, long long proxy_evals,
+                                 double wall_seconds, Rng& rng) const {
+  DiscoveredModel out;
+  out.genotype = genotype;
+  out.indicators = suite_->evaluate(genotype, rng);
+  out.accuracy = oracle_.mean_accuracy(genotype, config_.dataset);
+  const MacroModel model = build_macro_model(genotype, config_.deploy_net);
+  Rng measure_rng = rng.fork(0x3EA5);
+  out.measured_latency_ms = measure_latency_ms(model, config_.mcu, measure_rng);
+  out.proxy_evals = proxy_evals;
+  out.wall_seconds = wall_seconds;
+  out.modeled_gpu_hours = config_.cost_model.proxy_search_gpu_hours(proxy_evals);
+  return out;
+}
+
+DiscoveredModel MicroNas::search() {
+  IndicatorWeights weights = config_.weights;
+  long long total_evals = 0;
+  double total_wall = 0.0;
+
+  PruningSearchResult result;
+  int round = 0;
+  for (;; ++round) {
+    PruningSearchConfig pcfg;
+    pcfg.weights = weights;
+    pcfg.constraints = config_.constraints;
+    Rng search_rng = rng_.fork(0x5EA0 + static_cast<std::uint64_t>(round));
+    result = pruning_search(*suite_, *hw_model_, pcfg, search_rng);
+    total_evals += result.proxy_evals;
+    total_wall += result.wall_seconds;
+
+    Rng eval_rng = rng_.fork(0xE7A1 + static_cast<std::uint64_t>(round));
+    const IndicatorValues v = suite_->evaluate(result.genotype, eval_rng);
+    ++total_evals;
+    if (config_.constraints.satisfied_by(v) || round + 1 >= config_.max_adapt_rounds) break;
+
+    // Constraint violated: escalate the hardware weights and retry —
+    // the paper's adaptive indicator weighting.
+    weights.flops = weights.flops == 0.0 ? 0.5 : weights.flops * config_.adapt_scale;
+    weights.latency = weights.latency == 0.0 ? 0.5 : weights.latency * config_.adapt_scale;
+    MICRONAS_LOG(kInfo) << "constraint violated; escalating hw weights to (flops="
+                        << weights.flops << ", latency=" << weights.latency << ")";
+  }
+
+  Rng finish_rng = rng_.fork(0xF1A1);
+  DiscoveredModel model = finish(result.genotype, total_evals, total_wall, finish_rng);
+  model.adapt_rounds_used = round + 1;
+  model.final_weights = weights;
+  model.decisions = result.decisions;
+  return model;
+}
+
+DiscoveredModel MicroNas::evaluate(const nb201::Genotype& genotype) {
+  Rng eval_rng = rng_.fork(genotype.stable_hash());
+  return finish(genotype, 1, 0.0, eval_rng);
+}
+
+}  // namespace micronas

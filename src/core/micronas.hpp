@@ -1,0 +1,83 @@
+// MicroNAS public API — the end-to-end pipeline of the paper's Fig. 1.
+//
+//   probe batch ─┐
+//                ├─> pruning search over the cell supernet, scored by
+//   latency LUT ─┘    {NTK κ, linear regions, FLOPs, latency} rank sums
+//                     └─> discovered cell → deployment model → report
+//
+// The outer loop adapts the hardware-indicator weights until the
+// discovered model satisfies the resource constraints ("MicroNAS
+// adapts FLOPs and latency indicator weights, consistently discovering
+// highly efficient models across various constraints", §III).
+#pragma once
+
+#include <cstdint>
+
+#include "src/mcusim/profiler.hpp"
+#include "src/nb201/surrogate.hpp"
+#include "src/search/cost_model.hpp"
+#include "src/search/pruning_search.hpp"
+
+namespace micronas {
+
+struct MicroNasConfig {
+  nb201::Dataset dataset = nb201::Dataset::kCifar10;
+  int batch_size = 32;                     // paper §II.A.1: 16–32 optimal
+  IndicatorWeights weights = IndicatorWeights::latency_guided();
+  Constraints constraints;
+  CellNetConfig proxy_net;                 // defaults are the small proxy net
+  MacroNetConfig deploy_net;               // defaults are the NB201 skeleton
+  NtkOptions ntk;
+  LinearRegionOptions lr;
+  ProfilerOptions profiler;
+  McuSpec mcu;
+  CostModel cost_model;
+  std::uint64_t seed = 1;
+  /// Adaptive hardware-weight escalation (outer loop).
+  int max_adapt_rounds = 4;
+  double adapt_scale = 1.8;
+};
+
+struct DiscoveredModel {
+  nb201::Genotype genotype;
+  IndicatorValues indicators;    // full indicator set of the winner
+  double accuracy = 0.0;         // surrogate trained accuracy (mean of 3)
+  double measured_latency_ms = 0.0;  // MCU-simulator measurement
+  long long proxy_evals = 0;
+  double wall_seconds = 0.0;
+  double modeled_gpu_hours = 0.0;
+  int adapt_rounds_used = 0;
+  IndicatorWeights final_weights;
+  std::vector<PruneDecision> decisions;
+};
+
+/// End-to-end MicroNAS: owns the profiled latency estimator, probe
+/// batch, proxy suite and search loop.
+class MicroNas {
+ public:
+  explicit MicroNas(MicroNasConfig config);
+
+  /// Run the (possibly weight-adapted) hardware-aware pruning search.
+  DiscoveredModel search();
+
+  /// Evaluate an arbitrary genotype with the same apparatus (used by
+  /// examples and baseline comparisons).
+  DiscoveredModel evaluate(const nb201::Genotype& genotype);
+
+  const LatencyEstimator& estimator() const { return *estimator_; }
+  const ProxySuite& suite() const { return *suite_; }
+  const MicroNasConfig& config() const { return config_; }
+
+ private:
+  DiscoveredModel finish(const nb201::Genotype& genotype, long long proxy_evals,
+                         double wall_seconds, Rng& rng) const;
+
+  MicroNasConfig config_;
+  Rng rng_;
+  std::unique_ptr<LatencyEstimator> estimator_;
+  std::unique_ptr<ProxySuite> suite_;
+  std::unique_ptr<SupernetHwModel> hw_model_;
+  nb201::SurrogateOracle oracle_;
+};
+
+}  // namespace micronas

@@ -1,0 +1,30 @@
+// Fixed-width table formatting for bench/ and examples/ output.
+//
+// Result tables print to stdout in a stable, diffable layout so
+// EXPERIMENTS.md can quote them verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace micronas {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content.
+  std::string render() const;
+
+  /// Convenience numeric formatting.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_int(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace micronas

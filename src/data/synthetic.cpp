@@ -1,0 +1,87 @@
+#include "src/data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace micronas {
+
+DatasetSpec dataset_spec(nb201::Dataset d) {
+  switch (d) {
+    case nb201::Dataset::kCifar10: return {3, 32, 32, 10};
+    case nb201::Dataset::kCifar100: return {3, 32, 32, 100};
+    case nb201::Dataset::kImageNet16: return {3, 16, 16, 120};
+  }
+  throw std::invalid_argument("dataset_spec: invalid dataset");
+}
+
+SyntheticDataset::SyntheticDataset(DatasetSpec spec, Rng& rng) : spec_(spec) {
+  if (spec.num_classes <= 0) throw std::invalid_argument("SyntheticDataset: num_classes must be positive");
+  // Three random phases per (class, channel) parameterize a smooth
+  // low-frequency class template.
+  class_phases_.resize(static_cast<std::size_t>(spec.num_classes) * spec.channels * 3);
+  rng.fill_uniform(class_phases_, 0.0F, 2.0F * static_cast<float>(std::numbers::pi));
+}
+
+Tensor SyntheticDataset::class_mean(int cls, int height, int width) const {
+  Tensor mean(Shape{1, spec_.channels, height, width});
+  for (int c = 0; c < spec_.channels; ++c) {
+    const std::size_t base = (static_cast<std::size_t>(cls) * spec_.channels + c) * 3;
+    const float p0 = class_phases_[base];
+    const float p1 = class_phases_[base + 1];
+    const float p2 = class_phases_[base + 2];
+    for (int h = 0; h < height; ++h) {
+      for (int w = 0; w < width; ++w) {
+        const float u = static_cast<float>(h) / static_cast<float>(height);
+        const float v = static_cast<float>(w) / static_cast<float>(width);
+        const float val = std::sin(2.0F * static_cast<float>(std::numbers::pi) * u + p0) +
+                          std::sin(2.0F * static_cast<float>(std::numbers::pi) * v + p1) +
+                          std::sin(2.0F * static_cast<float>(std::numbers::pi) * (u + v) + p2);
+        mean.at(0, c, h, w) = 0.5F * val;
+      }
+    }
+  }
+  return mean;
+}
+
+Batch SyntheticDataset::sample_batch(int batch_size, Rng& rng) const {
+  return sample_batch_resized(batch_size, spec_.height, rng);
+}
+
+Batch SyntheticDataset::sample_batch_resized(int batch_size, int size, Rng& rng) const {
+  if (batch_size <= 0) throw std::invalid_argument("sample_batch: batch_size must be positive");
+  if (size <= 0) throw std::invalid_argument("sample_batch: size must be positive");
+
+  Batch batch;
+  batch.images = Tensor(Shape{batch_size, spec_.channels, size, size});
+  batch.labels.resize(static_cast<std::size_t>(batch_size));
+
+  for (int n = 0; n < batch_size; ++n) {
+    const int cls = rng.uniform_int(0, spec_.num_classes - 1);
+    batch.labels[static_cast<std::size_t>(n)] = cls;
+    const Tensor mean = class_mean(cls, size, size);
+    for (int c = 0; c < spec_.channels; ++c) {
+      for (int h = 0; h < size; ++h) {
+        for (int w = 0; w < size; ++w) {
+          batch.images.at(n, c, h, w) =
+              mean.at(0, c, h, w) + static_cast<float>(rng.normal(0.0, 0.6));
+        }
+      }
+    }
+  }
+
+  // Per-batch standardization, mirroring normalized training inputs.
+  auto data = batch.images.data();
+  double sum = 0.0, sq = 0.0;
+  for (float v : data) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / static_cast<double>(data.size());
+  const double var = sq / static_cast<double>(data.size()) - mean * mean;
+  const float inv_std = static_cast<float>(1.0 / std::sqrt(std::max(var, 1e-12)));
+  for (auto& v : data) v = (v - static_cast<float>(mean)) * inv_std;
+  return batch;
+}
+
+}  // namespace micronas

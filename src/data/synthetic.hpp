@@ -1,0 +1,53 @@
+// Synthetic mini-batch generation — the stand-in for CIFAR-10/100 and
+// ImageNet16-120 images (see DESIGN.md §3.3).
+//
+// Zero-shot indicators are evaluated at initialization on a single
+// mini-batch; they depend on the input distribution's shape and scale,
+// not on label semantics. We synthesize class-conditional Gaussian
+// images: each class has a random mean image (structured, low
+// frequency) and samples add i.i.d. pixel noise, normalized to zero
+// mean / unit variance like standard training pipelines.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/nb201/surrogate.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace micronas {
+
+struct DatasetSpec {
+  int channels = 3;
+  int height = 32;
+  int width = 32;
+  int num_classes = 10;
+};
+
+/// Canonical input spec of each benchmark dataset.
+DatasetSpec dataset_spec(nb201::Dataset d);
+
+struct Batch {
+  Tensor images;             // [N, C, H, W]
+  std::vector<int> labels;   // size N
+};
+
+class SyntheticDataset {
+ public:
+  SyntheticDataset(DatasetSpec spec, Rng& rng);
+
+  /// Sample a batch of `batch_size` images with balanced random labels.
+  Batch sample_batch(int batch_size, Rng& rng) const;
+
+  /// Sample a batch downscaled to `size`×`size` (proxy networks run on
+  /// reduced resolution for speed; see CellNetConfig).
+  Batch sample_batch_resized(int batch_size, int size, Rng& rng) const;
+
+  const DatasetSpec& spec() const { return spec_; }
+
+ private:
+  Tensor class_mean(int cls, int height, int width) const;
+
+  DatasetSpec spec_;
+  std::vector<float> class_phases_;  // low-frequency structure per class
+};
+
+}  // namespace micronas

@@ -1,0 +1,25 @@
+#include "src/hw/latency_estimator.hpp"
+
+#include <stdexcept>
+
+namespace micronas {
+
+LatencyEstimator::LatencyEstimator(LatencyTable table, double constant_overhead_ms, double clock_hz)
+    : table_(std::move(table)), constant_overhead_ms_(constant_overhead_ms), clock_hz_(clock_hz) {
+  if (table_.empty()) throw std::invalid_argument("LatencyEstimator: empty table");
+  if (clock_hz <= 0.0) throw std::invalid_argument("LatencyEstimator: clock must be positive");
+  if (constant_overhead_ms < 0.0) throw std::invalid_argument("LatencyEstimator: negative overhead");
+}
+
+double LatencyEstimator::layer_cycles(const LayerSpec& spec) const {
+  if (const auto scaled = table_.lookup_scaled(spec)) return *scaled;
+  throw std::out_of_range("LatencyEstimator: no table entry for " + spec.to_string());
+}
+
+double LatencyEstimator::estimate_ms(const MacroModel& model) const {
+  double cycles = 0.0;
+  for (const auto& spec : model.layers) cycles += layer_cycles(spec);
+  return cycles / clock_hz_ * 1e3 + constant_overhead_ms_;
+}
+
+}  // namespace micronas

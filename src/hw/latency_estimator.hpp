@@ -1,0 +1,37 @@
+// Compositional MCU latency estimator (paper §II.B.2).
+//
+// latency(model) ≈ Σ_layers LUT(layer) + constant overhead. The LUT is
+// produced by the profiler; the constant overhead is profiled
+// separately, exactly as the paper describes. `estimate` falls back to
+// work-scaled nearest entries for shapes missing from the table.
+#pragma once
+
+#include "src/hw/latency_table.hpp"
+#include "src/net/macro_net.hpp"
+
+namespace micronas {
+
+class LatencyEstimator {
+ public:
+  LatencyEstimator(LatencyTable table, double constant_overhead_ms, double clock_hz = 216e6);
+
+  /// Estimated end-to-end inference latency in milliseconds.
+  double estimate_ms(const MacroModel& model) const;
+
+  /// Per-layer cycle estimate (exact lookup or scaled fallback; throws
+  /// std::out_of_range if neither is possible).
+  double layer_cycles(const LayerSpec& spec) const;
+
+  /// Per-layer estimate in milliseconds.
+  double layer_ms(const LayerSpec& spec) const { return layer_cycles(spec) / clock_hz_ * 1e3; }
+
+  const LatencyTable& table() const { return table_; }
+  double constant_overhead_ms() const { return constant_overhead_ms_; }
+
+ private:
+  LatencyTable table_;
+  double constant_overhead_ms_;
+  double clock_hz_;
+};
+
+}  // namespace micronas

@@ -1,0 +1,138 @@
+#include "src/hw/latency_table.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace micronas {
+
+LatencyKey LatencyKey::from_spec(const LayerSpec& spec) {
+  LatencyKey k;
+  k.kind = spec.kind;
+  k.cin = spec.cin;
+  k.cout = spec.cout;
+  k.h = spec.h;
+  k.w = spec.w;
+  k.kernel = spec.kernel;
+  k.stride = spec.stride;
+  k.bits = spec.bits;
+  return k;
+}
+
+std::string LatencyKey::to_string() const {
+  std::ostringstream ss;
+  ss << layer_kind_name(kind) << " " << cin << " " << cout << " " << h << " " << w << " "
+     << kernel << " " << stride << " " << bits;
+  return ss.str();
+}
+
+void LatencyTable::insert(const LatencyKey& key, double cycles) {
+  if (cycles < 0.0 || !std::isfinite(cycles)) {
+    throw std::invalid_argument("LatencyTable::insert: cycles must be finite and non-negative");
+  }
+  entries_[key] = cycles;
+}
+
+std::optional<double> LatencyTable::lookup(const LatencyKey& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> LatencyTable::lookup_scaled(const LayerSpec& spec) const {
+  const LatencyKey key = LatencyKey::from_spec(spec);
+  if (const auto exact = lookup(key)) return exact;
+
+  // Scale from the nearest same-kind/kernel entry by work ratio.
+  const double want_work = spec.kind == LayerKind::kConv || spec.kind == LayerKind::kLinear
+                               ? static_cast<double>(spec.macs())
+                               : static_cast<double>(spec.out_elems());
+  const LatencyKey* best_key = nullptr;
+  double best_cycles = 0.0;
+  double best_ratio = 0.0;
+  for (const auto& [k, cycles] : entries_) {
+    if (k.kind != spec.kind || k.kernel != spec.kernel || k.bits != spec.bits) continue;
+    LayerSpec ref;
+    ref.kind = k.kind;
+    ref.cin = k.cin;
+    ref.cout = k.cout;
+    ref.h = k.h;
+    ref.w = k.w;
+    ref.kernel = k.kernel;
+    ref.stride = k.stride;
+    ref.bits = k.bits;
+    ref.pad = spec.pad;
+    ref.out_h = (k.h + 2 * spec.pad - k.kernel) / k.stride + 1;
+    ref.out_w = (k.w + 2 * spec.pad - k.kernel) / k.stride + 1;
+    const double ref_work = ref.kind == LayerKind::kConv || ref.kind == LayerKind::kLinear
+                                ? static_cast<double>(ref.macs())
+                                : static_cast<double>(ref.out_elems());
+    if (ref_work <= 0.0) continue;
+    const double ratio = want_work / ref_work;
+    // Prefer the reference whose work is closest (ratio nearest 1).
+    if (best_key == nullptr || std::abs(std::log(ratio)) < std::abs(std::log(best_ratio))) {
+      best_key = &k;
+      best_cycles = cycles;
+      best_ratio = ratio;
+    }
+  }
+  if (best_key == nullptr) return std::nullopt;
+  return best_cycles * best_ratio;
+}
+
+std::string LatencyTable::serialize() const {
+  std::ostringstream ss;
+  ss << "# micronas latency table: kind cin cout h w kernel stride bits cycles\n";
+  ss.precision(17);
+  for (const auto& [k, cycles] : entries_) {
+    ss << layer_kind_name(k.kind) << " " << k.cin << " " << k.cout << " " << k.h << " " << k.w
+       << " " << k.kernel << " " << k.stride << " " << k.bits << " " << cycles << "\n";
+  }
+  return ss.str();
+}
+
+namespace {
+LayerKind kind_from_name(const std::string& name) {
+  for (int i = 0; i < 6; ++i) {
+    if (layer_kind_name(static_cast<LayerKind>(i)) == name) return static_cast<LayerKind>(i);
+  }
+  throw std::invalid_argument("LatencyTable: unknown layer kind '" + name + "'");
+}
+}  // namespace
+
+LatencyTable LatencyTable::deserialize(const std::string& text) {
+  LatencyTable table;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind_name;
+    LatencyKey k;
+    double cycles = 0.0;
+    if (!(ls >> kind_name >> k.cin >> k.cout >> k.h >> k.w >> k.kernel >> k.stride >> k.bits >>
+          cycles)) {
+      throw std::invalid_argument("LatencyTable: malformed line: " + line);
+    }
+    k.kind = kind_from_name(kind_name);
+    table.insert(k, cycles);
+  }
+  return table;
+}
+
+void LatencyTable::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("LatencyTable::save: cannot open " + path);
+  out << serialize();
+}
+
+LatencyTable LatencyTable::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("LatencyTable::load: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return deserialize(ss.str());
+}
+
+}  // namespace micronas

@@ -1,0 +1,59 @@
+// Per-operation latency lookup table (paper §II.B.2).
+//
+// "The approach involves profiling each operation individually within
+// the search space and generating a reference lookup table." Keys are
+// the structural fields that determine an op's cost on the MCU; values
+// are median profiled cycles. The table round-trips through a text
+// format so a profiling run is a reusable artifact.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/net/macro_net.hpp"
+
+namespace micronas {
+
+/// Lookup key: everything that determines a layer's cost.
+struct LatencyKey {
+  LayerKind kind = LayerKind::kConv;
+  int cin = 0;
+  int cout = 0;
+  int h = 0;
+  int w = 0;
+  int kernel = 1;
+  int stride = 1;
+  int bits = 32;  // numeric precision (fp32 vs int8 kernels differ)
+
+  static LatencyKey from_spec(const LayerSpec& spec);
+  auto operator<=>(const LatencyKey&) const = default;
+  std::string to_string() const;
+};
+
+class LatencyTable {
+ public:
+  void insert(const LatencyKey& key, double cycles);
+  std::optional<double> lookup(const LatencyKey& key) const;
+  bool contains(const LatencyKey& key) const { return lookup(key).has_value(); }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Nearest-entry fallback: same kind and kernel, cost scaled by the
+  /// MAC (or element) ratio. Returns nullopt if no same-kind entry.
+  std::optional<double> lookup_scaled(const LayerSpec& spec) const;
+
+  /// Text round-trip: one `kind cin cout h w kernel stride cycles` line
+  /// per entry, '#' comments allowed.
+  std::string serialize() const;
+  static LatencyTable deserialize(const std::string& text);
+  void save(const std::string& path) const;
+  static LatencyTable load(const std::string& path);
+
+  const std::map<LatencyKey, double>& entries() const { return entries_; }
+
+ private:
+  std::map<LatencyKey, double> entries_;
+};
+
+}  // namespace micronas

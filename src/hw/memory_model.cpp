@@ -1,0 +1,76 @@
+#include "src/hw/memory_model.hpp"
+
+#include <algorithm>
+
+#include "src/proxies/flops.hpp"
+
+namespace micronas {
+
+namespace {
+
+/// Live-buffer high-water mark for one layer: its input, its output,
+/// and — inside a cell — the other node buffers the schedule keeps
+/// alive. We bound the cell contribution by the worst case of the
+/// NB201 schedule: when computing node 3, nodes 0..2 plus the partial
+/// sum are resident (4 node buffers + 1 edge temporary).
+long long layer_live_bytes(const LayerSpec& spec, int bpa) {
+  return (spec.in_elems() + spec.out_elems()) * bpa;
+}
+
+}  // namespace
+
+long long peak_activation_bytes(const MacroModel& model, int bytes_per_activation) {
+  long long peak = 0;
+  std::size_t i = 0;
+  for (const auto& spec : model.layers) {
+    long long live = layer_live_bytes(spec, bytes_per_activation);
+    (void)i;
+    peak = std::max(peak, live);
+    ++i;
+  }
+
+  // Cell-schedule term: while computing the cell output, the input
+  // buffer, every *live* intermediate node buffer (a node is live when
+  // some signal-carrying edge feeds it), the accumulating output and
+  // one edge temporary are simultaneously resident.
+  int live_nodes = 0;
+  for (int node = 1; node < nb201::kNumNodes; ++node) {
+    for (int from = 0; from < node; ++from) {
+      if (nb201::op_carries_signal(model.genotype.op(from, node))) {
+        ++live_nodes;
+        break;
+      }
+    }
+  }
+  const long long live_buffers = 2 + live_nodes;  // input + temp + live nodes
+  for (std::size_t start : model.cell_starts) {
+    if (start >= model.layers.size()) continue;
+    const auto& first = model.layers[start];
+    const long long node_bytes = static_cast<long long>(first.cin) * first.h * first.w *
+                                 bytes_per_activation;
+    peak = std::max(peak, live_buffers * node_bytes);
+  }
+  return peak;
+}
+
+MemoryReport analyze_memory(const MacroModel& model, const MemoryModelSpec& spec) {
+  MemoryReport r;
+  long long peak = 0;
+  std::size_t peak_idx = 0;
+  for (std::size_t i = 0; i < model.layers.size(); ++i) {
+    const long long live = layer_live_bytes(model.layers[i], spec.bytes_per_activation);
+    if (live > peak) {
+      peak = live;
+      peak_idx = i;
+    }
+  }
+  const long long sched = peak_activation_bytes(model, spec.bytes_per_activation);
+  r.peak_sram_bytes = std::max(peak, sched) + spec.runtime_arena_bytes;
+  r.peak_layer_index = peak_idx;
+
+  const ParamsBreakdown params = count_params(model);
+  r.flash_bytes = params.total() * spec.bytes_per_weight + spec.code_flash_bytes;
+  return r;
+}
+
+}  // namespace micronas

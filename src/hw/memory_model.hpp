@@ -1,0 +1,37 @@
+// Peak memory analysis of the deployment model (the paper lists peak
+// MCU memory modeling as future work; we implement it).
+//
+// MCU inference is SRAM-bound: activations live in SRAM while weights
+// stream from flash. The model follows the standard TinyML accounting
+// (as in MCUNet/µNAS): peak SRAM = the largest set of simultaneously
+// live activation buffers under the cell's execution schedule, plus a
+// fixed runtime arena; flash = parameter bytes plus code.
+#pragma once
+
+#include "src/net/macro_net.hpp"
+
+namespace micronas {
+
+struct MemoryModelSpec {
+  int bytes_per_activation = 4;   // fp32 inference
+  int bytes_per_weight = 4;
+  long long runtime_arena_bytes = 24 * 1024;  // scheduler + im2col scratch
+  long long code_flash_bytes = 96 * 1024;     // runtime + kernels
+};
+
+struct MemoryReport {
+  long long peak_sram_bytes = 0;
+  long long flash_bytes = 0;
+  /// Index into MacroModel::layers where the SRAM peak occurs.
+  std::size_t peak_layer_index = 0;
+  double peak_sram_kb() const { return static_cast<double>(peak_sram_bytes) / 1024.0; }
+  double flash_kb() const { return static_cast<double>(flash_bytes) / 1024.0; }
+};
+
+MemoryReport analyze_memory(const MacroModel& model, const MemoryModelSpec& spec = {});
+
+/// Peak activation bytes only (no arena), used by the MCU simulator's
+/// SRAM-pressure term.
+long long peak_activation_bytes(const MacroModel& model, int bytes_per_activation = 4);
+
+}  // namespace micronas

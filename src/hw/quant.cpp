@@ -1,0 +1,49 @@
+#include "src/hw/quant.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/proxies/flops.hpp"
+
+namespace micronas {
+
+MacroModel quantize_model(const MacroModel& model, const QuantSpec& spec) {
+  if (spec.bits != 8 && spec.bits != 16 && spec.bits != 32) {
+    throw std::invalid_argument("quantize_model: bits must be 8, 16 or 32");
+  }
+  MacroModel q = model;
+  for (auto& layer : q.layers) layer.bits = spec.bits;
+  return q;
+}
+
+bool model_is_uniform_precision(const MacroModel& model, int bits) {
+  return std::all_of(model.layers.begin(), model.layers.end(),
+                     [&](const LayerSpec& l) { return l.bits == bits; });
+}
+
+MemoryReport analyze_quantized_memory(const MacroModel& model, const QuantSpec& spec) {
+  MemoryModelSpec mem;
+  mem.bytes_per_activation = spec.bits / 8;
+  mem.bytes_per_weight = spec.bits / 8;
+  MemoryReport r = analyze_memory(model, mem);
+
+  // Quantizer metadata: per-output-channel scale + zero point for every
+  // parameterized layer, stored in flash.
+  long long channels = 0;
+  for (const auto& layer : model.layers) {
+    if (layer.kind == LayerKind::kConv || layer.kind == LayerKind::kLinear) {
+      channels += layer.cout;
+    }
+  }
+  r.flash_bytes += channels * spec.overhead_bytes_per_channel;
+  return r;
+}
+
+double quantized_accuracy(double fp32_accuracy, const QuantSpec& spec) {
+  if (spec.bits >= 32) return fp32_accuracy;
+  // 16-bit is lossless in practice; 8-bit pays the configured penalty.
+  const double penalty = spec.bits <= 8 ? spec.accuracy_penalty_pts : 0.0;
+  return std::max(0.0, fp32_accuracy - penalty);
+}
+
+}  // namespace micronas

@@ -1,0 +1,40 @@
+// Post-training int8 quantization model (extension beyond the paper).
+//
+// The paper's fp32 deployment is what the latency numbers in §III
+// describe, but real MCU deployments of CIFAR-scale networks are int8
+// (TFLite-Micro / X-CUBE-AI style): the Cortex-M7's SMLAD dual-MAC
+// path roughly quadruples MAC throughput and activations shrink 4×,
+// which is what lets full cells fit the F746's 320 KB SRAM. This
+// module derives the quantized deployment model and its accuracy
+// penalty so quantization can participate in search constraints.
+#pragma once
+
+#include "src/hw/memory_model.hpp"
+#include "src/net/macro_net.hpp"
+
+namespace micronas {
+
+struct QuantSpec {
+  int bits = 8;
+  /// Accuracy drop (percentage points) of post-training int8
+  /// quantization on well-conditioned CNNs — sub-point in practice.
+  double accuracy_penalty_pts = 0.4;
+  /// Per-channel scale/zero-point pairs stored alongside the weights.
+  int overhead_bytes_per_channel = 8;
+};
+
+/// Copy of `model` with every layer retagged to the quantized
+/// precision. Shapes and schedules are unchanged.
+MacroModel quantize_model(const MacroModel& model, const QuantSpec& spec = {});
+
+/// True if every layer of the model carries the same precision `bits`.
+bool model_is_uniform_precision(const MacroModel& model, int bits);
+
+/// Memory accounting for a (possibly quantized) model: byte widths are
+/// taken from the layer specs, plus quantizer metadata in flash.
+MemoryReport analyze_quantized_memory(const MacroModel& model, const QuantSpec& spec = {});
+
+/// Surrogate accuracy after quantization.
+double quantized_accuracy(double fp32_accuracy, const QuantSpec& spec = {});
+
+}  // namespace micronas

@@ -1,0 +1,92 @@
+#include "src/linalg/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace micronas {
+
+Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0) throw std::invalid_argument("Matrix: dimensions must be positive");
+  data_.assign(static_cast<std::size_t>(rows) * cols, 0.0);
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::multiply: dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (int j = 0; j < other.cols_; ++j) out(i, j) += a * other(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+double Matrix::asymmetry() const {
+  if (!is_square()) throw std::logic_error("Matrix::asymmetry: square matrix required");
+  double m = 0.0;
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = i + 1; j < cols_; ++j) m = std::max(m, std::abs((*this)(i, j) - (*this)(j, i)));
+  }
+  return m;
+}
+
+void Matrix::symmetrize() {
+  if (!is_square()) throw std::logic_error("Matrix::symmetrize: square matrix required");
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = i + 1; j < cols_; ++j) {
+      const double v = 0.5 * ((*this)(i, j) + (*this)(j, i));
+      (*this)(i, j) = v;
+      (*this)(j, i) = v;
+    }
+  }
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream ss;
+  ss << "Matrix(" << rows_ << "x" << cols_ << ")";
+  return ss.str();
+}
+
+Matrix gram_matrix(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("gram_matrix: empty input");
+  const int n = static_cast<int>(rows.size());
+  const std::size_t p = rows.front().size();
+  for (const auto& r : rows) {
+    if (r.size() != p) throw std::invalid_argument("gram_matrix: ragged rows");
+  }
+  Matrix g(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < p; ++k) s += static_cast<double>(rows[i][k]) * rows[j][k];
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+}  // namespace micronas

@@ -1,0 +1,55 @@
+// Small dense double-precision matrices for spectrum analysis.
+//
+// The NTK Gram matrix is B×B (B = batch size ≤ 128), so simple O(n³)
+// dense algorithms are the right tool; double precision avoids losing
+// the small eigenvalues that dominate the condition number.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace micronas {
+
+/// Row-major dense matrix of double.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  double operator()(int r, int c) const { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  static Matrix identity(int n);
+
+  /// this * other.
+  Matrix multiply(const Matrix& other) const;
+  Matrix transpose() const;
+
+  bool is_square() const { return rows_ == cols_; }
+  /// max |A - Aᵀ| over all entries.
+  double asymmetry() const;
+  /// Force exact symmetry: A = (A + Aᵀ)/2.
+  void symmetrize();
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  std::string to_string() const;
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Gram matrix G·Gᵀ of a row-major [n × p] data block (rows are
+/// flattened per-sample gradient vectors in the NTK use case).
+Matrix gram_matrix(const std::vector<std::vector<float>>& rows);
+
+}  // namespace micronas

@@ -1,0 +1,93 @@
+#include "src/linalg/sym_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace micronas {
+
+SymEigResult sym_eig(Matrix a, double symmetry_tol, int max_sweeps) {
+  if (!a.is_square()) throw std::invalid_argument("sym_eig: square matrix required");
+  const int n = a.rows();
+  if (a.asymmetry() > symmetry_tol * std::max(1.0, a.frobenius_norm())) {
+    throw std::invalid_argument("sym_eig: matrix is not symmetric");
+  }
+  a.symmetrize();
+
+  SymEigResult res;
+  if (n == 1) {
+    res.eigenvalues = {a(0, 0)};
+    return res;
+  }
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) s += 2.0 * a(i, j) * a(i, j);
+    }
+    return std::sqrt(s);
+  };
+
+  const double tol = 1e-14 * std::max(1.0, a.frobenius_norm());
+  int sweep = 0;
+  for (; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= tol / n) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Numerically stable tangent of the rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+
+  res.sweeps = sweep;
+  res.off_diagonal_norm = off_norm();
+  res.eigenvalues.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) res.eigenvalues[static_cast<std::size_t>(i)] = a(i, i);
+  std::sort(res.eigenvalues.begin(), res.eigenvalues.end(), std::greater<>());
+  return res;
+}
+
+double condition_number(const std::vector<double>& eig, double rel_floor) {
+  if (eig.empty()) throw std::invalid_argument("condition_number: empty spectrum");
+  const double lmax = eig.front();
+  if (lmax <= 0.0) return 1.0;  // zero (or negative-noise) spectrum
+  const double threshold = rel_floor * lmax;
+  double lmin = lmax;
+  for (double l : eig) {
+    if (l > threshold) lmin = l;
+  }
+  return lmax / lmin;
+}
+
+double condition_index(const std::vector<double>& eig, int i, double floor) {
+  if (eig.empty()) throw std::invalid_argument("condition_index: empty spectrum");
+  if (i < 1 || i > static_cast<int>(eig.size())) {
+    throw std::out_of_range("condition_index: i out of range");
+  }
+  const double lmax = std::max(eig.front(), floor);
+  const double li = std::max(eig[static_cast<std::size_t>(i - 1)], floor);
+  return lmax / li;
+}
+
+}  // namespace micronas

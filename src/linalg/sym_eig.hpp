@@ -1,0 +1,41 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// The NTK spectrum analysis needs all eigenvalues of a small (≤128²)
+// symmetric PSD Gram matrix. Jacobi is simple, unconditionally stable,
+// and accurate for small eigenvalues — exactly what a condition-number
+// estimate requires.
+#pragma once
+
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+
+namespace micronas {
+
+struct SymEigResult {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> eigenvalues;
+  /// Number of Jacobi sweeps used.
+  int sweeps = 0;
+  /// Final off-diagonal Frobenius norm (convergence residual).
+  double off_diagonal_norm = 0.0;
+};
+
+/// Eigenvalues of a symmetric matrix. Throws if `a` is not square or
+/// deviates from symmetry by more than `symmetry_tol` (the matrix is
+/// symmetrized internally below that tolerance).
+SymEigResult sym_eig(Matrix a, double symmetry_tol = 1e-6, int max_sweeps = 64);
+
+/// Pseudo-condition number λmax / λmin⁺, where λmin⁺ is the smallest
+/// eigenvalue above `rel_floor`·λmax. Eigenvalues below that threshold
+/// are numerical rank deficiency (e.g. an NTK Gram whose batch exceeds
+/// the parameter count), not trainability signal — including them
+/// would saturate κ at the floor for every small cell. Returns 1.0 for
+/// an all-zero spectrum.
+double condition_number(const std::vector<double>& eigenvalues_desc, double rel_floor = 1e-10);
+
+/// Generalized condition index K_i = λ1 / λi (1-based i; i ≤ count).
+/// This is the x-axis of the paper's Fig. 2a.
+double condition_index(const std::vector<double>& eigenvalues_desc, int i, double floor = 1e-12);
+
+}  // namespace micronas

@@ -1,0 +1,81 @@
+#include "src/mcusim/cortex_m7.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/hw/memory_model.hpp"
+
+namespace micronas {
+
+double layer_cycles(const LayerSpec& spec, const McuSpec& mcu) {
+  const bool int8 = spec.bits == 8;
+  const double mac_scale = int8 ? mcu.int8_mac_speedup : 1.0;
+  const double mem_scale = int8 ? mcu.int8_mem_speedup : 1.0;
+
+  double cycles = mcu.layer_overhead_cycles;
+  switch (spec.kind) {
+    case LayerKind::kConv: {
+      const double macs = static_cast<double>(spec.macs());
+      const double throughput =
+          spec.kernel == 1 ? mcu.macs_per_cycle_conv1x1 : mcu.macs_per_cycle_conv3x3;
+      cycles += macs / (throughput * mac_scale);
+      break;
+    }
+    case LayerKind::kLinear:
+      cycles += static_cast<double>(spec.macs()) / (mcu.macs_per_cycle_linear * mac_scale);
+      break;
+    case LayerKind::kAvgPool:
+      cycles += mcu.pool_cycles_per_out * static_cast<double>(spec.out_elems()) / mem_scale;
+      break;
+    case LayerKind::kGlobalPool:
+      cycles += 1.5 * static_cast<double>(spec.in_elems()) / mem_scale;
+      break;
+    case LayerKind::kSkip:
+      cycles += mcu.copy_cycles_per_elem * static_cast<double>(spec.out_elems()) / mem_scale;
+      break;
+    case LayerKind::kAdd:
+      cycles += mcu.add_cycles_per_elem * static_cast<double>(spec.out_elems()) / mem_scale;
+      break;
+  }
+  return cycles;
+}
+
+SimulatedRun simulate_network(const MacroModel& model, const McuSpec& mcu, Rng* jitter_rng) {
+  SimulatedRun run;
+  run.per_layer_cycles.reserve(model.layers.size());
+
+  // The runtime arena (scheduler + im2col scratch) shares SRAM with the
+  // activations on the real board, so it counts against the budget.
+  // Activation width follows the model's precision (int8 shrinks 4x).
+  const int bpa = model.layers.empty() ? 4 : model.layers.front().bits / 8;
+  const long long peak =
+      peak_activation_bytes(model, bpa) + MemoryModelSpec{}.runtime_arena_bytes;
+  run.sram_pressure = peak > mcu.sram_budget_bytes;
+  const double pressure = run.sram_pressure ? (1.0 + mcu.sram_pressure_slowdown) : 1.0;
+
+  double total = mcu.network_overhead_cycles;
+  for (const auto& spec : model.layers) {
+    double c = layer_cycles(spec, mcu) * pressure;
+    run.per_layer_cycles.push_back(c);
+    total += c;
+  }
+  if (jitter_rng != nullptr) {
+    total *= 1.0 + jitter_rng->normal(0.0, mcu.jitter_stddev);
+  }
+  run.total_cycles = total;
+  run.latency_ms = total / mcu.clock_hz * 1e3;
+  return run;
+}
+
+double measure_latency_ms(const MacroModel& model, const McuSpec& mcu, Rng& rng, int runs) {
+  if (runs < 1) throw std::invalid_argument("measure_latency_ms: runs must be >= 1");
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    samples.push_back(simulate_network(model, mcu, &rng).latency_ms);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace micronas

@@ -1,0 +1,65 @@
+// Cortex-M7 cycle-cost simulator — the stand-in for the STM32
+// NUCLEO-F746ZG board the paper profiles on (DESIGN.md §3.1).
+//
+// The model captures the effects that make MCU latency diverge from a
+// pure FLOPs count, which is precisely the paper's argument for a
+// dedicated latency indicator:
+//   * different MAC throughput per op type (1×1 convs map to tight GEMM
+//     loops; 3×3 convs pay im2col/addressing overhead; pooling and
+//     copies are memory-bound),
+//   * a fixed per-layer invocation overhead (kernel dispatch, DMA
+//     setup) that penalizes many-small-layer cells,
+//   * a constant per-inference runtime overhead,
+//   * an SRAM-pressure slowdown once the network's peak activation
+//     footprint exceeds the data-TCM budget (cache-miss regime) — a
+//     *cross-layer* effect that per-op profiling cannot see, which is
+//     what makes the paper's LUT estimator validation non-trivial,
+//   * multiplicative measurement jitter on timed runs.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/net/macro_net.hpp"
+
+namespace micronas {
+
+struct McuSpec {
+  double clock_hz = 216e6;             // STM32F746 @ 216 MHz
+  double macs_per_cycle_conv3x3 = 0.42;
+  double macs_per_cycle_conv1x1 = 0.58;
+  double macs_per_cycle_linear = 0.52;
+  double pool_cycles_per_out = 11.0;   // 9 loads + adds + store per output
+  double copy_cycles_per_elem = 1.25;  // identity edges
+  double add_cycles_per_elem = 2.0;    // elementwise sums
+  double layer_overhead_cycles = 2200.0;
+  double network_overhead_cycles = 170000.0;  // runtime init + I/O
+  long long sram_budget_bytes = 320 * 1024;   // usable data SRAM
+  double sram_pressure_slowdown = 0.12;       // +12 % when over budget
+  double jitter_stddev = 0.01;                // 1 % timing noise
+
+  /// int8 path: SMLAD dual-MAC kernels (CMSIS-NN style) raise MAC
+  /// throughput ~3.5x for convolutions; memory-bound ops scale with
+  /// the 4x narrower element width.
+  double int8_mac_speedup = 3.5;
+  double int8_mem_speedup = 4.0;
+};
+
+/// Deterministic cycle cost of one layer, excluding cross-layer effects.
+double layer_cycles(const LayerSpec& spec, const McuSpec& mcu = {});
+
+struct SimulatedRun {
+  double total_cycles = 0.0;
+  double latency_ms = 0.0;
+  bool sram_pressure = false;          // cross-layer slowdown applied
+  std::vector<double> per_layer_cycles;
+};
+
+/// End-to-end inference simulation of the deployment model.
+/// Deterministic unless `jitter_rng` is provided.
+SimulatedRun simulate_network(const MacroModel& model, const McuSpec& mcu = {},
+                              Rng* jitter_rng = nullptr);
+
+/// Median latency over `runs` jittered executions — what a careful
+/// on-board measurement procedure reports.
+double measure_latency_ms(const MacroModel& model, const McuSpec& mcu, Rng& rng, int runs = 7);
+
+}  // namespace micronas

@@ -1,0 +1,79 @@
+#include "src/mcusim/profiler.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace micronas {
+
+std::vector<LayerSpec> enumerate_search_space_layers(const MacroNetConfig& config) {
+  // Build macro models for a handful of genotypes that jointly cover
+  // every op at every stage, then dedupe by lookup key.
+  std::vector<nb201::Genotype> probes;
+  for (nb201::Op op : nb201::kAllOps) {
+    std::array<nb201::Op, nb201::kNumEdges> ops;
+    ops.fill(op);
+    probes.emplace_back(ops);
+  }
+  // A mixed genotype adds the kAdd specs that uniform `none` misses.
+  {
+    std::array<nb201::Op, nb201::kNumEdges> ops;
+    ops.fill(nb201::Op::kConv3x3);
+    ops[0] = nb201::Op::kSkipConnect;
+    ops[1] = nb201::Op::kAvgPool3x3;
+    ops[2] = nb201::Op::kConv1x1;
+    probes.emplace_back(ops);
+  }
+
+  std::set<LatencyKey> seen;
+  std::vector<LayerSpec> out;
+  for (const auto& g : probes) {
+    const MacroModel m = build_macro_model(g, config);
+    for (const auto& spec : m.layers) {
+      if (seen.insert(LatencyKey::from_spec(spec)).second) out.push_back(spec);
+      // int8 kernels have their own cost profile (see McuSpec) and
+      // therefore their own LUT entries.
+      LayerSpec q = spec;
+      q.bits = 8;
+      if (seen.insert(LatencyKey::from_spec(q)).second) out.push_back(q);
+    }
+  }
+  return out;
+}
+
+double profile_layer(const LayerSpec& spec, const McuSpec& mcu, Rng& rng,
+                     const ProfilerOptions& options) {
+  if (options.runs_per_op < 1) throw std::invalid_argument("profile_layer: runs_per_op >= 1");
+  std::vector<double> cycles;
+  cycles.reserve(static_cast<std::size_t>(options.runs_per_op));
+  for (int r = 0; r < options.runs_per_op; ++r) {
+    double c = layer_cycles(spec, mcu);
+    if (!options.deterministic) c *= 1.0 + rng.normal(0.0, mcu.jitter_stddev);
+    cycles.push_back(c);
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles[cycles.size() / 2];
+}
+
+LatencyTable build_latency_table(const McuSpec& mcu, Rng& rng, const MacroNetConfig& config,
+                                 const ProfilerOptions& options) {
+  LatencyTable table;
+  for (const auto& spec : enumerate_search_space_layers(config)) {
+    table.insert(LatencyKey::from_spec(spec), profile_layer(spec, mcu, rng, options));
+  }
+  return table;
+}
+
+double profile_constant_overhead_ms(const McuSpec& mcu, Rng& rng, const ProfilerOptions& options) {
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(options.runs_per_op));
+  for (int r = 0; r < options.runs_per_op; ++r) {
+    double cycles = mcu.network_overhead_cycles;
+    if (!options.deterministic) cycles *= 1.0 + rng.normal(0.0, mcu.jitter_stddev);
+    ms.push_back(cycles / mcu.clock_hz * 1e3);
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+}  // namespace micronas

@@ -1,0 +1,41 @@
+// Operation profiler: runs each distinct layer shape of the search
+// space on the MCU simulator and records median cycles into a
+// LatencyTable — the paper's "profiling each operation individually
+// within the search space" stage.
+//
+// Profiling measures ops in isolation (single-layer runs), so the
+// resulting table knowingly misses cross-layer effects such as the
+// simulator's SRAM-pressure slowdown; the estimator-validation bench
+// quantifies that gap, mirroring the paper's board validation.
+#pragma once
+
+#include "src/hw/latency_table.hpp"
+#include "src/mcusim/cortex_m7.hpp"
+
+namespace micronas {
+
+struct ProfilerOptions {
+  int runs_per_op = 7;      // median over this many jittered runs
+  bool deterministic = false;  // skip jitter entirely (for tests)
+};
+
+/// All distinct layer shapes reachable in the NB201 space on the given
+/// skeleton (5 cell ops × 3 stages + stem + reductions + head).
+std::vector<LayerSpec> enumerate_search_space_layers(const MacroNetConfig& config = {});
+
+/// Profile one layer in isolation: median cycles over jittered runs.
+double profile_layer(const LayerSpec& spec, const McuSpec& mcu, Rng& rng,
+                     const ProfilerOptions& options = {});
+
+/// Profile every search-space layer shape into a lookup table.
+LatencyTable build_latency_table(const McuSpec& mcu, Rng& rng,
+                                 const MacroNetConfig& config = {},
+                                 const ProfilerOptions& options = {});
+
+/// Profile the constant per-inference overhead (the paper's "constant
+/// hardware latency overhead"): measured as the latency of an empty
+/// model, in milliseconds.
+double profile_constant_overhead_ms(const McuSpec& mcu, Rng& rng,
+                                    const ProfilerOptions& options = {});
+
+}  // namespace micronas

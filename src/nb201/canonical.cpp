@@ -1,0 +1,37 @@
+#include "src/nb201/canonical.hpp"
+
+#include <set>
+
+#include "src/nb201/features.hpp"
+
+namespace micronas::nb201 {
+
+Genotype canonicalize(const Genotype& g) {
+  const CellFeatures f = analyze_cell(g);
+  Genotype out;
+  for (int e = 0; e < kNumEdges; ++e) {
+    out.set_op(e, f.edge_effective[static_cast<std::size_t>(e)] ? g.op(e) : Op::kNone);
+  }
+  return out;
+}
+
+bool is_canonical(const Genotype& g) { return canonicalize(g) == g; }
+
+bool functionally_equivalent(const Genotype& a, const Genotype& b) {
+  return canonicalize(a) == canonicalize(b);
+}
+
+SpaceRedundancy analyze_space_redundancy() {
+  SpaceRedundancy r;
+  std::set<int> classes;
+  for (int i = 0; i < kNumArchitectures; ++i) {
+    const Genotype g = Genotype::from_index(i);
+    const Genotype c = canonicalize(g);
+    classes.insert(c.index());
+    if (c == g) ++r.already_canonical;
+  }
+  r.canonical_classes = static_cast<int>(classes.size());
+  return r;
+}
+
+}  // namespace micronas::nb201

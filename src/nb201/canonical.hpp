@@ -1,0 +1,38 @@
+// Functional canonicalization of NAS-Bench-201 cells.
+//
+// Many of the 15 625 genotypes are functionally identical: an edge
+// whose source never receives signal, or whose destination never
+// reaches the output, contributes nothing regardless of its op. The
+// canonical form rewrites every such dead edge to `none`, exposing the
+// cell's true behaviour class. Useful for deduplicating search
+// trajectories and for reporting how much of the space is redundant.
+#pragma once
+
+#include "src/nb201/genotype.hpp"
+
+namespace micronas::nb201 {
+
+/// Canonical representative: dead edges rewritten to `none`. Idempotent;
+/// preserves the cell's function exactly.
+Genotype canonicalize(const Genotype& g);
+
+/// True if the genotype is its own canonical form.
+bool is_canonical(const Genotype& g);
+
+/// Two genotypes are functionally equivalent iff their canonical forms
+/// coincide.
+bool functionally_equivalent(const Genotype& a, const Genotype& b);
+
+struct SpaceRedundancy {
+  int total = kNumArchitectures;
+  int canonical_classes = 0;        // distinct behaviour classes
+  int already_canonical = 0;        // genotypes equal to their class rep
+  double redundancy_fraction() const {
+    return 1.0 - static_cast<double>(canonical_classes) / total;
+  }
+};
+
+/// Exhaustive census of the whole space (fast: pure graph analysis).
+SpaceRedundancy analyze_space_redundancy();
+
+}  // namespace micronas::nb201

@@ -1,0 +1,85 @@
+#include "src/nb201/features.hpp"
+
+#include <algorithm>
+
+namespace micronas::nb201 {
+
+const std::vector<std::vector<int>>& all_paths() {
+  static const std::vector<std::vector<int>> kPaths = {
+      {edge_index(0, 3)},
+      {edge_index(0, 1), edge_index(1, 3)},
+      {edge_index(0, 2), edge_index(2, 3)},
+      {edge_index(0, 1), edge_index(1, 2), edge_index(2, 3)},
+  };
+  return kPaths;
+}
+
+CellFeatures analyze_cell(const Genotype& g) {
+  CellFeatures f;
+
+  // A path is live if all of its edges carry signal.
+  std::vector<const std::vector<int>*> live;
+  for (const auto& path : all_paths()) {
+    const bool alive = std::all_of(path.begin(), path.end(),
+                                   [&](int e) { return op_carries_signal(g.op(e)); });
+    if (alive) {
+      live.push_back(&path);
+      for (int e : path) f.edge_effective[static_cast<std::size_t>(e)] = true;
+    }
+  }
+  f.live_paths = static_cast<int>(live.size());
+  f.connected = !live.empty();
+  if (!f.connected) return f;
+
+  for (int e = 0; e < kNumEdges; ++e) {
+    if (!f.edge_effective[static_cast<std::size_t>(e)]) continue;
+    switch (g.op(e)) {
+      case Op::kConv3x3: ++f.n_conv3x3; break;
+      case Op::kConv1x1: ++f.n_conv1x1; break;
+      case Op::kSkipConnect: ++f.n_skip; break;
+      case Op::kAvgPool3x3: ++f.n_pool; break;
+      case Op::kNone: break;  // unreachable: effective edges carry signal
+    }
+  }
+
+  for (const auto* path : live) {
+    int convs = 0;
+    for (int e : *path) {
+      if (op_has_params(g.op(e))) ++convs;
+    }
+    f.conv_depth = std::max(f.conv_depth, convs);
+    f.graph_depth = std::max(f.graph_depth, static_cast<int>(path->size()));
+  }
+
+  // Residual-style skip: an effective skip edge (i→j) bridging node pair
+  // that is also connected by a longer live sub-path containing a conv.
+  // In this 4-node DAG it is sufficient to check each skip edge against
+  // the live paths that pass through both its endpoints via other edges.
+  const auto path_has_conv = [&](const std::vector<int>& path) {
+    return std::any_of(path.begin(), path.end(), [&](int e) { return op_has_params(g.op(e)); });
+  };
+  for (int e = 0; e < kNumEdges; ++e) {
+    if (!f.edge_effective[static_cast<std::size_t>(e)] || g.op(e) != Op::kSkipConnect) continue;
+    const auto ep = edge_endpoints(e);
+    for (const auto* path : live) {
+      // Does this live path route from ep.from to ep.to without edge e?
+      bool visits_from = (ep.from == 0);
+      bool visits_to = (ep.to == 3);
+      bool uses_e = false;
+      for (int pe : *path) {
+        const auto pep = edge_endpoints(pe);
+        if (pe == e) uses_e = true;
+        if (pep.to == ep.from || pep.from == ep.from) visits_from = true;
+        if (pep.to == ep.to || pep.from == ep.to) visits_to = true;
+      }
+      if (!uses_e && visits_from && visits_to && path_has_conv(*path)) {
+        f.has_residual_skip = true;
+        break;
+      }
+    }
+    if (f.has_residual_skip) break;
+  }
+  return f;
+}
+
+}  // namespace micronas::nb201

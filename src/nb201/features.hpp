@@ -1,0 +1,52 @@
+// Structural analysis of a cell genotype.
+//
+// These features drive the surrogate accuracy oracle and are also
+// useful diagnostics in their own right (reachability pruning, depth /
+// width of the effective computation graph). An edge is *effective* if
+// it carries signal (op != none), its source is reachable from the cell
+// input through signal-carrying edges, and its destination co-reaches
+// the cell output.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/nb201/genotype.hpp"
+
+namespace micronas::nb201 {
+
+struct CellFeatures {
+  /// True if at least one signal-carrying path connects input to output.
+  bool connected = false;
+
+  /// Per-edge effectiveness (signal-carrying and on some live path).
+  std::array<bool, kNumEdges> edge_effective{};
+
+  /// Histogram of *effective* edges by op.
+  int n_conv3x3 = 0;
+  int n_conv1x1 = 0;
+  int n_skip = 0;
+  int n_pool = 0;
+
+  /// Longest input→output path length counted in *conv* edges.
+  int conv_depth = 0;
+  /// Longest input→output path length counted in all effective edges.
+  int graph_depth = 0;
+  /// Number of distinct live input→output paths (0..4).
+  int live_paths = 0;
+  /// True if an effective skip edge short-circuits some live conv path
+  /// (a residual-style connection).
+  bool has_residual_skip = false;
+
+  /// Weighted convolutional capacity: 1.0 per effective conv3x3 plus
+  /// 0.62 per effective conv1x1 (the 1x1's relative receptive weight).
+  double conv_mass() const { return 1.0 * n_conv3x3 + 0.62 * n_conv1x1; }
+};
+
+CellFeatures analyze_cell(const Genotype& g);
+
+/// The four node paths of the NB201 DAG, as edge-index sequences:
+/// {0→3}, {0→1,1→3}, {0→2,2→3}, {0→1,1→2,2→3}.
+const std::vector<std::vector<int>>& all_paths();
+
+}  // namespace micronas::nb201

@@ -1,0 +1,132 @@
+#include "src/nb201/genotype.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+
+namespace micronas::nb201 {
+
+EdgeEndpoints edge_endpoints(int edge_index) {
+  static constexpr std::array<EdgeEndpoints, kNumEdges> kEdges = {
+      EdgeEndpoints{0, 1}, EdgeEndpoints{0, 2}, EdgeEndpoints{1, 2},
+      EdgeEndpoints{0, 3}, EdgeEndpoints{1, 3}, EdgeEndpoints{2, 3}};
+  if (edge_index < 0 || edge_index >= kNumEdges) {
+    throw std::out_of_range("edge_endpoints: edge index out of range");
+  }
+  return kEdges[static_cast<std::size_t>(edge_index)];
+}
+
+int edge_index(int from, int to) {
+  for (int e = 0; e < kNumEdges; ++e) {
+    const auto ep = edge_endpoints(e);
+    if (ep.from == from && ep.to == to) return e;
+  }
+  throw std::invalid_argument("edge_index: no edge " + std::to_string(from) + "->" + std::to_string(to));
+}
+
+Op Genotype::op(int edge) const {
+  if (edge < 0 || edge >= kNumEdges) throw std::out_of_range("Genotype::op: edge index");
+  return ops_[static_cast<std::size_t>(edge)];
+}
+
+void Genotype::set_op(int edge, Op op) {
+  if (edge < 0 || edge >= kNumEdges) throw std::out_of_range("Genotype::set_op: edge index");
+  ops_[static_cast<std::size_t>(edge)] = op;
+}
+
+int Genotype::index() const {
+  int idx = 0;
+  int mult = 1;
+  for (int e = 0; e < kNumEdges; ++e) {
+    idx += static_cast<int>(ops_[static_cast<std::size_t>(e)]) * mult;
+    mult *= kNumOps;
+  }
+  return idx;
+}
+
+Genotype Genotype::from_index(int index) {
+  if (index < 0 || index >= kNumArchitectures) {
+    throw std::out_of_range("Genotype::from_index: index out of range");
+  }
+  std::array<Op, kNumEdges> ops{};
+  for (int e = 0; e < kNumEdges; ++e) {
+    ops[static_cast<std::size_t>(e)] = static_cast<Op>(index % kNumOps);
+    index /= kNumOps;
+  }
+  return Genotype(ops);
+}
+
+std::string Genotype::to_string() const {
+  std::ostringstream ss;
+  for (int node = 1; node < kNumNodes; ++node) {
+    if (node > 1) ss << "+";
+    ss << "|";
+    for (int from = 0; from < node; ++from) {
+      ss << op_name(op(from, node)) << "~" << from << "|";
+    }
+  }
+  return ss.str();
+}
+
+Genotype Genotype::from_string(const std::string& arch) {
+  Genotype g;
+  // Split node groups on '+', tokens on '|'.
+  std::vector<std::string> groups;
+  {
+    std::string cur;
+    for (char c : arch) {
+      if (c == '+') {
+        groups.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    groups.push_back(cur);
+  }
+  if (groups.size() != kNumNodes - 1) {
+    throw std::invalid_argument("Genotype::from_string: expected 3 node groups");
+  }
+  for (int node = 1; node < kNumNodes; ++node) {
+    const std::string& grp = groups[static_cast<std::size_t>(node - 1)];
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : grp) {
+      if (c == '|') {
+        if (!cur.empty()) toks.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) toks.push_back(cur);
+    if (static_cast<int>(toks.size()) != node) {
+      throw std::invalid_argument("Genotype::from_string: node " + std::to_string(node) +
+                                  " expects " + std::to_string(node) + " ops");
+    }
+    for (const auto& tok : toks) {
+      const auto tilde = tok.rfind('~');
+      if (tilde == std::string::npos) {
+        throw std::invalid_argument("Genotype::from_string: token missing '~': " + tok);
+      }
+      const std::string name = tok.substr(0, tilde);
+      const int from = std::stoi(tok.substr(tilde + 1));
+      if (from < 0 || from >= node) {
+        throw std::invalid_argument("Genotype::from_string: bad source node in: " + tok);
+      }
+      g.set_op(edge_index(from, node), op_from_name(name));
+    }
+  }
+  return g;
+}
+
+std::uint64_t Genotype::stable_hash() const {
+  std::uint64_t h = 0xC0FFEE5EED5ULL;
+  for (int e = 0; e < kNumEdges; ++e) {
+    h = hash_combine(h, static_cast<std::uint64_t>(static_cast<int>(op(e))) + 1);
+  }
+  return h;
+}
+
+}  // namespace micronas::nb201

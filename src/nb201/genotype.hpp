@@ -1,0 +1,69 @@
+// Cell genotype: the 6-edge operation assignment of a NAS-Bench-201 cell.
+//
+// The cell is a DAG over nodes {0,1,2,3}; node 0 is the cell input,
+// node 3 the output, and node j computes the sum over i<j of
+// op(i→j)(node_i). Edges are ordered canonically:
+//   index 0: 0→1
+//   index 1: 0→2,  index 2: 1→2
+//   index 3: 0→3,  index 4: 1→3,  index 5: 2→3
+// which matches the canonical arch string
+//   |op~0|+|op~0|op~1|+|op~0|op~1|op~2|
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/nb201/ops.hpp"
+
+namespace micronas::nb201 {
+
+inline constexpr int kNumNodes = 4;
+inline constexpr int kNumEdges = 6;
+inline constexpr int kNumArchitectures = 15625;  // 5^6
+
+/// Source and destination node of each canonical edge index.
+struct EdgeEndpoints {
+  int from;
+  int to;
+};
+EdgeEndpoints edge_endpoints(int edge_index);
+
+/// Canonical edge index for (from → to); throws if not a valid pair.
+int edge_index(int from, int to);
+
+class Genotype {
+ public:
+  /// All edges `none`.
+  Genotype() = default;
+  explicit Genotype(std::array<Op, kNumEdges> ops) : ops_(ops) {}
+
+  Op op(int edge_index) const;
+  Op op(int from, int to) const { return op(edge_index(from, to)); }
+  void set_op(int edge_index, Op op);
+
+  const std::array<Op, kNumEdges>& ops() const { return ops_; }
+
+  /// Dense index in [0, 15625): base-5 little-endian over edges.
+  int index() const;
+  static Genotype from_index(int index);
+
+  /// Canonical NAS-Bench-201 arch string, e.g.
+  /// "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|avg_pool_3x3~0|none~1|nor_conv_1x1~2|"
+  std::string to_string() const;
+  static Genotype from_string(const std::string& arch);
+
+  /// Stable 64-bit id (used for deterministic surrogate noise).
+  std::uint64_t stable_hash() const;
+
+  bool operator==(const Genotype& other) const { return ops_ == other.ops_; }
+  bool operator!=(const Genotype& other) const { return !(*this == other); }
+  /// Lexicographic on edge ops — usable as a map key.
+  bool operator<(const Genotype& other) const { return ops_ < other.ops_; }
+
+ private:
+  std::array<Op, kNumEdges> ops_{Op::kNone, Op::kNone, Op::kNone,
+                                 Op::kNone, Op::kNone, Op::kNone};
+};
+
+}  // namespace micronas::nb201

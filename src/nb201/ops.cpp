@@ -1,0 +1,26 @@
+#include "src/nb201/ops.hpp"
+
+#include <stdexcept>
+
+namespace micronas::nb201 {
+
+const std::string& op_name(Op op) {
+  static const std::array<std::string, kNumOps> names = {
+      "none", "skip_connect", "nor_conv_1x1", "nor_conv_3x3", "avg_pool_3x3"};
+  const int i = static_cast<int>(op);
+  if (i < 0 || i >= kNumOps) throw std::invalid_argument("op_name: invalid op");
+  return names[static_cast<std::size_t>(i)];
+}
+
+Op op_from_name(const std::string& name) {
+  for (Op op : kAllOps) {
+    if (op_name(op) == name) return op;
+  }
+  throw std::invalid_argument("op_from_name: unknown op '" + name + "'");
+}
+
+bool op_carries_signal(Op op) { return op != Op::kNone; }
+
+bool op_has_params(Op op) { return op == Op::kConv1x1 || op == Op::kConv3x3; }
+
+}  // namespace micronas::nb201

@@ -1,0 +1,36 @@
+// The NAS-Bench-201 operation vocabulary.
+//
+// Every edge of the 4-node cell DAG carries exactly one of these five
+// candidate operations; 6 edges × 5 ops = 5^6 = 15625 architectures.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace micronas::nb201 {
+
+enum class Op : int {
+  kNone = 0,        // "none"          — zeroize the edge
+  kSkipConnect = 1, // "skip_connect"  — identity
+  kConv1x1 = 2,     // "nor_conv_1x1"  — ReLU-conv1x1(-BN)
+  kConv3x3 = 3,     // "nor_conv_3x3"  — ReLU-conv3x3(-BN)
+  kAvgPool3x3 = 4,  // "avg_pool_3x3"
+};
+
+inline constexpr int kNumOps = 5;
+inline constexpr std::array<Op, kNumOps> kAllOps = {
+    Op::kNone, Op::kSkipConnect, Op::kConv1x1, Op::kConv3x3, Op::kAvgPool3x3};
+
+/// Canonical NAS-Bench-201 operation names.
+const std::string& op_name(Op op);
+
+/// Parse a canonical name; throws std::invalid_argument on unknown.
+Op op_from_name(const std::string& name);
+
+/// True if the op propagates signal (everything except `none`).
+bool op_carries_signal(Op op);
+
+/// True if the op has trainable parameters (the two convolutions).
+bool op_has_params(Op op);
+
+}  // namespace micronas::nb201

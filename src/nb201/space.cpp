@@ -1,0 +1,111 @@
+#include "src/nb201/space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace micronas::nb201 {
+
+std::vector<Genotype> enumerate_space() {
+  std::vector<Genotype> all;
+  all.reserve(kNumArchitectures);
+  for (int i = 0; i < kNumArchitectures; ++i) all.push_back(Genotype::from_index(i));
+  return all;
+}
+
+Genotype random_genotype(Rng& rng) {
+  std::array<Op, kNumEdges> ops{};
+  for (int e = 0; e < kNumEdges; ++e) {
+    ops[static_cast<std::size_t>(e)] = static_cast<Op>(rng.uniform_int(0, kNumOps - 1));
+  }
+  return Genotype(ops);
+}
+
+std::vector<Genotype> sample_genotypes(Rng& rng, int count) {
+  if (count < 0 || count > kNumArchitectures) {
+    throw std::invalid_argument("sample_genotypes: count out of range");
+  }
+  const auto picks = rng.sample_without_replacement(kNumArchitectures, static_cast<std::size_t>(count));
+  std::vector<Genotype> out;
+  out.reserve(picks.size());
+  for (const auto idx : picks) out.push_back(Genotype::from_index(static_cast<int>(idx)));
+  return out;
+}
+
+std::vector<Genotype> neighbors(const Genotype& g) {
+  std::vector<Genotype> out;
+  out.reserve(kNumEdges * (kNumOps - 1));
+  for (int e = 0; e < kNumEdges; ++e) {
+    for (Op op : kAllOps) {
+      if (op == g.op(e)) continue;
+      Genotype n = g;
+      n.set_op(e, op);
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+Genotype mutate(const Genotype& g, Rng& rng) {
+  const int e = rng.uniform_int(0, kNumEdges - 1);
+  Op op = g.op(e);
+  while (op == g.op(e)) op = static_cast<Op>(rng.uniform_int(0, kNumOps - 1));
+  Genotype out = g;
+  out.set_op(e, op);
+  return out;
+}
+
+OpSet OpSet::full() { return OpSet{}; }
+
+const std::vector<Op>& OpSet::ops_on_edge(int edge) const {
+  if (edge < 0 || edge >= kNumEdges) throw std::out_of_range("OpSet: edge index");
+  return edge_ops_[static_cast<std::size_t>(edge)];
+}
+
+bool OpSet::contains(int edge, Op op) const {
+  const auto& ops = ops_on_edge(edge);
+  return std::find(ops.begin(), ops.end(), op) != ops.end();
+}
+
+int OpSet::total_ops() const {
+  int n = 0;
+  for (const auto& ops : edge_ops_) n += static_cast<int>(ops.size());
+  return n;
+}
+
+bool OpSet::is_singleton() const {
+  return std::all_of(edge_ops_.begin(), edge_ops_.end(),
+                     [](const auto& ops) { return ops.size() == 1; });
+}
+
+void OpSet::remove(int edge, Op op) {
+  if (edge < 0 || edge >= kNumEdges) throw std::out_of_range("OpSet::remove: edge index");
+  auto& ops = edge_ops_[static_cast<std::size_t>(edge)];
+  const auto it = std::find(ops.begin(), ops.end(), op);
+  if (it == ops.end()) throw std::invalid_argument("OpSet::remove: op not present on edge");
+  if (ops.size() == 1) throw std::logic_error("OpSet::remove: cannot empty an edge");
+  ops.erase(it);
+}
+
+Genotype OpSet::to_genotype() const {
+  if (!is_singleton()) throw std::logic_error("OpSet::to_genotype: set is not singleton");
+  std::array<Op, kNumEdges> ops{};
+  for (int e = 0; e < kNumEdges; ++e) ops[static_cast<std::size_t>(e)] = edge_ops_[static_cast<std::size_t>(e)].front();
+  return Genotype(ops);
+}
+
+Genotype OpSet::sample(Rng& rng) const {
+  std::array<Op, kNumEdges> ops{};
+  for (int e = 0; e < kNumEdges; ++e) {
+    const auto& choices = edge_ops_[static_cast<std::size_t>(e)];
+    ops[static_cast<std::size_t>(e)] = choices[rng.index(choices.size())];
+  }
+  return Genotype(ops);
+}
+
+long long OpSet::cardinality() const {
+  long long n = 1;
+  for (const auto& ops : edge_ops_) n *= static_cast<long long>(ops.size());
+  return n;
+}
+
+}  // namespace micronas::nb201

@@ -1,0 +1,58 @@
+// Search-space level operations: enumeration, sampling, neighbourhoods.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/nb201/genotype.hpp"
+
+namespace micronas::nb201 {
+
+/// All 15 625 genotypes in index order.
+std::vector<Genotype> enumerate_space();
+
+/// Uniform random genotype.
+Genotype random_genotype(Rng& rng);
+
+/// Sample `count` genotypes without replacement (count ≤ 15625).
+std::vector<Genotype> sample_genotypes(Rng& rng, int count);
+
+/// All one-edge mutations of `g` (6 edges × 4 alternatives = 24).
+std::vector<Genotype> neighbors(const Genotype& g);
+
+/// Mutate one uniformly chosen edge to a different uniformly chosen op.
+Genotype mutate(const Genotype& g, Rng& rng);
+
+/// The supernet / partially pruned supernet: a set of candidate ops per
+/// edge. The hardware-aware pruning search shrinks these sets one op at
+/// a time until every edge is singleton.
+class OpSet {
+ public:
+  /// Full supernet: all 5 ops on every edge.
+  static OpSet full();
+
+  const std::vector<Op>& ops_on_edge(int edge) const;
+  bool contains(int edge, Op op) const;
+  int total_ops() const;
+  bool is_singleton() const;  // every edge reduced to one op
+
+  /// Remove `op` from `edge`; throws if absent or if it would empty the edge.
+  void remove(int edge, Op op);
+
+  /// Valid only when is_singleton(): the final architecture.
+  Genotype to_genotype() const;
+
+  /// Uniform random genotype drawn from the remaining per-edge choices.
+  Genotype sample(Rng& rng) const;
+
+  /// Number of complete architectures representable (product of set sizes).
+  long long cardinality() const;
+
+ private:
+  std::vector<std::vector<Op>> edge_ops_{
+      std::vector<Op>(kAllOps.begin(), kAllOps.end()), std::vector<Op>(kAllOps.begin(), kAllOps.end()),
+      std::vector<Op>(kAllOps.begin(), kAllOps.end()), std::vector<Op>(kAllOps.begin(), kAllOps.end()),
+      std::vector<Op>(kAllOps.begin(), kAllOps.end()), std::vector<Op>(kAllOps.begin(), kAllOps.end())};
+};
+
+}  // namespace micronas::nb201

@@ -1,0 +1,278 @@
+#include "src/net/cell_net.hpp"
+
+#include <stdexcept>
+
+namespace micronas {
+
+namespace {
+
+/// A straight-line chain of layers.
+class SequenceBlock final : public Block {
+ public:
+  explicit SequenceBlock(std::vector<std::unique_ptr<Layer>> layers) : layers_(std::move(layers)) {}
+
+  Tensor forward(const Tensor& input) override {
+    Tensor x = input;
+    for (auto& l : layers_) x = l->forward(x);
+    return x;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+    return g;
+  }
+
+  void for_each_layer(const std::function<void(Layer&)>& fn) override {
+    for (auto& l : layers_) fn(*l);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// One candidate operation on an edge, instantiated as a layer chain.
+struct EdgeOpInstance {
+  nb201::Op op;
+  std::vector<std::unique_ptr<Layer>> layers;
+
+  Tensor forward(const Tensor& x) {
+    Tensor y = x;
+    for (auto& l : layers) y = l->forward(y);
+    return y;
+  }
+  Tensor backward(const Tensor& g) {
+    Tensor gx = g;
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it) gx = (*it)->backward(gx);
+    return gx;
+  }
+};
+
+std::vector<std::unique_ptr<Layer>> instantiate_op(nb201::Op op, int channels) {
+  std::vector<std::unique_ptr<Layer>> layers;
+  switch (op) {
+    case nb201::Op::kNone:
+      layers.push_back(std::make_unique<ZeroLayer>());
+      break;
+    case nb201::Op::kSkipConnect:
+      layers.push_back(std::make_unique<IdentityLayer>());
+      break;
+    case nb201::Op::kConv1x1:
+      layers.push_back(std::make_unique<Conv2dLayer>(channels, channels, 1, 1, 0));
+      layers.push_back(std::make_unique<ReluLayer>());
+      break;
+    case nb201::Op::kConv3x3:
+      layers.push_back(std::make_unique<Conv2dLayer>(channels, channels, 3, 1, 1));
+      layers.push_back(std::make_unique<ReluLayer>());
+      break;
+    case nb201::Op::kAvgPool3x3:
+      layers.push_back(std::make_unique<AvgPoolLayer>(3, 1, 1));
+      break;
+  }
+  return layers;
+}
+
+/// The searched cell: node j = Σ_{i<j} Σ_{op ∈ edge(i,j)} op(node_i).
+class CellBlock final : public Block {
+ public:
+  CellBlock(const EdgeOps& edge_ops, int channels) {
+    for (int e = 0; e < nb201::kNumEdges; ++e) {
+      for (nb201::Op op : edge_ops[static_cast<std::size_t>(e)]) {
+        EdgeOpInstance inst;
+        inst.op = op;
+        inst.layers = instantiate_op(op, channels);
+        edges_[static_cast<std::size_t>(e)].push_back(std::move(inst));
+      }
+    }
+  }
+
+  Tensor forward(const Tensor& input) override {
+    node_act_[0] = input;
+    for (int node = 1; node < nb201::kNumNodes; ++node) {
+      Tensor acc(input.shape());
+      for (int from = 0; from < node; ++from) {
+        const int e = nb201::edge_index(from, node);
+        for (auto& inst : edges_[static_cast<std::size_t>(e)]) {
+          acc.add_(inst.forward(node_act_[static_cast<std::size_t>(from)]));
+        }
+      }
+      node_act_[static_cast<std::size_t>(node)] = std::move(acc);
+    }
+    return node_act_[nb201::kNumNodes - 1];
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    std::array<Tensor, nb201::kNumNodes> node_grad;
+    for (int n = 0; n < nb201::kNumNodes; ++n) node_grad[static_cast<std::size_t>(n)] = Tensor(grad_output.shape());
+    node_grad[nb201::kNumNodes - 1] = grad_output;
+    for (int node = nb201::kNumNodes - 1; node >= 1; --node) {
+      const Tensor& g = node_grad[static_cast<std::size_t>(node)];
+      for (int from = 0; from < node; ++from) {
+        const int e = nb201::edge_index(from, node);
+        for (auto& inst : edges_[static_cast<std::size_t>(e)]) {
+          node_grad[static_cast<std::size_t>(from)].add_(inst.backward(g));
+        }
+      }
+    }
+    return node_grad[0];
+  }
+
+  void for_each_layer(const std::function<void(Layer&)>& fn) override {
+    for (auto& edge : edges_) {
+      for (auto& inst : edge) {
+        for (auto& l : inst.layers) fn(*l);
+      }
+    }
+  }
+
+ private:
+  std::array<std::vector<EdgeOpInstance>, nb201::kNumEdges> edges_;
+  std::array<Tensor, nb201::kNumNodes> node_act_;
+};
+
+}  // namespace
+
+EdgeOps edge_ops_from_genotype(const nb201::Genotype& genotype) {
+  EdgeOps ops;
+  for (int e = 0; e < nb201::kNumEdges; ++e) ops[static_cast<std::size_t>(e)] = {genotype.op(e)};
+  return ops;
+}
+
+EdgeOps edge_ops_from_opset(const nb201::OpSet& opset) {
+  EdgeOps ops;
+  for (int e = 0; e < nb201::kNumEdges; ++e) ops[static_cast<std::size_t>(e)] = opset.ops_on_edge(e);
+  return ops;
+}
+
+CellNet::CellNet(const nb201::Genotype& genotype, const CellNetConfig& config, Rng& rng)
+    : config_(config) {
+  build(edge_ops_from_genotype(genotype), rng);
+}
+
+CellNet::CellNet(const nb201::OpSet& opset, const CellNetConfig& config, Rng& rng) : config_(config) {
+  build(edge_ops_from_opset(opset), rng);
+}
+
+CellNet::CellNet(const EdgeOps& edge_ops, const CellNetConfig& config, Rng& rng) : config_(config) {
+  build(edge_ops, rng);
+}
+
+void CellNet::build(const EdgeOps& edge_ops, Rng& rng) {
+  if (config_.num_stages < 1) throw std::invalid_argument("CellNet: num_stages >= 1 required");
+  if (config_.cells_per_stage < 1) throw std::invalid_argument("CellNet: cells_per_stage >= 1 required");
+
+  int channels = config_.base_channels;
+  int spatial = config_.input_size;
+
+  // Stem: 3x3 conv into the base width, followed by ReLU.
+  {
+    std::vector<std::unique_ptr<Layer>> stem;
+    stem.push_back(std::make_unique<Conv2dLayer>(config_.input_channels, channels, 3, 1, 1));
+    stem.push_back(std::make_unique<ReluLayer>());
+    blocks_.push_back(std::make_unique<SequenceBlock>(std::move(stem)));
+  }
+
+  for (int stage = 0; stage < config_.num_stages; ++stage) {
+    if (stage > 0) {
+      // Reduction between stages: stride-2 conv doubling the width.
+      std::vector<std::unique_ptr<Layer>> red;
+      red.push_back(std::make_unique<Conv2dLayer>(channels, channels * 2, 3, 2, 1));
+      red.push_back(std::make_unique<ReluLayer>());
+      blocks_.push_back(std::make_unique<SequenceBlock>(std::move(red)));
+      channels *= 2;
+      spatial = (spatial + 1) / 2;
+    }
+    for (int c = 0; c < config_.cells_per_stage; ++c) {
+      auto cell = std::make_unique<CellBlock>(edge_ops, channels);
+      cell->for_each_layer([&](Layer& l) {
+        if (const auto* relu = dynamic_cast<const ReluLayer*>(&l)) {
+          cell_relu_layers_.push_back(relu);
+        }
+        cell_param_layers_.push_back(&l);
+      });
+      blocks_.push_back(std::move(cell));
+    }
+  }
+
+  // Head: GAP + linear classifier.
+  {
+    std::vector<std::unique_ptr<Layer>> head;
+    head.push_back(std::make_unique<GlobalAvgPoolLayer>());
+    head.push_back(std::make_unique<LinearLayer>(channels, config_.num_classes));
+    blocks_.push_back(std::make_unique<SequenceBlock>(std::move(head)));
+  }
+
+  for (auto& b : blocks_) {
+    b->for_each_layer([&](Layer& l) {
+      l.init(rng);
+      if (const auto* relu = dynamic_cast<const ReluLayer*>(&l)) relu_layers_.push_back(relu);
+    });
+  }
+}
+
+Tensor CellNet::forward(const Tensor& input) {
+  if (input.shape().rank() != 4) throw std::invalid_argument("CellNet::forward: rank-4 input required");
+  Tensor x = input;
+  for (auto& b : blocks_) x = b->forward(x);
+  return x;
+}
+
+Tensor CellNet::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+void CellNet::zero_grad() {
+  for (auto& b : blocks_) {
+    b->for_each_layer([](Layer& l) { l.zero_grad(); });
+  }
+}
+
+std::size_t CellNet::param_count() {
+  std::size_t n = 0;
+  for (auto& b : blocks_) {
+    b->for_each_layer([&](Layer& l) { n += l.param_count(); });
+  }
+  return n;
+}
+
+void CellNet::for_each_param(const std::function<void(std::span<float>)>& fn) {
+  for (auto& b : blocks_) {
+    b->for_each_layer([&](Layer& l) {
+      for (auto s : l.param_spans()) fn(s);
+    });
+  }
+}
+
+void CellNet::collect_grads(std::vector<float>& out, bool cells_only) {
+  out.clear();
+  if (cells_only) {
+    for (Layer* l : cell_param_layers_) {
+      for (auto s : l->grad_spans()) out.insert(out.end(), s.begin(), s.end());
+    }
+    return;
+  }
+  for (auto& b : blocks_) {
+    b->for_each_layer([&](Layer& l) {
+      for (auto s : l.grad_spans()) out.insert(out.end(), s.begin(), s.end());
+    });
+  }
+}
+
+void CellNet::collect_relu_pattern(int sample, std::vector<unsigned char>& bits,
+                                   bool cells_only) const {
+  for (const auto* relu : cells_only ? cell_relu_layers_ : relu_layers_) {
+    const Tensor& mask = relu->last_mask();
+    if (mask.empty()) throw std::logic_error("CellNet::collect_relu_pattern: no forward recorded");
+    const int n = mask.shape()[0];
+    if (sample < 0 || sample >= n) throw std::out_of_range("CellNet::collect_relu_pattern: sample index");
+    const std::size_t per = mask.numel() / static_cast<std::size_t>(n);
+    const auto data = mask.data();
+    for (std::size_t i = 0; i < per; ++i) {
+      bits.push_back(data[static_cast<std::size_t>(sample) * per + i] > 0.5F ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace micronas

@@ -1,0 +1,105 @@
+// Instantiated proxy network: stem + searched cells + classifier head,
+// with full forward/backward through the cell DAG.
+//
+// This is the network the zero-cost indicators actually run on. It is
+// intentionally small (one cell per stage, 8 base channels, 16×16
+// inputs by default): the NTK condition number and the linear-region
+// count are *relative* quantities across candidate cells, so a compact
+// instantiation preserves ranking while keeping CPU cost low — the same
+// argument TE-NAS makes for proxy networks.
+//
+// Supernets are supported directly: an edge may carry several candidate
+// operations, in which case the edge output is the sum of its op
+// outputs (weight-free DARTS-style aggregation). The pruning search
+// scores supernet variants by removing one (edge, op) at a time.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/nb201/space.hpp"
+#include "src/tensor/layers.hpp"
+
+namespace micronas {
+
+struct CellNetConfig {
+  int input_channels = 3;
+  int input_size = 16;     // square inputs
+  int num_classes = 10;
+  int base_channels = 8;   // doubled at each reduction
+  int cells_per_stage = 1;
+  int num_stages = 3;
+};
+
+/// Per-edge candidate operations; a concrete architecture has exactly
+/// one op per edge, a supernet has several.
+using EdgeOps = std::array<std::vector<nb201::Op>, nb201::kNumEdges>;
+
+EdgeOps edge_ops_from_genotype(const nb201::Genotype& genotype);
+EdgeOps edge_ops_from_opset(const nb201::OpSet& opset);
+
+/// Common interface for the blocks a CellNet chains together.
+class Block {
+ public:
+  virtual ~Block() = default;
+  virtual Tensor forward(const Tensor& input) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+  virtual void for_each_layer(const std::function<void(Layer&)>& fn) = 0;
+};
+
+class CellNet {
+ public:
+  CellNet(const nb201::Genotype& genotype, const CellNetConfig& config, Rng& rng);
+  CellNet(const nb201::OpSet& opset, const CellNetConfig& config, Rng& rng);
+  CellNet(const EdgeOps& edge_ops, const CellNetConfig& config, Rng& rng);
+
+  /// Forward a batch [N, C, H, W] to logits [N, num_classes].
+  Tensor forward(const Tensor& input);
+
+  /// Backward from logit gradients [N, num_classes]; accumulates
+  /// parameter gradients and returns the input gradient.
+  Tensor backward(const Tensor& grad_logits);
+
+  void zero_grad();
+
+  /// Total number of scalar parameters.
+  std::size_t param_count();
+
+  /// Visit every parameter tensor (mutable view), in the same order
+  /// collect_grads flattens gradients. Used by saliency proxies that
+  /// transform weights in place (e.g. SynFlow's |θ|).
+  void for_each_param(const std::function<void(std::span<float>)>& fn);
+
+  /// Flatten parameter gradients into `out` (resized to fit). With
+  /// `cells_only`, only parameters inside searched cells contribute:
+  /// stem/reduction/head gradients are shared by every candidate cell
+  /// and only dilute the NTK's ranking signal (the wide reduction convs
+  /// dominate the full parameter vector).
+  void collect_grads(std::vector<float>& out, bool cells_only = false);
+
+  /// Concatenated ReLU activation signs of the last forward for sample
+  /// `n`, appended to `bits` as 0/1 bytes. With `cells_only` the
+  /// pattern covers only ReLUs inside searched cells — the paper's
+  /// linear-region count measures *cell* expressivity, so stem /
+  /// reduction / head nonlinearities are excluded there (the NASWOT
+  /// proxy uses the full pattern instead).
+  void collect_relu_pattern(int sample, std::vector<unsigned char>& bits,
+                            bool cells_only = false) const;
+
+  const CellNetConfig& config() const { return config_; }
+
+ private:
+  void build(const EdgeOps& edge_ops, Rng& rng);
+
+  CellNetConfig config_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<const ReluLayer*> relu_layers_;       // all ReLUs
+  std::vector<const ReluLayer*> cell_relu_layers_;  // ReLUs inside cells
+  std::vector<Layer*> cell_param_layers_;           // layers inside cells
+};
+
+}  // namespace micronas

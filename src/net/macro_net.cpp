@@ -1,0 +1,163 @@
+#include "src/net/macro_net.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/tensor/ops.hpp"
+
+namespace micronas {
+
+const std::string& layer_kind_name(LayerKind kind) {
+  static const std::array<std::string, 6> names = {"conv", "avg_pool", "skip",
+                                                   "add",  "gap",      "linear"};
+  const int i = static_cast<int>(kind);
+  if (i < 0 || i >= 6) throw std::invalid_argument("layer_kind_name: invalid kind");
+  return names[static_cast<std::size_t>(i)];
+}
+
+long long LayerSpec::macs() const {
+  switch (kind) {
+    case LayerKind::kConv:
+      return static_cast<long long>(kernel) * kernel * cin * cout * out_h * out_w;
+    case LayerKind::kLinear:
+      return static_cast<long long>(cin) * cout;
+    default:
+      return 0;
+  }
+}
+
+std::string LayerSpec::to_string() const {
+  std::ostringstream ss;
+  ss << layer_kind_name(kind) << " " << cin << "x" << h << "x" << w << " -> " << cout << "x"
+     << out_h << "x" << out_w;
+  if (kind == LayerKind::kConv || kind == LayerKind::kAvgPool) {
+    ss << " k" << kernel << "s" << stride;
+  }
+  return ss.str();
+}
+
+namespace {
+
+LayerSpec make_conv_spec(int cin, int cout, int hw, int kernel, int stride, int pad) {
+  LayerSpec s;
+  s.kind = LayerKind::kConv;
+  s.cin = cin;
+  s.cout = cout;
+  s.h = hw;
+  s.w = hw;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  s.out_h = ops::conv_out_size(hw, kernel, stride, pad);
+  s.out_w = s.out_h;
+  return s;
+}
+
+LayerSpec make_simple_spec(LayerKind kind, int channels, int hw) {
+  LayerSpec s;
+  s.kind = kind;
+  s.cin = channels;
+  s.cout = channels;
+  s.h = hw;
+  s.w = hw;
+  s.out_h = hw;
+  s.out_w = hw;
+  if (kind == LayerKind::kAvgPool) {
+    s.kernel = 3;
+    s.stride = 1;
+    s.pad = 1;
+  }
+  if (kind == LayerKind::kGlobalPool) {
+    s.out_h = 1;
+    s.out_w = 1;
+  }
+  return s;
+}
+
+/// Append the layers of one cell at (channels, hw). Node j sums the
+/// outputs of its signal-carrying incoming edges; each sum of k terms
+/// emits k-1 kAdd specs.
+void append_cell(const nb201::Genotype& g, int channels, int hw, std::vector<LayerSpec>& out) {
+  for (int node = 1; node < nb201::kNumNodes; ++node) {
+    int live_inputs = 0;
+    for (int from = 0; from < node; ++from) {
+      const nb201::Op op = g.op(from, node);
+      switch (op) {
+        case nb201::Op::kNone:
+          continue;
+        case nb201::Op::kSkipConnect:
+          out.push_back(make_simple_spec(LayerKind::kSkip, channels, hw));
+          break;
+        case nb201::Op::kConv1x1:
+          out.push_back(make_conv_spec(channels, channels, hw, 1, 1, 0));
+          break;
+        case nb201::Op::kConv3x3:
+          out.push_back(make_conv_spec(channels, channels, hw, 3, 1, 1));
+          break;
+        case nb201::Op::kAvgPool3x3:
+          out.push_back(make_simple_spec(LayerKind::kAvgPool, channels, hw));
+          break;
+      }
+      ++live_inputs;
+    }
+    for (int k = 1; k < live_inputs; ++k) {
+      out.push_back(make_simple_spec(LayerKind::kAdd, channels, hw));
+    }
+  }
+}
+
+/// NB201 residual reduction block: conv3x3(s2) + conv3x3(s1) on the
+/// main path, 1x1(s2) shortcut, elementwise add.
+void append_reduction(int cin, int hw, std::vector<LayerSpec>& out) {
+  const int cout = cin * 2;
+  out.push_back(make_conv_spec(cin, cout, hw, 3, 2, 1));
+  const int hw2 = out.back().out_h;
+  out.push_back(make_conv_spec(cout, cout, hw2, 3, 1, 1));
+  out.push_back(make_conv_spec(cin, cout, hw, 1, 2, 0));
+  out.push_back(make_simple_spec(LayerKind::kAdd, cout, hw2));
+}
+
+}  // namespace
+
+MacroModel build_macro_model(const nb201::Genotype& genotype, const MacroNetConfig& config) {
+  if (config.num_stages < 1 || config.cells_per_stage < 1) {
+    throw std::invalid_argument("build_macro_model: stages and cells_per_stage must be >= 1");
+  }
+  MacroModel m;
+  m.config = config;
+  m.genotype = genotype;
+
+  int channels = config.base_channels;
+  int hw = config.input_size;
+
+  m.layers.push_back(make_conv_spec(config.input_channels, channels, hw, 3, 1, 1));
+
+  for (int stage = 0; stage < config.num_stages; ++stage) {
+    if (stage > 0) {
+      append_reduction(channels, hw, m.layers);
+      channels *= 2;
+      hw = (hw + 1) / 2;
+    }
+    for (int c = 0; c < config.cells_per_stage; ++c) {
+      m.cell_starts.push_back(m.layers.size());
+      append_cell(genotype, channels, hw, m.layers);
+    }
+  }
+
+  m.layers.push_back(make_simple_spec(LayerKind::kGlobalPool, channels, hw));
+
+  LayerSpec fc;
+  fc.kind = LayerKind::kLinear;
+  fc.cin = channels;
+  fc.cout = config.num_classes;
+  fc.h = 1;
+  fc.w = 1;
+  fc.out_h = 1;
+  fc.out_w = 1;
+  m.layers.push_back(fc);
+
+  return m;
+}
+
+}  // namespace micronas

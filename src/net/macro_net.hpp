@@ -1,0 +1,80 @@
+// Deployment-model metadata: the full NAS-Bench-201 macro skeleton that
+// actually ships to the MCU, described as a flat list of layer specs.
+//
+// FLOPs counting, parameter counting, MCU latency estimation and peak
+// memory analysis all run on this metadata — no tensors are
+// instantiated. The skeleton is the standard NB201 one: 3×3 stem
+// (16 ch) → 5 cells @16 → reduction → 5 cells @32 → reduction →
+// 5 cells @64 → GAP → FC, on 32×32 inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/nb201/genotype.hpp"
+
+namespace micronas {
+
+enum class LayerKind {
+  kConv,        // K×K convolution (+ folded batch norm)
+  kAvgPool,     // K×K average pooling
+  kSkip,        // identity copy
+  kAdd,         // elementwise sum of two buffers (cell node / residual)
+  kGlobalPool,  // global average pooling
+  kLinear,      // fully connected classifier
+};
+
+const std::string& layer_kind_name(LayerKind kind);
+
+/// One scheduled layer of the deployment model.
+struct LayerSpec {
+  LayerKind kind = LayerKind::kConv;
+  int cin = 0;
+  int cout = 0;
+  int h = 0;       // input spatial height
+  int w = 0;       // input spatial width
+  int kernel = 1;
+  int stride = 1;
+  int pad = 0;
+  int out_h = 0;
+  int out_w = 0;
+  /// Numeric precision of weights and activations (32 = fp32, 8 =
+  /// int8). Quantization changes MCU throughput and memory footprints;
+  /// see src/hw/quant.hpp.
+  int bits = 32;
+
+  /// Multiply-accumulate count (0 for copies/adds/pools — see flops.cpp
+  /// for the full op cost accounting).
+  long long macs() const;
+  /// Output elements.
+  long long out_elems() const { return static_cast<long long>(cout) * out_h * out_w; }
+  /// Input elements.
+  long long in_elems() const { return static_cast<long long>(cin) * h * w; }
+
+  std::string to_string() const;
+};
+
+struct MacroNetConfig {
+  int input_size = 32;
+  int input_channels = 3;
+  int num_classes = 10;
+  int base_channels = 16;
+  int cells_per_stage = 5;
+  int num_stages = 3;
+};
+
+/// The scheduled deployment model.
+struct MacroModel {
+  MacroNetConfig config;
+  nb201::Genotype genotype;
+  std::vector<LayerSpec> layers;
+
+  /// Indices in `layers` where each cell begins (diagnostics).
+  std::vector<std::size_t> cell_starts;
+};
+
+/// Expand a genotype into the scheduled macro model. Edges carrying
+/// `none` emit no layers; cell node sums emit kAdd specs.
+MacroModel build_macro_model(const nb201::Genotype& genotype, const MacroNetConfig& config = {});
+
+}  // namespace micronas

@@ -1,0 +1,68 @@
+#include "src/proxies/flops.hpp"
+
+namespace micronas {
+
+long long layer_flops(const LayerSpec& spec) {
+  switch (spec.kind) {
+    case LayerKind::kConv:
+    case LayerKind::kLinear:
+      // NB201 convention: FLOPs are reported as MACs (1 MAC = 1 FLOP),
+      // which is what puts the all-conv3x3 cell at ~220 M and TE-NAS's
+      // discovered cell at 188.66 M in the paper's Table I.
+      return spec.macs();
+    case LayerKind::kAvgPool:
+      // K*K-1 adds + 1 multiply per output element.
+      return (static_cast<long long>(spec.kernel) * spec.kernel) * spec.out_elems();
+    case LayerKind::kGlobalPool:
+      return spec.in_elems();
+    case LayerKind::kAdd:
+      return spec.out_elems();
+    case LayerKind::kSkip:
+      return 0;
+  }
+  return 0;
+}
+
+FlopsBreakdown count_flops(const MacroModel& model) {
+  FlopsBreakdown b;
+  for (const auto& spec : model.layers) {
+    const long long f = layer_flops(spec);
+    switch (spec.kind) {
+      case LayerKind::kConv: b.conv_flops += f; break;
+      case LayerKind::kLinear: b.linear_flops += f; break;
+      case LayerKind::kAvgPool:
+      case LayerKind::kGlobalPool: b.pool_flops += f; break;
+      case LayerKind::kAdd: b.add_flops += f; break;
+      case LayerKind::kSkip: break;
+    }
+  }
+  return b;
+}
+
+ParamsBreakdown count_params(const MacroModel& model) {
+  ParamsBreakdown p;
+  for (const auto& spec : model.layers) {
+    switch (spec.kind) {
+      case LayerKind::kConv:
+        p.conv_params += static_cast<long long>(spec.kernel) * spec.kernel * spec.cin * spec.cout;
+        p.bn_params += 2LL * spec.cout;  // folded batch-norm scale + shift
+        break;
+      case LayerKind::kLinear:
+        p.linear_params += static_cast<long long>(spec.cin) * spec.cout + spec.cout;
+        break;
+      default:
+        break;
+    }
+  }
+  return p;
+}
+
+double flops_m(const nb201::Genotype& genotype, const MacroNetConfig& config) {
+  return count_flops(build_macro_model(genotype, config)).total_m();
+}
+
+double params_m(const nb201::Genotype& genotype, const MacroNetConfig& config) {
+  return count_params(build_macro_model(genotype, config)).total_m();
+}
+
+}  // namespace micronas

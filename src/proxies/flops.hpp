@@ -1,0 +1,44 @@
+// Hardware indicator: FLOPs and parameter counting (paper §II.B.1).
+//
+// FLOPs are counted on the deployment macro model: 2 FLOPs per MAC for
+// convolutions and the classifier, one add per accumulated element for
+// pooling and residual sums. Parameters include the folded batch-norm
+// scale/shift pairs the NB201 reference counts.
+#pragma once
+
+#include "src/net/macro_net.hpp"
+
+namespace micronas {
+
+struct FlopsBreakdown {
+  long long conv_flops = 0;
+  long long linear_flops = 0;
+  long long pool_flops = 0;
+  long long add_flops = 0;
+  long long total() const { return conv_flops + linear_flops + pool_flops + add_flops; }
+  double total_m() const { return static_cast<double>(total()) / 1e6; }
+};
+
+FlopsBreakdown count_flops(const MacroModel& model);
+
+/// FLOPs of a single layer spec.
+long long layer_flops(const LayerSpec& spec);
+
+struct ParamsBreakdown {
+  long long conv_params = 0;
+  long long bn_params = 0;
+  long long linear_params = 0;
+  long long total() const { return conv_params + bn_params + linear_params; }
+  double total_m() const { return static_cast<double>(total()) / 1e6; }
+};
+
+ParamsBreakdown count_params(const MacroModel& model);
+
+/// Convenience: FLOPs (millions) straight from a genotype on the
+/// standard skeleton.
+double flops_m(const nb201::Genotype& genotype, const MacroNetConfig& config = {});
+
+/// Convenience: parameters (millions) on the standard skeleton.
+double params_m(const nb201::Genotype& genotype, const MacroNetConfig& config = {});
+
+}  // namespace micronas

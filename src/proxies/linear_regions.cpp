@@ -1,0 +1,117 @@
+#include "src/proxies/linear_regions.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace micronas {
+
+namespace {
+
+/// FNV-1a over the activation bit string; collisions are vanishingly
+/// unlikely at the few hundred patterns we count per repeat.
+std::uint64_t hash_bits(const std::vector<unsigned char>& bits) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char b : bits) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+LinearRegionResult count_impl(const EdgeOps& edge_ops, CellNetConfig config, Rng& rng,
+                              const LinearRegionOptions& options) {
+  if (options.grid < 2) throw std::invalid_argument("count_linear_regions: grid must be >= 2");
+  if (options.repeats < 1) throw std::invalid_argument("count_linear_regions: repeats must be >= 1");
+
+  config.input_size = options.input_size;
+  const int C = config.input_channels;
+  const int S = config.input_size;
+  const std::size_t dim = static_cast<std::size_t>(C) * S * S;
+
+  double total = 0.0;
+  double total_crossings = 0.0;
+  for (int rep = 0; rep < options.repeats; ++rep) {
+    CellNet net(edge_ops, config, rng);
+
+    // Random affine plane: x(u,v) = x0 + u*d1 + v*d2 with unit-norm
+    // direction vectors.
+    std::vector<float> x0(dim), d1(dim), d2(dim);
+    rng.fill_normal(x0, 0.0F, 1.0F);
+    rng.fill_normal(d1, 0.0F, 1.0F);
+    rng.fill_normal(d2, 0.0F, 1.0F);
+    auto normalize = [&](std::vector<float>& v) {
+      double norm = 0.0;
+      for (float x : v) norm += static_cast<double>(x) * x;
+      const float inv = static_cast<float>(1.0 / std::sqrt(std::max(norm, 1e-12)));
+      for (auto& x : v) x *= inv;
+    };
+    normalize(d1);
+    normalize(d2);
+
+    std::unordered_set<std::uint64_t> patterns;
+    const int G = options.grid;
+    std::vector<std::vector<unsigned char>> row(static_cast<std::size_t>(G));
+    std::vector<std::vector<unsigned char>> prev_row;
+    double crossings = 0.0;
+    // Evaluate the grid row by row in batches of G to amortize forward
+    // overhead while keeping memory bounded.
+    for (int gu = 0; gu < G; ++gu) {
+      const double u = options.span * (2.0 * gu / (G - 1) - 1.0);
+      Tensor batch(Shape{G, C, S, S});
+      auto bd = batch.data();
+      for (int gv = 0; gv < G; ++gv) {
+        const double v = options.span * (2.0 * gv / (G - 1) - 1.0);
+        for (std::size_t i = 0; i < dim; ++i) {
+          bd[static_cast<std::size_t>(gv) * dim + i] =
+              x0[i] + static_cast<float>(u) * d1[i] + static_cast<float>(v) * d2[i];
+        }
+      }
+      (void)net.forward(batch);
+      for (int gv = 0; gv < G; ++gv) {
+        auto& bits = row[static_cast<std::size_t>(gv)];
+        bits.clear();
+        net.collect_relu_pattern(gv, bits, /*cells_only=*/true);
+        patterns.insert(hash_bits(bits));
+      }
+      // Per-unit sign flips along the row (v axis) and vs the previous
+      // row (u axis): total boundary length crossed by the grid.
+      auto hamming = [](const std::vector<unsigned char>& a, const std::vector<unsigned char>& b) {
+        std::size_t d = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) d += static_cast<std::size_t>(a[i] != b[i]);
+        return static_cast<double>(d);
+      };
+      for (int gv = 1; gv < G; ++gv) {
+        crossings += hamming(row[static_cast<std::size_t>(gv - 1)], row[static_cast<std::size_t>(gv)]);
+      }
+      if (!prev_row.empty()) {
+        for (int gv = 0; gv < G; ++gv) {
+          crossings += hamming(prev_row[static_cast<std::size_t>(gv)], row[static_cast<std::size_t>(gv)]);
+        }
+      }
+      std::swap(prev_row, row);
+      row.resize(static_cast<std::size_t>(G));  // swap may leave row undersized
+    }
+    total += static_cast<double>(patterns.size());
+    total_crossings += crossings;
+  }
+
+  LinearRegionResult res;
+  res.region_count = total / options.repeats;
+  res.boundary_crossings = total_crossings / options.repeats;
+  res.samples_per_repeat = options.grid * options.grid;
+  return res;
+}
+
+}  // namespace
+
+LinearRegionResult count_linear_regions(const nb201::Genotype& genotype, const CellNetConfig& config,
+                                        Rng& rng, const LinearRegionOptions& options) {
+  return count_impl(edge_ops_from_genotype(genotype), config, rng, options);
+}
+
+LinearRegionResult count_linear_regions(const EdgeOps& edge_ops, const CellNetConfig& config,
+                                        Rng& rng, const LinearRegionOptions& options) {
+  return count_impl(edge_ops, config, rng, options);
+}
+
+}  // namespace micronas

@@ -1,0 +1,54 @@
+// Linear-region count proxy (paper §II.A.2).
+//
+// A ReLU network partitions its input space into affine regions; the
+// number of regions a cell can realize measures its expressivity
+// (Xiong et al., 2020). Exhaustive counting is intractable, so we use
+// the standard low-dimensional-slice estimator: sample a random 2-D
+// affine plane through input space, evaluate the network on a G×G grid
+// of points in the plane, and count distinct ReLU activation patterns.
+// More expressive cells split the plane into more regions.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/cell_net.hpp"
+
+namespace micronas {
+
+struct LinearRegionOptions {
+  /// Grid resolution per axis; the estimator evaluates grid²
+  /// points, so the count saturates at grid².
+  int grid = 20;
+  /// Radius of the sampled plane in input space.
+  double span = 3.0;
+  /// Average over this many independent (plane, init) draws.
+  int repeats = 1;
+  /// Spatial size of the probe inputs (small keeps it cheap).
+  int input_size = 8;
+};
+
+struct LinearRegionResult {
+  /// Mean distinct activation patterns per repeat. Bounded by grid², so
+  /// it saturates for very expressive networks (e.g. supernets) — use
+  /// `boundary_crossings` when ranking those.
+  double region_count = 0.0;
+  /// Mean number of (ReLU unit, adjacent grid pair) sign flips — the
+  /// total length of region boundaries crossed by the grid. A monotone
+  /// surrogate of the region count that does not saturate: each conv
+  /// operator adds units and hyperplanes, each removal strictly lowers
+  /// the score. This is the expressivity indicator the pruning search
+  /// ranks by.
+  double boundary_crossings = 0.0;
+  /// Grid² (the saturation ceiling of region_count, for diagnostics).
+  int samples_per_repeat = 0;
+};
+
+/// Estimate the linear-region count of the cell's proxy network.
+LinearRegionResult count_linear_regions(const nb201::Genotype& genotype, const CellNetConfig& config,
+                                        Rng& rng, const LinearRegionOptions& options = {});
+
+/// Supernet variant used by the pruning search.
+LinearRegionResult count_linear_regions(const EdgeOps& edge_ops, const CellNetConfig& config,
+                                        Rng& rng, const LinearRegionOptions& options = {});
+
+}  // namespace micronas

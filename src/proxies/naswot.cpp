@@ -1,0 +1,48 @@
+#include "src/proxies/naswot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/linalg/sym_eig.hpp"
+
+namespace micronas {
+
+NaswotResult naswot_score(const nb201::Genotype& genotype, const CellNetConfig& config,
+                          const Tensor& images, Rng& rng) {
+  if (images.shape().rank() != 4) throw std::invalid_argument("naswot_score: rank-4 images required");
+  const int batch = images.shape()[0];
+  if (batch < 2) throw std::invalid_argument("naswot_score: batch must be >= 2");
+
+  CellNet net(genotype, config, rng);
+  (void)net.forward(images);
+
+  std::vector<std::vector<unsigned char>> codes(static_cast<std::size_t>(batch));
+  for (int n = 0; n < batch; ++n) net.collect_relu_pattern(n, codes[static_cast<std::size_t>(n)]);
+  const std::size_t bits = codes.front().size();
+
+  Matrix k(batch, batch);
+  for (int i = 0; i < batch; ++i) {
+    for (int j = i; j < batch; ++j) {
+      std::size_t hamming = 0;
+      for (std::size_t b = 0; b < bits; ++b) {
+        hamming += static_cast<std::size_t>(codes[static_cast<std::size_t>(i)][b] !=
+                                            codes[static_cast<std::size_t>(j)][b]);
+      }
+      const double v = static_cast<double>(bits - hamming);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+
+  const SymEigResult eig = sym_eig(k);
+  double log_det = 0.0;
+  for (double lambda : eig.eigenvalues) log_det += std::log(std::max(lambda, 1e-6));
+
+  NaswotResult res;
+  res.log_det = log_det;
+  res.batch = batch;
+  res.code_bits = bits;
+  return res;
+}
+
+}  // namespace micronas

@@ -1,0 +1,26 @@
+// NASWOT log-determinant proxy (extension beyond the paper).
+//
+// Mellor et al.'s "NAS without training" scores an architecture by the
+// log-determinant of the ReLU activation-pattern kernel over a batch:
+// K_ij = N_a - d_H(c_i, c_j) with d_H the Hamming distance between the
+// binary activation codes of samples i and j. It measures how well the
+// untrained network separates inputs — closely related to the linear
+// region count but computed on data rather than a plane. Provided as an
+// alternative expressivity indicator for ablations.
+#pragma once
+
+#include "src/net/cell_net.hpp"
+
+namespace micronas {
+
+struct NaswotResult {
+  double log_det = 0.0;
+  int batch = 0;
+  std::size_t code_bits = 0;
+};
+
+/// Score a genotype on a batch of probe images.
+NaswotResult naswot_score(const nb201::Genotype& genotype, const CellNetConfig& config,
+                          const Tensor& images, Rng& rng);
+
+}  // namespace micronas

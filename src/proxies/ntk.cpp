@@ -1,0 +1,110 @@
+#include "src/proxies/ntk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace micronas {
+
+Matrix compute_ntk_gram(CellNet& net, const Tensor& images, NtkMode mode,
+                        bool cell_params_only) {
+  if (images.shape().rank() != 4) throw std::invalid_argument("compute_ntk_gram: rank-4 images required");
+  const int batch = images.shape()[0];
+  const int classes = net.config().num_classes;
+
+  std::vector<std::vector<float>> jac_rows;
+
+  auto backward_collect = [&](const Tensor& grad_logits) {
+    net.zero_grad();
+    net.backward(grad_logits);
+    std::vector<float> row;
+    net.collect_grads(row, cell_params_only);
+    return row;
+  };
+
+  if (mode == NtkMode::kSumLogits) {
+    jac_rows.reserve(static_cast<std::size_t>(batch));
+    for (int n = 0; n < batch; ++n) {
+      (void)net.forward(images.slice_sample(n));
+      Tensor grad(Shape{1, classes}, 1.0F);
+      jac_rows.push_back(backward_collect(grad));
+    }
+    return gram_matrix(jac_rows);
+  }
+
+  // Per-logit mode: Θ_ij = Σ_k ⟨∂f_k(x_i)/∂θ, ∂f_k(x_j)/∂θ⟩, i.e. the
+  // sum of per-class Jacobian Grams.
+  Matrix total(batch, batch);
+  for (int k = 0; k < classes; ++k) {
+    jac_rows.clear();
+    jac_rows.reserve(static_cast<std::size_t>(batch));
+    for (int n = 0; n < batch; ++n) {
+      (void)net.forward(images.slice_sample(n));
+      Tensor grad(Shape{1, classes});
+      grad.at(0, k) = 1.0F;
+      jac_rows.push_back(backward_collect(grad));
+    }
+    const Matrix gram = gram_matrix(jac_rows);
+    for (int i = 0; i < batch; ++i) {
+      for (int j = 0; j < batch; ++j) total(i, j) += gram(i, j);
+    }
+  }
+  return total;
+}
+
+namespace {
+
+NtkResult ntk_condition_impl(const EdgeOps& edge_ops, const CellNetConfig& config,
+                             const Tensor& images, Rng& rng, const NtkOptions& options) {
+  if (options.repeats < 1) throw std::invalid_argument("ntk_condition: repeats must be >= 1");
+  const int batch = images.shape()[0];
+
+  NtkResult res;
+  double cond_sum = 0.0;
+  std::vector<double> eig_sum(static_cast<std::size_t>(batch), 0.0);
+
+  for (int r = 0; r < options.repeats; ++r) {
+    CellNet net(edge_ops, config, rng);
+    res.param_count = net.param_count();
+    const Matrix gram = compute_ntk_gram(net, images, options.mode, options.cell_params_only);
+    // A vanishing Gram means the candidate has no trainable signal path
+    // through the cell: report it as maximally ill-conditioned rather
+    // than feeding zeros to the eigensolver.
+    if (gram.frobenius_norm() < 1e-20) {
+      cond_sum += kDegenerateCondition;
+      continue;
+    }
+    const SymEigResult eig = sym_eig(gram);
+    cond_sum += std::min(condition_number(eig.eigenvalues, options.eig_floor),
+                         kDegenerateCondition);
+    for (std::size_t i = 0; i < eig.eigenvalues.size(); ++i) eig_sum[i] += eig.eigenvalues[i];
+  }
+
+  res.condition_number = cond_sum / options.repeats;
+  res.eigenvalues.resize(eig_sum.size());
+  for (std::size_t i = 0; i < eig_sum.size(); ++i) res.eigenvalues[i] = eig_sum[i] / options.repeats;
+  return res;
+}
+
+}  // namespace
+
+NtkResult ntk_condition(const nb201::Genotype& genotype, const CellNetConfig& config,
+                        const Tensor& images, Rng& rng, const NtkOptions& options) {
+  return ntk_condition_impl(edge_ops_from_genotype(genotype), config, images, rng, options);
+}
+
+NtkResult ntk_condition(const EdgeOps& edge_ops, const CellNetConfig& config,
+                        const Tensor& images, Rng& rng, const NtkOptions& options) {
+  return ntk_condition_impl(edge_ops, config, images, rng, options);
+}
+
+double ntk_condition_index(const NtkResult& result, int i, double floor) {
+  if (i == 1) return 1.0;  // K_1 = λ1/λ1 by definition, degenerate or not
+  // A vanishing spectrum (no trainable cell parameters) must rank as
+  // untrainable, not as a perfectly conditioned kernel.
+  if (result.eigenvalues.empty() || result.eigenvalues.front() <= floor) {
+    return kDegenerateCondition;
+  }
+  return condition_index(result.eigenvalues, i, floor);
+}
+
+}  // namespace micronas

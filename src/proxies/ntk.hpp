@@ -1,0 +1,71 @@
+// Neural tangent kernel spectrum proxy (paper §II.A.1).
+//
+// At initialization, the empirical NTK over a mini-batch {x_i} is
+//   Θ_ij = ⟨∂f(x_i)/∂θ, ∂f(x_j)/∂θ⟩
+// and its condition number κ = λmax/λmin predicts trainability: badly
+// conditioned kernels train slowly and generalize poorly (Xiao et al.,
+// 2020). MicroNAS ranks candidate cells by κ — smaller is better.
+//
+// f is the scalar sum of logits by default (one backward per sample);
+// per-logit mode sums the per-class Jacobian Grams (K backwards per
+// sample) for a finer estimate at K× the cost.
+#pragma once
+
+#include <vector>
+
+#include "src/data/synthetic.hpp"
+#include "src/linalg/sym_eig.hpp"
+#include "src/net/cell_net.hpp"
+
+namespace micronas {
+
+enum class NtkMode {
+  kSumLogits,  // f(x) = Σ_k logit_k(x); B backward passes
+  kPerLogit,   // block-trace NTK; B*K backward passes
+};
+
+struct NtkOptions {
+  NtkMode mode = NtkMode::kSumLogits;
+  /// Average the condition number over this many re-initializations.
+  int repeats = 1;
+  /// Eigenvalue floor when forming ratios.
+  double eig_floor = 1e-12;
+  /// Restrict the Jacobian to cell parameters. Stem/reduction/head
+  /// gradients are identical machinery for every candidate and dilute
+  /// the ranking signal; the cell-restricted NTK discriminates cells
+  /// far better (and the degenerate no-parameter cell is reported as
+  /// untrainable, κ = kDegenerateCondition).
+  bool cell_params_only = true;
+};
+
+/// κ reported for cells whose restricted Jacobian vanishes (no
+/// trainable cell parameters or a fully zeroed cell).
+inline constexpr double kDegenerateCondition = 1e12;
+
+struct NtkResult {
+  /// Eigenvalues of the (averaged) NTK, descending.
+  std::vector<double> eigenvalues;
+  /// κ = λ1 / λB.
+  double condition_number = 0.0;
+  /// Number of parameters of the evaluated network.
+  std::size_t param_count = 0;
+};
+
+/// Compute the empirical NTK Gram of `net` on `images` ([B,C,H,W]).
+Matrix compute_ntk_gram(CellNet& net, const Tensor& images, NtkMode mode,
+                        bool cell_params_only = false);
+
+/// Full spectrum analysis for one architecture: builds a fresh proxy
+/// net per repeat (seeded from `rng`), evaluates on `images`, averages
+/// the condition numbers.
+NtkResult ntk_condition(const nb201::Genotype& genotype, const CellNetConfig& config,
+                        const Tensor& images, Rng& rng, const NtkOptions& options = {});
+
+/// Same, for a (partially pruned) supernet.
+NtkResult ntk_condition(const EdgeOps& edge_ops, const CellNetConfig& config,
+                        const Tensor& images, Rng& rng, const NtkOptions& options = {});
+
+/// K_i = λ1/λi for 1-based i (Fig. 2a sweeps this index).
+double ntk_condition_index(const NtkResult& result, int i, double floor = 1e-12);
+
+}  // namespace micronas

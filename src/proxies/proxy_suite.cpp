@@ -1,0 +1,45 @@
+#include "src/proxies/proxy_suite.hpp"
+
+#include <stdexcept>
+
+namespace micronas {
+
+ProxySuite::ProxySuite(ProxySuiteConfig config, Tensor probe_images,
+                       const LatencyEstimator* estimator)
+    : config_(std::move(config)), probe_images_(std::move(probe_images)), estimator_(estimator) {
+  if (probe_images_.shape().rank() != 4) {
+    throw std::invalid_argument("ProxySuite: probe images must be rank-4");
+  }
+  if (probe_images_.shape()[2] != config_.proxy_net.input_size ||
+      probe_images_.shape()[1] != config_.proxy_net.input_channels) {
+    throw std::invalid_argument("ProxySuite: probe images do not match proxy net input spec");
+  }
+}
+
+IndicatorValues ProxySuite::evaluate(const nb201::Genotype& genotype, Rng& rng) const {
+  IndicatorValues v;
+  const NtkResult ntk = ntk_condition(genotype, config_.proxy_net, probe_images_, rng, config_.ntk);
+  v.ntk_condition = ntk.condition_number;
+  const LinearRegionResult lr = count_linear_regions(genotype, config_.proxy_net, rng, config_.lr);
+  v.linear_regions = lr.boundary_crossings;
+  ++evals_;
+
+  const MacroModel model = build_macro_model(genotype, config_.deploy_net);
+  v.flops_m = count_flops(model).total_m();
+  v.params_m = count_params(model).total_m();
+  v.peak_sram_kb = analyze_memory(model).peak_sram_kb();
+  v.latency_ms = estimator_ != nullptr ? estimator_->estimate_ms(model) : 0.0;
+  return v;
+}
+
+IndicatorValues ProxySuite::evaluate_supernet(const EdgeOps& edge_ops, Rng& rng) const {
+  IndicatorValues v;
+  const NtkResult ntk = ntk_condition(edge_ops, config_.proxy_net, probe_images_, rng, config_.ntk);
+  v.ntk_condition = ntk.condition_number;
+  const LinearRegionResult lr = count_linear_regions(edge_ops, config_.proxy_net, rng, config_.lr);
+  v.linear_regions = lr.boundary_crossings;
+  ++evals_;
+  return v;
+}
+
+}  // namespace micronas

@@ -1,0 +1,65 @@
+// Bundled indicator evaluation: one call computes every performance
+// and hardware indicator MicroNAS combines (Fig. 1's "performance
+// indicators" + "hardware indicators" boxes).
+#pragma once
+
+#include <optional>
+
+#include "src/hw/latency_estimator.hpp"
+#include "src/hw/memory_model.hpp"
+#include "src/proxies/flops.hpp"
+#include "src/proxies/linear_regions.hpp"
+#include "src/proxies/ntk.hpp"
+
+namespace micronas {
+
+/// Indicator values for one candidate. Lower κ, FLOPs, latency and
+/// memory are better; higher linear-region count is better.
+struct IndicatorValues {
+  double ntk_condition = 0.0;
+  double linear_regions = 0.0;
+  double flops_m = 0.0;
+  double params_m = 0.0;
+  double latency_ms = 0.0;
+  double peak_sram_kb = 0.0;
+};
+
+struct ProxySuiteConfig {
+  CellNetConfig proxy_net;
+  MacroNetConfig deploy_net;
+  NtkOptions ntk;
+  LinearRegionOptions lr;
+};
+
+/// Evaluates indicators for genotypes; owns the probe batch and the
+/// latency estimator so repeated evaluations are comparable.
+class ProxySuite {
+ public:
+  /// `estimator` may be null: latency_ms is then reported as 0 and the
+  /// hybrid objective must not weight it.
+  ProxySuite(ProxySuiteConfig config, Tensor probe_images,
+             const LatencyEstimator* estimator);
+
+  /// All indicators for one concrete architecture.
+  IndicatorValues evaluate(const nb201::Genotype& genotype, Rng& rng) const;
+
+  /// Trainability/expressivity indicators for a supernet candidate
+  /// (hardware indicators for supernets are analytic expectations —
+  /// see search/objective.hpp).
+  IndicatorValues evaluate_supernet(const EdgeOps& edge_ops, Rng& rng) const;
+
+  const ProxySuiteConfig& config() const { return config_; }
+  const Tensor& probe_images() const { return probe_images_; }
+  const LatencyEstimator* estimator() const { return estimator_; }
+
+  /// Number of NTK+LR evaluations performed so far (search-cost metric).
+  long long proxy_eval_count() const { return evals_; }
+
+ private:
+  ProxySuiteConfig config_;
+  Tensor probe_images_;
+  const LatencyEstimator* estimator_;
+  mutable long long evals_ = 0;
+};
+
+}  // namespace micronas

@@ -1,0 +1,60 @@
+#include "src/proxies/zero_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace micronas {
+
+SynflowResult synflow_score(const nb201::Genotype& genotype, const CellNetConfig& config,
+                            Rng& rng) {
+  CellNet net(genotype, config, rng);
+
+  // SynFlow linearizes the network: every weight is replaced by its
+  // absolute value so ReLUs stay open on the all-ones input and the
+  // saliency measures pure connectivity × magnitude, with no data.
+  net.for_each_param([](std::span<float> s) {
+    for (auto& v : s) v = std::abs(v);
+  });
+
+  Tensor ones(Shape{1, config.input_channels, config.input_size, config.input_size}, 1.0F);
+  (void)net.forward(ones);
+  net.zero_grad();
+  Tensor grad(Shape{1, config.num_classes}, 1.0F);
+  (void)net.backward(grad);
+
+  std::vector<float> grads;
+  net.collect_grads(grads);
+  double score = 0.0;
+  std::size_t i = 0;
+  net.for_each_param([&](std::span<float> s) {
+    for (float v : s) {
+      score += std::abs(static_cast<double>(v) * grads[i]);
+      ++i;
+    }
+  });
+  if (i != grads.size()) throw std::logic_error("synflow_score: param/grad size mismatch");
+
+  SynflowResult res;
+  res.score = score;
+  res.log_score = std::log1p(score);
+  return res;
+}
+
+GradNormResult grad_norm_score(const nb201::Genotype& genotype, const CellNetConfig& config,
+                               const Tensor& images, Rng& rng) {
+  if (images.shape().rank() != 4) throw std::invalid_argument("grad_norm_score: rank-4 images");
+  CellNet net(genotype, config, rng);
+  (void)net.forward(images);
+  net.zero_grad();
+  Tensor grad(Shape{images.shape()[0], config.num_classes}, 1.0F);
+  (void)net.backward(grad);
+  std::vector<float> grads;
+  net.collect_grads(grads);
+  double sq = 0.0;
+  for (float g : grads) sq += static_cast<double>(g) * g;
+  GradNormResult res;
+  res.grad_norm = std::sqrt(sq);
+  return res;
+}
+
+}  // namespace micronas

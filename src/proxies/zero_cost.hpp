@@ -1,0 +1,35 @@
+// Additional zero-cost proxies from the literature (extensions beyond
+// the paper, used for ablations against the paper's NTK+LR choice).
+//
+// * SynFlow (Tanaka et al. 2020): parameter saliency Σ|θ · ∂R/∂θ| with
+//   R the output of the network under absolute-valued weights on an
+//   all-ones input — measures how much trainable signal can flow
+//   without ever looking at data.
+// * GradNorm (Abdelfattah et al. 2021): the L2 norm of the parameter
+//   gradient of the sum of logits over a probe batch — a crude but
+//   cheap trainability signal.
+#pragma once
+
+#include "src/net/cell_net.hpp"
+
+namespace micronas {
+
+struct SynflowResult {
+  double score = 0.0;       // raw saliency sum
+  double log_score = 0.0;   // log1p(score): spans many decades
+};
+
+/// Data-free SynFlow saliency of the cell's proxy network.
+/// `input_size` probes at the proxy net's configured resolution.
+SynflowResult synflow_score(const nb201::Genotype& genotype, const CellNetConfig& config,
+                            Rng& rng);
+
+struct GradNormResult {
+  double grad_norm = 0.0;
+};
+
+/// Gradient-norm proxy on a probe batch ([N,C,H,W]).
+GradNormResult grad_norm_score(const nb201::Genotype& genotype, const CellNetConfig& config,
+                               const Tensor& images, Rng& rng);
+
+}  // namespace micronas

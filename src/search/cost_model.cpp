@@ -1,0 +1,14 @@
+#include "src/search/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace micronas {
+
+double search_efficiency_ratio(double baseline_gpu_hours, double ours_gpu_hours) {
+  if (baseline_gpu_hours < 0.0 || ours_gpu_hours <= 0.0) {
+    throw std::invalid_argument("search_efficiency_ratio: hours must be positive");
+  }
+  return baseline_gpu_hours / ours_gpu_hours;
+}
+
+}  // namespace micronas

@@ -1,0 +1,104 @@
+#include "src/search/evolution_search.hpp"
+
+#include <chrono>
+#include <deque>
+#include <stdexcept>
+
+#include "src/hw/memory_model.hpp"
+#include "src/proxies/flops.hpp"
+
+namespace micronas {
+
+bool feasible(const nb201::Genotype& g, const Constraints& constraints,
+              const MacroNetConfig& deploy, const LatencyEstimator* estimator) {
+  if (!constraints.any()) return true;
+  const MacroModel model = build_macro_model(g, deploy);
+  IndicatorValues v;
+  v.flops_m = count_flops(model).total_m();
+  v.params_m = count_params(model).total_m();
+  v.peak_sram_kb = analyze_memory(model).peak_sram_kb();
+  v.latency_ms = estimator != nullptr ? estimator->estimate_ms(model) : 0.0;
+  if (constraints.max_latency_ms && estimator == nullptr) {
+    throw std::invalid_argument("feasible: latency constraint requires an estimator");
+  }
+  return constraints.satisfied_by(v);
+}
+
+EvolutionSearchResult evolution_search(const nb201::SurrogateOracle& oracle,
+                                       const EvolutionSearchConfig& config,
+                                       const MacroNetConfig& deploy,
+                                       const LatencyEstimator* estimator, Rng& rng) {
+  if (config.population_size < 2) throw std::invalid_argument("evolution_search: population >= 2");
+  if (config.tournament_size < 1 || config.tournament_size > config.population_size) {
+    throw std::invalid_argument("evolution_search: bad tournament size");
+  }
+  if (config.total_evals < config.population_size) {
+    throw std::invalid_argument("evolution_search: total_evals must cover the initial population");
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  struct Individual {
+    nb201::Genotype genotype;
+    double fitness;
+  };
+
+  EvolutionSearchResult res;
+  std::deque<Individual> population;
+
+  auto sample_feasible = [&]() {
+    for (int tries = 0; tries < config.max_resample; ++tries) {
+      const nb201::Genotype g = nb201::random_genotype(rng);
+      if (feasible(g, config.constraints, deploy, estimator)) return g;
+    }
+    // Constraints too tight for random sampling: fall back to the
+    // cheapest structure (all skip), which is feasible in practice.
+    std::array<nb201::Op, nb201::kNumEdges> ops;
+    ops.fill(nb201::Op::kSkipConnect);
+    return nb201::Genotype(ops);
+  };
+
+  auto evaluate = [&](const nb201::Genotype& g) {
+    const double acc = oracle.accuracy(g, config.dataset, /*trial=*/0);
+    ++res.trained_evals;
+    if (res.history.empty() || acc > res.history.back()) {
+      res.history.push_back(acc);
+      res.genotype = g;
+      res.accuracy = acc;
+    } else {
+      res.history.push_back(res.history.back());
+    }
+    return acc;
+  };
+
+  for (int i = 0; i < config.population_size; ++i) {
+    const nb201::Genotype g = sample_feasible();
+    population.push_back({g, evaluate(g)});
+  }
+
+  while (res.trained_evals < config.total_evals) {
+    // Tournament parent selection.
+    const Individual* parent = nullptr;
+    for (int t = 0; t < config.tournament_size; ++t) {
+      const Individual& cand = population[rng.index(population.size())];
+      if (parent == nullptr || cand.fitness > parent->fitness) parent = &cand;
+    }
+
+    // One-edge mutation with constraint rejection.
+    nb201::Genotype child = nb201::mutate(parent->genotype, rng);
+    for (int tries = 0;
+         tries < config.max_resample && !feasible(child, config.constraints, deploy, estimator);
+         ++tries) {
+      child = nb201::mutate(parent->genotype, rng);
+    }
+    if (!feasible(child, config.constraints, deploy, estimator)) child = sample_feasible();
+
+    population.push_back({child, evaluate(child)});
+    population.pop_front();  // aging: retire the oldest individual
+  }
+
+  res.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace micronas

@@ -1,0 +1,46 @@
+// Aging-evolution search with trained evaluations — the µNAS-method
+// baseline (DESIGN.md §3.5).
+//
+// µNAS couples an evolutionary search loop with resource constraints
+// and *trains* every sampled candidate, which is why its search costs
+// hundreds of GPU-hours. We reproduce that method inside NAS-Bench-201:
+// regularized (aging) evolution, one-edge mutations, tournament parent
+// selection, fitness = surrogate trained accuracy, hard resource
+// constraints enforced by rejection. Each fitness call is charged at
+// the trained-evaluation rate by the cost model.
+#pragma once
+
+#include "src/nb201/surrogate.hpp"
+#include "src/search/objective.hpp"
+
+namespace micronas {
+
+struct EvolutionSearchConfig {
+  int population_size = 50;
+  int tournament_size = 10;
+  int total_evals = 1000;       // trained evaluations, incl. initial population
+  nb201::Dataset dataset = nb201::Dataset::kCifar10;
+  Constraints constraints;
+  /// Reject-and-resample budget when a mutation violates constraints.
+  int max_resample = 25;
+};
+
+struct EvolutionSearchResult {
+  nb201::Genotype genotype;
+  double accuracy = 0.0;        // surrogate trained accuracy of the winner
+  long long trained_evals = 0;
+  double wall_seconds = 0.0;
+  /// Best-so-far accuracy after each evaluation (search trajectory).
+  std::vector<double> history;
+};
+
+/// Resource feasibility of a genotype on the deployment skeleton.
+bool feasible(const nb201::Genotype& g, const Constraints& constraints,
+              const MacroNetConfig& deploy, const LatencyEstimator* estimator);
+
+EvolutionSearchResult evolution_search(const nb201::SurrogateOracle& oracle,
+                                       const EvolutionSearchConfig& config,
+                                       const MacroNetConfig& deploy,
+                                       const LatencyEstimator* estimator, Rng& rng);
+
+}  // namespace micronas

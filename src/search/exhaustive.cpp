@@ -1,0 +1,68 @@
+#include "src/search/exhaustive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/hw/memory_model.hpp"
+#include "src/proxies/flops.hpp"
+
+namespace micronas {
+
+std::vector<ArchRecord> exhaustive_records(const nb201::SurrogateOracle& oracle,
+                                           nb201::Dataset dataset, const MacroNetConfig& deploy,
+                                           const LatencyEstimator* estimator) {
+  std::vector<ArchRecord> records;
+  records.reserve(nb201::kNumArchitectures);
+  for (int i = 0; i < nb201::kNumArchitectures; ++i) {
+    ArchRecord r;
+    r.genotype = nb201::Genotype::from_index(i);
+    const MacroModel model = build_macro_model(r.genotype, deploy);
+    r.accuracy = oracle.mean_accuracy(r.genotype, dataset);
+    r.flops_m = count_flops(model).total_m();
+    r.params_m = count_params(model).total_m();
+    r.peak_sram_kb = analyze_memory(model).peak_sram_kb();
+    r.latency_ms = estimator != nullptr ? estimator->estimate_ms(model) : 0.0;
+    records.push_back(r);
+  }
+  return records;
+}
+
+const ArchRecord& best_by_accuracy(const std::vector<ArchRecord>& records,
+                                   const Constraints& constraints) {
+  const ArchRecord* best = nullptr;
+  for (const auto& r : records) {
+    IndicatorValues v;
+    v.flops_m = r.flops_m;
+    v.params_m = r.params_m;
+    v.latency_ms = r.latency_ms;
+    v.peak_sram_kb = r.peak_sram_kb;
+    if (!constraints.satisfied_by(v)) continue;
+    if (best == nullptr || r.accuracy > best->accuracy) best = &r;
+  }
+  if (best == nullptr) throw std::runtime_error("best_by_accuracy: no feasible architecture");
+  return *best;
+}
+
+std::vector<ArchRecord> pareto_front(std::vector<ArchRecord> records) {
+  if (records.empty()) return {};
+  const bool use_latency = std::any_of(records.begin(), records.end(),
+                                       [](const ArchRecord& r) { return r.latency_ms > 0.0; });
+  auto cost = [&](const ArchRecord& r) { return use_latency ? r.latency_ms : r.flops_m; };
+
+  std::sort(records.begin(), records.end(), [&](const ArchRecord& a, const ArchRecord& b) {
+    if (cost(a) != cost(b)) return cost(a) < cost(b);
+    return a.accuracy > b.accuracy;
+  });
+
+  std::vector<ArchRecord> front;
+  double best_acc = -1.0;
+  for (const auto& r : records) {
+    if (r.accuracy > best_acc) {
+      front.push_back(r);
+      best_acc = r.accuracy;
+    }
+  }
+  return front;
+}
+
+}  // namespace micronas

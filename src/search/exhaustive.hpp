@@ -1,0 +1,39 @@
+// Exhaustive analytic sweeps over the full 15 625-cell space.
+//
+// The analytic indicators (FLOPs, params, latency, memory, surrogate
+// accuracy) are cheap enough to evaluate on every architecture, which
+// powers the Pareto-front example and provides the ground-truth pools
+// the correlation studies (Fig. 2) sample from.
+#pragma once
+
+#include <functional>
+
+#include "src/nb201/surrogate.hpp"
+#include "src/search/objective.hpp"
+
+namespace micronas {
+
+struct ArchRecord {
+  nb201::Genotype genotype;
+  double accuracy = 0.0;     // surrogate mean accuracy
+  double flops_m = 0.0;
+  double params_m = 0.0;
+  double latency_ms = 0.0;   // 0 when no estimator given
+  double peak_sram_kb = 0.0;
+};
+
+/// Evaluate every architecture analytically. `estimator` may be null.
+std::vector<ArchRecord> exhaustive_records(const nb201::SurrogateOracle& oracle,
+                                           nb201::Dataset dataset, const MacroNetConfig& deploy,
+                                           const LatencyEstimator* estimator);
+
+/// Accuracy-maximizing record subject to constraints; throws if none
+/// are feasible.
+const ArchRecord& best_by_accuracy(const std::vector<ArchRecord>& records,
+                                   const Constraints& constraints);
+
+/// Pareto front over (latency ascending, accuracy descending). Records
+/// with latency 0 (no estimator) use FLOPs as the cost axis.
+std::vector<ArchRecord> pareto_front(std::vector<ArchRecord> records);
+
+}  // namespace micronas

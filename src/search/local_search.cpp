@@ -1,0 +1,68 @@
+#include "src/search/local_search.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace micronas {
+
+namespace {
+
+/// Pairwise comparison consistent with the hybrid objective: rank the
+/// two candidates against each other and prefer the lower score, with
+/// feasibility taking precedence.
+bool better(const IndicatorValues& a, const IndicatorValues& b, const IndicatorWeights& weights,
+            const Constraints& constraints) {
+  const bool fa = constraints.satisfied_by(a);
+  const bool fb = constraints.satisfied_by(b);
+  if (fa != fb) return fa;
+  const std::array<IndicatorValues, 2> pair = {a, b};
+  const auto scores = hybrid_rank_scores(pair, weights);
+  return scores[0] < scores[1];
+}
+
+}  // namespace
+
+LocalSearchResult local_search(const ProxySuite& suite, const LocalSearchConfig& config,
+                               Rng& rng) {
+  if (config.max_evals < 1) throw std::invalid_argument("local_search: max_evals >= 1");
+  if (config.max_restarts < 1) throw std::invalid_argument("local_search: max_restarts >= 1");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  LocalSearchResult res;
+  bool have_best = false;
+
+  for (int restart = 0; restart < config.max_restarts && res.proxy_evals < config.max_evals;
+       ++restart) {
+    res.restarts = restart + 1;
+    nb201::Genotype current = nb201::random_genotype(rng);
+    IndicatorValues current_v = suite.evaluate(current, rng);
+    ++res.proxy_evals;
+
+    bool improved = true;
+    while (improved && res.proxy_evals < config.max_evals) {
+      improved = false;
+      for (const auto& neighbor : nb201::neighbors(current)) {
+        if (res.proxy_evals >= config.max_evals) break;
+        const IndicatorValues v = suite.evaluate(neighbor, rng);
+        ++res.proxy_evals;
+        if (better(v, current_v, config.weights, config.constraints)) {
+          current = neighbor;
+          current_v = v;
+          improved = true;
+          break;  // first-improvement hill climbing
+        }
+      }
+    }
+
+    if (!have_best || better(current_v, res.indicators, config.weights, config.constraints)) {
+      res.genotype = current;
+      res.indicators = current_v;
+      have_best = true;
+    }
+  }
+
+  res.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace micronas

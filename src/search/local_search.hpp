@@ -1,0 +1,31 @@
+// Proxy-guided local search (hill climbing) — a stronger trainless
+// baseline than random search: start from a random cell, evaluate all
+// 24 one-edge neighbours with the indicator suite, move to the best
+// improving neighbour, restart when stuck. Costs more proxy
+// evaluations than the pruning search but explores concrete cells
+// rather than supernets.
+#pragma once
+
+#include "src/search/objective.hpp"
+
+namespace micronas {
+
+struct LocalSearchConfig {
+  int max_evals = 200;             // total proxy-evaluation budget
+  int max_restarts = 8;
+  IndicatorWeights weights;
+  Constraints constraints;
+};
+
+struct LocalSearchResult {
+  nb201::Genotype genotype;
+  IndicatorValues indicators;
+  long long proxy_evals = 0;
+  int restarts = 0;
+  double wall_seconds = 0.0;
+};
+
+LocalSearchResult local_search(const ProxySuite& suite, const LocalSearchConfig& config,
+                               Rng& rng);
+
+}  // namespace micronas

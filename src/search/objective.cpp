@@ -1,0 +1,168 @@
+#include "src/search/objective.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/stats/ranking.hpp"
+
+namespace micronas {
+
+bool Constraints::satisfied_by(const IndicatorValues& v) const {
+  if (max_latency_ms && v.latency_ms > *max_latency_ms) return false;
+  if (max_flops_m && v.flops_m > *max_flops_m) return false;
+  if (max_params_m && v.params_m > *max_params_m) return false;
+  if (max_sram_kb && v.peak_sram_kb > *max_sram_kb) return false;
+  return true;
+}
+
+std::vector<double> hybrid_rank_scores(std::span<const IndicatorValues> candidates,
+                                       const IndicatorWeights& weights,
+                                       const ObjectiveScales& scales) {
+  if (candidates.empty()) throw std::invalid_argument("hybrid_rank_scores: empty candidate set");
+  const std::size_t n = candidates.size();
+
+  std::vector<double> ntk(n), lr(n), flops(n), lat(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ntk[i] = candidates[i].ntk_condition;
+    lr[i] = candidates[i].linear_regions;
+    flops[i] = candidates[i].flops_m;
+    lat[i] = candidates[i].latency_ms;
+  }
+  // Performance indicators enter as ordinal ranks: their raw scales are
+  // arbitrary (a condition number and a crossing count are not
+  // commensurable), which is TE-NAS's rank-combination argument.
+  const auto r_ntk = stats::ordinal_ranks_ascending(ntk);  // low κ is rank 0
+  const auto r_lr = stats::ordinal_ranks_descending(lr);   // high LR is rank 0
+
+  // Hardware indicators enter as min-max-normalized *magnitudes* scaled
+  // to rank units. Ranks would be wrong here: they renormalize every
+  // round, so there is always maximal pressure to drop whatever is
+  // currently most expensive — the search cascades into the degenerate
+  // all-cheap cell. Magnitudes preserve the physical scale: once the
+  // candidates are all cheap, the hardware term stops discriminating
+  // and the trainless indicators take over. This is the "precise
+  // control over the contributions of F and L" the paper's tunable
+  // weights provide.
+  auto normalized = [&](const std::vector<double>& v, double scale) {
+    double lo = v[0], hi = v[0];
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    const double denom = std::max(scale > 0.0 ? scale : hi, 1e-12);
+    std::vector<double> out(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) out[i] = (v[i] - lo) / denom * static_cast<double>(n - 1);
+    return out;
+  };
+  const auto m_flops = normalized(flops, scales.flops_m);
+  const auto m_lat = normalized(lat, scales.latency_ms);
+
+  std::vector<double> scores(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = weights.ntk * r_ntk[i] + weights.linear_regions * r_lr[i] +
+                weights.flops * m_flops[i] + weights.latency * m_lat[i];
+  }
+  return scores;
+}
+
+std::size_t select_best(std::span<const IndicatorValues> candidates,
+                        const IndicatorWeights& weights, const Constraints& constraints) {
+  const auto scores = hybrid_rank_scores(candidates, weights);
+  std::size_t best = candidates.size();
+  bool best_feasible = false;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const bool feasible = constraints.satisfied_by(candidates[i]);
+    const bool wins = best == candidates.size() ||
+                      (feasible && !best_feasible) ||
+                      (feasible == best_feasible && scores[i] < best_score);
+    if (wins) {
+      best = i;
+      best_feasible = feasible;
+      best_score = scores[i];
+    }
+  }
+  return best;
+}
+
+SupernetHwModel::SupernetHwModel(const MacroNetConfig& config, const LatencyEstimator* estimator) {
+  if (config.num_stages > 8) throw std::invalid_argument("SupernetHwModel: too many stages");
+  num_stages_ = config.num_stages;
+  cells_per_stage_ = config.cells_per_stage;
+
+  // Fixed skeleton cost = macro model of the all-`none` genotype.
+  const nb201::Genotype empty;  // all edges none
+  const MacroModel skeleton = build_macro_model(empty, config);
+  fixed_flops_m_ = count_flops(skeleton).total_m();
+  fixed_latency_ms_ = estimator != nullptr ? estimator->estimate_ms(skeleton) : 0.0;
+
+  // Per-(stage, op) incremental cost of one edge instance.
+  int channels = config.base_channels;
+  int hw = config.input_size;
+  for (int stage = 0; stage < num_stages_; ++stage) {
+    if (stage > 0) {
+      channels *= 2;
+      hw = (hw + 1) / 2;
+    }
+    for (int oi = 0; oi < nb201::kNumOps; ++oi) {
+      const auto op = static_cast<nb201::Op>(oi);
+      LayerSpec spec;
+      spec.cin = channels;
+      spec.cout = channels;
+      spec.h = hw;
+      spec.w = hw;
+      spec.out_h = hw;
+      spec.out_w = hw;
+      switch (op) {
+        case nb201::Op::kNone:
+          continue;  // zero cost
+        case nb201::Op::kSkipConnect:
+          spec.kind = LayerKind::kSkip;
+          break;
+        case nb201::Op::kConv1x1:
+          spec.kind = LayerKind::kConv;
+          spec.kernel = 1;
+          spec.stride = 1;
+          spec.pad = 0;
+          break;
+        case nb201::Op::kConv3x3:
+          spec.kind = LayerKind::kConv;
+          spec.kernel = 3;
+          spec.stride = 1;
+          spec.pad = 1;
+          break;
+        case nb201::Op::kAvgPool3x3:
+          spec.kind = LayerKind::kAvgPool;
+          spec.kernel = 3;
+          spec.stride = 1;
+          spec.pad = 1;
+          break;
+      }
+      flops_m_[static_cast<std::size_t>(stage)][static_cast<std::size_t>(oi)] =
+          static_cast<double>(layer_flops(spec)) / 1e6;
+      latency_ms_[static_cast<std::size_t>(stage)][static_cast<std::size_t>(oi)] =
+          estimator != nullptr ? estimator->layer_ms(spec) : 0.0;
+    }
+  }
+}
+
+SupernetHwExpectation SupernetHwModel::expectation(const nb201::OpSet& opset) const {
+  SupernetHwExpectation e;
+  e.flops_m = fixed_flops_m_;
+  e.latency_ms = fixed_latency_ms_;
+  for (int stage = 0; stage < num_stages_; ++stage) {
+    for (int edge = 0; edge < nb201::kNumEdges; ++edge) {
+      const auto& ops = opset.ops_on_edge(edge);
+      double f = 0.0, l = 0.0;
+      for (nb201::Op op : ops) {
+        f += flops_m_[static_cast<std::size_t>(stage)][static_cast<std::size_t>(static_cast<int>(op))];
+        l += latency_ms_[static_cast<std::size_t>(stage)][static_cast<std::size_t>(static_cast<int>(op))];
+      }
+      e.flops_m += cells_per_stage_ * f / static_cast<double>(ops.size());
+      e.latency_ms += cells_per_stage_ * l / static_cast<double>(ops.size());
+    }
+  }
+  return e;
+}
+
+}  // namespace micronas

@@ -1,0 +1,97 @@
+// Hybrid objective function (paper contribution #2).
+//
+// Within a candidate set, each indicator is converted to an ordinal
+// rank (κ ascending — lower is more trainable; linear regions
+// descending — higher is more expressive; FLOPs and latency ascending —
+// cheaper is better) and candidates are scored by the weighted rank
+// sum. Rank combination makes indicators with wildly different scales
+// commensurable, following TE-NAS, and the hardware weights are the
+// tunable knobs the paper's §III adapts per constraint level.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/nb201/space.hpp"
+#include "src/proxies/proxy_suite.hpp"
+
+namespace micronas {
+
+struct IndicatorWeights {
+  double ntk = 1.0;
+  double linear_regions = 1.0;
+  double flops = 0.0;
+  double latency = 0.0;
+
+  /// TE-NAS-style trainless baseline (no hardware terms).
+  static IndicatorWeights te_nas() { return {1.0, 1.0, 0.0, 0.0}; }
+  /// FLOPs-guided MicroNAS.
+  static IndicatorWeights flops_guided(double w = 1.0) { return {1.0, 1.0, w, 0.0}; }
+  /// Latency-guided MicroNAS (the paper's best configuration).
+  static IndicatorWeights latency_guided(double w = 1.0) { return {1.0, 1.0, 0.0, w}; }
+};
+
+/// Hard resource constraints; unset fields are unconstrained.
+struct Constraints {
+  std::optional<double> max_latency_ms;
+  std::optional<double> max_flops_m;
+  std::optional<double> max_params_m;
+  std::optional<double> max_sram_kb;
+
+  bool satisfied_by(const IndicatorValues& v) const;
+  bool any() const {
+    return max_latency_ms || max_flops_m || max_params_m || max_sram_kb;
+  }
+};
+
+/// Fixed normalization scales for the hardware magnitudes. Without a
+/// fixed scale the hardware term renormalizes every pruning round and
+/// keeps maximal pressure on whatever is currently most expensive,
+/// cascading into the degenerate all-cheap cell; anchoring to the full
+/// supernet's expected cost makes the pressure proportional to the
+/// *absolute* savings, which fades out once the cell is cheap.
+/// Zero fields fall back to the per-candidate-set maximum.
+struct ObjectiveScales {
+  double flops_m = 0.0;
+  double latency_ms = 0.0;
+};
+
+/// Weighted rank-sum scores (lower is better), one per candidate.
+/// NTK/LR enter as ordinal ranks, FLOPs/latency as normalized
+/// magnitudes scaled to rank units (see ObjectiveScales).
+std::vector<double> hybrid_rank_scores(std::span<const IndicatorValues> candidates,
+                                       const IndicatorWeights& weights,
+                                       const ObjectiveScales& scales = {});
+
+/// Index of the best candidate by hybrid score; constraint-violating
+/// candidates lose to any feasible one. Throws on empty input.
+std::size_t select_best(std::span<const IndicatorValues> candidates,
+                        const IndicatorWeights& weights, const Constraints& constraints);
+
+/// Analytic hardware expectation for a supernet: the mean deployment
+/// cost over the remaining per-edge op choices (exact expectation of a
+/// uniform sample from the op-set). Cheap — no proxy net is built.
+struct SupernetHwExpectation {
+  double flops_m = 0.0;
+  double latency_ms = 0.0;
+};
+
+class SupernetHwModel {
+ public:
+  /// `estimator` may be null (latency expectation reported as 0).
+  SupernetHwModel(const MacroNetConfig& config, const LatencyEstimator* estimator);
+
+  SupernetHwExpectation expectation(const nb201::OpSet& opset) const;
+
+ private:
+  // Per (stage, op) deployment cost of placing `op` on one cell edge.
+  std::array<std::array<double, nb201::kNumOps>, 8> flops_m_{};
+  std::array<std::array<double, nb201::kNumOps>, 8> latency_ms_{};
+  double fixed_flops_m_ = 0.0;    // stem + reductions + head
+  double fixed_latency_ms_ = 0.0;
+  int num_stages_ = 0;
+  int cells_per_stage_ = 0;
+};
+
+}  // namespace micronas

@@ -1,0 +1,122 @@
+#include "src/search/pruning_search.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "src/common/log.hpp"
+#include "src/nb201/features.hpp"
+
+namespace micronas {
+
+namespace {
+
+/// A supernet is connected if input reaches output through edges that
+/// still carry at least one signal op. Removals that sever every path
+/// are invalid: they can only produce untrainable chance-level cells,
+/// which no deployment-oriented search should ever select.
+bool supernet_connected(const nb201::OpSet& opset) {
+  nb201::Genotype probe;
+  for (int e = 0; e < nb201::kNumEdges; ++e) {
+    const auto& ops = opset.ops_on_edge(e);
+    const bool carries = std::any_of(ops.begin(), ops.end(), nb201::op_carries_signal);
+    probe.set_op(e, carries ? nb201::Op::kSkipConnect : nb201::Op::kNone);
+  }
+  return nb201::analyze_cell(probe).connected;
+}
+
+}  // namespace
+
+PruningSearchResult pruning_search(const ProxySuite& suite, const SupernetHwModel& hw_model,
+                                   const PruningSearchConfig& config, Rng& rng) {
+  if (config.proxy_repeats < 1) throw std::invalid_argument("pruning_search: proxy_repeats >= 1");
+  const auto t0 = std::chrono::steady_clock::now();
+  long long candidates_evaluated = 0;
+
+  PruningSearchResult result;
+  nb201::OpSet opset = nb201::OpSet::full();
+
+  // Anchor the hardware-magnitude normalization to the full supernet's
+  // expected cost so the hardware pressure is proportional to absolute
+  // savings across all rounds (see ObjectiveScales).
+  const SupernetHwExpectation full_cost = hw_model.expectation(opset);
+  ObjectiveScales scales;
+  scales.flops_m = full_cost.flops_m;
+  scales.latency_ms = full_cost.latency_ms;
+
+  int round = 0;
+  while (!opset.is_singleton()) {
+    // Candidate = one (edge, op) removal. Gather indicator values for
+    // all candidates of this round, then rank them jointly.
+    struct Candidate {
+      int edge;
+      nb201::Op op;
+    };
+    std::vector<Candidate> candidates;
+    std::vector<IndicatorValues> values;
+
+    for (int e = 0; e < nb201::kNumEdges; ++e) {
+      const auto ops = opset.ops_on_edge(e);  // copy: we mutate trial sets
+      if (ops.size() <= 1) continue;
+      for (nb201::Op op : ops) {
+        nb201::OpSet trial = opset;
+        trial.remove(e, op);
+        if (!supernet_connected(trial)) continue;  // invalid removal
+
+        IndicatorValues v;
+        double ntk_acc = 0.0, lr_acc = 0.0;
+        for (int r = 0; r < config.proxy_repeats; ++r) {
+          const IndicatorValues single =
+              suite.evaluate_supernet(edge_ops_from_opset(trial), rng);
+          ntk_acc += single.ntk_condition;
+          lr_acc += single.linear_regions;
+        }
+        v.ntk_condition = ntk_acc / config.proxy_repeats;
+        v.linear_regions = lr_acc / config.proxy_repeats;
+
+        const SupernetHwExpectation hw = hw_model.expectation(trial);
+        v.flops_m = hw.flops_m;
+        v.latency_ms = hw.latency_ms;
+
+        candidates.push_back({e, op});
+        values.push_back(v);
+        ++candidates_evaluated;
+      }
+    }
+    if (candidates.empty()) break;  // defensive: nothing left to prune
+
+    const auto scores = hybrid_rank_scores(values, config.weights, scales);
+
+    // Per edge, prune the best-scoring (least important) removal that is
+    // still valid *now*: earlier removals in this round may have changed
+    // what this edge can afford to lose, so re-validate at application
+    // time and fall back to the edge's next-best candidate.
+    for (int e = 0; e < nb201::kNumEdges; ++e) {
+      if (opset.ops_on_edge(e).size() <= 1) continue;
+      std::vector<std::size_t> edge_candidates;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].edge == e) edge_candidates.push_back(i);
+      }
+      std::sort(edge_candidates.begin(), edge_candidates.end(),
+                [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+      for (std::size_t i : edge_candidates) {
+        nb201::OpSet trial = opset;
+        trial.remove(e, candidates[i].op);
+        if (!supernet_connected(trial)) continue;
+        opset = std::move(trial);
+        result.decisions.push_back({round, e, candidates[i].op, scores[i]});
+        MICRONAS_LOG(kDebug) << "prune round " << round << ": edge " << e << " drops "
+                             << nb201::op_name(candidates[i].op);
+        break;
+      }
+    }
+    ++round;
+  }
+
+  result.genotype = opset.to_genotype();
+  result.proxy_evals = candidates_evaluated;  // repeats are averaging, not extra candidates
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace micronas

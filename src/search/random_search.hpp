@@ -1,0 +1,26 @@
+// Random search with proxy scoring — the standard sanity baseline for
+// NAS ablations: sample N architectures, score each with the full
+// indicator suite, keep the hybrid-objective winner under constraints.
+#pragma once
+
+#include "src/search/objective.hpp"
+
+namespace micronas {
+
+struct RandomSearchConfig {
+  int num_samples = 50;
+  IndicatorWeights weights;
+  Constraints constraints;
+};
+
+struct RandomSearchResult {
+  nb201::Genotype genotype;
+  IndicatorValues indicators;
+  long long proxy_evals = 0;
+  double wall_seconds = 0.0;
+};
+
+RandomSearchResult random_search(const ProxySuite& suite, const RandomSearchConfig& config,
+                                 Rng& rng);
+
+}  // namespace micronas

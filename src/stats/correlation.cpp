@@ -1,0 +1,77 @@
+#include "src/stats/correlation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/ranking.hpp"
+
+namespace micronas::stats {
+
+namespace {
+void check_sizes(std::span<const double> x, std::span<const double> y, const char* what) {
+  if (x.size() != y.size()) throw std::invalid_argument(std::string(what) + ": size mismatch");
+  if (x.size() < 2) throw std::invalid_argument(std::string(what) + ": need at least 2 points");
+}
+}  // namespace
+
+double kendall_tau(std::span<const double> x, std::span<const double> y) {
+  check_sizes(x, y, "kendall_tau");
+  const std::size_t n = x.size();
+  // O(n²) pair scan with tau-b tie correction; n in our experiments is
+  // a few hundred to a few thousand, well within budget.
+  long long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) {
+        ++ties_x;
+        ++ties_y;
+      } else if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0.0) == (dy > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = 0.5 * static_cast<double>(n) * (static_cast<double>(n) - 1.0);
+  const double denom = std::sqrt((n0 - static_cast<double>(ties_x)) * (n0 - static_cast<double>(ties_y)));
+  if (denom == 0.0) return 0.0;  // all values tied in one series
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+double spearman_rho(std::span<const double> x, std::span<const double> y) {
+  check_sizes(x, y, "spearman_rho");
+  const auto rx = average_ranks(x);
+  const auto ry = average_ranks(y);
+  return pearson_r(rx, ry);
+}
+
+double pearson_r(std::span<const double> x, std::span<const double> y) {
+  check_sizes(x, y, "pearson_r");
+  const std::size_t n = x.size();
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom == 0.0) return 0.0;
+  return sxy / denom;
+}
+
+}  // namespace micronas::stats

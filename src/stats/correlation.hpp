@@ -1,0 +1,33 @@
+// Rank correlation statistics.
+//
+// Kendall-τ is the paper's headline metric (Fig. 2a/2b measure how well
+// a proxy *ranks* architectures against their trained accuracy); the
+// tau-b variant handles ties, which proxies like FLOPs produce often.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace micronas::stats {
+
+/// Kendall tau-b (tie-corrected). Throws on size mismatch or n < 2.
+double kendall_tau(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman_rho(std::span<const double> x, std::span<const double> y);
+
+/// Pearson linear correlation.
+double pearson_r(std::span<const double> x, std::span<const double> y);
+
+/// Convenience overloads for vectors.
+inline double kendall_tau(const std::vector<double>& x, const std::vector<double>& y) {
+  return kendall_tau(std::span<const double>(x), std::span<const double>(y));
+}
+inline double spearman_rho(const std::vector<double>& x, const std::vector<double>& y) {
+  return spearman_rho(std::span<const double>(x), std::span<const double>(y));
+}
+inline double pearson_r(const std::vector<double>& x, const std::vector<double>& y) {
+  return pearson_r(std::span<const double>(x), std::span<const double>(y));
+}
+
+}  // namespace micronas::stats

@@ -1,0 +1,61 @@
+#include "src/stats/ranking.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace micronas::stats {
+
+std::vector<double> average_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // positions i..j (0-based) share the average 1-based rank.
+    const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+namespace {
+std::vector<int> ordinal_ranks(std::span<const double> values, bool descending) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (values[a] != values[b]) return descending ? values[a] > values[b] : values[a] < values[b];
+    return a < b;
+  });
+  std::vector<int> ranks(n, 0);
+  for (std::size_t pos = 0; pos < n; ++pos) ranks[order[pos]] = static_cast<int>(pos);
+  return ranks;
+}
+}  // namespace
+
+std::vector<int> ordinal_ranks_ascending(std::span<const double> values) {
+  return ordinal_ranks(values, /*descending=*/false);
+}
+
+std::vector<int> ordinal_ranks_descending(std::span<const double> values) {
+  return ordinal_ranks(values, /*descending=*/true);
+}
+
+std::size_t argmin(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("argmin: empty range");
+  return static_cast<std::size_t>(std::min_element(values.begin(), values.end()) - values.begin());
+}
+
+std::size_t argmax(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("argmax: empty range");
+  return static_cast<std::size_t>(std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace micronas::stats

@@ -1,0 +1,23 @@
+// Rank transforms used by the hybrid objective and Spearman's rho.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace micronas::stats {
+
+/// Average ranks (1-based): ties receive the mean of their positions.
+std::vector<double> average_ranks(std::span<const double> values);
+
+/// Ordinal ranks (0-based) of `values` when sorted ascending; ties
+/// broken by original index for determinism.
+std::vector<int> ordinal_ranks_ascending(std::span<const double> values);
+
+/// Ordinal ranks (0-based) when sorted descending.
+std::vector<int> ordinal_ranks_descending(std::span<const double> values);
+
+/// Index of the minimum / maximum element (first on ties).
+std::size_t argmin(std::span<const double> values);
+std::size_t argmax(std::span<const double> values);
+
+}  // namespace micronas::stats

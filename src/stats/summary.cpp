@@ -1,0 +1,57 @@
+#include "src/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace micronas::stats {
+
+Summary summarize(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("summarize: empty input");
+  Summary s;
+  s.count = values.size();
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  s.median = percentile(values, 50.0);
+  return s;
+}
+
+double percentile(std::span<const double> values, double pct) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  if (pct < 0.0 || pct > 100.0) throw std::invalid_argument("percentile: pct out of [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mape(std::span<const double> predicted, std::span<const double> reference) {
+  if (predicted.size() != reference.size()) throw std::invalid_argument("mape: size mismatch");
+  if (predicted.empty()) throw std::invalid_argument("mape: empty input");
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (reference[i] == 0.0) continue;
+    acc += std::abs(predicted[i] - reference[i]) / std::abs(reference[i]);
+    ++n;
+  }
+  if (n == 0) throw std::invalid_argument("mape: all references are zero");
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace micronas::stats

@@ -1,0 +1,27 @@
+// Descriptive statistics for experiment reporting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace micronas::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1); 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Percentile in [0,100] by linear interpolation on the sorted values.
+double percentile(std::span<const double> values, double pct);
+
+/// Mean absolute percentage error of predictions vs references (skips
+/// zero references); returned as a fraction (0.05 == 5 %).
+double mape(std::span<const double> predicted, std::span<const double> reference);
+
+}  // namespace micronas::stats

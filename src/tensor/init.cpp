@@ -1,0 +1,22 @@
+#include "src/tensor/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace micronas {
+
+void init_kaiming_normal(Tensor& w, int fan_in, Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("init_kaiming_normal: fan_in must be positive");
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  rng.fill_normal(w.data(), 0.0F, stddev);
+}
+
+void init_xavier_uniform(Tensor& w, int fan_in, int fan_out, Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) throw std::invalid_argument("init_xavier_uniform: fans must be positive");
+  const float limit = std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  rng.fill_uniform(w.data(), -limit, limit);
+}
+
+void init_normal(Tensor& w, float stddev, Rng& rng) { rng.fill_normal(w.data(), 0.0F, stddev); }
+
+}  // namespace micronas

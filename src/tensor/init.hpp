@@ -1,0 +1,23 @@
+// Weight initialization schemes.
+//
+// Zero-shot proxies are evaluated at initialization, so the init
+// distribution *is* the measurement apparatus: Kaiming-normal keeps
+// activation scale stable with depth, which is what the NTK and
+// linear-region literature assumes.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace micronas {
+
+/// He/Kaiming normal: stddev = sqrt(2 / fan_in).
+void init_kaiming_normal(Tensor& w, int fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform: limit = sqrt(6 / (fan_in + fan_out)).
+void init_xavier_uniform(Tensor& w, int fan_in, int fan_out, Rng& rng);
+
+/// Plain normal with explicit stddev.
+void init_normal(Tensor& w, float stddev, Rng& rng);
+
+}  // namespace micronas

@@ -1,0 +1,156 @@
+#include "src/tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace micronas {
+
+Shape::Shape(std::initializer_list<int> dims) : dims_(dims) {
+  for (int d : dims_) {
+    if (d <= 0) throw std::invalid_argument("Shape: dimensions must be positive");
+  }
+  if (dims_.empty() || dims_.size() > 4) throw std::invalid_argument("Shape: rank must be 1..4");
+}
+
+Shape::Shape(std::vector<int> dims) : dims_(std::move(dims)) {
+  for (int d : dims_) {
+    if (d <= 0) throw std::invalid_argument("Shape: dimensions must be positive");
+  }
+  if (dims_.empty() || dims_.size() > 4) throw std::invalid_argument("Shape: rank must be 1..4");
+}
+
+int Shape::operator[](int i) const {
+  if (i < 0 || i >= rank()) throw std::out_of_range("Shape: index out of range");
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Shape::numel() const {
+  std::size_t n = 1;
+  for (int d : dims_) n *= static_cast<std::size_t>(d);
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream ss;
+  ss << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) ss << ", ";
+    ss << dims_[i];
+  }
+  ss << "]";
+  return ss.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_.numel(), 0.0F) {}
+
+Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)), data_(shape_.numel(), fill) {}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+  if (shape.numel() != values.size()) {
+    throw std::invalid_argument("Tensor::from_vector: size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+void Tensor::check_rank4() const {
+  if (shape_.rank() != 4) throw std::logic_error("Tensor: rank-4 accessor on rank-" + std::to_string(shape_.rank()));
+}
+
+std::size_t Tensor::offset(int n, int c, int h, int w) const {
+  check_rank4();
+  const int C = shape_[1], H = shape_[2], W = shape_[3];
+  return ((static_cast<std::size_t>(n) * C + c) * H + h) * W + w;
+}
+
+float& Tensor::at(int n, int c, int h, int w) { return data_[offset(n, c, h, w)]; }
+float Tensor::at(int n, int c, int h, int w) const { return data_[offset(n, c, h, w)]; }
+
+float& Tensor::at(int r, int c) {
+  if (shape_.rank() != 2) throw std::logic_error("Tensor: rank-2 accessor on rank-" + std::to_string(shape_.rank()));
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+
+float Tensor::at(int r, int c) const {
+  if (shape_.rank() != 2) throw std::logic_error("Tensor: rank-2 accessor on rank-" + std::to_string(shape_.rank()));
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " + a.shape().to_string() +
+                                " vs " + b.shape().to_string());
+  }
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  require_same_shape(*this, other, "Tensor::add_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float a, const Tensor& x) {
+  require_same_shape(*this, x, "Tensor::axpy_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * x.data_[i];
+  return *this;
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0F;
+  for (float x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double Tensor::dot(const Tensor& other) const {
+  require_same_shape(*this, other, "Tensor::dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    s += static_cast<double>(data_[i]) * other.data_[i];
+  }
+  return s;
+}
+
+double Tensor::l2_norm() const { return std::sqrt(dot(*this)); }
+
+Tensor Tensor::slice_sample(int n) const {
+  check_rank4();
+  const int N = shape_[0], C = shape_[1], H = shape_[2], W = shape_[3];
+  if (n < 0 || n >= N) throw std::out_of_range("Tensor::slice_sample: sample index");
+  Tensor out(Shape{1, C, H, W});
+  const std::size_t per = static_cast<std::size_t>(C) * H * W;
+  for (std::size_t i = 0; i < per; ++i) out.data_[i] = data_[static_cast<std::size_t>(n) * per + i];
+  return out;
+}
+
+std::string Tensor::to_string(int max_items) const {
+  std::ostringstream ss;
+  ss << "Tensor" << shape_.to_string() << " {";
+  const std::size_t n = std::min<std::size_t>(data_.size(), static_cast<std::size_t>(max_items));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) ss << ", ";
+    ss << data_[i];
+  }
+  if (n < data_.size()) ss << ", ...";
+  ss << "}";
+  return ss.str();
+}
+
+}  // namespace micronas

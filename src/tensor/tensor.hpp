@@ -1,0 +1,96 @@
+// Dense float tensor in NCHW layout.
+//
+// This is the numerical substrate for the zero-shot proxies: the NTK
+// condition number requires per-sample parameter Jacobians, so every
+// layer built on top of Tensor implements an explicit backward pass
+// (no external autograd framework is available in this environment).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace micronas {
+
+/// Shape of a tensor; rank 1..4. NCHW convention for rank-4.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int> dims);
+  explicit Shape(std::vector<int> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int operator[](int i) const;
+  std::size_t numel() const;
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+  const std::vector<int>& dims() const { return dims_; }
+  std::string to_string() const;
+
+ private:
+  std::vector<int> dims_;
+};
+
+/// Owning dense float tensor. Value semantics; contiguous row-major
+/// storage with the last dimension fastest (NCHW for rank-4).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);         // zero-initialized
+  Tensor(Shape shape, float fill);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor from_vector(Shape shape, std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// NCHW accessors (rank-4 only; bounds-checked in debug builds).
+  float& at(int n, int c, int h, int w);
+  float at(int n, int c, int h, int w) const;
+  /// Rank-2 accessor (rows, cols).
+  float& at(int r, int c);
+  float at(int r, int c) const;
+
+  std::size_t offset(int n, int c, int h, int w) const;
+
+  void fill(float v);
+  void zero() { fill(0.0F); }
+
+  /// Elementwise in-place operations.
+  Tensor& add_(const Tensor& other);           // this += other (same shape)
+  Tensor& scale_(float s);                     // this *= s
+  Tensor& axpy_(float a, const Tensor& x);     // this += a * x
+
+  /// Reductions.
+  float sum() const;
+  float abs_max() const;
+  double dot(const Tensor& other) const;       // throws on shape mismatch
+  double l2_norm() const;
+
+  /// View a single sample n of a rank-4 tensor as a new rank-4 tensor
+  /// with N == 1 (copies; the library favors clarity over aliasing).
+  Tensor slice_sample(int n) const;
+
+  std::string to_string(int max_items = 16) const;
+
+ private:
+  void check_rank4() const;
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Throws std::invalid_argument unless the two shapes match.
+void require_same_shape(const Tensor& a, const Tensor& b, const char* what);
+
+}  // namespace micronas

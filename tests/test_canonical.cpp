@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/nb201/canonical.hpp"
+#include "src/nb201/features.hpp"
+#include "src/nb201/surrogate.hpp"
+#include "src/mcusim/cortex_m7.hpp"
+#include "src/proxies/flops.hpp"
+
+namespace micronas::nb201 {
+namespace {
+
+TEST(Canonical, Idempotent) {
+  for (int i = 0; i < kNumArchitectures; i += 131) {
+    const Genotype g = Genotype::from_index(i);
+    const Genotype c = canonicalize(g);
+    EXPECT_EQ(canonicalize(c), c) << g.to_string();
+    EXPECT_TRUE(is_canonical(c));
+  }
+}
+
+TEST(Canonical, DeadEdgeRewritten) {
+  // Conv on 0->1 with node 1 dead-ended: canonical form drops it.
+  Genotype g;
+  g.set_op(edge_index(0, 1), Op::kConv3x3);
+  g.set_op(edge_index(0, 3), Op::kSkipConnect);
+  const Genotype c = canonicalize(g);
+  EXPECT_EQ(c.op(edge_index(0, 1)), Op::kNone);
+  EXPECT_EQ(c.op(edge_index(0, 3)), Op::kSkipConnect);
+}
+
+TEST(Canonical, LiveCellUnchanged) {
+  std::array<Op, kNumEdges> ops;
+  ops.fill(Op::kConv3x3);
+  const Genotype g(ops);
+  EXPECT_EQ(canonicalize(g), g);
+}
+
+TEST(Canonical, DisconnectedCollapsesToEmpty) {
+  Genotype g;
+  g.set_op(edge_index(0, 1), Op::kConv3x3);
+  g.set_op(edge_index(1, 2), Op::kAvgPool3x3);  // never reaches node 3
+  const Genotype c = canonicalize(g);
+  EXPECT_EQ(c, Genotype{});
+}
+
+TEST(Canonical, EquivalenceRespectsFunction) {
+  // Two genotypes differing only on a dead edge are equivalent.
+  Genotype a;
+  a.set_op(edge_index(0, 3), Op::kConv1x1);
+  Genotype b = a;
+  b.set_op(edge_index(0, 1), Op::kAvgPool3x3);  // dead: node 1 unused
+  EXPECT_TRUE(functionally_equivalent(a, b));
+  Genotype c = a;
+  c.set_op(edge_index(0, 3), Op::kConv3x3);
+  EXPECT_FALSE(functionally_equivalent(a, c));
+}
+
+TEST(Canonical, EquivalentCellsShareStructuralScore) {
+  const SurrogateOracle oracle;
+  Genotype a;
+  a.set_op(edge_index(0, 2), Op::kConv3x3);
+  a.set_op(edge_index(2, 3), Op::kConv1x1);
+  Genotype b = a;
+  b.set_op(edge_index(0, 1), Op::kConv3x3);  // dead edge (node 1 unused)
+  EXPECT_DOUBLE_EQ(oracle.structural_score(a, Dataset::kCifar10),
+                   oracle.structural_score(b, Dataset::kCifar10));
+}
+
+TEST(Canonical, SpaceCensus) {
+  const SpaceRedundancy r = analyze_space_redundancy();
+  EXPECT_EQ(r.total, kNumArchitectures);
+  // The canonical classes are a strict subset of the space but still
+  // number in the thousands.
+  EXPECT_LT(r.canonical_classes, kNumArchitectures);
+  EXPECT_GT(r.canonical_classes, 1000);
+  EXPECT_GE(r.already_canonical, r.canonical_classes);
+  EXPECT_GT(r.redundancy_fraction(), 0.05);
+  EXPECT_LT(r.redundancy_fraction(), 0.95);
+}
+
+
+TEST(Canonical, DeadCodeEliminationNeverSlowerOrLarger) {
+  // Deploying the canonical form is a semantics-preserving optimization
+  // pass: dead edges execute on the MCU but contribute nothing, so the
+  // canonicalized model is never slower, never larger, and identical in
+  // function (equal structural score).
+  const SurrogateOracle oracle;
+  for (int i = 0; i < kNumArchitectures; i += 449) {
+    const Genotype g = Genotype::from_index(i);
+    const Genotype c = canonicalize(g);
+    EXPECT_DOUBLE_EQ(oracle.structural_score(g, Dataset::kCifar10),
+                     oracle.structural_score(c, Dataset::kCifar10));
+    EXPECT_LE(micronas::flops_m(c), micronas::flops_m(g) + 1e-12);
+    EXPECT_LE(micronas::params_m(c), micronas::params_m(g) + 1e-12);
+    const double lat_g =
+        micronas::simulate_network(micronas::build_macro_model(g)).latency_ms;
+    const double lat_c =
+        micronas::simulate_network(micronas::build_macro_model(c)).latency_ms;
+    EXPECT_LE(lat_c, lat_g + 1e-9) << g.to_string();
+  }
+}
+
+TEST(Canonical, EliminationSavesRealLatencyWhenDeadConvsExist) {
+  Genotype g;
+  g.set_op(edge_index(0, 3), Op::kSkipConnect);
+  g.set_op(edge_index(0, 1), Op::kConv3x3);  // dead: node 1 unused
+  const Genotype c = canonicalize(g);
+  const double lat_g = micronas::simulate_network(micronas::build_macro_model(g)).latency_ms;
+  const double lat_c = micronas::simulate_network(micronas::build_macro_model(c)).latency_ms;
+  EXPECT_LT(lat_c, 0.7 * lat_g);  // 15 dead conv3x3 instances eliminated
+}
+
+}  // namespace
+}  // namespace micronas::nb201

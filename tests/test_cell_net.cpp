@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/net/cell_net.hpp"
+
+namespace micronas {
+namespace {
+
+CellNetConfig small_config() {
+  CellNetConfig cfg;
+  cfg.input_size = 8;
+  cfg.base_channels = 4;
+  cfg.num_classes = 10;
+  return cfg;
+}
+
+Tensor random_images(int n, const CellNetConfig& cfg, Rng& rng) {
+  Tensor t(Shape{n, cfg.input_channels, cfg.input_size, cfg.input_size});
+  rng.fill_normal(t.data());
+  return t;
+}
+
+TEST(CellNet, ForwardShape) {
+  Rng rng(1);
+  CellNetConfig cfg = small_config();
+  CellNet net(nb201::Genotype::from_index(8765), cfg, rng);
+  const Tensor logits = net.forward(random_images(3, cfg, rng));
+  EXPECT_EQ(logits.shape(), Shape({3, 10}));
+}
+
+TEST(CellNet, BackwardShapeAndGradCollection) {
+  Rng rng(2);
+  CellNetConfig cfg = small_config();
+  CellNet net(nb201::Genotype::from_index(4321), cfg, rng);
+  const Tensor x = random_images(2, cfg, rng);
+  const Tensor logits = net.forward(x);
+  Tensor gy(logits.shape(), 1.0F);
+  const Tensor gx = net.backward(gy);
+  EXPECT_EQ(gx.shape(), x.shape());
+
+  std::vector<float> grads;
+  net.collect_grads(grads);
+  EXPECT_EQ(grads.size(), net.param_count());
+  double norm = 0.0;
+  for (float g : grads) norm += static_cast<double>(g) * g;
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(CellNet, ZeroGradClears) {
+  Rng rng(3);
+  CellNetConfig cfg = small_config();
+  CellNet net(nb201::Genotype::from_index(1111), cfg, rng);
+  const Tensor x = random_images(1, cfg, rng);
+  Tensor gy(Shape{1, 10}, 1.0F);
+  (void)net.forward(x);
+  (void)net.backward(gy);
+  net.zero_grad();
+  std::vector<float> grads;
+  net.collect_grads(grads);
+  for (float g : grads) EXPECT_EQ(g, 0.0F);
+}
+
+TEST(CellNet, GradientMatchesFiniteDifferenceThroughWholeNet) {
+  // End-to-end analytic-vs-numeric check: perturb one input pixel and
+  // compare to the collected input gradient of the sum of logits.
+  Rng rng(4);
+  CellNetConfig cfg = small_config();
+  cfg.base_channels = 2;  // keep the net tiny for fp32 FD stability
+  // A genotype exercising conv, skip, pool and none edges at once.
+  nb201::Genotype g;
+  g.set_op(nb201::edge_index(0, 1), nb201::Op::kConv3x3);
+  g.set_op(nb201::edge_index(0, 2), nb201::Op::kSkipConnect);
+  g.set_op(nb201::edge_index(1, 2), nb201::Op::kAvgPool3x3);
+  g.set_op(nb201::edge_index(1, 3), nb201::Op::kConv1x1);
+  g.set_op(nb201::edge_index(2, 3), nb201::Op::kConv3x3);
+  CellNet net(g, cfg, rng);
+
+  Tensor x = random_images(1, cfg, rng);
+  const Tensor logits = net.forward(x);
+  Tensor gy(logits.shape(), 1.0F);
+  net.zero_grad();
+  const Tensor gx = net.backward(gy);
+
+  const double eps = 5e-3;
+  for (std::size_t i = 0; i < x.numel(); i += 37) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double up = net.forward(x).sum();
+    x[i] = orig - static_cast<float>(eps);
+    const double down = net.forward(x).sum();
+    x[i] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double scale = std::max({std::abs(numeric), std::abs(static_cast<double>(gx[i])), 1e-2});
+    EXPECT_NEAR(gx[i], numeric, 0.05 * scale) << "pixel " << i;
+  }
+}
+
+TEST(CellNet, AllNoneCellStillClassifiesFromStem) {
+  // Even a disconnected cell yields logits (stem output is zeroed by
+  // the cell, so logits equal the classifier bias) — the proxies must
+  // not crash on degenerate candidates.
+  Rng rng(5);
+  CellNetConfig cfg = small_config();
+  CellNet net(nb201::Genotype{}, cfg, rng);
+  const Tensor logits = net.forward(random_images(2, cfg, rng));
+  EXPECT_EQ(logits.shape(), Shape({2, 10}));
+  // Both rows identical: no input signal survives the zeroed cell.
+  for (int c = 0; c < 10; ++c) EXPECT_FLOAT_EQ(logits.at(0, c), logits.at(1, c));
+}
+
+TEST(CellNet, SupernetHasMoreParamsThanAnyChild) {
+  Rng rng(6);
+  CellNetConfig cfg = small_config();
+  CellNet supernet(nb201::OpSet::full(), cfg, rng);
+  Rng rng2(6);
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(nb201::Op::kConv3x3);
+  CellNet child(nb201::Genotype(ops), cfg, rng2);
+  EXPECT_GT(supernet.param_count(), child.param_count());
+}
+
+TEST(CellNet, ReluPatternCollected) {
+  Rng rng(7);
+  CellNetConfig cfg = small_config();
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(nb201::Op::kConv3x3);
+  CellNet net(nb201::Genotype(ops), cfg, rng);
+  (void)net.forward(random_images(2, cfg, rng));
+  std::vector<unsigned char> bits0, bits1;
+  net.collect_relu_pattern(0, bits0);
+  net.collect_relu_pattern(1, bits1);
+  EXPECT_EQ(bits0.size(), bits1.size());
+  EXPECT_GT(bits0.size(), 0U);
+  EXPECT_NE(bits0, bits1);  // different inputs, different patterns
+  EXPECT_THROW(net.collect_relu_pattern(2, bits0), std::out_of_range);
+}
+
+TEST(CellNet, MultiStageReducesSpatialAndWidens) {
+  Rng rng(8);
+  CellNetConfig cfg = small_config();
+  cfg.num_stages = 3;
+  cfg.input_size = 16;
+  CellNet net(nb201::Genotype::from_index(2222), cfg, rng);
+  // 16x16 -> 8x8 -> 4x4; width 4 -> 8 -> 16; just verify it runs and
+  // produces the right logit shape.
+  const Tensor logits = net.forward(random_images(1, cfg, rng));
+  EXPECT_EQ(logits.shape(), Shape({1, 10}));
+}
+
+TEST(CellNet, DeterministicGivenSeed) {
+  CellNetConfig cfg = small_config();
+  Rng r1(99), r2(99);
+  CellNet a(nb201::Genotype::from_index(123), cfg, r1);
+  CellNet b(nb201::Genotype::from_index(123), cfg, r2);
+  Rng rx(5);
+  const Tensor x = random_images(1, cfg, rx);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  for (std::size_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(CellNet, RejectsBadConfig) {
+  Rng rng(1);
+  CellNetConfig cfg = small_config();
+  cfg.num_stages = 0;
+  EXPECT_THROW(CellNet(nb201::Genotype{}, cfg, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace micronas

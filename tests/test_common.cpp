@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/cli.hpp"
+#include "src/common/config.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/log.hpp"
+
+namespace micronas {
+namespace {
+
+TEST(Cli, ParsesSpaceSeparated) {
+  const char* argv[] = {"prog", "--alpha", "3", "--name", "hello"};
+  CliArgs args(5, argv, {"alpha", "name"});
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_string("name", ""), "hello");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--rate=0.5"};
+  CliArgs args(2, argv, {"rate"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.5);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  CliArgs args(2, argv, {"verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv, {"x"});
+  EXPECT_EQ(args.get_int("x", 7), 7);
+  EXPECT_FALSE(args.has("x"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(CliArgs(3, argv, {"known"}), std::invalid_argument);
+}
+
+TEST(Cli, PositionalCollected) {
+  const char* argv[] = {"prog", "pos1", "--k", "v", "pos2"};
+  CliArgs args(5, argv, {"k"});
+  ASSERT_EQ(args.positional().size(), 2U);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+}
+
+TEST(Config, RoundTrip) {
+  Config cfg;
+  cfg.set("name", "micronas");
+  cfg.set_int("count", 42);
+  cfg.set_double("pi", 3.14159);
+  const Config parsed = Config::parse(cfg.to_string());
+  EXPECT_EQ(parsed.get("name"), "micronas");
+  EXPECT_EQ(parsed.get_int("count"), 42);
+  EXPECT_NEAR(parsed.get_double("pi"), 3.14159, 1e-9);
+}
+
+TEST(Config, IgnoresCommentsAndBlanks) {
+  const Config cfg = Config::parse("# a comment\n\nkey = value\n");
+  EXPECT_EQ(cfg.get("key"), "value");
+  EXPECT_EQ(cfg.entries().size(), 1U);
+}
+
+TEST(Config, MissingKeyThrows) {
+  Config cfg;
+  EXPECT_THROW(cfg.get("nope"), std::out_of_range);
+  EXPECT_EQ(cfg.get_or("nope", "fallback"), "fallback");
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::parse("no_equals_here\n"), std::invalid_argument);
+}
+
+TEST(Config, FileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "micronas_cfg_test.txt";
+  Config cfg;
+  cfg.set("a", "1");
+  cfg.save(path);
+  const Config loaded = Config::load(path);
+  EXPECT_EQ(loaded.get("a"), "1");
+  std::remove(path.c_str());
+}
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("loud"), std::invalid_argument);
+}
+
+TEST(Log, LevelIsSticky) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+
+TEST(Csv, BasicRoundTripFormat) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"x,y", "he said \"hi\""});
+  const std::string out = csv.to_string();
+  EXPECT_EQ(out, "a,b\n1,2\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(csv.rows(), 2U);
+}
+
+TEST(Csv, WidthChecked) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), std::invalid_argument);
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,108 @@
+// End-to-end integration tests of the MicroNas facade: profiling,
+// probe-batch synthesis, pruning search, adaptive weights and final
+// reporting all wired together — the full Fig. 1 pipeline.
+#include <gtest/gtest.h>
+
+#include "src/core/micronas.hpp"
+
+namespace micronas {
+namespace {
+
+MicroNasConfig fast_config() {
+  MicroNasConfig cfg;
+  cfg.batch_size = 6;
+  cfg.proxy_net.input_size = 8;
+  cfg.proxy_net.base_channels = 4;
+  cfg.lr.grid = 8;
+  cfg.lr.input_size = 8;
+  cfg.profiler.deterministic = true;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(MicroNasIntegration, SearchProducesCompleteReport) {
+  MicroNas nas(fast_config());
+  const DiscoveredModel model = nas.search();
+
+  EXPECT_GE(model.genotype.index(), 0);
+  EXPECT_LT(model.genotype.index(), nb201::kNumArchitectures);
+  EXPECT_GE(model.indicators.ntk_condition, 1.0);
+  EXPECT_GT(model.indicators.linear_regions, 0.0);
+  EXPECT_GT(model.indicators.flops_m, 0.0);
+  EXPECT_GT(model.indicators.params_m, 0.0);
+  EXPECT_GT(model.indicators.latency_ms, 0.0);
+  EXPECT_GT(model.indicators.peak_sram_kb, 0.0);
+  EXPECT_GT(model.accuracy, 10.0);
+  EXPECT_GT(model.measured_latency_ms, 0.0);
+  EXPECT_GE(model.proxy_evals, 84);
+  EXPECT_GT(model.modeled_gpu_hours, 0.0);
+  EXPECT_EQ(model.decisions.size(), 24U);
+}
+
+TEST(MicroNasIntegration, EstimateTracksMeasurement) {
+  MicroNas nas(fast_config());
+  const DiscoveredModel model = nas.search();
+  // LUT estimate vs simulator measurement within 10 %.
+  const double rel = std::abs(model.indicators.latency_ms - model.measured_latency_ms) /
+                     model.measured_latency_ms;
+  EXPECT_LT(rel, 0.10);
+}
+
+TEST(MicroNasIntegration, DeterministicGivenSeed) {
+  MicroNas a(fast_config());
+  MicroNas b(fast_config());
+  const DiscoveredModel ma = a.search();
+  const DiscoveredModel mb = b.search();
+  EXPECT_EQ(ma.genotype, mb.genotype);
+  EXPECT_DOUBLE_EQ(ma.accuracy, mb.accuracy);
+}
+
+TEST(MicroNasIntegration, LatencyConstraintAdaptsWeights) {
+  // Force a constraint that the trainless-objective winner is unlikely
+  // to satisfy; the adaptive loop must escalate hardware weights and
+  // land on a feasible (or at least much faster) model.
+  MicroNasConfig cfg = fast_config();
+  cfg.weights = IndicatorWeights::te_nas();
+
+  MicroNas probe_run(cfg);
+  const DiscoveredModel unconstrained = probe_run.search();
+
+  cfg.constraints.max_latency_ms = unconstrained.indicators.latency_ms * 0.55;
+  MicroNas nas(cfg);
+  const DiscoveredModel constrained = nas.search();
+
+  EXPECT_LT(constrained.indicators.latency_ms, unconstrained.indicators.latency_ms);
+  EXPECT_GE(constrained.adapt_rounds_used, 1);
+  // Adapted weights must have grown beyond the te_nas zeros.
+  EXPECT_GT(constrained.final_weights.latency + constrained.final_weights.flops, 0.0);
+}
+
+TEST(MicroNasIntegration, EvaluateArbitraryGenotype) {
+  MicroNas nas(fast_config());
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(nb201::Op::kConv1x1);
+  const DiscoveredModel m = nas.evaluate(nb201::Genotype(ops));
+  EXPECT_GT(m.accuracy, 10.0);
+  EXPECT_GT(m.indicators.latency_ms, 0.0);
+}
+
+TEST(MicroNasIntegration, DatasetSelectionChangesProbeAndOracle) {
+  MicroNasConfig cfg = fast_config();
+  cfg.dataset = nb201::Dataset::kImageNet16;
+  MicroNas nas(cfg);
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(nb201::Op::kConv3x3);
+  const DiscoveredModel m = nas.evaluate(nb201::Genotype(ops));
+  // ImageNet16-120 ceilings are ~47 %.
+  EXPECT_LT(m.accuracy, 60.0);
+  EXPECT_GT(m.accuracy, 20.0);
+}
+
+TEST(MicroNasIntegration, RejectsBadBatch) {
+  MicroNasConfig cfg = fast_config();
+  cfg.batch_size = 1;
+  EXPECT_THROW(MicroNas{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/synthetic.hpp"
+
+namespace micronas {
+namespace {
+
+TEST(DatasetSpecs, CanonicalShapes) {
+  const DatasetSpec c10 = dataset_spec(nb201::Dataset::kCifar10);
+  EXPECT_EQ(c10.height, 32);
+  EXPECT_EQ(c10.num_classes, 10);
+  const DatasetSpec c100 = dataset_spec(nb201::Dataset::kCifar100);
+  EXPECT_EQ(c100.num_classes, 100);
+  const DatasetSpec in16 = dataset_spec(nb201::Dataset::kImageNet16);
+  EXPECT_EQ(in16.height, 16);
+  EXPECT_EQ(in16.num_classes, 120);
+}
+
+TEST(SyntheticDataset, BatchShapeAndLabels) {
+  Rng rng(1);
+  SyntheticDataset ds(dataset_spec(nb201::Dataset::kCifar10), rng);
+  const Batch b = ds.sample_batch(16, rng);
+  EXPECT_EQ(b.images.shape(), Shape({16, 3, 32, 32}));
+  ASSERT_EQ(b.labels.size(), 16U);
+  for (int label : b.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(SyntheticDataset, ResizedBatch) {
+  Rng rng(2);
+  SyntheticDataset ds(dataset_spec(nb201::Dataset::kCifar10), rng);
+  const Batch b = ds.sample_batch_resized(8, 16, rng);
+  EXPECT_EQ(b.images.shape(), Shape({8, 3, 16, 16}));
+}
+
+TEST(SyntheticDataset, Standardized) {
+  Rng rng(3);
+  SyntheticDataset ds(dataset_spec(nb201::Dataset::kCifar100), rng);
+  const Batch b = ds.sample_batch(32, rng);
+  double sum = 0.0, sq = 0.0;
+  for (float v : b.images.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(b.images.numel());
+  EXPECT_NEAR(sum / n, 0.0, 1e-4);
+  EXPECT_NEAR(sq / n, 1.0, 1e-3);
+}
+
+TEST(SyntheticDataset, ClassStructurePresent) {
+  // Two samples of the same class should correlate more than samples
+  // of different classes on average (the class template is shared).
+  Rng rng(4);
+  SyntheticDataset ds(dataset_spec(nb201::Dataset::kCifar10), rng);
+  const Batch b = ds.sample_batch(64, rng);
+
+  const std::size_t per = b.images.numel() / 64;
+  auto dot = [&](int i, int j) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < per; ++k) {
+      s += static_cast<double>(b.images[static_cast<std::size_t>(i) * per + k]) *
+           b.images[static_cast<std::size_t>(j) * per + k];
+    }
+    return s / static_cast<double>(per);
+  };
+
+  double same = 0.0, diff = 0.0;
+  int n_same = 0, n_diff = 0;
+  for (int i = 0; i < 64; ++i) {
+    for (int j = i + 1; j < 64; ++j) {
+      if (b.labels[static_cast<std::size_t>(i)] == b.labels[static_cast<std::size_t>(j)]) {
+        same += dot(i, j);
+        ++n_same;
+      } else {
+        diff += dot(i, j);
+        ++n_diff;
+      }
+    }
+  }
+  ASSERT_GT(n_same, 0);
+  ASSERT_GT(n_diff, 0);
+  EXPECT_GT(same / n_same, diff / n_diff);
+}
+
+TEST(SyntheticDataset, DeterministicGivenRng) {
+  Rng rng_a(9), rng_b(9);
+  SyntheticDataset a(dataset_spec(nb201::Dataset::kCifar10), rng_a);
+  SyntheticDataset b(dataset_spec(nb201::Dataset::kCifar10), rng_b);
+  const Batch ba = a.sample_batch(4, rng_a);
+  const Batch bb = b.sample_batch(4, rng_b);
+  for (std::size_t i = 0; i < ba.images.numel(); ++i) {
+    ASSERT_EQ(ba.images[i], bb.images[i]);
+  }
+}
+
+TEST(SyntheticDataset, RejectsBadArgs) {
+  Rng rng(5);
+  SyntheticDataset ds(dataset_spec(nb201::Dataset::kCifar10), rng);
+  EXPECT_THROW(ds.sample_batch(0, rng), std::invalid_argument);
+  EXPECT_THROW(ds.sample_batch_resized(4, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "src/mcusim/profiler.hpp"
+#include "src/search/evolution_search.hpp"
+
+namespace micronas {
+namespace {
+
+TEST(Evolution, FindsGoodModelUnconstrained) {
+  const nb201::SurrogateOracle oracle;
+  EvolutionSearchConfig cfg;
+  cfg.population_size = 20;
+  cfg.tournament_size = 5;
+  cfg.total_evals = 300;
+  Rng rng(1);
+  const auto res = evolution_search(oracle, cfg, MacroNetConfig{}, nullptr, rng);
+  EXPECT_EQ(res.trained_evals, 300);
+  EXPECT_EQ(res.history.size(), 300U);
+  // 300 evaluations of aging evolution should reach the top of the
+  // surrogate landscape (~94 %).
+  EXPECT_GT(res.accuracy, 90.0);
+}
+
+TEST(Evolution, HistoryIsMonotone) {
+  const nb201::SurrogateOracle oracle;
+  EvolutionSearchConfig cfg;
+  cfg.population_size = 10;
+  cfg.tournament_size = 3;
+  cfg.total_evals = 100;
+  Rng rng(2);
+  const auto res = evolution_search(oracle, cfg, MacroNetConfig{}, nullptr, rng);
+  for (std::size_t i = 1; i < res.history.size(); ++i) {
+    EXPECT_GE(res.history[i], res.history[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(res.history.back(), res.accuracy);
+}
+
+TEST(Evolution, RespectsParamsConstraint) {
+  const nb201::SurrogateOracle oracle;
+  EvolutionSearchConfig cfg;
+  cfg.population_size = 16;
+  cfg.tournament_size = 4;
+  cfg.total_evals = 200;
+  cfg.constraints.max_params_m = 0.4;
+  Rng rng(3);
+  const auto res = evolution_search(oracle, cfg, MacroNetConfig{}, nullptr, rng);
+  EXPECT_LE(params_m(res.genotype), 0.4);
+  // Constrained search trades accuracy but should stay well above chance.
+  EXPECT_GT(res.accuracy, 60.0);
+}
+
+TEST(Evolution, ConstrainedWinnerWorseThanUnconstrained) {
+  const nb201::SurrogateOracle oracle;
+  EvolutionSearchConfig free_cfg;
+  free_cfg.population_size = 16;
+  free_cfg.tournament_size = 4;
+  free_cfg.total_evals = 250;
+  Rng rng_a(4);
+  const auto free_run = evolution_search(oracle, free_cfg, MacroNetConfig{}, nullptr, rng_a);
+
+  EvolutionSearchConfig tight_cfg = free_cfg;
+  tight_cfg.constraints.max_params_m = 0.15;
+  Rng rng_b(4);
+  const auto tight_run = evolution_search(oracle, tight_cfg, MacroNetConfig{}, nullptr, rng_b);
+
+  EXPECT_GE(free_run.accuracy, tight_run.accuracy);
+}
+
+TEST(Evolution, FeasibleHelper) {
+  Constraints none;
+  EXPECT_TRUE(feasible(nb201::Genotype{}, none, MacroNetConfig{}, nullptr));
+  Constraints tight;
+  tight.max_params_m = 0.001;  // nothing fits
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(nb201::Op::kConv3x3);
+  EXPECT_FALSE(feasible(nb201::Genotype(ops), tight, MacroNetConfig{}, nullptr));
+}
+
+TEST(Evolution, LatencyConstraintWithoutEstimatorThrows) {
+  Constraints c;
+  c.max_latency_ms = 100.0;
+  EXPECT_THROW(feasible(nb201::Genotype{}, c, MacroNetConfig{}, nullptr), std::invalid_argument);
+}
+
+TEST(Evolution, RejectsBadConfig) {
+  const nb201::SurrogateOracle oracle;
+  Rng rng(5);
+  EvolutionSearchConfig cfg;
+  cfg.population_size = 1;
+  EXPECT_THROW(evolution_search(oracle, cfg, MacroNetConfig{}, nullptr, rng),
+               std::invalid_argument);
+  cfg.population_size = 10;
+  cfg.tournament_size = 11;
+  EXPECT_THROW(evolution_search(oracle, cfg, MacroNetConfig{}, nullptr, rng),
+               std::invalid_argument);
+  cfg.tournament_size = 3;
+  cfg.total_evals = 5;
+  EXPECT_THROW(evolution_search(oracle, cfg, MacroNetConfig{}, nullptr, rng),
+               std::invalid_argument);
+}
+
+TEST(Evolution, DeterministicGivenSeed) {
+  const nb201::SurrogateOracle oracle;
+  EvolutionSearchConfig cfg;
+  cfg.population_size = 10;
+  cfg.tournament_size = 3;
+  cfg.total_evals = 60;
+  Rng a(9), b(9);
+  const auto ra = evolution_search(oracle, cfg, MacroNetConfig{}, nullptr, a);
+  const auto rb = evolution_search(oracle, cfg, MacroNetConfig{}, nullptr, b);
+  EXPECT_EQ(ra.genotype, rb.genotype);
+  EXPECT_DOUBLE_EQ(ra.accuracy, rb.accuracy);
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "src/nb201/features.hpp"
+
+namespace micronas::nb201 {
+namespace {
+
+Genotype make(std::array<Op, kNumEdges> ops) { return Genotype(ops); }
+
+TEST(Features, AllNoneIsDisconnected) {
+  const CellFeatures f = analyze_cell(Genotype{});
+  EXPECT_FALSE(f.connected);
+  EXPECT_EQ(f.live_paths, 0);
+}
+
+TEST(Features, DirectSkipConnects) {
+  Genotype g;
+  g.set_op(edge_index(0, 3), Op::kSkipConnect);
+  const CellFeatures f = analyze_cell(g);
+  EXPECT_TRUE(f.connected);
+  EXPECT_EQ(f.live_paths, 1);
+  EXPECT_EQ(f.n_skip, 1);
+  EXPECT_EQ(f.conv_depth, 0);
+  EXPECT_EQ(f.graph_depth, 1);
+  EXPECT_FALSE(f.has_residual_skip);
+}
+
+TEST(Features, AllConv3x3) {
+  std::array<Op, kNumEdges> ops;
+  ops.fill(Op::kConv3x3);
+  const CellFeatures f = analyze_cell(make(ops));
+  EXPECT_TRUE(f.connected);
+  EXPECT_EQ(f.live_paths, 4);
+  EXPECT_EQ(f.n_conv3x3, 6);
+  EXPECT_EQ(f.conv_depth, 3);   // path 0->1->2->3
+  EXPECT_EQ(f.graph_depth, 3);
+  EXPECT_DOUBLE_EQ(f.conv_mass(), 6.0);
+}
+
+TEST(Features, DeadBranchNotCounted) {
+  // Conv on 0->1 but node 1 has no live outgoing edge: edge is dead.
+  Genotype g;
+  g.set_op(edge_index(0, 1), Op::kConv3x3);
+  g.set_op(edge_index(0, 3), Op::kSkipConnect);
+  const CellFeatures f = analyze_cell(g);
+  EXPECT_TRUE(f.connected);
+  EXPECT_EQ(f.n_conv3x3, 0);  // the conv edge is not on any live path
+  EXPECT_EQ(f.n_skip, 1);
+  EXPECT_FALSE(f.edge_effective[edge_index(0, 1)]);
+}
+
+TEST(Features, ResidualSkipDetected) {
+  // Skip 0->3 in parallel with conv path 0->1->3.
+  Genotype g;
+  g.set_op(edge_index(0, 3), Op::kSkipConnect);
+  g.set_op(edge_index(0, 1), Op::kConv3x3);
+  g.set_op(edge_index(1, 3), Op::kConv3x3);
+  const CellFeatures f = analyze_cell(g);
+  EXPECT_TRUE(f.has_residual_skip);
+  EXPECT_EQ(f.live_paths, 2);
+  EXPECT_EQ(f.conv_depth, 2);
+}
+
+TEST(Features, SkipWithoutParallelConvIsNotResidual) {
+  // Only skips everywhere: no conv to bridge.
+  std::array<Op, kNumEdges> ops;
+  ops.fill(Op::kSkipConnect);
+  const CellFeatures f = analyze_cell(make(ops));
+  EXPECT_TRUE(f.connected);
+  EXPECT_FALSE(f.has_residual_skip);
+  EXPECT_EQ(f.n_skip, 6);
+  EXPECT_EQ(f.conv_depth, 0);
+}
+
+TEST(Features, PoolOnlyCell) {
+  std::array<Op, kNumEdges> ops;
+  ops.fill(Op::kAvgPool3x3);
+  const CellFeatures f = analyze_cell(make(ops));
+  EXPECT_TRUE(f.connected);
+  EXPECT_EQ(f.n_pool, 6);
+  EXPECT_EQ(f.conv_depth, 0);
+  EXPECT_EQ(f.graph_depth, 3);
+}
+
+TEST(Features, MixedCountsOnlyEffectiveEdges) {
+  // Live: 0->2 (conv1x1), 2->3 (conv3x3). Dead: 1->2 (node 1 unreachable).
+  Genotype g;
+  g.set_op(edge_index(0, 2), Op::kConv1x1);
+  g.set_op(edge_index(2, 3), Op::kConv3x3);
+  g.set_op(edge_index(1, 2), Op::kConv3x3);  // source node 1 unreachable
+  const CellFeatures f = analyze_cell(g);
+  EXPECT_EQ(f.n_conv1x1, 1);
+  EXPECT_EQ(f.n_conv3x3, 1);  // only the live 2->3 conv counts
+  EXPECT_FALSE(f.edge_effective[edge_index(1, 2)]);
+  EXPECT_NEAR(f.conv_mass(), 1.62, 1e-9);
+}
+
+TEST(Features, AllPathsTableIsConsistent) {
+  const auto& paths = all_paths();
+  ASSERT_EQ(paths.size(), 4U);
+  for (const auto& p : paths) {
+    // Paths start at node 0 and end at node 3.
+    EXPECT_EQ(edge_endpoints(p.front()).from, 0);
+    EXPECT_EQ(edge_endpoints(p.back()).to, 3);
+    // Consecutive edges chain.
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      EXPECT_EQ(edge_endpoints(p[i - 1]).to, edge_endpoints(p[i]).from);
+    }
+  }
+}
+
+TEST(Features, ConnectivityMatchesBruteForce) {
+  // Brute-force reachability over all 15 625 cells must agree with the
+  // path-based analysis.
+  for (int idx = 0; idx < kNumArchitectures; idx += 97) {
+    const Genotype g = Genotype::from_index(idx);
+    // BFS over signal-carrying edges.
+    std::array<bool, kNumNodes> reach{};
+    reach[0] = true;
+    for (int node = 1; node < kNumNodes; ++node) {
+      for (int from = 0; from < node; ++from) {
+        if (reach[from] && op_carries_signal(g.op(from, node))) reach[node] = true;
+      }
+    }
+    EXPECT_EQ(analyze_cell(g).connected, reach[3]) << g.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace micronas::nb201

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/proxies/flops.hpp"
+
+namespace micronas {
+namespace {
+
+nb201::Genotype all_op(nb201::Op op) {
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(op);
+  return nb201::Genotype(ops);
+}
+
+TEST(Flops, LayerFlopsConv) {
+  LayerSpec conv;
+  conv.kind = LayerKind::kConv;
+  conv.cin = 16;
+  conv.cout = 16;
+  conv.kernel = 3;
+  conv.h = 32;
+  conv.w = 32;
+  conv.out_h = 32;
+  conv.out_w = 32;
+  // NB201 convention: FLOPs = MACs.
+  EXPECT_EQ(layer_flops(conv), 9LL * 16 * 16 * 32 * 32);
+}
+
+TEST(Flops, LayerFlopsNonConv) {
+  LayerSpec skip;
+  skip.kind = LayerKind::kSkip;
+  skip.cin = 16;
+  skip.cout = 16;
+  skip.h = 8;
+  skip.w = 8;
+  skip.out_h = 8;
+  skip.out_w = 8;
+  EXPECT_EQ(layer_flops(skip), 0);
+
+  LayerSpec add = skip;
+  add.kind = LayerKind::kAdd;
+  EXPECT_EQ(layer_flops(add), 16LL * 8 * 8);
+
+  LayerSpec pool = skip;
+  pool.kind = LayerKind::kAvgPool;
+  pool.kernel = 3;
+  EXPECT_EQ(layer_flops(pool), 9LL * 16 * 8 * 8);
+}
+
+TEST(Flops, OrderingAcrossUniformCells) {
+  const double f_none = flops_m(nb201::Genotype{});
+  const double f_skip = flops_m(all_op(nb201::Op::kSkipConnect));
+  const double f_pool = flops_m(all_op(nb201::Op::kAvgPool3x3));
+  const double f_1x1 = flops_m(all_op(nb201::Op::kConv1x1));
+  const double f_3x3 = flops_m(all_op(nb201::Op::kConv3x3));
+  EXPECT_LT(f_none, f_pool);
+  EXPECT_LE(f_skip, f_pool);
+  EXPECT_LT(f_pool, f_1x1);
+  EXPECT_LT(f_1x1, f_3x3);
+  // The 3x3 cell should cost roughly 9x the 1x1 cell in cell FLOPs;
+  // shared skeleton cost dilutes the ratio, so just require > 4x on
+  // the difference above the empty skeleton.
+  EXPECT_GT((f_3x3 - f_none) / (f_1x1 - f_none), 4.0);
+}
+
+TEST(Flops, MagnitudeMatchesNb201Scale) {
+  // NB201's largest CIFAR-10 cell is ~220 MFLOPs (TE-NAS Table I:
+  // 188.66 M); ours must land in that decade.
+  const double f = flops_m(all_op(nb201::Op::kConv3x3));
+  EXPECT_GT(f, 120.0);
+  EXPECT_LT(f, 320.0);
+}
+
+TEST(Params, MagnitudeMatchesNb201Scale) {
+  // NB201 params range ~0.07–1.53 M on CIFAR-10.
+  const double p_max = params_m(all_op(nb201::Op::kConv3x3));
+  EXPECT_GT(p_max, 0.8);
+  EXPECT_LT(p_max, 2.0);
+  const double p_min = params_m(all_op(nb201::Op::kSkipConnect));
+  EXPECT_GT(p_min, 0.02);
+  EXPECT_LT(p_min, 0.2);
+}
+
+TEST(Params, BreakdownConsistent) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  const ParamsBreakdown p = count_params(m);
+  EXPECT_GT(p.conv_params, 0);
+  EXPECT_GT(p.bn_params, 0);
+  EXPECT_GT(p.linear_params, 0);
+  EXPECT_EQ(p.total(), p.conv_params + p.bn_params + p.linear_params);
+  // Linear head: 64*10 + 10.
+  EXPECT_EQ(p.linear_params, 650);
+}
+
+TEST(Flops, BreakdownConsistent) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  const FlopsBreakdown f = count_flops(m);
+  EXPECT_EQ(f.total(), f.conv_flops + f.linear_flops + f.pool_flops + f.add_flops);
+  EXPECT_GT(f.conv_flops, f.add_flops);
+}
+
+TEST(Flops, MonotoneInCellsPerStage) {
+  MacroNetConfig small;
+  small.cells_per_stage = 2;
+  MacroNetConfig big;
+  big.cells_per_stage = 8;
+  const auto g = all_op(nb201::Op::kConv3x3);
+  EXPECT_LT(flops_m(g, small), flops_m(g, big));
+}
+
+TEST(Flops, EdgeSensitivity) {
+  // Changing one edge from none to conv3x3 must add FLOPs.
+  nb201::Genotype g;
+  g.set_op(nb201::edge_index(0, 3), nb201::Op::kSkipConnect);
+  const double base = flops_m(g);
+  g.set_op(nb201::edge_index(0, 1), nb201::Op::kConv3x3);
+  EXPECT_GT(flops_m(g), base);
+}
+
+}  // namespace
+}  // namespace micronas

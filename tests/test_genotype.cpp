@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/nb201/genotype.hpp"
+
+namespace micronas::nb201 {
+namespace {
+
+TEST(Ops, NamesRoundTrip) {
+  for (Op op : kAllOps) {
+    EXPECT_EQ(op_from_name(op_name(op)), op);
+  }
+  EXPECT_THROW(op_from_name("conv7x7"), std::invalid_argument);
+}
+
+TEST(Ops, SignalAndParams) {
+  EXPECT_FALSE(op_carries_signal(Op::kNone));
+  EXPECT_TRUE(op_carries_signal(Op::kSkipConnect));
+  EXPECT_TRUE(op_has_params(Op::kConv1x1));
+  EXPECT_TRUE(op_has_params(Op::kConv3x3));
+  EXPECT_FALSE(op_has_params(Op::kAvgPool3x3));
+  EXPECT_FALSE(op_has_params(Op::kSkipConnect));
+}
+
+TEST(EdgeIndexing, CanonicalOrder) {
+  EXPECT_EQ(edge_index(0, 1), 0);
+  EXPECT_EQ(edge_index(0, 2), 1);
+  EXPECT_EQ(edge_index(1, 2), 2);
+  EXPECT_EQ(edge_index(0, 3), 3);
+  EXPECT_EQ(edge_index(1, 3), 4);
+  EXPECT_EQ(edge_index(2, 3), 5);
+  EXPECT_THROW(edge_index(1, 0), std::invalid_argument);
+  EXPECT_THROW(edge_index(0, 0), std::invalid_argument);
+}
+
+TEST(EdgeIndexing, EndpointsInverse) {
+  for (int e = 0; e < kNumEdges; ++e) {
+    const auto ep = edge_endpoints(e);
+    EXPECT_EQ(edge_index(ep.from, ep.to), e);
+  }
+  EXPECT_THROW(edge_endpoints(6), std::out_of_range);
+}
+
+TEST(Genotype, DefaultIsAllNone) {
+  const Genotype g;
+  for (int e = 0; e < kNumEdges; ++e) EXPECT_EQ(g.op(e), Op::kNone);
+  EXPECT_EQ(g.index(), 0);
+}
+
+TEST(Genotype, IndexRoundTripExhaustive) {
+  for (int i = 0; i < kNumArchitectures; ++i) {
+    EXPECT_EQ(Genotype::from_index(i).index(), i);
+  }
+}
+
+TEST(Genotype, IndexBounds) {
+  EXPECT_THROW(Genotype::from_index(-1), std::out_of_range);
+  EXPECT_THROW(Genotype::from_index(kNumArchitectures), std::out_of_range);
+}
+
+TEST(Genotype, StringFormat) {
+  Genotype g;
+  g.set_op(edge_index(0, 1), Op::kConv3x3);
+  g.set_op(edge_index(1, 2), Op::kSkipConnect);
+  g.set_op(edge_index(2, 3), Op::kConv1x1);
+  EXPECT_EQ(g.to_string(),
+            "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|none~0|none~1|nor_conv_1x1~2|");
+}
+
+TEST(Genotype, StringRoundTripSampled) {
+  for (int i = 0; i < kNumArchitectures; i += 137) {
+    const Genotype g = Genotype::from_index(i);
+    EXPECT_EQ(Genotype::from_string(g.to_string()), g) << g.to_string();
+  }
+}
+
+TEST(Genotype, FromStringRejectsMalformed) {
+  EXPECT_THROW(Genotype::from_string("|none~0|"), std::invalid_argument);
+  EXPECT_THROW(Genotype::from_string("|bogus~0|+|none~0|none~1|+|none~0|none~1|none~2|"),
+               std::invalid_argument);
+  EXPECT_THROW(Genotype::from_string("|none~5|+|none~0|none~1|+|none~0|none~1|none~2|"),
+               std::invalid_argument);
+}
+
+TEST(Genotype, StableHashDistinct) {
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < kNumArchitectures; i += 11) {
+    hashes.insert(Genotype::from_index(i).stable_hash());
+  }
+  // No collisions across the sampled subset.
+  EXPECT_EQ(hashes.size(), static_cast<std::size_t>((kNumArchitectures + 10) / 11));
+}
+
+TEST(Genotype, OrderingUsableAsKey) {
+  const Genotype a = Genotype::from_index(3);
+  const Genotype b = Genotype::from_index(4);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Genotype, SetOpBounds) {
+  Genotype g;
+  EXPECT_THROW(g.set_op(-1, Op::kNone), std::out_of_range);
+  EXPECT_THROW(g.set_op(6, Op::kNone), std::out_of_range);
+  EXPECT_THROW(g.op(6), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace micronas::nb201

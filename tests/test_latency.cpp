@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/hw/latency_estimator.hpp"
+#include "src/mcusim/profiler.hpp"
+#include "src/nb201/space.hpp"
+#include "src/stats/correlation.hpp"
+#include "src/stats/summary.hpp"
+
+namespace micronas {
+namespace {
+
+nb201::Genotype all_op(nb201::Op op) {
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(op);
+  return nb201::Genotype(ops);
+}
+
+LatencyEstimator make_estimator(const McuSpec& mcu = {}) {
+  Rng rng(1);
+  ProfilerOptions opts;
+  opts.deterministic = true;
+  LatencyTable table = build_latency_table(mcu, rng, MacroNetConfig{}, opts);
+  const double overhead = profile_constant_overhead_ms(mcu, rng, opts);
+  return LatencyEstimator(std::move(table), overhead, mcu.clock_hz);
+}
+
+TEST(LatencyTable, InsertLookup) {
+  LatencyTable t;
+  LatencyKey k;
+  k.kind = LayerKind::kConv;
+  k.cin = 16;
+  k.cout = 16;
+  k.h = 32;
+  k.w = 32;
+  k.kernel = 3;
+  k.stride = 1;
+  t.insert(k, 1234.5);
+  EXPECT_TRUE(t.contains(k));
+  EXPECT_DOUBLE_EQ(*t.lookup(k), 1234.5);
+  LatencyKey other = k;
+  other.cin = 32;
+  EXPECT_FALSE(t.contains(other));
+}
+
+TEST(LatencyTable, RejectsBadCycles) {
+  LatencyTable t;
+  LatencyKey k;
+  EXPECT_THROW(t.insert(k, -1.0), std::invalid_argument);
+}
+
+TEST(LatencyTable, SerializationRoundTrip) {
+  Rng rng(2);
+  ProfilerOptions opts;
+  opts.deterministic = true;
+  const LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, opts);
+  const LatencyTable parsed = LatencyTable::deserialize(table.serialize());
+  EXPECT_EQ(parsed.size(), table.size());
+  for (const auto& [k, v] : table.entries()) {
+    ASSERT_TRUE(parsed.contains(k)) << k.to_string();
+    EXPECT_DOUBLE_EQ(*parsed.lookup(k), v);
+  }
+}
+
+TEST(LatencyTable, FileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "micronas_lut_test.txt";
+  LatencyTable t;
+  LatencyKey k;
+  k.kind = LayerKind::kAvgPool;
+  k.cin = 8;
+  k.cout = 8;
+  k.h = 4;
+  k.w = 4;
+  k.kernel = 3;
+  t.insert(k, 99.0);
+  t.save(path);
+  const LatencyTable loaded = LatencyTable::load(path);
+  EXPECT_DOUBLE_EQ(*loaded.lookup(k), 99.0);
+  std::remove(path.c_str());
+}
+
+TEST(LatencyTable, ScaledFallback) {
+  LatencyTable t;
+  LatencyKey k;
+  k.kind = LayerKind::kConv;
+  k.cin = 16;
+  k.cout = 16;
+  k.h = 16;
+  k.w = 16;
+  k.kernel = 3;
+  k.stride = 1;
+  t.insert(k, 1000.0);
+
+  // Same kind/kernel, double the channels on both sides: 4x the MACs.
+  LayerSpec spec;
+  spec.kind = LayerKind::kConv;
+  spec.cin = 32;
+  spec.cout = 32;
+  spec.h = 16;
+  spec.w = 16;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  spec.out_h = 16;
+  spec.out_w = 16;
+  const auto scaled = t.lookup_scaled(spec);
+  ASSERT_TRUE(scaled.has_value());
+  EXPECT_NEAR(*scaled, 4000.0, 1.0);
+
+  // No same-kind entry -> nullopt.
+  LayerSpec fc;
+  fc.kind = LayerKind::kLinear;
+  fc.cin = 10;
+  fc.cout = 10;
+  EXPECT_FALSE(t.lookup_scaled(fc).has_value());
+}
+
+TEST(LatencyEstimator, CoversWholeSearchSpace) {
+  const LatencyEstimator est = make_estimator();
+  Rng rng(3);
+  for (const auto& g : nb201::sample_genotypes(rng, 100)) {
+    const double ms = est.estimate_ms(build_macro_model(g));
+    EXPECT_GT(ms, 0.0);
+  }
+}
+
+TEST(LatencyEstimator, AccurateAgainstSimulator) {
+  // The paper validates its LUT estimator against board measurements;
+  // we validate against the simulator. The estimator misses the
+  // cross-layer SRAM-pressure term and jitter, so demand MAPE < 10 %
+  // and near-perfect rank agreement rather than equality.
+  const LatencyEstimator est = make_estimator();
+  Rng rng(4);
+  std::vector<double> predicted, measured;
+  Rng jitter(5);
+  for (const auto& g : nb201::sample_genotypes(rng, 60)) {
+    const MacroModel m = build_macro_model(g);
+    predicted.push_back(est.estimate_ms(m));
+    measured.push_back(measure_latency_ms(m, McuSpec{}, jitter));
+  }
+  EXPECT_LT(stats::mape(predicted, measured), 0.10);
+  EXPECT_GT(stats::spearman_rho(predicted, measured), 0.98);
+}
+
+TEST(LatencyEstimator, OrderingAcrossUniformCells) {
+  const LatencyEstimator est = make_estimator();
+  const double l_skip = est.estimate_ms(build_macro_model(all_op(nb201::Op::kSkipConnect)));
+  const double l_1x1 = est.estimate_ms(build_macro_model(all_op(nb201::Op::kConv1x1)));
+  const double l_3x3 = est.estimate_ms(build_macro_model(all_op(nb201::Op::kConv3x3)));
+  EXPECT_LT(l_skip, l_1x1);
+  EXPECT_LT(l_1x1, l_3x3);
+}
+
+TEST(LatencyEstimator, IncludesConstantOverhead) {
+  const LatencyEstimator est = make_estimator();
+  EXPECT_GT(est.constant_overhead_ms(), 0.0);
+  const double empty = est.estimate_ms(build_macro_model(nb201::Genotype{}));
+  EXPECT_GT(empty, est.constant_overhead_ms());
+}
+
+TEST(LatencyEstimator, RejectsBadConstruction) {
+  EXPECT_THROW(LatencyEstimator(LatencyTable{}, 1.0), std::invalid_argument);
+  Rng rng(6);
+  ProfilerOptions opts;
+  opts.deterministic = true;
+  LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, opts);
+  EXPECT_THROW(LatencyEstimator(std::move(table), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace micronas

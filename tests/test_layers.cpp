@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/init.hpp"
+#include "src/tensor/layers.hpp"
+
+namespace micronas {
+namespace {
+
+TEST(Conv2dLayer, ForwardBackwardShapes) {
+  Rng rng(1);
+  Conv2dLayer conv(3, 8, 3, 1, 1);
+  conv.init(rng);
+  Tensor x(Shape{2, 3, 8, 8});
+  rng.fill_normal(x.data());
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 8, 8}));
+  Tensor gy(y.shape(), 1.0F);
+  const Tensor gx = conv.backward(gy);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Conv2dLayer, ParamCount) {
+  Conv2dLayer conv(3, 8, 3, 1, 1);
+  EXPECT_EQ(conv.param_count(), 3U * 8U * 9U);
+  Conv2dLayer with_bias(4, 4, 1, 1, 0, /*bias=*/true);
+  EXPECT_EQ(with_bias.param_count(), 16U + 4U);
+}
+
+TEST(Conv2dLayer, GradAccumulatesAcrossBackwards) {
+  Rng rng(2);
+  Conv2dLayer conv(1, 1, 1, 1, 0);
+  conv.init(rng);
+  Tensor x(Shape{1, 1, 2, 2}, 1.0F);
+  Tensor gy(Shape{1, 1, 2, 2}, 1.0F);
+  (void)conv.forward(x);
+  (void)conv.backward(gy);
+  const float g1 = conv.grad_spans()[0][0];
+  (void)conv.forward(x);
+  (void)conv.backward(gy);
+  const float g2 = conv.grad_spans()[0][0];
+  EXPECT_FLOAT_EQ(g2, 2.0F * g1);
+  conv.zero_grad();
+  EXPECT_FLOAT_EQ(conv.grad_spans()[0][0], 0.0F);
+}
+
+TEST(ReluLayer, MaskExposed) {
+  ReluLayer relu;
+  Tensor x = Tensor::from_vector(Shape{1, 1, 1, 3}, {-1.0F, 0.5F, 2.0F});
+  (void)relu.forward(x);
+  const Tensor& mask = relu.last_mask();
+  EXPECT_EQ(mask[0], 0.0F);
+  EXPECT_EQ(mask[1], 1.0F);
+  EXPECT_EQ(mask[2], 1.0F);
+}
+
+TEST(ZeroLayer, OutputsAndGradsAreZero) {
+  ZeroLayer zero;
+  Tensor x(Shape{1, 2, 3, 3}, 5.0F);
+  const Tensor y = zero.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_FLOAT_EQ(y.abs_max(), 0.0F);
+  Tensor gy(x.shape(), 7.0F);
+  const Tensor gx = zero.backward(gy);
+  EXPECT_FLOAT_EQ(gx.abs_max(), 0.0F);
+}
+
+TEST(IdentityLayer, PassThrough) {
+  IdentityLayer id;
+  Tensor x(Shape{1, 1, 2, 2}, 3.0F);
+  EXPECT_FLOAT_EQ(id.forward(x)[0], 3.0F);
+  Tensor gy(x.shape(), 2.0F);
+  EXPECT_FLOAT_EQ(id.backward(gy)[0], 2.0F);
+}
+
+TEST(AvgPoolLayer, PreservesShapeStride1Pad1) {
+  AvgPoolLayer pool(3, 1, 1);
+  Tensor x(Shape{1, 2, 6, 6}, 1.0F);
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  Tensor gy(y.shape(), 1.0F);
+  EXPECT_EQ(pool.backward(gy).shape(), x.shape());
+}
+
+TEST(LinearLayer, ForwardKnownValues) {
+  LinearLayer fc(2, 1, /*bias=*/true);
+  // weight = [1, 2], bias = 3 -> y = x0 + 2 x1 + 3
+  fc.param_spans()[0][0] = 1.0F;
+  fc.param_spans()[0][1] = 2.0F;
+  fc.param_spans()[1][0] = 3.0F;
+  Tensor x = Tensor::from_vector(Shape{1, 2}, {10.0F, 20.0F});
+  const Tensor y = fc.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 53.0F);
+}
+
+TEST(GlobalAvgPoolLayer, Averages) {
+  GlobalAvgPoolLayer gap;
+  Tensor x(Shape{1, 2, 2, 2});
+  for (std::size_t i = 0; i < 4; ++i) x[i] = 4.0F;   // channel 0
+  for (std::size_t i = 4; i < 8; ++i) x[i] = 8.0F;   // channel 1
+  const Tensor y = gap.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.0F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 8.0F);
+}
+
+TEST(Init, KaimingScale) {
+  Rng rng(3);
+  Tensor w(Shape{64, 32, 3, 3});
+  init_kaiming_normal(w, 32 * 9, rng);
+  double sq = 0.0;
+  for (float v : w.data()) sq += static_cast<double>(v) * v;
+  const double stddev = std::sqrt(sq / static_cast<double>(w.numel()));
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / (32 * 9)), 0.01);
+}
+
+TEST(Init, XavierBounds) {
+  Rng rng(4);
+  Tensor w(Shape{16, 16});
+  init_xavier_uniform(w, 16, 16, rng);
+  const float limit = std::sqrt(6.0F / 32.0F);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+TEST(Init, RejectsBadFanIn) {
+  Rng rng(5);
+  Tensor w(Shape{4, 4});
+  EXPECT_THROW(init_kaiming_normal(w, 0, rng), std::invalid_argument);
+}
+
+TEST(LayerNames, Descriptive) {
+  Conv2dLayer conv(3, 8, 3, 2, 1);
+  EXPECT_EQ(conv.name(), "conv3x3(3->8,s2)");
+  AvgPoolLayer pool(3, 1, 1);
+  EXPECT_EQ(pool.name(), "avgpool3x3(s1)");
+  LinearLayer fc(10, 2);
+  EXPECT_EQ(fc.name(), "linear(10->2)");
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/linalg/sym_eig.hpp"
+
+namespace micronas {
+namespace {
+
+TEST(Matrix, MultiplyIdentity) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = 5;
+  a(1, 1) = -2;
+  const Matrix i3 = Matrix::identity(3);
+  const Matrix prod = a.multiply(i3);
+  EXPECT_DOUBLE_EQ(prod(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), -2.0);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a(0, 1) = 4;
+  a(1, 2) = -1;
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_DOUBLE_EQ(t(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -1.0);
+}
+
+TEST(Matrix, SymmetrizeRemovesAsymmetry) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 2.0);
+  a.symmetrize();
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 0.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+}
+
+TEST(GramMatrix, PsdAndSymmetric) {
+  std::vector<std::vector<float>> rows = {{1, 0, 2}, {0, 1, 1}, {1, 1, 0}};
+  const Matrix g = gram_matrix(rows);
+  EXPECT_DOUBLE_EQ(g.asymmetry(), 0.0);
+  EXPECT_DOUBLE_EQ(g(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 2.0);
+  const auto eig = sym_eig(g);
+  for (double l : eig.eigenvalues) EXPECT_GE(l, -1e-9);
+}
+
+TEST(GramMatrix, RaggedThrows) {
+  std::vector<std::vector<float>> rows = {{1, 2}, {1}};
+  EXPECT_THROW(gram_matrix(rows), std::invalid_argument);
+}
+
+TEST(SymEig, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const auto eig = sym_eig(a);
+  ASSERT_EQ(eig.eigenvalues.size(), 3U);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(SymEig, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  const auto eig = sym_eig(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(SymEig, TraceAndDeterminantPreserved) {
+  Rng rng(7);
+  const int n = 12;
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  double trace = 0.0;
+  for (int i = 0; i < n; ++i) trace += a(i, i);
+
+  const auto eig = sym_eig(a);
+  double eig_sum = 0.0;
+  for (double l : eig.eigenvalues) eig_sum += l;
+  EXPECT_NEAR(eig_sum, trace, 1e-8);
+  EXPECT_LT(eig.off_diagonal_norm, 1e-8);
+}
+
+TEST(SymEig, RejectsAsymmetric) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 5.0;
+  EXPECT_THROW(sym_eig(a), std::invalid_argument);
+}
+
+TEST(SymEig, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW(sym_eig(a), std::invalid_argument);
+}
+
+TEST(SymEig, SizeOne) {
+  Matrix a(1, 1);
+  a(0, 0) = 42.0;
+  const auto eig = sym_eig(a);
+  EXPECT_DOUBLE_EQ(eig.eigenvalues[0], 42.0);
+}
+
+TEST(ConditionNumber, IdentityIsOne) {
+  const auto eig = sym_eig(Matrix::identity(5));
+  EXPECT_NEAR(condition_number(eig.eigenvalues), 1.0, 1e-12);
+}
+
+TEST(ConditionNumber, IgnoresRankDeficiency) {
+  // The zero eigenvalue is numerical rank deficiency, not signal: the
+  // pseudo-condition number uses the smallest *nonzero* eigenvalue.
+  const std::vector<double> eig = {1.0, 0.25, 0.0};
+  EXPECT_DOUBLE_EQ(condition_number(eig), 4.0);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(condition_number(zeros), 1.0);
+}
+
+TEST(ConditionIndex, MonotoneInIndex) {
+  const std::vector<double> eig = {8.0, 4.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(condition_index(eig, 1), 1.0);
+  EXPECT_DOUBLE_EQ(condition_index(eig, 2), 2.0);
+  EXPECT_DOUBLE_EQ(condition_index(eig, 4), 8.0);
+  EXPECT_THROW(condition_index(eig, 0), std::out_of_range);
+  EXPECT_THROW(condition_index(eig, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/search/local_search.hpp"
+
+namespace micronas {
+namespace {
+
+std::unique_ptr<ProxySuite> make_suite(std::uint64_t seed = 1) {
+  ProxySuiteConfig cfg;
+  cfg.proxy_net.input_size = 8;
+  cfg.proxy_net.base_channels = 4;
+  cfg.lr.grid = 8;
+  cfg.lr.input_size = 8;
+  Tensor probe(Shape{6, 3, 8, 8});
+  Rng rng(seed);
+  rng.fill_normal(probe.data());
+  return std::make_unique<ProxySuite>(cfg, std::move(probe), nullptr);
+}
+
+TEST(LocalSearch, RespectsEvalBudget) {
+  auto suite = make_suite();
+  LocalSearchConfig cfg;
+  cfg.max_evals = 40;
+  cfg.weights = IndicatorWeights::te_nas();
+  Rng rng(2);
+  const auto res = local_search(*suite, cfg, rng);
+  EXPECT_LE(res.proxy_evals, 40);
+  EXPECT_GE(res.proxy_evals, 1);
+  EXPECT_GE(res.restarts, 1);
+  EXPECT_GT(res.wall_seconds, 0.0);
+}
+
+TEST(LocalSearch, FindsMoreExpressiveCellThanAverage) {
+  // Hill climbing on NTK+LR should end on a cell whose linear-region
+  // richness beats the random-cell average.
+  auto suite = make_suite(3);
+  Rng avg_rng(4);
+  double avg_lr = 0.0;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    avg_lr += suite->evaluate(nb201::random_genotype(avg_rng), avg_rng).linear_regions;
+  }
+  avg_lr /= n;
+
+  LocalSearchConfig cfg;
+  cfg.max_evals = 60;
+  cfg.weights = IndicatorWeights::te_nas();
+  Rng rng(5);
+  const auto res = local_search(*suite, cfg, rng);
+  EXPECT_GT(res.indicators.linear_regions, avg_lr);
+}
+
+TEST(LocalSearch, ConstraintRespectedWhenReachable) {
+  auto suite = make_suite(6);
+  LocalSearchConfig cfg;
+  cfg.max_evals = 80;
+  cfg.constraints.max_flops_m = 60.0;
+  cfg.weights = IndicatorWeights::te_nas();
+  Rng rng(7);
+  const auto res = local_search(*suite, cfg, rng);
+  EXPECT_LE(res.indicators.flops_m, 60.0);
+}
+
+TEST(LocalSearch, RejectsBadConfig) {
+  auto suite = make_suite();
+  Rng rng(8);
+  LocalSearchConfig cfg;
+  cfg.max_evals = 0;
+  EXPECT_THROW(local_search(*suite, cfg, rng), std::invalid_argument);
+  cfg.max_evals = 10;
+  cfg.max_restarts = 0;
+  EXPECT_THROW(local_search(*suite, cfg, rng), std::invalid_argument);
+}
+
+TEST(LocalSearch, DeterministicGivenSeed) {
+  auto s1 = make_suite(9);
+  auto s2 = make_suite(9);
+  LocalSearchConfig cfg;
+  cfg.max_evals = 30;
+  Rng a(10), b(10);
+  const auto ra = local_search(*s1, cfg, a);
+  const auto rb = local_search(*s2, cfg, b);
+  EXPECT_EQ(ra.genotype, rb.genotype);
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/net/macro_net.hpp"
+
+namespace micronas {
+namespace {
+
+nb201::Genotype all_op(nb201::Op op) {
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(op);
+  return nb201::Genotype(ops);
+}
+
+TEST(MacroNet, SkeletonStructure) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  // 3 stages x 5 cells.
+  EXPECT_EQ(m.cell_starts.size(), 15U);
+  // First layer is the stem conv 3->16 at 32x32.
+  const LayerSpec& stem = m.layers.front();
+  EXPECT_EQ(stem.kind, LayerKind::kConv);
+  EXPECT_EQ(stem.cin, 3);
+  EXPECT_EQ(stem.cout, 16);
+  EXPECT_EQ(stem.h, 32);
+  // Last layer is the classifier.
+  EXPECT_EQ(m.layers.back().kind, LayerKind::kLinear);
+  EXPECT_EQ(m.layers.back().cout, 10);
+}
+
+TEST(MacroNet, AllNoneEmitsNoCellLayers) {
+  const MacroModel none = build_macro_model(nb201::Genotype{});
+  // stem + 2 reductions (4 layers each) + gap + fc = 11 layers.
+  EXPECT_EQ(none.layers.size(), 11U);
+}
+
+TEST(MacroNet, AllConvCellLayerCount) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  // Per cell: 6 convs + (node1: 0 adds, node2: 1 add, node3: 2 adds) = 9.
+  // 15 cells * 9 + 11 skeleton = 146.
+  EXPECT_EQ(m.layers.size(), 146U);
+}
+
+TEST(MacroNet, ChannelsDoubleAcrossStages) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  // Cells of stage 1 run at 16 channels and 32x32, stage 2 at 32 and
+  // 16x16, stage 3 at 64 and 8x8.
+  const LayerSpec& first_cell_conv = m.layers[m.cell_starts[0]];
+  EXPECT_EQ(first_cell_conv.cin, 16);
+  EXPECT_EQ(first_cell_conv.h, 32);
+  const LayerSpec& stage2_conv = m.layers[m.cell_starts[5]];
+  EXPECT_EQ(stage2_conv.cin, 32);
+  EXPECT_EQ(stage2_conv.h, 16);
+  const LayerSpec& stage3_conv = m.layers[m.cell_starts[10]];
+  EXPECT_EQ(stage3_conv.cin, 64);
+  EXPECT_EQ(stage3_conv.h, 8);
+}
+
+TEST(MacroNet, ReductionHalvesSpatial) {
+  const MacroModel m = build_macro_model(nb201::Genotype{});
+  // Layers after the stem: reduction conv3x3 s2 16->32 at 32x32.
+  const LayerSpec& red = m.layers[1];
+  EXPECT_EQ(red.kind, LayerKind::kConv);
+  EXPECT_EQ(red.stride, 2);
+  EXPECT_EQ(red.cin, 16);
+  EXPECT_EQ(red.cout, 32);
+  EXPECT_EQ(red.out_h, 16);
+}
+
+TEST(MacroNet, MacsComputation) {
+  LayerSpec conv;
+  conv.kind = LayerKind::kConv;
+  conv.cin = 16;
+  conv.cout = 32;
+  conv.kernel = 3;
+  conv.h = 8;
+  conv.w = 8;
+  conv.out_h = 8;
+  conv.out_w = 8;
+  EXPECT_EQ(conv.macs(), 9LL * 16 * 32 * 64);
+
+  LayerSpec skip;
+  skip.kind = LayerKind::kSkip;
+  EXPECT_EQ(skip.macs(), 0);
+}
+
+TEST(MacroNet, CustomConfigRespected) {
+  MacroNetConfig cfg;
+  cfg.input_size = 16;
+  cfg.base_channels = 8;
+  cfg.cells_per_stage = 2;
+  cfg.num_classes = 100;
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv1x1), cfg);
+  EXPECT_EQ(m.cell_starts.size(), 6U);
+  EXPECT_EQ(m.layers.front().cout, 8);
+  EXPECT_EQ(m.layers.back().cout, 100);
+}
+
+TEST(MacroNet, SpecToStringHumanReadable) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  const std::string s = m.layers.front().to_string();
+  EXPECT_NE(s.find("conv"), std::string::npos);
+  EXPECT_NE(s.find("k3"), std::string::npos);
+}
+
+TEST(MacroNet, RejectsBadConfig) {
+  MacroNetConfig cfg;
+  cfg.cells_per_stage = 0;
+  EXPECT_THROW(build_macro_model(nb201::Genotype{}, cfg), std::invalid_argument);
+}
+
+TEST(MacroNet, SkipCellEmitsSkipSpecs) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kSkipConnect));
+  int skips = 0;
+  for (const auto& spec : m.layers) {
+    if (spec.kind == LayerKind::kSkip) ++skips;
+  }
+  EXPECT_EQ(skips, 6 * 15);  // 6 edges x 15 cells
+}
+
+}  // namespace
+}  // namespace micronas

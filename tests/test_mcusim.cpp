@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "src/mcusim/cortex_m7.hpp"
+#include "src/mcusim/profiler.hpp"
+
+namespace micronas {
+namespace {
+
+nb201::Genotype all_op(nb201::Op op) {
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(op);
+  return nb201::Genotype(ops);
+}
+
+LayerSpec conv_spec(int c, int hw, int k) {
+  LayerSpec s;
+  s.kind = LayerKind::kConv;
+  s.cin = c;
+  s.cout = c;
+  s.h = hw;
+  s.w = hw;
+  s.kernel = k;
+  s.stride = 1;
+  s.pad = k / 2;
+  s.out_h = hw;
+  s.out_w = hw;
+  return s;
+}
+
+TEST(McuSim, LayerCyclesPositiveAndOrdered) {
+  const McuSpec mcu;
+  const double c3 = layer_cycles(conv_spec(16, 32, 3), mcu);
+  const double c1 = layer_cycles(conv_spec(16, 32, 1), mcu);
+  EXPECT_GT(c3, c1);  // 9x the MACs at lower throughput
+  EXPECT_GT(c1, mcu.layer_overhead_cycles);
+}
+
+TEST(McuSim, Conv1x1MoreEfficientPerMac) {
+  const McuSpec mcu;
+  const LayerSpec s3 = conv_spec(16, 32, 3);
+  const LayerSpec s1 = conv_spec(16, 32, 1);
+  const double per_mac_3 = (layer_cycles(s3, mcu) - mcu.layer_overhead_cycles) / s3.macs();
+  const double per_mac_1 = (layer_cycles(s1, mcu) - mcu.layer_overhead_cycles) / s1.macs();
+  EXPECT_LT(per_mac_1, per_mac_3);
+}
+
+TEST(McuSim, NetworkSimulationDeterministicWithoutJitter) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  const SimulatedRun a = simulate_network(m);
+  const SimulatedRun b = simulate_network(m);
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_EQ(a.per_layer_cycles.size(), m.layers.size());
+}
+
+TEST(McuSim, JitterPerturbsRuns) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv1x1));
+  Rng rng(1);
+  const double a = simulate_network(m, McuSpec{}, &rng).latency_ms;
+  const double b = simulate_network(m, McuSpec{}, &rng).latency_ms;
+  EXPECT_NE(a, b);
+  EXPECT_NEAR(a, b, 0.1 * a);  // ~1 % jitter, not chaos
+}
+
+TEST(McuSim, LatencyOrderingMatchesComputeIntensity) {
+  const double l_skip = simulate_network(build_macro_model(all_op(nb201::Op::kSkipConnect))).latency_ms;
+  const double l_pool = simulate_network(build_macro_model(all_op(nb201::Op::kAvgPool3x3))).latency_ms;
+  const double l_1x1 = simulate_network(build_macro_model(all_op(nb201::Op::kConv1x1))).latency_ms;
+  const double l_3x3 = simulate_network(build_macro_model(all_op(nb201::Op::kConv3x3))).latency_ms;
+  EXPECT_LT(l_skip, l_pool);
+  EXPECT_LT(l_pool, l_1x1);
+  EXPECT_LT(l_1x1, l_3x3);
+  // The conv3x3-vs-conv1x1 latency gap is what the hardware-aware
+  // search exploits; require a healthy factor.
+  EXPECT_GT(l_3x3 / l_1x1, 2.0);
+}
+
+TEST(McuSim, RealisticLatencyMagnitude) {
+  // A ~190 MFLOP fp32 net on a 216 MHz M7 takes high hundreds of ms.
+  const double ms = simulate_network(build_macro_model(all_op(nb201::Op::kConv3x3))).latency_ms;
+  EXPECT_GT(ms, 200.0);
+  EXPECT_LT(ms, 5000.0);
+}
+
+TEST(McuSim, SramPressureDetected) {
+  // The stock skeleton at 32x32 exceeds a 64 KB budget but fits 320 KB
+  // at its peak working set... verify the flag flips with the budget.
+  McuSpec tight;
+  tight.sram_budget_bytes = 16 * 1024;
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  const SimulatedRun pressured = simulate_network(m, tight);
+  EXPECT_TRUE(pressured.sram_pressure);
+
+  McuSpec roomy;
+  roomy.sram_budget_bytes = 16LL * 1024 * 1024;
+  const SimulatedRun fine = simulate_network(m, roomy);
+  EXPECT_FALSE(fine.sram_pressure);
+  EXPECT_GT(pressured.latency_ms, fine.latency_ms);
+}
+
+TEST(McuSim, MeasureLatencyMedianStable) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv1x1));
+  Rng rng(5);
+  const double med = measure_latency_ms(m, McuSpec{}, rng, 9);
+  const double det = simulate_network(m).latency_ms;
+  EXPECT_NEAR(med, det, 0.02 * det);
+  EXPECT_THROW(measure_latency_ms(m, McuSpec{}, rng, 0), std::invalid_argument);
+}
+
+TEST(Profiler, EnumeratesAllSearchSpaceShapes) {
+  const auto layers = enumerate_search_space_layers();
+  // Must include conv3x3 and conv1x1 cell ops at all three stage widths
+  // (16/32/64), pools, skips, adds, stem, reductions, gap, fc.
+  int conv3_cell = 0, conv1_cell = 0, pools = 0, skips = 0;
+  for (const auto& s : layers) {
+    if (s.kind == LayerKind::kConv && s.kernel == 3 && s.cin == s.cout && s.stride == 1) ++conv3_cell;
+    if (s.kind == LayerKind::kConv && s.kernel == 1 && s.cin == s.cout && s.stride == 1) ++conv1_cell;
+    if (s.kind == LayerKind::kAvgPool) ++pools;
+    if (s.kind == LayerKind::kSkip) ++skips;
+  }
+  EXPECT_GE(conv3_cell, 3);
+  EXPECT_GE(conv1_cell, 3);
+  EXPECT_GE(pools, 3);
+  EXPECT_GE(skips, 3);
+}
+
+TEST(Profiler, MedianRobustToJitter) {
+  const McuSpec mcu;
+  Rng rng(7);
+  const LayerSpec spec = conv_spec(32, 16, 3);
+  ProfilerOptions opts;
+  opts.runs_per_op = 15;
+  const double profiled = profile_layer(spec, mcu, rng, opts);
+  const double truth = layer_cycles(spec, mcu);
+  EXPECT_NEAR(profiled, truth, 0.02 * truth);
+}
+
+TEST(Profiler, DeterministicModeExact) {
+  const McuSpec mcu;
+  Rng rng(8);
+  ProfilerOptions opts;
+  opts.deterministic = true;
+  const LayerSpec spec = conv_spec(64, 8, 1);
+  EXPECT_DOUBLE_EQ(profile_layer(spec, mcu, rng, opts), layer_cycles(spec, mcu));
+}
+
+TEST(Profiler, ConstantOverheadMatchesSpec) {
+  const McuSpec mcu;
+  Rng rng(9);
+  ProfilerOptions opts;
+  opts.deterministic = true;
+  const double ms = profile_constant_overhead_ms(mcu, rng, opts);
+  EXPECT_DOUBLE_EQ(ms, mcu.network_overhead_cycles / mcu.clock_hz * 1e3);
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/memory_model.hpp"
+
+namespace micronas {
+namespace {
+
+nb201::Genotype all_op(nb201::Op op) {
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(op);
+  return nb201::Genotype(ops);
+}
+
+TEST(MemoryModel, PeakPositiveAndArenaIncluded) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  const MemoryModelSpec spec;
+  const MemoryReport r = analyze_memory(m, spec);
+  EXPECT_GT(r.peak_sram_bytes, spec.runtime_arena_bytes);
+  EXPECT_GT(r.flash_bytes, spec.code_flash_bytes);
+}
+
+TEST(MemoryModel, PeakDominatedByEarlyHighResolutionLayers) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  const MemoryReport r = analyze_memory(m);
+  // 5 live 16x32x32 fp32 node buffers = 320 KB of cell schedule, far
+  // above the later stages (channels double but spatial quarters).
+  EXPECT_NEAR(r.peak_sram_kb(), 5 * 64 + 24, 40.0);
+}
+
+TEST(MemoryModel, FlashTracksParams) {
+  const MemoryReport big = analyze_memory(build_macro_model(all_op(nb201::Op::kConv3x3)));
+  const MemoryReport small = analyze_memory(build_macro_model(all_op(nb201::Op::kSkipConnect)));
+  EXPECT_GT(big.flash_bytes, small.flash_bytes);
+}
+
+TEST(MemoryModel, PeakActivationScalesWithResolution) {
+  MacroNetConfig small;
+  small.input_size = 16;
+  MacroNetConfig big;
+  big.input_size = 64;
+  const auto g = all_op(nb201::Op::kConv3x3);
+  EXPECT_LT(peak_activation_bytes(build_macro_model(g, small)),
+            peak_activation_bytes(build_macro_model(g, big)));
+}
+
+TEST(MemoryModel, Int8HalvesNothingButQuartersFp32) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  MemoryModelSpec fp32;
+  MemoryModelSpec int8;
+  int8.bytes_per_activation = 1;
+  int8.bytes_per_weight = 1;
+  const MemoryReport r32 = analyze_memory(m, fp32);
+  const MemoryReport r8 = analyze_memory(m, int8);
+  EXPECT_LT(r8.peak_sram_bytes, r32.peak_sram_bytes);
+  EXPECT_LT(r8.flash_bytes, r32.flash_bytes);
+}
+
+TEST(MemoryModel, SkipOnlyCellUsesLessSramThanConvCell) {
+  // Fewer live buffers: node sums of copies vs conv outputs — the
+  // schedule bound is the same, but the per-layer working set differs
+  // for the conv-heavy cell only via in+out, so peaks are close; just
+  // check both are sane and ordered weakly.
+  const MemoryReport conv = analyze_memory(build_macro_model(all_op(nb201::Op::kConv3x3)));
+  const MemoryReport skip = analyze_memory(build_macro_model(all_op(nb201::Op::kSkipConnect)));
+  EXPECT_GE(conv.peak_sram_bytes, skip.peak_sram_bytes);
+}
+
+TEST(MemoryModel, StandaloneSkeletonFitsTypicalMcu) {
+  // The empty skeleton must fit the F746's 320 KB SRAM comfortably.
+  const MemoryReport r = analyze_memory(build_macro_model(nb201::Genotype{}));
+  EXPECT_LT(r.peak_sram_kb(), 320.0);
+}
+
+TEST(MemoryModel, Fp32FullCellNeedsQuantizationToFit) {
+  // A full conv cell at fp32 exceeds the F746's 320 KB SRAM (5 live
+  // 16x32x32 buffers), which is exactly why TinyML deployments
+  // quantize: the int8 version fits with room to spare.
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(nb201::Op::kConv3x3);
+  const MacroModel m = build_macro_model(nb201::Genotype(ops));
+  EXPECT_GT(analyze_memory(m).peak_sram_kb(), 320.0);
+  MemoryModelSpec int8;
+  int8.bytes_per_activation = 1;
+  int8.bytes_per_weight = 1;
+  EXPECT_LT(analyze_memory(m, int8).peak_sram_kb(), 320.0);
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "src/proxies/ntk.hpp"
+
+namespace micronas {
+namespace {
+
+CellNetConfig tiny_config() {
+  CellNetConfig cfg;
+  cfg.input_size = 8;
+  cfg.base_channels = 4;
+  cfg.num_classes = 10;
+  return cfg;
+}
+
+Tensor probe(int n, const CellNetConfig& cfg, Rng& rng) {
+  Tensor t(Shape{n, cfg.input_channels, cfg.input_size, cfg.input_size});
+  rng.fill_normal(t.data());
+  return t;
+}
+
+TEST(Ntk, GramIsSymmetricPsd) {
+  Rng rng(1);
+  const CellNetConfig cfg = tiny_config();
+  CellNet net(nb201::Genotype::from_index(8000), cfg, rng);
+  const Tensor images = probe(8, cfg, rng);
+  const Matrix gram = compute_ntk_gram(net, images, NtkMode::kSumLogits);
+  EXPECT_EQ(gram.rows(), 8);
+  EXPECT_LT(gram.asymmetry(), 1e-9);
+  const auto eig = sym_eig(gram);
+  for (double l : eig.eigenvalues) EXPECT_GE(l, -1e-6 * eig.eigenvalues.front());
+}
+
+TEST(Ntk, ConditionNumberAtLeastOne) {
+  Rng rng(2);
+  const CellNetConfig cfg = tiny_config();
+  Rng data_rng(3);
+  const Tensor images = probe(8, cfg, data_rng);
+  const NtkResult res = ntk_condition(nb201::Genotype::from_index(12000), cfg, images, rng);
+  EXPECT_GE(res.condition_number, 1.0);
+  EXPECT_EQ(res.eigenvalues.size(), 8U);
+  EXPECT_GT(res.param_count, 0U);
+}
+
+TEST(Ntk, DiagonalEntriesAreSquaredGradNorms) {
+  Rng rng(4);
+  const CellNetConfig cfg = tiny_config();
+  CellNet net(nb201::Genotype::from_index(15000), cfg, rng);
+  Rng data_rng(5);
+  const Tensor images = probe(4, cfg, data_rng);
+  const Matrix gram = compute_ntk_gram(net, images, NtkMode::kSumLogits);
+  for (int i = 0; i < 4; ++i) EXPECT_GT(gram(i, i), 0.0);
+  // Cauchy–Schwarz: |Θ_ij| <= sqrt(Θ_ii Θ_jj).
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_LE(std::abs(gram(i, j)), std::sqrt(gram(i, i) * gram(j, j)) + 1e-6);
+    }
+  }
+}
+
+TEST(Ntk, PerLogitModeMatchesStructure) {
+  Rng rng(6);
+  const CellNetConfig cfg = tiny_config();
+  CellNet net(nb201::Genotype::from_index(400), cfg, rng);
+  Rng data_rng(7);
+  const Tensor images = probe(4, cfg, data_rng);
+  const Matrix gram = compute_ntk_gram(net, images, NtkMode::kPerLogit);
+  EXPECT_EQ(gram.rows(), 4);
+  EXPECT_LT(gram.asymmetry(), 1e-9);
+  for (int i = 0; i < 4; ++i) EXPECT_GT(gram(i, i), 0.0);
+}
+
+TEST(Ntk, RepeatsAverage) {
+  Rng rng(8);
+  const CellNetConfig cfg = tiny_config();
+  Rng data_rng(9);
+  const Tensor images = probe(6, cfg, data_rng);
+  NtkOptions opts;
+  opts.repeats = 3;
+  const NtkResult res = ntk_condition(nb201::Genotype::from_index(9999), cfg, images, rng, opts);
+  EXPECT_GE(res.condition_number, 1.0);
+}
+
+TEST(Ntk, ConditionIndexMonotone) {
+  Rng rng(10);
+  const CellNetConfig cfg = tiny_config();
+  Rng data_rng(11);
+  const Tensor images = probe(8, cfg, data_rng);
+  const NtkResult res = ntk_condition(nb201::Genotype::from_index(14444), cfg, images, rng);
+  double prev = 0.0;
+  for (int i = 1; i <= 8; ++i) {
+    const double ki = ntk_condition_index(res, i);
+    EXPECT_GE(ki, prev);
+    prev = ki;
+  }
+}
+
+TEST(Ntk, SupernetEvaluates) {
+  Rng rng(12);
+  const CellNetConfig cfg = tiny_config();
+  Rng data_rng(13);
+  const Tensor images = probe(4, cfg, data_rng);
+  const NtkResult res = ntk_condition(edge_ops_from_opset(nb201::OpSet::full()), cfg, images, rng);
+  EXPECT_GE(res.condition_number, 1.0);
+}
+
+TEST(Ntk, DisconnectedCellDegenerates) {
+  // All-none cell: only classifier gradients survive (input-independent
+  // features), so rows of the Jacobian coincide and κ explodes. The
+  // proxy must report that degeneracy as a huge condition number, not
+  // crash — this is how the search rejects untrainable cells.
+  Rng rng(14);
+  const CellNetConfig cfg = tiny_config();
+  Rng data_rng(15);
+  const Tensor images = probe(4, cfg, data_rng);
+  const NtkResult res = ntk_condition(nb201::Genotype{}, cfg, images, rng);
+  EXPECT_GT(res.condition_number, 1e3);
+}
+
+TEST(Ntk, RejectsBadInputs) {
+  Rng rng(16);
+  const CellNetConfig cfg = tiny_config();
+  Rng data_rng(17);
+  const Tensor images = probe(4, cfg, data_rng);
+  NtkOptions opts;
+  opts.repeats = 0;
+  EXPECT_THROW(ntk_condition(nb201::Genotype{}, cfg, images, rng, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace micronas

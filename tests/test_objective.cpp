@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/mcusim/profiler.hpp"
+#include "src/search/objective.hpp"
+
+namespace micronas {
+namespace {
+
+IndicatorValues make_values(double ntk, double lr, double flops, double lat) {
+  IndicatorValues v;
+  v.ntk_condition = ntk;
+  v.linear_regions = lr;
+  v.flops_m = flops;
+  v.latency_ms = lat;
+  return v;
+}
+
+TEST(HybridObjective, RanksDirectionsCorrectly) {
+  // Candidate 0 dominates on every axis: lowest κ, most regions,
+  // cheapest hardware. It must receive the lowest score.
+  const std::vector<IndicatorValues> c = {
+      make_values(10.0, 500.0, 50.0, 100.0),
+      make_values(100.0, 100.0, 200.0, 900.0),
+      make_values(50.0, 300.0, 100.0, 400.0),
+  };
+  IndicatorWeights w{1.0, 1.0, 1.0, 1.0};
+  const auto scores = hybrid_rank_scores(c, w);
+  EXPECT_LT(scores[0], scores[2]);
+  EXPECT_LT(scores[2], scores[1]);
+}
+
+TEST(HybridObjective, WeightsZeroOutIndicators) {
+  // With only the latency weight on, ordering follows latency alone.
+  const std::vector<IndicatorValues> c = {
+      make_values(1.0, 999.0, 1.0, 500.0),
+      make_values(999.0, 1.0, 999.0, 100.0),
+  };
+  const auto scores = hybrid_rank_scores(c, IndicatorWeights::latency_guided());
+  // latency_guided keeps ntk+lr at 1: candidate 0 wins those two ranks,
+  // candidate 1 wins latency. Now isolate latency entirely:
+  IndicatorWeights lat_only{0.0, 0.0, 0.0, 1.0};
+  const auto lat_scores = hybrid_rank_scores(c, lat_only);
+  EXPECT_LT(lat_scores[1], lat_scores[0]);
+  (void)scores;
+}
+
+TEST(HybridObjective, TeNasPresetIgnoresHardware) {
+  const std::vector<IndicatorValues> c = {
+      make_values(10.0, 500.0, 1e9, 1e9),  // terrible hardware, best proxies
+      make_values(20.0, 400.0, 1.0, 1.0),
+  };
+  const auto scores = hybrid_rank_scores(c, IndicatorWeights::te_nas());
+  EXPECT_LT(scores[0], scores[1]);
+}
+
+TEST(HybridObjective, EmptyThrows) {
+  const std::vector<IndicatorValues> empty;
+  EXPECT_THROW(hybrid_rank_scores(empty, IndicatorWeights{}), std::invalid_argument);
+}
+
+TEST(Constraints, SatisfiedBy) {
+  Constraints c;
+  EXPECT_FALSE(c.any());
+  c.max_latency_ms = 500.0;
+  c.max_params_m = 1.0;
+  EXPECT_TRUE(c.any());
+
+  IndicatorValues ok;
+  ok.latency_ms = 400.0;
+  ok.params_m = 0.5;
+  EXPECT_TRUE(c.satisfied_by(ok));
+
+  IndicatorValues slow = ok;
+  slow.latency_ms = 600.0;
+  EXPECT_FALSE(c.satisfied_by(slow));
+
+  IndicatorValues fat = ok;
+  fat.params_m = 1.5;
+  EXPECT_FALSE(c.satisfied_by(fat));
+}
+
+TEST(SelectBest, FeasibleBeatsInfeasible) {
+  const std::vector<IndicatorValues> c = {
+      make_values(1.0, 900.0, 10.0, 900.0),   // best score, violates latency
+      make_values(50.0, 100.0, 10.0, 100.0),  // worse score, feasible
+  };
+  Constraints limits;
+  limits.max_latency_ms = 500.0;
+  EXPECT_EQ(select_best(c, IndicatorWeights{1, 1, 0, 1}, limits), 1U);
+  // Without constraints the first wins.
+  EXPECT_EQ(select_best(c, IndicatorWeights{1, 1, 0, 1}, Constraints{}), 0U);
+}
+
+TEST(SupernetHwModel, FullSupernetBetweenExtremes) {
+  // The expectation over the full supernet must lie between the
+  // cheapest (all none) and dearest (all conv3x3) concrete models.
+  Rng rng(1);
+  ProfilerOptions popts;
+  popts.deterministic = true;
+  LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, popts);
+  const LatencyEstimator est(std::move(table),
+                             profile_constant_overhead_ms(McuSpec{}, rng, popts));
+  const SupernetHwModel hw(MacroNetConfig{}, &est);
+
+  const auto full = hw.expectation(nb201::OpSet::full());
+
+  nb201::OpSet conv_only = nb201::OpSet::full();
+  for (int e = 0; e < nb201::kNumEdges; ++e) {
+    for (auto op : {nb201::Op::kNone, nb201::Op::kSkipConnect, nb201::Op::kConv1x1,
+                    nb201::Op::kAvgPool3x3}) {
+      conv_only.remove(e, op);
+    }
+  }
+  const auto dearest = hw.expectation(conv_only);
+
+  nb201::OpSet none_only = nb201::OpSet::full();
+  for (int e = 0; e < nb201::kNumEdges; ++e) {
+    for (auto op : {nb201::Op::kConv3x3, nb201::Op::kSkipConnect, nb201::Op::kConv1x1,
+                    nb201::Op::kAvgPool3x3}) {
+      none_only.remove(e, op);
+    }
+  }
+  const auto cheapest = hw.expectation(none_only);
+
+  EXPECT_LT(cheapest.flops_m, full.flops_m);
+  EXPECT_LT(full.flops_m, dearest.flops_m);
+  EXPECT_LT(cheapest.latency_ms, full.latency_ms);
+  EXPECT_LT(full.latency_ms, dearest.latency_ms);
+}
+
+TEST(SupernetHwModel, SingletonMatchesConcreteModelApproximately) {
+  // Reducing the op-set to a single genotype should reproduce the
+  // concrete model's FLOPs up to the node-sum (kAdd) terms the
+  // expectation model ignores.
+  Rng rng(2);
+  ProfilerOptions popts;
+  popts.deterministic = true;
+  LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, popts);
+  const LatencyEstimator est(std::move(table),
+                             profile_constant_overhead_ms(McuSpec{}, rng, popts));
+  const SupernetHwModel hw(MacroNetConfig{}, &est);
+
+  nb201::OpSet conv_only = nb201::OpSet::full();
+  for (int e = 0; e < nb201::kNumEdges; ++e) {
+    for (auto op : {nb201::Op::kNone, nb201::Op::kSkipConnect, nb201::Op::kConv1x1,
+                    nb201::Op::kAvgPool3x3}) {
+      conv_only.remove(e, op);
+    }
+  }
+  const auto expectation = hw.expectation(conv_only);
+
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(nb201::Op::kConv3x3);
+  const MacroModel concrete = build_macro_model(nb201::Genotype(ops));
+  const double concrete_flops = count_flops(concrete).total_m();
+  EXPECT_NEAR(expectation.flops_m, concrete_flops, 0.02 * concrete_flops);
+  const double concrete_ms = est.estimate_ms(concrete);
+  EXPECT_NEAR(expectation.latency_ms, concrete_ms, 0.05 * concrete_ms);
+}
+
+TEST(SupernetHwModel, NullEstimatorReportsZeroLatency) {
+  const SupernetHwModel hw(MacroNetConfig{}, nullptr);
+  const auto e = hw.expectation(nb201::OpSet::full());
+  EXPECT_DOUBLE_EQ(e.latency_ms, 0.0);
+  EXPECT_GT(e.flops_m, 0.0);
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,203 @@
+// Parameterized property sweeps across the search space and input
+// regimes: invariants that must hold for *every* architecture or
+// configuration, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include "src/hw/latency_estimator.hpp"
+#include "src/hw/memory_model.hpp"
+#include "src/mcusim/profiler.hpp"
+#include "src/nb201/features.hpp"
+#include "src/nb201/surrogate.hpp"
+#include "src/proxies/flops.hpp"
+#include "src/proxies/ntk.hpp"
+
+namespace micronas {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-architecture invariants, swept over a deterministic sample of cells.
+
+class ArchPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArchPropertyTest, GenotypeCodecsRoundTrip) {
+  const auto g = nb201::Genotype::from_index(GetParam());
+  EXPECT_EQ(nb201::Genotype::from_index(g.index()), g);
+  EXPECT_EQ(nb201::Genotype::from_string(g.to_string()), g);
+}
+
+TEST_P(ArchPropertyTest, AnalyticIndicatorsWellFormed) {
+  const auto g = nb201::Genotype::from_index(GetParam());
+  const MacroModel m = build_macro_model(g);
+  const auto flops = count_flops(m);
+  const auto params = count_params(m);
+  const auto mem = analyze_memory(m);
+  EXPECT_GE(flops.total(), 0);
+  EXPECT_GT(params.total(), 0);       // skeleton always has params
+  EXPECT_GT(mem.peak_sram_bytes, 0);
+  EXPECT_GT(mem.flash_bytes, 0);
+  // FLOPs bounded by the all-conv3x3 maximum.
+  static const double kMaxFlops = [] {
+    std::array<nb201::Op, nb201::kNumEdges> ops;
+    ops.fill(nb201::Op::kConv3x3);
+    return flops_m(nb201::Genotype(ops));
+  }();
+  EXPECT_LE(flops.total_m(), kMaxFlops + 1e-9);
+}
+
+TEST_P(ArchPropertyTest, SurrogateAccuracyOrderedAcrossDatasets) {
+  // For every cell, CIFAR-10 accuracy > CIFAR-100 accuracy >
+  // ImageNet16-120 accuracy (more classes, harder task) — a structural
+  // property of the real NB201 tables our oracle must preserve.
+  const auto g = nb201::Genotype::from_index(GetParam());
+  const nb201::SurrogateOracle oracle;
+  const double c10 = oracle.mean_accuracy(g, nb201::Dataset::kCifar10);
+  const double c100 = oracle.mean_accuracy(g, nb201::Dataset::kCifar100);
+  const double in16 = oracle.mean_accuracy(g, nb201::Dataset::kImageNet16);
+  EXPECT_GT(c10, c100);
+  EXPECT_GT(c100, in16 - 2.0);  // slack: IN16 noise stddev is large
+}
+
+TEST_P(ArchPropertyTest, FeatureCountsBounded) {
+  const auto f = nb201::analyze_cell(nb201::Genotype::from_index(GetParam()));
+  EXPECT_LE(f.n_conv3x3 + f.n_conv1x1 + f.n_skip + f.n_pool, nb201::kNumEdges);
+  EXPECT_GE(f.live_paths, f.connected ? 1 : 0);
+  EXPECT_LE(f.live_paths, 4);
+  EXPECT_LE(f.conv_depth, 3);
+  EXPECT_LE(f.graph_depth, 3);
+  if (!f.connected) {
+    EXPECT_EQ(f.n_conv3x3 + f.n_conv1x1 + f.n_skip + f.n_pool, 0);
+  }
+}
+
+TEST_P(ArchPropertyTest, LatencyEstimateConsistentWithSimulator) {
+  static const auto estimator = [] {
+    Rng rng(1);
+    ProfilerOptions opts;
+    opts.deterministic = true;
+    LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, opts);
+    return LatencyEstimator(std::move(table), profile_constant_overhead_ms(McuSpec{}, rng, opts));
+  }();
+  const auto g = nb201::Genotype::from_index(GetParam());
+  const MacroModel m = build_macro_model(g);
+  const double est = estimator.estimate_ms(m);
+  const double sim = simulate_network(m).latency_ms;
+  EXPECT_GT(est, 0.0);
+  // Within 35 % even under SRAM pressure (the deliberate model gap).
+  EXPECT_NEAR(est, sim, 0.35 * sim);
+}
+
+INSTANTIATE_TEST_SUITE_P(SpaceSweep, ArchPropertyTest,
+                         ::testing::Values(0, 1, 77, 444, 1234, 3125, 5000, 7777, 9999, 11111,
+                                           12500, 14000, 15000, 15624));
+
+// ---------------------------------------------------------------------------
+// NTK invariants across batch sizes (the Fig. 2b regime).
+
+class NtkBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NtkBatchTest, SpectrumWellFormedAtAnyBatch) {
+  const int batch = GetParam();
+  CellNetConfig cfg;
+  cfg.input_size = 8;
+  cfg.base_channels = 4;
+  Rng data_rng(10);
+  Tensor probe(Shape{batch, 3, 8, 8});
+  data_rng.fill_normal(probe.data());
+  Rng rng(11);
+  const NtkResult res = ntk_condition(nb201::Genotype::from_index(14000), cfg, probe, rng);
+  ASSERT_EQ(res.eigenvalues.size(), static_cast<std::size_t>(batch));
+  EXPECT_GE(res.condition_number, 1.0);
+  // Eigenvalues descending.
+  for (std::size_t i = 1; i < res.eigenvalues.size(); ++i) {
+    EXPECT_LE(res.eigenvalues[i], res.eigenvalues[i - 1] + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSweep, NtkBatchTest, ::testing::Values(2, 4, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Latency-model invariants across op types and stages.
+
+struct OpStageCase {
+  nb201::Op op;
+  int stage;  // 0..2
+};
+
+class OpLatencyTest : public ::testing::TestWithParam<OpStageCase> {};
+
+TEST_P(OpLatencyTest, ProfiledCycleCostsPositiveAndScaleFree) {
+  const auto [op, stage] = GetParam();
+  if (op == nb201::Op::kNone) GTEST_SKIP() << "none emits no layer";
+  const int channels = 16 << stage;
+  const int hw = 32 >> stage;
+  LayerSpec spec;
+  spec.cin = channels;
+  spec.cout = channels;
+  spec.h = hw;
+  spec.w = hw;
+  spec.out_h = hw;
+  spec.out_w = hw;
+  switch (op) {
+    case nb201::Op::kSkipConnect: spec.kind = LayerKind::kSkip; break;
+    case nb201::Op::kAvgPool3x3:
+      spec.kind = LayerKind::kAvgPool;
+      spec.kernel = 3;
+      break;
+    case nb201::Op::kConv1x1:
+      spec.kind = LayerKind::kConv;
+      spec.kernel = 1;
+      break;
+    case nb201::Op::kConv3x3:
+      spec.kind = LayerKind::kConv;
+      spec.kernel = 3;
+      spec.pad = 1;
+      break;
+    default: break;
+  }
+  const double cycles = layer_cycles(spec);
+  EXPECT_GT(cycles, 0.0);
+  // Invocation overhead alone never explains a compute layer's cost at
+  // stage resolution >= 8x8 with >= 16 channels.
+  if (op == nb201::Op::kConv3x3) {
+    EXPECT_GT(cycles, 10.0 * McuSpec{}.layer_overhead_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpStageSweep, OpLatencyTest,
+    ::testing::Values(OpStageCase{nb201::Op::kSkipConnect, 0}, OpStageCase{nb201::Op::kSkipConnect, 2},
+                      OpStageCase{nb201::Op::kAvgPool3x3, 0}, OpStageCase{nb201::Op::kAvgPool3x3, 1},
+                      OpStageCase{nb201::Op::kConv1x1, 0}, OpStageCase{nb201::Op::kConv1x1, 2},
+                      OpStageCase{nb201::Op::kConv3x3, 0}, OpStageCase{nb201::Op::kConv3x3, 1},
+                      OpStageCase{nb201::Op::kConv3x3, 2}));
+
+// ---------------------------------------------------------------------------
+// Surrogate noise calibration across datasets.
+
+class DatasetNoiseTest : public ::testing::TestWithParam<nb201::Dataset> {};
+
+TEST_P(DatasetNoiseTest, TrialNoiseMatchesConfiguredStddev) {
+  const nb201::Dataset d = GetParam();
+  const nb201::SurrogateOracle oracle;
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(nb201::Op::kConv1x1);
+  const nb201::Genotype g(ops);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200;
+  for (int t = 0; t < n; ++t) {
+    const double a = oracle.accuracy(g, d, t);
+    sum += a;
+    sq += a * a;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(std::max(sq / n - mean * mean, 0.0));
+  const double expected = nb201::surrogate_params(d).noise_stddev;
+  EXPECT_NEAR(stddev, expected, 0.5 * expected + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetNoiseTest,
+                         ::testing::Values(nb201::Dataset::kCifar10, nb201::Dataset::kCifar100,
+                                           nb201::Dataset::kImageNet16));
+
+}  // namespace
+}  // namespace micronas

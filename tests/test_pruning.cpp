@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/mcusim/profiler.hpp"
+#include "src/nb201/features.hpp"
+#include "src/search/pruning_search.hpp"
+
+namespace micronas {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<LatencyEstimator> estimator;
+  std::unique_ptr<ProxySuite> suite;
+  std::unique_ptr<SupernetHwModel> hw;
+
+  explicit Fixture(std::uint64_t seed = 1) {
+    Rng rng(seed);
+    ProfilerOptions popts;
+    popts.deterministic = true;
+    LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, popts);
+    estimator = std::make_unique<LatencyEstimator>(
+        std::move(table), profile_constant_overhead_ms(McuSpec{}, rng, popts));
+
+    ProxySuiteConfig cfg;
+    cfg.proxy_net.input_size = 8;
+    cfg.proxy_net.base_channels = 4;
+    cfg.lr.grid = 8;
+    cfg.lr.input_size = 8;
+    Tensor probe(Shape{8, 3, 8, 8});
+    Rng data_rng(seed + 100);
+    data_rng.fill_normal(probe.data());
+    suite = std::make_unique<ProxySuite>(cfg, std::move(probe), estimator.get());
+    hw = std::make_unique<SupernetHwModel>(MacroNetConfig{}, estimator.get());
+  }
+};
+
+TEST(PruningSearch, ReducesToSingletonIn84Evals) {
+  Fixture f;
+  PruningSearchConfig cfg;
+  cfg.weights = IndicatorWeights::te_nas();
+  Rng rng(2);
+  const PruningSearchResult res = pruning_search(*f.suite, *f.hw, cfg, rng);
+  // 6*(5+4+3+2) = 84 candidate evaluations, 24 prune decisions.
+  EXPECT_EQ(res.proxy_evals, 84);
+  EXPECT_EQ(res.decisions.size(), 24U);
+  // The result is a valid concrete genotype (constructible, encodable).
+  EXPECT_GE(res.genotype.index(), 0);
+  EXPECT_LT(res.genotype.index(), nb201::kNumArchitectures);
+}
+
+TEST(PruningSearch, DecisionsCoverEveryEdgeEveryRound) {
+  Fixture f;
+  PruningSearchConfig cfg;
+  Rng rng(3);
+  const PruningSearchResult res = pruning_search(*f.suite, *f.hw, cfg, rng);
+  std::array<std::array<int, nb201::kNumEdges>, 4> seen{};
+  for (const auto& d : res.decisions) {
+    ASSERT_GE(d.round, 0);
+    ASSERT_LT(d.round, 4);
+    ++seen[static_cast<std::size_t>(d.round)][static_cast<std::size_t>(d.edge)];
+  }
+  for (int r = 0; r < 4; ++r) {
+    for (int e = 0; e < nb201::kNumEdges; ++e) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(r)][static_cast<std::size_t>(e)], 1)
+          << "round " << r << " edge " << e;
+    }
+  }
+}
+
+TEST(PruningSearch, LatencyWeightPullsTowardFasterCells) {
+  // The paper's core hardware-aware claim: adding a latency term to the
+  // objective steers pruning toward cheaper cells. With a strong weight
+  // the discovered model must be no slower than the trainless baseline.
+  Fixture f_base(11), f_hw(11);
+  Rng rng_a(4), rng_b(4);
+
+  PruningSearchConfig base_cfg;
+  base_cfg.weights = IndicatorWeights::te_nas();
+  const auto base = pruning_search(*f_base.suite, *f_base.hw, base_cfg, rng_a);
+
+  PruningSearchConfig hw_cfg;
+  hw_cfg.weights = IndicatorWeights::latency_guided(3.0);
+  const auto fast = pruning_search(*f_hw.suite, *f_hw.hw, hw_cfg, rng_b);
+
+  const double base_ms = f_base.estimator->estimate_ms(build_macro_model(base.genotype));
+  const double fast_ms = f_hw.estimator->estimate_ms(build_macro_model(fast.genotype));
+  EXPECT_LE(fast_ms, base_ms * 1.001);
+}
+
+TEST(PruningSearch, RejectsBadConfig) {
+  Fixture f;
+  PruningSearchConfig cfg;
+  cfg.proxy_repeats = 0;
+  Rng rng(5);
+  EXPECT_THROW(pruning_search(*f.suite, *f.hw, cfg, rng), std::invalid_argument);
+}
+
+TEST(PruningSearch, WallTimeRecorded) {
+  Fixture f;
+  PruningSearchConfig cfg;
+  Rng rng(6);
+  const auto res = pruning_search(*f.suite, *f.hw, cfg, rng);
+  EXPECT_GT(res.wall_seconds, 0.0);
+}
+
+
+class PruningWeightsTest : public ::testing::TestWithParam<IndicatorWeights> {};
+
+TEST_P(PruningWeightsTest, NeverReturnsUntrainableCell) {
+  // The connectivity guard must hold under every weighting, including
+  // pathological hardware-only objectives that would otherwise strip
+  // the cell bare: the discovered genotype always keeps a live
+  // input->output path.
+  Fixture f(77);
+  PruningSearchConfig cfg;
+  cfg.weights = GetParam();
+  Rng rng(7);
+  const auto res = pruning_search(*f.suite, *f.hw, cfg, rng);
+  EXPECT_TRUE(nb201::analyze_cell(res.genotype).connected) << res.genotype.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightSweep, PruningWeightsTest,
+    ::testing::Values(IndicatorWeights::te_nas(), IndicatorWeights::latency_guided(8.0),
+                      IndicatorWeights::flops_guided(8.0),
+                      IndicatorWeights{0.0, 0.0, 1.0, 1.0},   // hardware only
+                      IndicatorWeights{0.0, 1.0, 0.0, 4.0}));
+
+}  // namespace
+}  // namespace micronas

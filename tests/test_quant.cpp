@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/latency_estimator.hpp"
+#include "src/hw/quant.hpp"
+#include "src/mcusim/profiler.hpp"
+
+namespace micronas {
+namespace {
+
+nb201::Genotype all_op(nb201::Op op) {
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(op);
+  return nb201::Genotype(ops);
+}
+
+TEST(Quant, RetagsEveryLayer) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  EXPECT_TRUE(model_is_uniform_precision(m, 32));
+  const MacroModel q = quantize_model(m);
+  EXPECT_TRUE(model_is_uniform_precision(q, 8));
+  EXPECT_EQ(q.layers.size(), m.layers.size());
+  EXPECT_THROW(quantize_model(m, QuantSpec{.bits = 7}), std::invalid_argument);
+}
+
+TEST(Quant, Int8CutsLatencySubstantially) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  const MacroModel q = quantize_model(m);
+  const double fp32_ms = simulate_network(m).latency_ms;
+  const double int8_ms = simulate_network(q).latency_ms;
+  EXPECT_LT(int8_ms, fp32_ms / 2.0);
+  EXPECT_GT(int8_ms, fp32_ms / 5.0);  // overheads do not quantize away
+}
+
+TEST(Quant, Int8RelievesSramPressure) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  EXPECT_TRUE(simulate_network(m).sram_pressure);  // 344 KB fp32 > 320 KB
+  const MacroModel q = quantize_model(m);
+  EXPECT_FALSE(simulate_network(q).sram_pressure);  // ~86 KB int8
+}
+
+TEST(Quant, MemoryAccountingUsesNarrowWidths) {
+  const MacroModel m = build_macro_model(all_op(nb201::Op::kConv3x3));
+  const MemoryReport fp32 = analyze_quantized_memory(m, QuantSpec{.bits = 32});
+  const MemoryReport int8 = analyze_quantized_memory(quantize_model(m));
+  EXPECT_LT(int8.peak_sram_bytes, fp32.peak_sram_bytes / 2);
+  EXPECT_LT(int8.flash_bytes, fp32.flash_bytes / 2);
+  // int8 flash includes per-channel quantizer metadata.
+  MemoryModelSpec raw;
+  raw.bytes_per_activation = 1;
+  raw.bytes_per_weight = 1;
+  EXPECT_GT(int8.flash_bytes, analyze_memory(m, raw).flash_bytes);
+}
+
+TEST(Quant, AccuracyPenaltyApplied) {
+  EXPECT_DOUBLE_EQ(quantized_accuracy(94.0), 93.6);
+  EXPECT_DOUBLE_EQ(quantized_accuracy(94.0, QuantSpec{.bits = 16}), 94.0);
+  EXPECT_DOUBLE_EQ(quantized_accuracy(94.0, QuantSpec{.bits = 32}), 94.0);
+  EXPECT_DOUBLE_EQ(quantized_accuracy(0.1), 0.0);  // clamped at zero
+}
+
+TEST(Quant, LatencyTableKeysPrecisionSeparately) {
+  Rng rng(1);
+  ProfilerOptions opts;
+  opts.deterministic = true;
+  const LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, opts);
+
+  LayerSpec conv;
+  conv.kind = LayerKind::kConv;
+  conv.cin = 16;
+  conv.cout = 16;
+  conv.h = 32;
+  conv.w = 32;
+  conv.kernel = 3;
+  conv.stride = 1;
+  conv.pad = 1;
+  conv.out_h = 32;
+  conv.out_w = 32;
+  const auto fp32 = table.lookup(LatencyKey::from_spec(conv));
+  LayerSpec q = conv;
+  q.bits = 8;
+  const auto int8 = table.lookup(LatencyKey::from_spec(q));
+  ASSERT_TRUE(fp32.has_value());
+  ASSERT_TRUE(int8.has_value());
+  EXPECT_LT(*int8, *fp32);
+}
+
+TEST(Quant, EstimatorTracksQuantizedSimulation) {
+  Rng rng(2);
+  ProfilerOptions opts;
+  opts.deterministic = true;
+  LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, opts);
+  const LatencyEstimator est(std::move(table),
+                             profile_constant_overhead_ms(McuSpec{}, rng, opts));
+  const MacroModel q = quantize_model(build_macro_model(all_op(nb201::Op::kConv1x1)));
+  const double est_ms = est.estimate_ms(q);
+  const double sim_ms = simulate_network(q).latency_ms;
+  EXPECT_NEAR(est_ms, sim_ms, 0.15 * sim_ms);
+}
+
+}  // namespace
+}  // namespace micronas

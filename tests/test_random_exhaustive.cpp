@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/mcusim/profiler.hpp"
+#include "src/search/cost_model.hpp"
+#include "src/search/exhaustive.hpp"
+#include "src/search/random_search.hpp"
+
+namespace micronas {
+namespace {
+
+std::unique_ptr<ProxySuite> make_suite(const LatencyEstimator* est, std::uint64_t seed = 1) {
+  ProxySuiteConfig cfg;
+  cfg.proxy_net.input_size = 8;
+  cfg.proxy_net.base_channels = 4;
+  cfg.lr.grid = 8;
+  cfg.lr.input_size = 8;
+  Tensor probe(Shape{6, 3, 8, 8});
+  Rng rng(seed);
+  rng.fill_normal(probe.data());
+  return std::make_unique<ProxySuite>(cfg, std::move(probe), est);
+}
+
+TEST(RandomSearch, EvaluatesRequestedBudget) {
+  auto suite = make_suite(nullptr);
+  RandomSearchConfig cfg;
+  cfg.num_samples = 10;
+  cfg.weights = IndicatorWeights::te_nas();
+  Rng rng(2);
+  const auto res = random_search(*suite, cfg, rng);
+  EXPECT_EQ(res.proxy_evals, 10);
+  EXPECT_GE(res.indicators.ntk_condition, 1.0);
+}
+
+TEST(RandomSearch, ConstraintRespectedWhenFeasibleExists) {
+  auto suite = make_suite(nullptr, 3);
+  RandomSearchConfig cfg;
+  cfg.num_samples = 30;
+  cfg.constraints.max_flops_m = 80.0;  // excludes conv3x3-heavy cells
+  Rng rng(3);
+  const auto res = random_search(*suite, cfg, rng);
+  EXPECT_LE(res.indicators.flops_m, 80.0);
+}
+
+TEST(RandomSearch, RejectsBadBudget) {
+  auto suite = make_suite(nullptr);
+  RandomSearchConfig cfg;
+  cfg.num_samples = 0;
+  Rng rng(4);
+  EXPECT_THROW(random_search(*suite, cfg, rng), std::invalid_argument);
+}
+
+TEST(Exhaustive, RecordsWholeSpace) {
+  const nb201::SurrogateOracle oracle;
+  const auto records = exhaustive_records(oracle, nb201::Dataset::kCifar10, MacroNetConfig{},
+                                          nullptr);
+  EXPECT_EQ(records.size(), static_cast<std::size_t>(nb201::kNumArchitectures));
+  // Sanity on ranges.
+  for (int i = 0; i < 100; ++i) {
+    const auto& r = records[static_cast<std::size_t>(i * 151)];
+    EXPECT_GT(r.accuracy, 0.0);
+    EXPECT_GE(r.flops_m, 0.0);
+    EXPECT_GT(r.params_m, 0.0);
+  }
+}
+
+TEST(Exhaustive, BestByAccuracyRespectsConstraints) {
+  const nb201::SurrogateOracle oracle;
+  const auto records = exhaustive_records(oracle, nb201::Dataset::kCifar10, MacroNetConfig{},
+                                          nullptr);
+  Constraints c;
+  c.max_params_m = 0.4;
+  const ArchRecord& best = best_by_accuracy(records, c);
+  EXPECT_LE(best.params_m, 0.4);
+
+  const ArchRecord& unconstrained = best_by_accuracy(records, Constraints{});
+  EXPECT_GE(unconstrained.accuracy, best.accuracy);
+
+  Constraints impossible;
+  impossible.max_params_m = 1e-9;
+  EXPECT_THROW(best_by_accuracy(records, impossible), std::runtime_error);
+}
+
+TEST(Exhaustive, ParetoFrontIsMonotone) {
+  const nb201::SurrogateOracle oracle;
+  auto records = exhaustive_records(oracle, nb201::Dataset::kCifar10, MacroNetConfig{}, nullptr);
+  const auto front = pareto_front(std::move(records));
+  ASSERT_GT(front.size(), 2U);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].flops_m, front[i - 1].flops_m);  // cost ascending
+    EXPECT_GT(front[i].accuracy, front[i - 1].accuracy);  // accuracy strictly up
+  }
+}
+
+TEST(CostModelAccounting, RatiosMatchPaperCalibration) {
+  const CostModel cm;
+  // 1000-eval trained search = 552 GPU-h (µNAS row).
+  EXPECT_NEAR(cm.trained_search_gpu_hours(1000), 552.0, 1e-9);
+  // 84-eval proxy search = 0.43 GPU-h (TE-NAS / MicroNAS row).
+  EXPECT_NEAR(cm.proxy_search_gpu_hours(84), 0.43, 1e-9);
+  // The paper's headline: ~1104x efficiency (552 / 0.5 as reported).
+  const double ratio = search_efficiency_ratio(cm.trained_search_gpu_hours(1000),
+                                               cm.proxy_search_gpu_hours(84));
+  EXPECT_GT(ratio, 1000.0);
+  EXPECT_LT(ratio, 1400.0);
+  EXPECT_THROW(search_efficiency_ratio(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace micronas

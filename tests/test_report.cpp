@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include "src/core/report.hpp"
+
+namespace micronas {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"Name", "Value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "23456"});
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthChecked) {
+  TablePrinter t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, EmptyHeadersThrow) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumericFormatting) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::fmt_int(1234), "1234");
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/rng.hpp"
+
+namespace micronas {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5U);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, UniformIntThrowsOnBadRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, IndexThrowsOnEmpty) {
+  Rng rng(7);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(123);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.08);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(9);
+  const auto picks = rng.sample_without_replacement(100, 50);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 50U);
+  for (const auto p : picks) EXPECT_LT(p, 100U);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(9);
+  const auto picks = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10U);
+}
+
+TEST(Rng, SampleWithoutReplacementThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(5);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  // Children should produce different streams.
+  int same = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (c1.uniform() == c2.uniform()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, FillNormalFillsAll) {
+  Rng rng(3);
+  std::vector<float> v(64, -100.0F);
+  rng.fill_normal(v, 0.0F, 1.0F);
+  EXPECT_TRUE(std::none_of(v.begin(), v.end(), [](float x) { return x == -100.0F; }));
+}
+
+TEST(HashUtils, SplitMixAvalanche) {
+  // Single-bit input changes should flip roughly half the output bits.
+  const std::uint64_t a = splitmix64(0x1234);
+  const std::uint64_t b = splitmix64(0x1235);
+  const int bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+TEST(HashUtils, HashToUniformRange) {
+  for (std::uint64_t h = 0; h < 1000; ++h) {
+    const double u = hash_to_uniform(h);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashUtils, HashToNormalMoments) {
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = hash_to_normal(static_cast<std::uint64_t>(i) * 2654435761ULL);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(sq / n - mean * mean, 1.0, 0.1);
+}
+
+TEST(HashUtils, HashToNormalDeterministic) {
+  EXPECT_DOUBLE_EQ(hash_to_normal(99), hash_to_normal(99));
+}
+
+}  // namespace
+}  // namespace micronas

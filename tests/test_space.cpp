@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/nb201/space.hpp"
+
+namespace micronas::nb201 {
+namespace {
+
+TEST(Space, EnumerationCompleteAndUnique) {
+  const auto all = enumerate_space();
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kNumArchitectures));
+  std::set<int> indices;
+  for (const auto& g : all) indices.insert(g.index());
+  EXPECT_EQ(indices.size(), all.size());
+}
+
+TEST(Space, RandomGenotypeCoversOps) {
+  Rng rng(1);
+  std::set<Op> seen;
+  for (int i = 0; i < 200; ++i) {
+    const Genotype g = random_genotype(rng);
+    for (int e = 0; e < kNumEdges; ++e) seen.insert(g.op(e));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumOps));
+}
+
+TEST(Space, SampleWithoutReplacementUnique) {
+  Rng rng(2);
+  const auto sample = sample_genotypes(rng, 500);
+  std::set<int> indices;
+  for (const auto& g : sample) indices.insert(g.index());
+  EXPECT_EQ(indices.size(), 500U);
+  EXPECT_THROW(sample_genotypes(rng, kNumArchitectures + 1), std::invalid_argument);
+}
+
+TEST(Space, NeighborsCount) {
+  const Genotype g = Genotype::from_index(777);
+  const auto ns = neighbors(g);
+  EXPECT_EQ(ns.size(), static_cast<std::size_t>(kNumEdges * (kNumOps - 1)));
+  // Every neighbour differs on exactly one edge.
+  for (const auto& n : ns) {
+    int diffs = 0;
+    for (int e = 0; e < kNumEdges; ++e) {
+      if (n.op(e) != g.op(e)) ++diffs;
+    }
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(Space, MutateChangesOneEdge) {
+  Rng rng(3);
+  const Genotype g = Genotype::from_index(1234);
+  for (int i = 0; i < 50; ++i) {
+    const Genotype m = mutate(g, rng);
+    int diffs = 0;
+    for (int e = 0; e < kNumEdges; ++e) {
+      if (m.op(e) != g.op(e)) ++diffs;
+    }
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(OpSet, FullSupernet) {
+  const OpSet s = OpSet::full();
+  EXPECT_EQ(s.total_ops(), kNumEdges * kNumOps);
+  EXPECT_EQ(s.cardinality(), static_cast<long long>(kNumArchitectures));
+  EXPECT_FALSE(s.is_singleton());
+}
+
+TEST(OpSet, RemoveShrinks) {
+  OpSet s = OpSet::full();
+  s.remove(0, Op::kNone);
+  EXPECT_EQ(s.total_ops(), kNumEdges * kNumOps - 1);
+  EXPECT_FALSE(s.contains(0, Op::kNone));
+  EXPECT_TRUE(s.contains(1, Op::kNone));
+  EXPECT_THROW(s.remove(0, Op::kNone), std::invalid_argument);  // already gone
+}
+
+TEST(OpSet, CannotEmptyEdge) {
+  OpSet s = OpSet::full();
+  for (Op op : {Op::kNone, Op::kSkipConnect, Op::kConv1x1, Op::kConv3x3}) s.remove(2, op);
+  EXPECT_EQ(s.ops_on_edge(2).size(), 1U);
+  EXPECT_THROW(s.remove(2, Op::kAvgPool3x3), std::logic_error);
+}
+
+TEST(OpSet, ToGenotypeRequiresSingleton) {
+  OpSet s = OpSet::full();
+  EXPECT_THROW(s.to_genotype(), std::logic_error);
+  for (int e = 0; e < kNumEdges; ++e) {
+    for (Op op : {Op::kNone, Op::kSkipConnect, Op::kConv1x1, Op::kAvgPool3x3}) s.remove(e, op);
+  }
+  ASSERT_TRUE(s.is_singleton());
+  const Genotype g = s.to_genotype();
+  for (int e = 0; e < kNumEdges; ++e) EXPECT_EQ(g.op(e), Op::kConv3x3);
+}
+
+TEST(OpSet, SampleRespectsRemainingOps) {
+  Rng rng(4);
+  OpSet s = OpSet::full();
+  for (int e = 0; e < kNumEdges; ++e) {
+    s.remove(e, Op::kNone);
+    s.remove(e, Op::kAvgPool3x3);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const Genotype g = s.sample(rng);
+    for (int e = 0; e < kNumEdges; ++e) {
+      EXPECT_NE(g.op(e), Op::kNone);
+      EXPECT_NE(g.op(e), Op::kAvgPool3x3);
+    }
+  }
+}
+
+TEST(OpSet, EdgeBoundsChecked) {
+  OpSet s = OpSet::full();
+  EXPECT_THROW(s.ops_on_edge(-1), std::out_of_range);
+  EXPECT_THROW(s.ops_on_edge(6), std::out_of_range);
+  EXPECT_THROW(s.remove(6, Op::kNone), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace micronas::nb201

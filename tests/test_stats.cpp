@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/stats/correlation.hpp"
+#include "src/stats/ranking.hpp"
+#include "src/stats/summary.hpp"
+
+namespace micronas::stats {
+namespace {
+
+TEST(KendallTau, PerfectAgreement) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, y), 1.0);
+}
+
+TEST(KendallTau, PerfectDisagreement) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, y), -1.0);
+}
+
+TEST(KendallTau, KnownMixedValue) {
+  // Pairs: (1,3),(2,1),(3,2): concordant = 1, discordant = 2 -> tau = -1/3.
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {3, 1, 2};
+  EXPECT_NEAR(kendall_tau(x, y), -1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTau, TieCorrection) {
+  const std::vector<double> x = {1, 1, 2, 3};
+  const std::vector<double> y = {1, 2, 3, 4};
+  const double tau = kendall_tau(x, y);
+  EXPECT_GT(tau, 0.8);  // strongly concordant despite the tie
+  EXPECT_LT(tau, 1.0);  // but not perfect under tau-b
+}
+
+TEST(KendallTau, AllTiedIsZero) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, y), 0.0);
+}
+
+TEST(KendallTau, IndependentNearZero) {
+  Rng rng(42);
+  std::vector<double> x(500), y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(kendall_tau(x, y), 0.0, 0.08);
+}
+
+TEST(KendallTau, SizeMismatchThrows) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(kendall_tau(x, y), std::invalid_argument);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // x^3
+  EXPECT_NEAR(spearman_rho(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTiesViaAverageRanks) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {1, 2, 3, 4};
+  const double rho = spearman_rho(x, y);
+  EXPECT_GT(rho, 0.9);
+}
+
+TEST(Pearson, LinearExact) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {3, 5, 7};  // y = 2x + 1
+  EXPECT_NEAR(pearson_r(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson_r(x, y), 0.0);
+}
+
+TEST(AverageRanks, TiesAveraged) {
+  const std::vector<double> v = {10, 20, 20, 30};
+  const auto r = average_ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(OrdinalRanks, AscendingAndDescending) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  const auto asc = ordinal_ranks_ascending(v);
+  EXPECT_EQ(asc[0], 2);
+  EXPECT_EQ(asc[1], 0);
+  EXPECT_EQ(asc[2], 1);
+  const auto desc = ordinal_ranks_descending(v);
+  EXPECT_EQ(desc[0], 0);
+  EXPECT_EQ(desc[1], 2);
+  EXPECT_EQ(desc[2], 1);
+}
+
+TEST(OrdinalRanks, StableOnTies) {
+  const std::vector<double> v = {5.0, 5.0, 5.0};
+  const auto asc = ordinal_ranks_ascending(v);
+  EXPECT_EQ(asc[0], 0);
+  EXPECT_EQ(asc[1], 1);
+  EXPECT_EQ(asc[2], 2);
+}
+
+TEST(ArgMinMax, FirstOnTies) {
+  const std::vector<double> v = {2.0, 1.0, 1.0, 3.0, 3.0};
+  EXPECT_EQ(argmin(v), 1U);
+  EXPECT_EQ(argmax(v), 3U);
+  EXPECT_THROW(argmin(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Summary, BasicStats) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5U);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summary, SingleElement) {
+  const std::vector<double> v = {7.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 10.0);
+  EXPECT_THROW(percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(Mape, KnownValue) {
+  const std::vector<double> pred = {110, 90};
+  const std::vector<double> ref = {100, 100};
+  EXPECT_NEAR(mape(pred, ref), 0.10, 1e-12);
+}
+
+TEST(Mape, SkipsZeroReferences) {
+  const std::vector<double> pred = {5, 110};
+  const std::vector<double> ref = {0, 100};
+  EXPECT_NEAR(mape(pred, ref), 0.10, 1e-12);
+}
+
+}  // namespace
+}  // namespace micronas::stats

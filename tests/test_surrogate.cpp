@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/nb201/space.hpp"
+#include "src/nb201/surrogate.hpp"
+#include "src/stats/correlation.hpp"
+
+namespace micronas::nb201 {
+namespace {
+
+TEST(Dataset, NamesRoundTrip) {
+  for (int i = 0; i < kNumDatasets; ++i) {
+    const auto d = static_cast<Dataset>(i);
+    EXPECT_EQ(dataset_from_name(dataset_name(d)), d);
+  }
+  EXPECT_THROW(dataset_from_name("mnist"), std::invalid_argument);
+}
+
+TEST(Surrogate, Deterministic) {
+  const SurrogateOracle oracle;
+  const Genotype g = Genotype::from_index(4321);
+  EXPECT_DOUBLE_EQ(oracle.accuracy(g, Dataset::kCifar10, 0),
+                   oracle.accuracy(g, Dataset::kCifar10, 0));
+}
+
+TEST(Surrogate, TrialsDiffer) {
+  const SurrogateOracle oracle;
+  const Genotype g = Genotype::from_index(9000);
+  EXPECT_NE(oracle.accuracy(g, Dataset::kCifar10, 0), oracle.accuracy(g, Dataset::kCifar10, 1));
+}
+
+TEST(Surrogate, DisconnectedIsChanceLevel) {
+  const SurrogateOracle oracle;
+  const Genotype g;  // all none
+  EXPECT_NEAR(oracle.accuracy(g, Dataset::kCifar10), 10.0, 0.5);
+  EXPECT_NEAR(oracle.accuracy(g, Dataset::kCifar100), 1.0, 0.5);
+  EXPECT_NEAR(oracle.accuracy(g, Dataset::kImageNet16), 100.0 / 120.0, 0.5);
+}
+
+TEST(Surrogate, AllConv3x3NearPublishedOptimum) {
+  const SurrogateOracle oracle;
+  std::array<Op, kNumEdges> ops;
+  ops.fill(Op::kConv3x3);
+  const Genotype g(ops);
+  EXPECT_NEAR(oracle.mean_accuracy(g, Dataset::kCifar10), 94.0, 1.5);
+  EXPECT_NEAR(oracle.mean_accuracy(g, Dataset::kCifar100), 71.5, 3.0);
+  EXPECT_NEAR(oracle.mean_accuracy(g, Dataset::kImageNet16), 44.0, 4.0);
+}
+
+TEST(Surrogate, BestArchWithResidualBeatsSkipOnly) {
+  const SurrogateOracle oracle;
+  std::array<Op, kNumEdges> conv;
+  conv.fill(Op::kConv3x3);
+  conv[static_cast<std::size_t>(edge_index(0, 3))] = Op::kSkipConnect;
+  std::array<Op, kNumEdges> skips;
+  skips.fill(Op::kSkipConnect);
+  EXPECT_GT(oracle.mean_accuracy(Genotype(conv), Dataset::kCifar10),
+            oracle.mean_accuracy(Genotype(skips), Dataset::kCifar10) + 10.0);
+}
+
+TEST(Surrogate, AccuracyWithinBounds) {
+  const SurrogateOracle oracle;
+  for (int i = 0; i < kNumArchitectures; i += 61) {
+    const Genotype g = Genotype::from_index(i);
+    for (int d = 0; d < kNumDatasets; ++d) {
+      const double acc = oracle.accuracy(g, static_cast<Dataset>(d));
+      EXPECT_GT(acc, 0.0);
+      EXPECT_LE(acc, 100.0);
+    }
+  }
+}
+
+TEST(Surrogate, StructuralScoreMonotoneInConvMass) {
+  const SurrogateOracle oracle;
+  // Adding a conv3x3 on a live edge should not reduce the score.
+  Genotype base;
+  base.set_op(edge_index(0, 1), Op::kSkipConnect);
+  base.set_op(edge_index(1, 3), Op::kSkipConnect);
+  Genotype more = base;
+  more.set_op(edge_index(0, 1), Op::kConv3x3);
+  EXPECT_GT(oracle.structural_score(more, Dataset::kCifar10),
+            oracle.structural_score(base, Dataset::kCifar10));
+}
+
+TEST(Surrogate, DatasetsRankSimilarButNotIdentical) {
+  const SurrogateOracle oracle;
+  Rng rng(5);
+  const auto sample = sample_genotypes(rng, 300);
+  std::vector<double> c10, c100;
+  for (const auto& g : sample) {
+    c10.push_back(oracle.mean_accuracy(g, Dataset::kCifar10));
+    c100.push_back(oracle.mean_accuracy(g, Dataset::kCifar100));
+  }
+  const double tau = stats::kendall_tau(c10, c100);
+  EXPECT_GT(tau, 0.5);   // the real tables correlate strongly across datasets
+  EXPECT_LT(tau, 0.995); // but not perfectly
+}
+
+TEST(Surrogate, NoiseSeedShiftsReplicates) {
+  const SurrogateOracle a(777), b(778);
+  const Genotype g = Genotype::from_index(5555);
+  EXPECT_NE(a.accuracy(g, Dataset::kCifar10), b.accuracy(g, Dataset::kCifar10));
+}
+
+TEST(Surrogate, MeanAccuracyAveragesTrials) {
+  const SurrogateOracle oracle;
+  const Genotype g = Genotype::from_index(321);
+  const double mean = oracle.mean_accuracy(g, Dataset::kCifar10, 3);
+  const double manual = (oracle.accuracy(g, Dataset::kCifar10, 0) +
+                         oracle.accuracy(g, Dataset::kCifar10, 1) +
+                         oracle.accuracy(g, Dataset::kCifar10, 2)) / 3.0;
+  EXPECT_DOUBLE_EQ(mean, manual);
+  EXPECT_THROW(oracle.mean_accuracy(g, Dataset::kCifar10, 0), std::invalid_argument);
+}
+
+TEST(Surrogate, GlobalMaximumIsRealistic) {
+  // Scan the whole space: the best CIFAR-10 cell should land near the
+  // published 94.37 % optimum and be conv-heavy.
+  const SurrogateOracle oracle;
+  double best = 0.0;
+  Genotype best_g;
+  for (int i = 0; i < kNumArchitectures; ++i) {
+    const Genotype g = Genotype::from_index(i);
+    const double acc = oracle.mean_accuracy(g, Dataset::kCifar10);
+    if (acc > best) {
+      best = acc;
+      best_g = g;
+    }
+  }
+  EXPECT_GT(best, 93.0);
+  EXPECT_LT(best, 96.5);
+  int convs = 0;
+  for (int e = 0; e < kNumEdges; ++e) {
+    if (op_has_params(best_g.op(e))) ++convs;
+  }
+  EXPECT_GE(convs, 3);
+}
+
+}  // namespace
+}  // namespace micronas::nb201

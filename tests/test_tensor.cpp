@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.hpp"
+
+namespace micronas {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[3], 5);
+  EXPECT_EQ(s.numel(), 120U);
+}
+
+TEST(Shape, RejectsNonPositiveDims) {
+  EXPECT_THROW(Shape({0, 3}), std::invalid_argument);
+  EXPECT_THROW(Shape({-1}), std::invalid_argument);
+}
+
+TEST(Shape, RejectsBadRank) {
+  EXPECT_THROW(Shape(std::vector<int>{}), std::invalid_argument);
+  EXPECT_THROW(Shape({1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(Shape, IndexOutOfRangeThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s[2], std::out_of_range);
+  EXPECT_THROW(s[-1], std::out_of_range);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 2});
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t(Shape{3}, 2.5F);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 2.5F);
+}
+
+TEST(Tensor, FromVectorSizeChecked) {
+  EXPECT_NO_THROW(Tensor::from_vector(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_vector(Shape{2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, NchwIndexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0F;
+  // Last element of the buffer.
+  EXPECT_EQ(t[t.numel() - 1], 7.0F);
+  t.at(0, 0, 0, 0) = 3.0F;
+  EXPECT_EQ(t[0], 3.0F);
+}
+
+TEST(Tensor, Rank2Indexing) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 9.0F;
+  EXPECT_EQ(t[5], 9.0F);
+}
+
+TEST(Tensor, WrongRankAccessorThrows) {
+  Tensor r2(Shape{2, 3});
+  EXPECT_THROW(r2.at(0, 0, 0, 0), std::logic_error);
+  Tensor r4(Shape{1, 1, 2, 2});
+  EXPECT_THROW(r4.at(0, 0), std::logic_error);
+}
+
+TEST(Tensor, AddInPlace) {
+  Tensor a = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  Tensor b = Tensor::from_vector(Shape{3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a[0], 11.0F);
+  EXPECT_EQ(a[2], 33.0F);
+}
+
+TEST(Tensor, AddShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+}
+
+TEST(Tensor, ScaleAndAxpy) {
+  Tensor a = Tensor::from_vector(Shape{2}, {1, 2});
+  a.scale_(3.0F);
+  EXPECT_EQ(a[1], 6.0F);
+  Tensor b = Tensor::from_vector(Shape{2}, {1, 1});
+  a.axpy_(2.0F, b);
+  EXPECT_EQ(a[0], 5.0F);
+  EXPECT_EQ(a[1], 8.0F);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor a = Tensor::from_vector(Shape{4}, {1, -5, 3, 1});
+  EXPECT_FLOAT_EQ(a.sum(), 0.0F);
+  EXPECT_FLOAT_EQ(a.abs_max(), 5.0F);
+  Tensor b = Tensor::from_vector(Shape{4}, {1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(b.l2_norm(), 2.0);
+}
+
+TEST(Tensor, SliceSample) {
+  Tensor t(Shape{2, 1, 2, 2});
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  const Tensor s1 = t.slice_sample(1);
+  EXPECT_EQ(s1.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_EQ(s1[0], 4.0F);
+  EXPECT_EQ(s1[3], 7.0F);
+  EXPECT_THROW(t.slice_sample(2), std::out_of_range);
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor t(Shape{1, 1, 8, 8});
+  const std::string s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace micronas

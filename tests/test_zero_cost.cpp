@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/proxies/zero_cost.hpp"
+
+namespace micronas {
+namespace {
+
+CellNetConfig tiny_config() {
+  CellNetConfig cfg;
+  cfg.input_size = 8;
+  cfg.base_channels = 4;
+  cfg.num_classes = 10;
+  return cfg;
+}
+
+nb201::Genotype all_op(nb201::Op op) {
+  std::array<nb201::Op, nb201::kNumEdges> ops;
+  ops.fill(op);
+  return nb201::Genotype(ops);
+}
+
+Tensor probe(int n, const CellNetConfig& cfg, Rng& rng) {
+  Tensor t(Shape{n, cfg.input_channels, cfg.input_size, cfg.input_size});
+  rng.fill_normal(t.data());
+  return t;
+}
+
+TEST(Synflow, PositiveAndFinite) {
+  Rng rng(1);
+  const auto res = synflow_score(all_op(nb201::Op::kConv3x3), tiny_config(), rng);
+  EXPECT_GT(res.score, 0.0);
+  EXPECT_TRUE(std::isfinite(res.score));
+  EXPECT_DOUBLE_EQ(res.log_score, std::log1p(res.score));
+}
+
+TEST(Synflow, MoreCapacityMoreSaliency) {
+  Rng a(2), b(2);
+  const auto conv = synflow_score(all_op(nb201::Op::kConv3x3), tiny_config(), a);
+  const auto skip = synflow_score(all_op(nb201::Op::kSkipConnect), tiny_config(), b);
+  EXPECT_GT(conv.score, skip.score);
+}
+
+TEST(Synflow, DisconnectedCellStillHasSkeletonSaliency) {
+  // Saliency flows through stem/reductions/head even when the cell
+  // zeroes everything... except the zeroed cell blocks the path, so
+  // the score collapses to (numerically) zero.
+  Rng rng(3);
+  const auto none = synflow_score(nb201::Genotype{}, tiny_config(), rng);
+  Rng rng2(3);
+  const auto conv = synflow_score(all_op(nb201::Op::kConv1x1), tiny_config(), rng2);
+  EXPECT_LT(none.score, conv.score * 1e-6);
+}
+
+TEST(Synflow, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  EXPECT_DOUBLE_EQ(synflow_score(all_op(nb201::Op::kConv1x1), tiny_config(), a).score,
+                   synflow_score(all_op(nb201::Op::kConv1x1), tiny_config(), b).score);
+}
+
+TEST(GradNorm, PositiveForTrainableCell) {
+  Rng rng(4);
+  const CellNetConfig cfg = tiny_config();
+  Rng data_rng(5);
+  const Tensor images = probe(4, cfg, data_rng);
+  const auto res = grad_norm_score(all_op(nb201::Op::kConv3x3), cfg, images, rng);
+  EXPECT_GT(res.grad_norm, 0.0);
+}
+
+TEST(GradNorm, ScalesWithBatch) {
+  // Sum-of-logits gradients accumulate over samples: a larger batch
+  // cannot shrink the norm for the same net.
+  Rng rng_a(6), rng_b(6);
+  const CellNetConfig cfg = tiny_config();
+  Rng data_rng(7);
+  const Tensor big = probe(8, cfg, data_rng);
+  Tensor small(Shape{2, cfg.input_channels, cfg.input_size, cfg.input_size});
+  for (std::size_t i = 0; i < small.numel(); ++i) small[i] = big[i];
+  const auto r_small = grad_norm_score(all_op(nb201::Op::kConv1x1), cfg, small, rng_a);
+  const auto r_big = grad_norm_score(all_op(nb201::Op::kConv1x1), cfg, big, rng_b);
+  EXPECT_GT(r_big.grad_norm, 0.0);
+  EXPECT_GT(r_small.grad_norm, 0.0);
+}
+
+TEST(GradNorm, RejectsBadInput) {
+  Rng rng(8);
+  Tensor bad(Shape{4, 4});
+  EXPECT_THROW(grad_norm_score(nb201::Genotype{}, tiny_config(), bad, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace micronas
