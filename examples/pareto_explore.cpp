@@ -4,6 +4,7 @@
 // trade-offs?" question a downstream user asks first.
 //
 //   ./pareto_explore --dataset cifar10 --rows 12
+//   ./pareto_explore --threads 0        # sweep on all hardware threads
 #include <iostream>
 
 #include "src/common/cli.hpp"
@@ -15,9 +16,10 @@ using namespace micronas;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {"dataset", "rows", "seed"});
+    const CliArgs args(argc, argv, {"dataset", "rows", "seed", "threads"});
     const auto dataset = nb201::dataset_from_name(args.get_string("dataset", "cifar10"));
     const int max_rows = args.get_int("rows", 12);
+    const int threads = args.get_int("threads", 1);
 
     // Apparatus: profiled estimator via the MicroNas facade (it owns
     // the profiling pipeline), reused for the exhaustive sweep.
@@ -30,12 +32,19 @@ int main(int argc, char** argv) {
     cfg.lr.grid = 10;
     cfg.lr.input_size = 8;
     cfg.weights = IndicatorWeights::latency_guided(2.0);
+    cfg.threads = threads;
     MicroNas nas(cfg);
 
     std::cout << "Enumerating all " << nb201::kNumArchitectures
               << " cells analytically (surrogate accuracy + LUT latency)...\n\n";
     const nb201::SurrogateOracle oracle;
-    auto records = exhaustive_records(oracle, dataset, MacroNetConfig{}, &nas.estimator());
+    // Fan the sweep over an analytic engine's worker pool; record order
+    // (and every value) is independent of the thread count.
+    EvalEngineConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.cache = false;  // every index visited exactly once
+    const ProxyEvalEngine sweep_engine(MacroNetConfig{}, &nas.estimator(), ecfg);
+    auto records = exhaustive_records(oracle, dataset, sweep_engine);
     const auto front = pareto_front(records);
 
     std::cout << "Pareto front (latency vs accuracy): " << front.size() << " points\n\n";

@@ -4,6 +4,7 @@
 //   ./quickstart                                   # a strong default cell
 //   ./quickstart --arch "|nor_conv_3x3~0|+|none~0|nor_conv_3x3~1|+..."
 //   ./quickstart --index 4096 --dataset cifar100
+//   ./quickstart --threads 4                       # parallel eval engine
 #include <iostream>
 
 #include "src/common/cli.hpp"
@@ -14,7 +15,7 @@ using namespace micronas;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {"arch", "index", "dataset", "seed"});
+    const CliArgs args(argc, argv, {"arch", "index", "dataset", "seed", "threads", "cache"});
 
     // Pick the architecture: by string, by index, or the classic
     // residual-style strong cell by default.
@@ -37,6 +38,8 @@ int main(int argc, char** argv) {
     cfg.proxy_net.base_channels = 4;
     cfg.lr.grid = 12;
     cfg.lr.input_size = 8;
+    cfg.threads = args.get_int("threads", 1);
+    cfg.cache = args.get_bool("cache", true);
 
     std::cout << "MicroNAS quickstart\n"
               << "  cell: " << genotype.to_string() << "\n"

@@ -4,7 +4,11 @@
 //
 //   ./search_under_latency --max-latency-ms 600
 //   ./search_under_latency --max-latency-ms 400 --dataset cifar100 --seed 3
-//   ./search_under_latency --max-flops-m 80
+//   ./search_under_latency --max-flops-m 80 --threads 8
+//
+// `--threads N` scores each pruning round's candidates on N workers
+// (0 = one per hardware thread); the discovered cell is identical for
+// every thread count. `--cache false` disables indicator memoization.
 #include <iostream>
 
 #include "src/common/cli.hpp"
@@ -17,7 +21,7 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
                        {"max-latency-ms", "max-flops-m", "max-params-m", "max-sram-kb",
-                        "dataset", "seed", "latency-weight"});
+                        "dataset", "seed", "latency-weight", "threads", "cache"});
 
     MicroNasConfig cfg;
     cfg.dataset = nb201::dataset_from_name(args.get_string("dataset", "cifar10"));
@@ -28,6 +32,8 @@ int main(int argc, char** argv) {
     cfg.lr.grid = 10;
     cfg.lr.input_size = 8;
     cfg.weights = IndicatorWeights::latency_guided(args.get_double("latency-weight", 1.0));
+    cfg.threads = args.get_int("threads", 1);
+    cfg.cache = args.get_bool("cache", true);
 
     if (args.has("max-latency-ms")) cfg.constraints.max_latency_ms = args.get_double("max-latency-ms", 0);
     if (args.has("max-flops-m")) cfg.constraints.max_flops_m = args.get_double("max-flops-m", 0);
@@ -60,6 +66,13 @@ int main(int argc, char** argv) {
     table.add_row({"Wall time", TablePrinter::fmt(m.wall_seconds, 1) + " s"});
     table.add_row({"Modeled search cost", TablePrinter::fmt(m.modeled_gpu_hours, 3) + " GPU-h"});
     table.add_row({"Adaptive rounds used", TablePrinter::fmt_int(m.adapt_rounds_used)});
+    table.add_row({"Eval threads", TablePrinter::fmt_int(nas.engine().threads())});
+    // Supernet scoring dominates this workflow; the overall rate folds
+    // in the (few) concrete-genotype requests as well.
+    table.add_row({"Supernet cache hits", TablePrinter::fmt_int(m.eval_stats.supernet_hits) +
+                                              " / " +
+                                              TablePrinter::fmt_int(m.eval_stats.supernet_requests)});
+    table.add_row({"Cache hit rate", TablePrinter::fmt(100.0 * m.eval_stats.overall_hit_rate(), 1) + " %"});
     table.add_row({"Final hw weights", "flops=" + TablePrinter::fmt(m.final_weights.flops, 2) +
                                            ", latency=" + TablePrinter::fmt(m.final_weights.latency, 2)});
     std::cout << table.render();

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verify + example smoke test, in one command.
+#
+#   scripts/check.sh            # configure, build, ctest, quickstart smoke
+#   JOBS=4 scripts/check.sh     # cap build/test parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "== configure =="
+cmake -B build -S . >/dev/null
+
+echo "== build =="
+cmake --build build -j "$JOBS"
+
+echo "== ctest =="
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== smoke: quickstart =="
+./build/quickstart --threads 2 >/dev/null
+echo "quickstart OK"
+
+echo "== smoke: eval engine bench (small) =="
+./build/bench_eval_engine --samples 8 --sweep 200 --max-threads 2 >/dev/null
+echo "bench_eval_engine OK"
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,101 @@
+#include "src/common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace micronas {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc == 0 ? 1 : static_cast<int>(hc);
+  }
+  concurrency_ = threads;
+  // The caller of parallel_for supplies one lane, so spawn one fewer
+  // worker than the configured concurrency.
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Inline serial path: exact index order, no scheduling overhead.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared per-call state: a work cursor plus completion accounting.
+  // `done` is atomic so finishing an item is lock-free; the mutex is
+  // only taken to record an error or to publish the final wakeup.
+  struct CallState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex mutex;
+    std::condition_variable finished;
+  };
+  auto state = std::make_shared<CallState>();
+
+  const std::size_t jobs = std::min(workers_.size(), n - 1);
+  auto drain = [state, n, &fn] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        // Take the lock before notifying so the waiter cannot check the
+        // predicate and sleep between our increment and the notify.
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->finished.notify_all();
+      }
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // `drain` outlives this scope via the queue; `fn` is only borrowed,
+    // which is safe because parallel_for blocks until every index is done.
+    for (std::size_t j = 0; j < jobs; ++j) tasks_.push(drain);
+  }
+  task_ready_.notify_all();
+
+  // The caller participates too, so a busy pool cannot starve the call.
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->finished.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace micronas

@@ -1,0 +1,54 @@
+// Fixed-size worker pool for data-parallel candidate scoring.
+//
+// The pool is deliberately minimal: `parallel_for` partitions an index
+// range over the workers via an atomic cursor, so work items of uneven
+// cost (NTK on cells of very different size) balance dynamically.
+// Determinism is the caller's job — work items must not share mutable
+// state, and any randomness must be derived from the item index or a
+// content hash, never from a shared sequential stream (see
+// search/eval_engine.hpp for the seeding discipline).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace micronas {
+
+class ThreadPool {
+ public:
+  /// `threads` worker threads; 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured concurrency. The pool spawns size()-1 workers; the
+  /// thread calling parallel_for is the size()-th lane, so a pool of N
+  /// never runs more than N work items at once.
+  int size() const { return concurrency_; }
+
+  /// Run `fn(i)` for every i in [0, n), distributing indices over the
+  /// workers. Blocks until all items complete. The first exception
+  /// thrown by any item is rethrown in the caller (remaining items are
+  /// still drained so the pool stays usable). With n == 0 returns
+  /// immediately; with one worker the items run in index order.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  int concurrency_ = 1;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stop_ = false;
+};
+
+}  // namespace micronas

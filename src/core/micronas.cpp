@@ -39,17 +39,31 @@ MicroNas::MicroNas(MicroNasConfig config)
   suite_config.lr = config_.lr;
   suite_ = std::make_unique<ProxySuite>(suite_config, std::move(batch.images), estimator_.get());
   hw_model_ = std::make_unique<SupernetHwModel>(config_.deploy_net, estimator_.get());
+
+  // Stage 3: the shared scoring backend. Its stream seed derives from
+  // the config seed only, so `threads`/`cache` never change results.
+  Rng engine_rng = rng_.fork(0xEA61);
+  EvalEngineConfig ecfg;
+  ecfg.threads = config_.threads;
+  ecfg.cache = config_.cache;
+  ecfg.seed = engine_rng.engine()();
+  engine_ = std::make_unique<ProxyEvalEngine>(*suite_, ecfg);
 }
 
 DiscoveredModel MicroNas::finish(const nb201::Genotype& genotype, long long proxy_evals,
                                  double wall_seconds, Rng& rng) const {
   DiscoveredModel out;
   out.genotype = genotype;
-  out.indicators = suite_->evaluate(genotype, rng);
+  out.indicators = engine_->evaluate(genotype);
   out.accuracy = oracle_.mean_accuracy(genotype, config_.dataset);
-  const MacroModel model = build_macro_model(genotype, config_.deploy_net);
+  // Deploy (and measure) the canonical form: dead-code elimination is
+  // semantics-preserving and never slower or larger, and it keeps the
+  // measurement on the same model the engine's LUT estimate priced.
+  const MacroModel model =
+      build_macro_model(nb201::canonicalize(genotype), config_.deploy_net);
   Rng measure_rng = rng.fork(0x3EA5);
   out.measured_latency_ms = measure_latency_ms(model, config_.mcu, measure_rng);
+  out.eval_stats = engine_->stats();
   out.proxy_evals = proxy_evals;
   out.wall_seconds = wall_seconds;
   out.modeled_gpu_hours = config_.cost_model.proxy_search_gpu_hours(proxy_evals);
@@ -67,13 +81,11 @@ DiscoveredModel MicroNas::search() {
     PruningSearchConfig pcfg;
     pcfg.weights = weights;
     pcfg.constraints = config_.constraints;
-    Rng search_rng = rng_.fork(0x5EA0 + static_cast<std::uint64_t>(round));
-    result = pruning_search(*suite_, *hw_model_, pcfg, search_rng);
+    result = pruning_search(*engine_, *hw_model_, pcfg);
     total_evals += result.proxy_evals;
     total_wall += result.wall_seconds;
 
-    Rng eval_rng = rng_.fork(0xE7A1 + static_cast<std::uint64_t>(round));
-    const IndicatorValues v = suite_->evaluate(result.genotype, eval_rng);
+    const IndicatorValues v = engine_->evaluate(result.genotype);
     ++total_evals;
     if (config_.constraints.satisfied_by(v) || round + 1 >= config_.max_adapt_rounds) break;
 

@@ -16,6 +16,7 @@
 #include "src/mcusim/profiler.hpp"
 #include "src/nb201/surrogate.hpp"
 #include "src/search/cost_model.hpp"
+#include "src/search/eval_engine.hpp"
 #include "src/search/pruning_search.hpp"
 
 namespace micronas {
@@ -36,6 +37,14 @@ struct MicroNasConfig {
   /// Adaptive hardware-weight escalation (outer loop).
   int max_adapt_rounds = 4;
   double adapt_scale = 1.8;
+  /// Worker threads for candidate scoring (1 = serial, 0 = one per
+  /// hardware thread). The discovered model is identical for every
+  /// setting — the eval engine's scoring streams are a pure function
+  /// of the candidate, not of scheduling.
+  int threads = 1;
+  /// Memoize genotype indicators under the canonical key so revisited
+  /// architectures are never re-scored.
+  bool cache = true;
 };
 
 struct DiscoveredModel {
@@ -49,6 +58,9 @@ struct DiscoveredModel {
   int adapt_rounds_used = 0;
   IndicatorWeights final_weights;
   std::vector<PruneDecision> decisions;
+  /// Eval-engine counters at the time the model was finalized (cache
+  /// hit rates, parallel batch sizes — see EvalEngineStats).
+  EvalEngineStats eval_stats;
 };
 
 /// End-to-end MicroNAS: owns the profiled latency estimator, probe
@@ -66,6 +78,8 @@ class MicroNas {
 
   const LatencyEstimator& estimator() const { return *estimator_; }
   const ProxySuite& suite() const { return *suite_; }
+  /// The shared scoring backend (threads/cache per MicroNasConfig).
+  const ProxyEvalEngine& engine() const { return *engine_; }
   const MicroNasConfig& config() const { return config_; }
 
  private:
@@ -77,6 +91,7 @@ class MicroNas {
   std::unique_ptr<LatencyEstimator> estimator_;
   std::unique_ptr<ProxySuite> suite_;
   std::unique_ptr<SupernetHwModel> hw_model_;
+  std::unique_ptr<ProxyEvalEngine> engine_;
   nb201::SurrogateOracle oracle_;
 };
 

@@ -11,8 +11,15 @@
 
 namespace micronas {
 
+/// Frozen per-target estimator: profile once (hw/latency_table.hpp),
+/// then estimate any candidate model without touching the device
+/// again. Immutable after construction, so concurrent estimates from
+/// the eval engine's workers are safe.
 class LatencyEstimator {
  public:
+  /// `table` is the profiled per-layer LUT; `constant_overhead_ms` the
+  /// separately profiled fixed cost (interrupt setup, I/O);
+  /// `clock_hz` converts table cycles to wall time.
   LatencyEstimator(LatencyTable table, double constant_overhead_ms, double clock_hz = 216e6);
 
   /// Estimated end-to-end inference latency in milliseconds.
@@ -25,7 +32,9 @@ class LatencyEstimator {
   /// Per-layer estimate in milliseconds.
   double layer_ms(const LayerSpec& spec) const { return layer_cycles(spec) / clock_hz_ * 1e3; }
 
+  /// The profiled per-layer lookup table backing the estimates.
   const LatencyTable& table() const { return table_; }
+  /// Fixed per-inference cost added on top of the per-layer sum.
   double constant_overhead_ms() const { return constant_overhead_ms_; }
 
  private:

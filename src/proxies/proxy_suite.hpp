@@ -3,6 +3,7 @@
 // indicators" + "hardware indicators" boxes).
 #pragma once
 
+#include <atomic>
 #include <optional>
 
 #include "src/hw/latency_estimator.hpp"
@@ -16,17 +17,21 @@ namespace micronas {
 /// Indicator values for one candidate. Lower κ, FLOPs, latency and
 /// memory are better; higher linear-region count is better.
 struct IndicatorValues {
-  double ntk_condition = 0.0;
-  double linear_regions = 0.0;
-  double flops_m = 0.0;
-  double params_m = 0.0;
-  double latency_ms = 0.0;
-  double peak_sram_kb = 0.0;
+  double ntk_condition = 0.0;   // NTK κ on the proxy net (trainability)
+  double linear_regions = 0.0;  // boundary crossings (expressivity)
+  double flops_m = 0.0;         // deployment compute, millions
+  double params_m = 0.0;        // deployment weights, millions
+  double latency_ms = 0.0;      // LUT-estimated MCU inference latency
+  double peak_sram_kb = 0.0;    // live-activation high-water mark
 };
 
+
+/// Configuration shared by all indicator evaluations: the small proxy
+/// net the trainless indicators probe, and the deployment skeleton the
+/// hardware indicators price.
 struct ProxySuiteConfig {
-  CellNetConfig proxy_net;
-  MacroNetConfig deploy_net;
+  CellNetConfig proxy_net;    // what NTK / linear regions are measured on
+  MacroNetConfig deploy_net;  // what FLOPs / latency / SRAM are priced on
   NtkOptions ntk;
   LinearRegionOptions lr;
 };
@@ -40,7 +45,11 @@ class ProxySuite {
   ProxySuite(ProxySuiteConfig config, Tensor probe_images,
              const LatencyEstimator* estimator);
 
-  /// All indicators for one concrete architecture.
+  /// All indicators for one concrete architecture. `rng` seeds the
+  /// proxy-net initializations; callers needing order-independent
+  /// results (the eval engine) pass a stream derived from the genotype
+  /// itself. Thread-safe: concurrent calls share only immutable state
+  /// plus the atomic eval counter.
   IndicatorValues evaluate(const nb201::Genotype& genotype, Rng& rng) const;
 
   /// Trainability/expressivity indicators for a supernet candidate
@@ -53,13 +62,15 @@ class ProxySuite {
   const LatencyEstimator* estimator() const { return estimator_; }
 
   /// Number of NTK+LR evaluations performed so far (search-cost metric).
-  long long proxy_eval_count() const { return evals_; }
+  /// Thread-safe: concurrent `evaluate` calls from the eval engine's
+  /// worker pool each count exactly once.
+  long long proxy_eval_count() const { return evals_.load(std::memory_order_relaxed); }
 
  private:
   ProxySuiteConfig config_;
   Tensor probe_images_;
   const LatencyEstimator* estimator_;
-  mutable long long evals_ = 0;
+  mutable std::atomic<long long> evals_ = 0;
 };
 
 }  // namespace micronas

@@ -1,0 +1,188 @@
+#include "src/search/eval_engine.hpp"
+
+#include <stdexcept>
+
+#include "src/hw/memory_model.hpp"
+#include "src/proxies/flops.hpp"
+
+namespace micronas {
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+std::uint64_t edge_ops_hash(const EdgeOps& edge_ops) {
+  std::uint64_t h = 0x0DDC0FFEEULL;
+  for (const auto& ops : edge_ops) {
+    h = hash_combine(h, static_cast<std::uint64_t>(ops.size()));
+    for (nb201::Op op : ops) h = hash_combine(h, static_cast<std::uint64_t>(op));
+  }
+  return h;
+}
+
+ProxyEvalEngine::ProxyEvalEngine(const ProxySuite& suite, EvalEngineConfig config)
+    : config_(config),
+      threads_(resolve_threads(config.threads)),
+      suite_(&suite),
+      deploy_(suite.config().deploy_net),
+      estimator_(suite.estimator()) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+ProxyEvalEngine::ProxyEvalEngine(const MacroNetConfig& deploy, const LatencyEstimator* estimator,
+                                 EvalEngineConfig config)
+    : config_(config),
+      threads_(resolve_threads(config.threads)),
+      deploy_(deploy),
+      estimator_(estimator) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+void ProxyEvalEngine::parallel_for(std::size_t n,
+                                   const std::function<void(std::size_t)>& fn) const {
+  if (pool_ != nullptr) {
+    pool_->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+IndicatorValues ProxyEvalEngine::compute(const nb201::Genotype& canonical) const {
+  if (suite_ == nullptr) {
+    throw std::logic_error("ProxyEvalEngine: analytic-only engine cannot run proxy evaluation");
+  }
+  // Private stream: a pure function of (engine seed, behaviour class),
+  // independent of evaluation order, thread placement and cache state.
+  Rng rng(hash_combine(config_.seed, canonical.stable_hash()));
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return suite_->evaluate(canonical, rng);
+}
+
+IndicatorValues ProxyEvalEngine::compute_hardware(const nb201::Genotype& genotype) const {
+  const MacroModel model = build_macro_model(genotype, deploy_);
+  IndicatorValues v;
+  v.flops_m = count_flops(model).total_m();
+  v.params_m = count_params(model).total_m();
+  v.peak_sram_kb = analyze_memory(model).peak_sram_kb();
+  v.latency_ms = estimator_ != nullptr ? estimator_->estimate_ms(model) : 0.0;
+  return v;
+}
+
+IndicatorValues ProxyEvalEngine::evaluate(const nb201::Genotype& genotype) const {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const nb201::Genotype canonical = nb201::canonicalize(genotype);
+  if (!config_.cache) return compute(canonical);
+
+  const int key = canonical.index();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Compute outside the lock; a concurrent duplicate computes the same
+  // bits (content-hash seeding), so a racing insert is benign.
+  const IndicatorValues v = compute(canonical);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.emplace(key, v);
+  }
+  return v;
+}
+
+std::vector<IndicatorValues> ProxyEvalEngine::evaluate_batch(
+    std::span<const nb201::Genotype> genotypes) const {
+  std::vector<IndicatorValues> out(genotypes.size());
+  parallel_for(genotypes.size(), [&](std::size_t i) { out[i] = evaluate(genotypes[i]); });
+  return out;
+}
+
+IndicatorValues ProxyEvalEngine::hardware_indicators(const nb201::Genotype& genotype) const {
+  hw_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!config_.cache) return compute_hardware(genotype);
+
+  const int key = genotype.index();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = hw_cache_.find(key);
+    if (it != hw_cache_.end()) {
+      hw_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const IndicatorValues v = compute_hardware(genotype);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    hw_cache_.emplace(key, v);
+  }
+  return v;
+}
+
+std::vector<IndicatorValues> ProxyEvalEngine::evaluate_supernets(
+    std::span<const EdgeOps> candidates, int repeats) const {
+  if (repeats < 1) throw std::invalid_argument("evaluate_supernets: repeats >= 1");
+  if (suite_ == nullptr) {
+    throw std::logic_error("ProxyEvalEngine: analytic-only engine cannot score supernets");
+  }
+  std::vector<IndicatorValues> out(candidates.size());
+  parallel_for(candidates.size(), [&](std::size_t i) {
+    supernet_requests_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t content = edge_ops_hash(candidates[i]);
+    const std::uint64_t key = hash_combine(content, static_cast<std::uint64_t>(repeats));
+    if (config_.cache) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      const auto it = supernet_cache_.find(key);
+      if (it != supernet_cache_.end()) {
+        supernet_hits_.fetch_add(1, std::memory_order_relaxed);
+        out[i] = it->second;
+        return;
+      }
+    }
+    const std::uint64_t cand_seed = hash_combine(config_.seed, content);
+    double ntk_acc = 0.0, lr_acc = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      Rng rng(hash_combine(cand_seed, static_cast<std::uint64_t>(r)));
+      const IndicatorValues single = suite_->evaluate_supernet(candidates[i], rng);
+      ntk_acc += single.ntk_condition;
+      lr_acc += single.linear_regions;
+    }
+    out[i].ntk_condition = ntk_acc / repeats;
+    out[i].linear_regions = lr_acc / repeats;
+    supernet_evals_.fetch_add(repeats, std::memory_order_relaxed);
+    if (config_.cache) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      supernet_cache_.emplace(key, out[i]);
+    }
+  });
+  return out;
+}
+
+void ProxyEvalEngine::clear_cache() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+  hw_cache_.clear();
+  supernet_cache_.clear();
+}
+
+EvalEngineStats ProxyEvalEngine::stats() const {
+  EvalEngineStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.evaluations = evaluations_.load(std::memory_order_relaxed);
+  s.hw_requests = hw_requests_.load(std::memory_order_relaxed);
+  s.hw_cache_hits = hw_cache_hits_.load(std::memory_order_relaxed);
+  s.supernet_requests = supernet_requests_.load(std::memory_order_relaxed);
+  s.supernet_hits = supernet_hits_.load(std::memory_order_relaxed);
+  s.supernet_evals = supernet_evals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace micronas

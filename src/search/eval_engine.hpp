@@ -1,0 +1,181 @@
+// Parallel proxy-evaluation engine with a memoized indicator cache —
+// the shared scoring backend of every search strategy.
+//
+// Two observations drive the design:
+//
+//  1. Candidate scoring dominates every search backend's runtime, and
+//     candidates within a batch (a pruning round, a random-search
+//     sample, a hill-climbing neighbourhood) are independent — so the
+//     engine scores them across a fixed-size worker pool.
+//  2. Searches revisit architectures (mutation cycles, neighbourhood
+//     overlap) and many NB201 genotypes are *functionally identical*
+//     (dead edges contribute nothing — see nb201/canonical.hpp) — so
+//     the engine memoizes genotype → IndicatorValues under the
+//     canonical key and never scores a behaviour class twice.
+//
+// Determinism contract: results are bit-identical across thread counts
+// and cache states. Every measurement draws from a private Rng stream
+// seeded by hash(stream seed, canonical genotype hash) — a pure
+// function of the candidate, never of evaluation order. Scoring a
+// genotype therefore returns the same bits whether it is computed
+// serially, on 8 threads, or replayed from the cache.
+//
+// Semantics note: the engine scores the *canonical representative* of
+// each genotype — the dead-code-eliminated cell that deployment would
+// use (canonicalization is semantics-preserving and never slower or
+// larger; see tests/test_canonical.cpp). This is what makes the cache
+// exact rather than approximate for isomorphic genotypes.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/nb201/canonical.hpp"
+#include "src/proxies/proxy_suite.hpp"
+
+namespace micronas {
+
+struct EvalEngineConfig {
+  /// Worker threads for batch scoring. 1 = serial (no pool is spun
+  /// up); 0 = one per hardware thread.
+  int threads = 1;
+  /// Memoize genotype → IndicatorValues under the canonical key.
+  bool cache = true;
+  /// Stream seed: all proxy measurements derive their Rng from this
+  /// and the candidate's canonical hash.
+  std::uint64_t seed = 1;
+};
+
+/// Cumulative engine counters (cheap, thread-safe, monotone).
+struct EvalEngineStats {
+  long long requests = 0;        // full-indicator scoring requests
+  long long cache_hits = 0;      // requests answered from the cache
+  long long evaluations = 0;     // proxy-suite computations actually run
+  long long hw_requests = 0;     // analytic (hardware-only) requests
+  long long hw_cache_hits = 0;
+  long long supernet_requests = 0;  // supernet scoring requests
+  long long supernet_hits = 0;      // answered from the supernet cache
+  long long supernet_evals = 0;     // supernet proxy computations run
+
+  double hit_rate() const {
+    return requests > 0 ? static_cast<double>(cache_hits) / static_cast<double>(requests) : 0.0;
+  }
+  double hw_hit_rate() const {
+    return hw_requests > 0 ? static_cast<double>(hw_cache_hits) / static_cast<double>(hw_requests)
+                           : 0.0;
+  }
+  double supernet_hit_rate() const {
+    return supernet_requests > 0
+               ? static_cast<double>(supernet_hits) / static_cast<double>(supernet_requests)
+               : 0.0;
+  }
+  /// Hit rate over every kind of scoring request the engine served.
+  double overall_hit_rate() const {
+    const long long req = requests + hw_requests + supernet_requests;
+    const long long hits = cache_hits + hw_cache_hits + supernet_hits;
+    return req > 0 ? static_cast<double>(hits) / static_cast<double>(req) : 0.0;
+  }
+};
+
+/// Shared scoring backend: batched, parallel, memoized.
+///
+/// Thread-safe: all public methods may be called concurrently; the
+/// engine is also safe to use from inside its own worker items (the
+/// nested call simply degrades to inline execution).
+class ProxyEvalEngine {
+ public:
+  /// Full engine over a proxy suite (NTK + linear regions + hardware).
+  ProxyEvalEngine(const ProxySuite& suite, EvalEngineConfig config);
+
+  /// Analytic-only engine: no proxy suite, `evaluate` is unavailable
+  /// but `hardware_indicators` works. Used by backends (evolution
+  /// feasibility, exhaustive sweeps) that never touch the trainless
+  /// proxies. `estimator` may be null (latency reported as 0).
+  ProxyEvalEngine(const MacroNetConfig& deploy, const LatencyEstimator* estimator,
+                  EvalEngineConfig config);
+
+  /// Every indicator for one genotype, from the cache when possible.
+  IndicatorValues evaluate(const nb201::Genotype& genotype) const;
+
+  /// Score a batch across the worker pool. Equivalent to calling
+  /// `evaluate` on each element; results are independent of the thread
+  /// count and of duplicate/isomorphic elements within the batch.
+  std::vector<IndicatorValues> evaluate_batch(std::span<const nb201::Genotype> genotypes) const;
+
+  /// Analytic hardware indicators only (FLOPs, params, latency, peak
+  /// SRAM — no proxy nets are built). Unlike `evaluate`, this reports
+  /// the *raw* genotype's deployment cost — the honest price of the
+  /// cell as written, before the dead-code-elimination pass the facade
+  /// applies only to the final winner — so backends that constrain or
+  /// census raw genotypes (evolution feasibility, exhaustive sweeps)
+  /// see exactly what they asked about. Cached under the raw genotype
+  /// index; orders of magnitude cheaper than `evaluate`, and the
+  /// analytic values are exact so cache replay is too.
+  IndicatorValues hardware_indicators(const nb201::Genotype& genotype) const;
+
+  /// Trainability/expressivity indicators for a batch of (partially
+  /// pruned) supernets — the pruning search's per-round candidate set.
+  /// Each candidate's Rng stream is seeded from the content hash of
+  /// its edge-op sets, so scores are a pure function of the candidate.
+  /// `repeats` measurements are averaged per candidate. Memoized under
+  /// (content hash, repeats): a single pruning run never revisits a
+  /// supernet, but the adaptive outer loop re-prunes from the full
+  /// supernet every round and replays the overlap from the cache.
+  std::vector<IndicatorValues> evaluate_supernets(std::span<const EdgeOps> candidates,
+                                                  int repeats = 1) const;
+
+  /// Run arbitrary independent work items on the engine's worker pool
+  /// (inline when the engine is serial). Used by backends whose batch
+  /// loop mixes engine scoring with other per-candidate work (e.g. the
+  /// exhaustive sweep's oracle queries).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  void clear_cache() const;
+  EvalEngineStats stats() const;
+
+  int threads() const { return threads_; }
+  bool cache_enabled() const { return config_.cache; }
+  /// Null for analytic-only engines.
+  const ProxySuite* suite() const { return suite_; }
+  /// Null when latency estimation is unavailable.
+  const LatencyEstimator* estimator() const { return estimator_; }
+
+ private:
+  IndicatorValues compute(const nb201::Genotype& canonical) const;
+  IndicatorValues compute_hardware(const nb201::Genotype& genotype) const;
+
+  EvalEngineConfig config_;
+  int threads_ = 1;
+  const ProxySuite* suite_ = nullptr;
+  MacroNetConfig deploy_;
+  const LatencyEstimator* estimator_ = nullptr;
+  std::unique_ptr<ThreadPool> pool_;  // only when threads_ > 1
+
+  // Proxy cache keyed by canonical genotype index, hardware cache by
+  // raw index (both dense in [0, 15625)), supernet cache by content
+  // hash combined with the repeat count.
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<int, IndicatorValues> cache_;
+  mutable std::unordered_map<int, IndicatorValues> hw_cache_;
+  mutable std::unordered_map<std::uint64_t, IndicatorValues> supernet_cache_;
+
+  mutable std::atomic<long long> requests_ = 0;
+  mutable std::atomic<long long> cache_hits_ = 0;
+  mutable std::atomic<long long> evaluations_ = 0;
+  mutable std::atomic<long long> hw_requests_ = 0;
+  mutable std::atomic<long long> hw_cache_hits_ = 0;
+  mutable std::atomic<long long> supernet_requests_ = 0;
+  mutable std::atomic<long long> supernet_hits_ = 0;
+  mutable std::atomic<long long> supernet_evals_ = 0;
+};
+
+/// Content hash of a supernet's per-edge op sets (order-sensitive over
+/// the canonical edge order, order-insensitive over evaluation order).
+std::uint64_t edge_ops_hash(const EdgeOps& edge_ops);
+
+}  // namespace micronas

@@ -24,10 +24,18 @@ bool feasible(const nb201::Genotype& g, const Constraints& constraints,
   return constraints.satisfied_by(v);
 }
 
+bool feasible(const nb201::Genotype& g, const Constraints& constraints,
+              const ProxyEvalEngine& engine) {
+  if (!constraints.any()) return true;
+  if (constraints.max_latency_ms && engine.estimator() == nullptr) {
+    throw std::invalid_argument("feasible: latency constraint requires an estimator");
+  }
+  return constraints.satisfied_by(engine.hardware_indicators(g));
+}
+
 EvolutionSearchResult evolution_search(const nb201::SurrogateOracle& oracle,
                                        const EvolutionSearchConfig& config,
-                                       const MacroNetConfig& deploy,
-                                       const LatencyEstimator* estimator, Rng& rng) {
+                                       const ProxyEvalEngine& engine, Rng& rng) {
   if (config.population_size < 2) throw std::invalid_argument("evolution_search: population >= 2");
   if (config.tournament_size < 1 || config.tournament_size > config.population_size) {
     throw std::invalid_argument("evolution_search: bad tournament size");
@@ -49,7 +57,7 @@ EvolutionSearchResult evolution_search(const nb201::SurrogateOracle& oracle,
   auto sample_feasible = [&]() {
     for (int tries = 0; tries < config.max_resample; ++tries) {
       const nb201::Genotype g = nb201::random_genotype(rng);
-      if (feasible(g, config.constraints, deploy, estimator)) return g;
+      if (feasible(g, config.constraints, engine)) return g;
     }
     // Constraints too tight for random sampling: fall back to the
     // cheapest structure (all skip), which is feasible in practice.
@@ -87,11 +95,11 @@ EvolutionSearchResult evolution_search(const nb201::SurrogateOracle& oracle,
     // One-edge mutation with constraint rejection.
     nb201::Genotype child = nb201::mutate(parent->genotype, rng);
     for (int tries = 0;
-         tries < config.max_resample && !feasible(child, config.constraints, deploy, estimator);
+         tries < config.max_resample && !feasible(child, config.constraints, engine);
          ++tries) {
       child = nb201::mutate(parent->genotype, rng);
     }
-    if (!feasible(child, config.constraints, deploy, estimator)) child = sample_feasible();
+    if (!feasible(child, config.constraints, engine)) child = sample_feasible();
 
     population.push_back({child, evaluate(child)});
     population.pop_front();  // aging: retire the oldest individual
@@ -99,6 +107,14 @@ EvolutionSearchResult evolution_search(const nb201::SurrogateOracle& oracle,
 
   res.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return res;
+}
+
+EvolutionSearchResult evolution_search(const nb201::SurrogateOracle& oracle,
+                                       const EvolutionSearchConfig& config,
+                                       const MacroNetConfig& deploy,
+                                       const LatencyEstimator* estimator, Rng& rng) {
+  const ProxyEvalEngine engine(deploy, estimator, EvalEngineConfig{});  // serial + cached
+  return evolution_search(oracle, config, engine, rng);
 }
 
 }  // namespace micronas

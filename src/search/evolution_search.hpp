@@ -11,6 +11,7 @@
 #pragma once
 
 #include "src/nb201/surrogate.hpp"
+#include "src/search/eval_engine.hpp"
 #include "src/search/objective.hpp"
 
 namespace micronas {
@@ -38,6 +39,20 @@ struct EvolutionSearchResult {
 bool feasible(const nb201::Genotype& g, const Constraints& constraints,
               const MacroNetConfig& deploy, const LatencyEstimator* estimator);
 
+/// Same, answered from `engine`'s memoized analytic indicators — the
+/// rejection loop revisits genotypes constantly, so the cache removes
+/// most macro-model builds.
+bool feasible(const nb201::Genotype& g, const Constraints& constraints,
+              const ProxyEvalEngine& engine);
+
+/// Evolution with constraint feasibility routed through `engine`
+/// (analytic-only engines suffice; see ProxyEvalEngine).
+EvolutionSearchResult evolution_search(const nb201::SurrogateOracle& oracle,
+                                       const EvolutionSearchConfig& config,
+                                       const ProxyEvalEngine& engine, Rng& rng);
+
+/// Convenience wrapper: builds a serial cached analytic engine over
+/// (`deploy`, `estimator`).
 EvolutionSearchResult evolution_search(const nb201::SurrogateOracle& oracle,
                                        const EvolutionSearchConfig& config,
                                        const MacroNetConfig& deploy,

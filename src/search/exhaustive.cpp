@@ -3,28 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "src/hw/memory_model.hpp"
-#include "src/proxies/flops.hpp"
-
 namespace micronas {
+
+std::vector<ArchRecord> exhaustive_records(const nb201::SurrogateOracle& oracle,
+                                           nb201::Dataset dataset, const ProxyEvalEngine& engine) {
+  std::vector<ArchRecord> records(nb201::kNumArchitectures);
+  engine.parallel_for(records.size(), [&](std::size_t i) {
+    ArchRecord& r = records[i];
+    r.genotype = nb201::Genotype::from_index(static_cast<int>(i));
+    r.accuracy = oracle.mean_accuracy(r.genotype, dataset);
+    const IndicatorValues v = engine.hardware_indicators(r.genotype);
+    r.flops_m = v.flops_m;
+    r.params_m = v.params_m;
+    r.peak_sram_kb = v.peak_sram_kb;
+    r.latency_ms = v.latency_ms;
+  });
+  return records;
+}
 
 std::vector<ArchRecord> exhaustive_records(const nb201::SurrogateOracle& oracle,
                                            nb201::Dataset dataset, const MacroNetConfig& deploy,
                                            const LatencyEstimator* estimator) {
-  std::vector<ArchRecord> records;
-  records.reserve(nb201::kNumArchitectures);
-  for (int i = 0; i < nb201::kNumArchitectures; ++i) {
-    ArchRecord r;
-    r.genotype = nb201::Genotype::from_index(i);
-    const MacroModel model = build_macro_model(r.genotype, deploy);
-    r.accuracy = oracle.mean_accuracy(r.genotype, dataset);
-    r.flops_m = count_flops(model).total_m();
-    r.params_m = count_params(model).total_m();
-    r.peak_sram_kb = analyze_memory(model).peak_sram_kb();
-    r.latency_ms = estimator != nullptr ? estimator->estimate_ms(model) : 0.0;
-    records.push_back(r);
-  }
-  return records;
+  EvalEngineConfig ecfg;
+  ecfg.cache = false;  // every index is visited exactly once
+  const ProxyEvalEngine engine(deploy, estimator, ecfg);
+  return exhaustive_records(oracle, dataset, engine);
 }
 
 const ArchRecord& best_by_accuracy(const std::vector<ArchRecord>& records,

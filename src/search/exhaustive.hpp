@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "src/nb201/surrogate.hpp"
+#include "src/search/eval_engine.hpp"
 #include "src/search/objective.hpp"
 
 namespace micronas {
@@ -22,7 +23,14 @@ struct ArchRecord {
   double peak_sram_kb = 0.0;
 };
 
-/// Evaluate every architecture analytically. `estimator` may be null.
+/// Evaluate every architecture analytically, fanning the 15 625 cells
+/// over `engine`'s worker pool (records are index-ordered and
+/// independent of the thread count).
+std::vector<ArchRecord> exhaustive_records(const nb201::SurrogateOracle& oracle,
+                                           nb201::Dataset dataset, const ProxyEvalEngine& engine);
+
+/// Convenience wrapper: serial analytic engine over (`deploy`,
+/// `estimator`). `estimator` may be null.
 std::vector<ArchRecord> exhaustive_records(const nb201::SurrogateOracle& oracle,
                                            nb201::Dataset dataset, const MacroNetConfig& deploy,
                                            const LatencyEstimator* estimator);

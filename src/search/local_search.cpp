@@ -1,6 +1,8 @@
 #include "src/search/local_search.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <span>
 #include <stdexcept>
 
 namespace micronas {
@@ -15,6 +17,15 @@ bool better(const IndicatorValues& a, const IndicatorValues& b, const IndicatorW
   const bool fa = constraints.satisfied_by(a);
   const bool fb = constraints.satisfied_by(b);
   if (fa != fb) return fa;
+  // Exact indicator ties (common since the engine scores canonical
+  // representatives: every cell in a behaviour class reports the same
+  // bits) are not improvements — the ordinal rank tie-break below would
+  // otherwise declare any tied neighbour "better" and the climb would
+  // walk plateaus forever.
+  if (a.ntk_condition == b.ntk_condition && a.linear_regions == b.linear_regions &&
+      a.flops_m == b.flops_m && a.latency_ms == b.latency_ms) {
+    return false;
+  }
   const std::array<IndicatorValues, 2> pair = {a, b};
   const auto scores = hybrid_rank_scores(pair, weights);
   return scores[0] < scores[1];
@@ -22,7 +33,7 @@ bool better(const IndicatorValues& a, const IndicatorValues& b, const IndicatorW
 
 }  // namespace
 
-LocalSearchResult local_search(const ProxySuite& suite, const LocalSearchConfig& config,
+LocalSearchResult local_search(const ProxyEvalEngine& engine, const LocalSearchConfig& config,
                                Rng& rng) {
   if (config.max_evals < 1) throw std::invalid_argument("local_search: max_evals >= 1");
   if (config.max_restarts < 1) throw std::invalid_argument("local_search: max_restarts >= 1");
@@ -35,21 +46,36 @@ LocalSearchResult local_search(const ProxySuite& suite, const LocalSearchConfig&
        ++restart) {
     res.restarts = restart + 1;
     nb201::Genotype current = nb201::random_genotype(rng);
-    IndicatorValues current_v = suite.evaluate(current, rng);
+    IndicatorValues current_v = engine.evaluate(current);
     ++res.proxy_evals;
 
     bool improved = true;
     while (improved && res.proxy_evals < config.max_evals) {
       improved = false;
-      for (const auto& neighbor : nb201::neighbors(current)) {
-        if (res.proxy_evals >= config.max_evals) break;
-        const IndicatorValues v = suite.evaluate(neighbor, rng);
-        ++res.proxy_evals;
-        if (better(v, current_v, config.weights, config.constraints)) {
-          current = neighbor;
-          current_v = v;
-          improved = true;
-          break;  // first-improvement hill climbing
+      // First-improvement scan in canonical neighbour order. A parallel
+      // engine scores the scan speculatively one thread-sized chunk at
+      // a time, and the scan charges exactly the prefix a serial scan
+      // would have evaluated — the trajectory and the eval accounting
+      // are identical for every thread count, speculative overshoot is
+      // bounded by threads-1 per move, and the extras only warm the
+      // cache.
+      std::vector<nb201::Genotype> neighborhood = nb201::neighbors(current);
+      const auto budget = static_cast<std::size_t>(config.max_evals - res.proxy_evals);
+      if (neighborhood.size() > budget) neighborhood.resize(budget);
+      const auto chunk = static_cast<std::size_t>(std::max(engine.threads(), 1));
+
+      for (std::size_t base = 0; base < neighborhood.size() && !improved; base += chunk) {
+        const std::size_t end = std::min(base + chunk, neighborhood.size());
+        const std::span<const nb201::Genotype> slice(neighborhood.data() + base, end - base);
+        const std::vector<IndicatorValues> values = engine.evaluate_batch(slice);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          ++res.proxy_evals;
+          if (better(values[i], current_v, config.weights, config.constraints)) {
+            current = neighborhood[base + i];
+            current_v = values[i];
+            improved = true;
+            break;  // first-improvement hill climbing
+          }
         }
       }
     }
@@ -63,6 +89,14 @@ LocalSearchResult local_search(const ProxySuite& suite, const LocalSearchConfig&
 
   res.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return res;
+}
+
+LocalSearchResult local_search(const ProxySuite& suite, const LocalSearchConfig& config,
+                               Rng& rng) {
+  EvalEngineConfig ecfg;  // serial + cached defaults
+  ecfg.seed = rng.engine()();
+  const ProxyEvalEngine engine(suite, ecfg);
+  return local_search(engine, config, rng);
 }
 
 }  // namespace micronas

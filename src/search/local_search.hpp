@@ -1,11 +1,14 @@
 // Proxy-guided local search (hill climbing) — a stronger trainless
-// baseline than random search: start from a random cell, evaluate all
-// 24 one-edge neighbours with the indicator suite, move to the best
-// improving neighbour, restart when stuck. Costs more proxy
+// baseline than random search: start from a random cell, scan the 24
+// one-edge neighbours in canonical order and move to the first
+// improving one, restart when stuck. A parallel engine scores the scan
+// speculatively in thread-sized chunks; the trajectory and the charged
+// eval budget match the serial scan exactly. Costs more proxy
 // evaluations than the pruning search but explores concrete cells
 // rather than supernets.
 #pragma once
 
+#include "src/search/eval_engine.hpp"
 #include "src/search/objective.hpp"
 
 namespace micronas {
@@ -20,11 +23,19 @@ struct LocalSearchConfig {
 struct LocalSearchResult {
   nb201::Genotype genotype;
   IndicatorValues indicators;
-  long long proxy_evals = 0;
+  long long proxy_evals = 0;  // scoring requests (cache hits included)
   int restarts = 0;
   double wall_seconds = 0.0;
 };
 
+/// Hill-climb with neighbourhoods scored as engine batches. The climb
+/// trajectory depends only on `rng` and the engine's scoring stream —
+/// not on its thread count.
+LocalSearchResult local_search(const ProxyEvalEngine& engine, const LocalSearchConfig& config,
+                               Rng& rng);
+
+/// Convenience wrapper: serial cached engine over `suite`, seeded from
+/// `rng`.
 LocalSearchResult local_search(const ProxySuite& suite, const LocalSearchConfig& config,
                                Rng& rng);
 

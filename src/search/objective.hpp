@@ -18,11 +18,15 @@
 
 namespace micronas {
 
+/// Per-indicator weights of the hybrid rank-sum objective. The two
+/// trainless terms default to 1 (TE-NAS parity); the hardware terms
+/// default to 0 and are the knobs the adaptive outer loop escalates
+/// when a constraint is violated.
 struct IndicatorWeights {
-  double ntk = 1.0;
-  double linear_regions = 1.0;
-  double flops = 0.0;
-  double latency = 0.0;
+  double ntk = 1.0;             // trainability (κ rank, ascending)
+  double linear_regions = 1.0;  // expressivity (LR rank, descending)
+  double flops = 0.0;           // compute pressure (normalized magnitude)
+  double latency = 0.0;         // on-device pressure (normalized magnitude)
 
   /// TE-NAS-style trainless baseline (no hardware terms).
   static IndicatorWeights te_nas() { return {1.0, 1.0, 0.0, 0.0}; }
@@ -34,12 +38,14 @@ struct IndicatorWeights {
 
 /// Hard resource constraints; unset fields are unconstrained.
 struct Constraints {
-  std::optional<double> max_latency_ms;
-  std::optional<double> max_flops_m;
-  std::optional<double> max_params_m;
-  std::optional<double> max_sram_kb;
+  std::optional<double> max_latency_ms;  // end-to-end MCU inference budget
+  std::optional<double> max_flops_m;     // compute budget (millions)
+  std::optional<double> max_params_m;    // flash budget (millions of weights)
+  std::optional<double> max_sram_kb;     // peak live-activation budget
 
+  /// True when `v` violates no set bound.
   bool satisfied_by(const IndicatorValues& v) const;
+  /// True when at least one bound is set.
   bool any() const {
     return max_latency_ms || max_flops_m || max_params_m || max_sram_kb;
   }
@@ -77,11 +83,15 @@ struct SupernetHwExpectation {
   double latency_ms = 0.0;
 };
 
+/// Precomputed per-(stage, op) deployment costs enabling O(edges · ops)
+/// expectation queries during pruning — no macro model is built per
+/// candidate.
 class SupernetHwModel {
  public:
   /// `estimator` may be null (latency expectation reported as 0).
   SupernetHwModel(const MacroNetConfig& config, const LatencyEstimator* estimator);
 
+  /// Expected deployment cost of a uniform sample from `opset`.
   SupernetHwExpectation expectation(const nb201::OpSet& opset) const;
 
  private:

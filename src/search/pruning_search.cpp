@@ -26,8 +26,8 @@ bool supernet_connected(const nb201::OpSet& opset) {
 
 }  // namespace
 
-PruningSearchResult pruning_search(const ProxySuite& suite, const SupernetHwModel& hw_model,
-                                   const PruningSearchConfig& config, Rng& rng) {
+PruningSearchResult pruning_search(const ProxyEvalEngine& engine, const SupernetHwModel& hw_model,
+                                   const PruningSearchConfig& config) {
   if (config.proxy_repeats < 1) throw std::invalid_argument("pruning_search: proxy_repeats >= 1");
   const auto t0 = std::chrono::steady_clock::now();
   long long candidates_evaluated = 0;
@@ -45,13 +45,15 @@ PruningSearchResult pruning_search(const ProxySuite& suite, const SupernetHwMode
 
   int round = 0;
   while (!opset.is_singleton()) {
-    // Candidate = one (edge, op) removal. Gather indicator values for
-    // all candidates of this round, then rank them jointly.
+    // Candidate = one (edge, op) removal. Gather this round's candidate
+    // supernets, score them as one parallel engine batch, then rank
+    // them jointly.
     struct Candidate {
       int edge;
       nb201::Op op;
     };
     std::vector<Candidate> candidates;
+    std::vector<EdgeOps> trials;
     std::vector<IndicatorValues> values;
 
     for (int e = 0; e < nb201::kNumEdges; ++e) {
@@ -63,26 +65,24 @@ PruningSearchResult pruning_search(const ProxySuite& suite, const SupernetHwMode
         if (!supernet_connected(trial)) continue;  // invalid removal
 
         IndicatorValues v;
-        double ntk_acc = 0.0, lr_acc = 0.0;
-        for (int r = 0; r < config.proxy_repeats; ++r) {
-          const IndicatorValues single =
-              suite.evaluate_supernet(edge_ops_from_opset(trial), rng);
-          ntk_acc += single.ntk_condition;
-          lr_acc += single.linear_regions;
-        }
-        v.ntk_condition = ntk_acc / config.proxy_repeats;
-        v.linear_regions = lr_acc / config.proxy_repeats;
-
         const SupernetHwExpectation hw = hw_model.expectation(trial);
         v.flops_m = hw.flops_m;
         v.latency_ms = hw.latency_ms;
 
         candidates.push_back({e, op});
+        trials.push_back(edge_ops_from_opset(trial));
         values.push_back(v);
         ++candidates_evaluated;
       }
     }
     if (candidates.empty()) break;  // defensive: nothing left to prune
+
+    const std::vector<IndicatorValues> proxies =
+        engine.evaluate_supernets(trials, config.proxy_repeats);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i].ntk_condition = proxies[i].ntk_condition;
+      values[i].linear_regions = proxies[i].linear_regions;
+    }
 
     const auto scores = hybrid_rank_scores(values, config.weights, scales);
 
@@ -117,6 +117,14 @@ PruningSearchResult pruning_search(const ProxySuite& suite, const SupernetHwMode
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;
+}
+
+PruningSearchResult pruning_search(const ProxySuite& suite, const SupernetHwModel& hw_model,
+                                   const PruningSearchConfig& config, Rng& rng) {
+  EvalEngineConfig ecfg;  // serial + cached defaults
+  ecfg.seed = rng.engine()();
+  const ProxyEvalEngine engine(suite, ecfg);
+  return pruning_search(engine, hw_model, config);
 }
 
 }  // namespace micronas

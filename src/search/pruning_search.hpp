@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "src/search/eval_engine.hpp"
 #include "src/search/objective.hpp"
 
 namespace micronas {
@@ -41,8 +42,16 @@ struct PruningSearchResult {
   std::vector<PruneDecision> decisions;
 };
 
-/// Run the pruning search. `suite` supplies NTK/LR on supernets and
-/// `hw_model` the analytic hardware expectations.
+/// Run the pruning search. `engine` scores each round's candidate
+/// removals as one parallel supernet batch (NTK/LR measurements are a
+/// pure function of the candidate supernet and the engine's stream
+/// seed, so the discovered cell is independent of the thread count);
+/// `hw_model` supplies the analytic hardware expectations.
+PruningSearchResult pruning_search(const ProxyEvalEngine& engine, const SupernetHwModel& hw_model,
+                                   const PruningSearchConfig& config);
+
+/// Convenience wrapper: serial cached engine over `suite`, seeded from
+/// `rng`.
 PruningSearchResult pruning_search(const ProxySuite& suite, const SupernetHwModel& hw_model,
                                    const PruningSearchConfig& config, Rng& rng);
 

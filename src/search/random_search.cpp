@@ -5,25 +5,31 @@
 
 namespace micronas {
 
-RandomSearchResult random_search(const ProxySuite& suite, const RandomSearchConfig& config,
+RandomSearchResult random_search(const ProxyEvalEngine& engine, const RandomSearchConfig& config,
                                  Rng& rng) {
   if (config.num_samples < 1) throw std::invalid_argument("random_search: num_samples >= 1");
   const auto t0 = std::chrono::steady_clock::now();
-  const long long evals0 = suite.proxy_eval_count();
+  const long long requests0 = engine.stats().requests;
 
-  std::vector<nb201::Genotype> genotypes = nb201::sample_genotypes(rng, config.num_samples);
-  std::vector<IndicatorValues> values;
-  values.reserve(genotypes.size());
-  for (const auto& g : genotypes) values.push_back(suite.evaluate(g, rng));
+  const std::vector<nb201::Genotype> genotypes = nb201::sample_genotypes(rng, config.num_samples);
+  const std::vector<IndicatorValues> values = engine.evaluate_batch(genotypes);
 
   const std::size_t best = select_best(values, config.weights, config.constraints);
 
   RandomSearchResult res;
   res.genotype = genotypes[best];
   res.indicators = values[best];
-  res.proxy_evals = suite.proxy_eval_count() - evals0;
+  res.proxy_evals = engine.stats().requests - requests0;
   res.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return res;
+}
+
+RandomSearchResult random_search(const ProxySuite& suite, const RandomSearchConfig& config,
+                                 Rng& rng) {
+  EvalEngineConfig ecfg;  // serial + cached defaults
+  ecfg.seed = rng.engine()();
+  const ProxyEvalEngine engine(suite, ecfg);
+  return random_search(engine, config, rng);
 }
 
 }  // namespace micronas

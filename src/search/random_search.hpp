@@ -3,6 +3,7 @@
 // indicator suite, keep the hybrid-objective winner under constraints.
 #pragma once
 
+#include "src/search/eval_engine.hpp"
 #include "src/search/objective.hpp"
 
 namespace micronas {
@@ -16,10 +17,18 @@ struct RandomSearchConfig {
 struct RandomSearchResult {
   nb201::Genotype genotype;
   IndicatorValues indicators;
-  long long proxy_evals = 0;
+  long long proxy_evals = 0;  // scoring requests (cache hits included)
   double wall_seconds = 0.0;
 };
 
+/// Sample with `rng`, score the whole batch through `engine` (parallel
+/// and memoized per the engine config). The sampled set and the winner
+/// are independent of the engine's thread count.
+RandomSearchResult random_search(const ProxyEvalEngine& engine, const RandomSearchConfig& config,
+                                 Rng& rng);
+
+/// Convenience wrapper: serial cached engine over `suite`, seeded from
+/// `rng`.
 RandomSearchResult random_search(const ProxySuite& suite, const RandomSearchConfig& config,
                                  Rng& rng);
 

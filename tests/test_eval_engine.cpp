@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "src/search/eval_engine.hpp"
+#include "src/nb201/space.hpp"
+
+namespace micronas {
+namespace {
+
+std::unique_ptr<ProxySuite> make_suite(std::uint64_t seed = 1) {
+  ProxySuiteConfig cfg;
+  cfg.proxy_net.input_size = 8;
+  cfg.proxy_net.base_channels = 4;
+  cfg.lr.grid = 8;
+  cfg.lr.input_size = 8;
+  Tensor probe(Shape{6, 3, 8, 8});
+  Rng rng(seed);
+  rng.fill_normal(probe.data());
+  return std::make_unique<ProxySuite>(cfg, std::move(probe), nullptr);
+}
+
+EvalEngineConfig engine_config(int threads, bool cache = true, std::uint64_t seed = 42) {
+  EvalEngineConfig cfg;
+  cfg.threads = threads;
+  cfg.cache = cache;
+  cfg.seed = seed;
+  return cfg;
+}
+
+bool bitwise_equal(const IndicatorValues& a, const IndicatorValues& b) {
+  return a.ntk_condition == b.ntk_condition && a.linear_regions == b.linear_regions &&
+         a.flops_m == b.flops_m && a.params_m == b.params_m && a.latency_ms == b.latency_ms &&
+         a.peak_sram_kb == b.peak_sram_kb;
+}
+
+TEST(EvalEngine, ParallelBatchBitIdenticalToSerial) {
+  auto suite = make_suite();
+  const ProxyEvalEngine serial(*suite, engine_config(1));
+  const ProxyEvalEngine parallel(*suite, engine_config(4));
+
+  Rng rng(7);
+  const std::vector<nb201::Genotype> batch = nb201::sample_genotypes(rng, 24);
+  const auto serial_values = serial.evaluate_batch(batch);
+  const auto parallel_values = parallel.evaluate_batch(batch);
+
+  ASSERT_EQ(serial_values.size(), parallel_values.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(serial_values[i], parallel_values[i]))
+        << batch[i].to_string();
+  }
+}
+
+TEST(EvalEngine, ResultsIndependentOfCacheState) {
+  auto suite = make_suite();
+  const ProxyEvalEngine cached(*suite, engine_config(1, /*cache=*/true));
+  const ProxyEvalEngine uncached(*suite, engine_config(1, /*cache=*/false));
+
+  Rng rng(8);
+  const nb201::Genotype g = nb201::random_genotype(rng);
+  const IndicatorValues first = cached.evaluate(g);
+  const IndicatorValues replay = cached.evaluate(g);   // cache hit
+  const IndicatorValues fresh = uncached.evaluate(g);  // recomputed
+  EXPECT_TRUE(bitwise_equal(first, replay));
+  EXPECT_TRUE(bitwise_equal(first, fresh));
+}
+
+TEST(EvalEngine, CacheHitsSkipRecomputation) {
+  auto suite = make_suite();
+  const ProxyEvalEngine engine(*suite, engine_config(1));
+
+  Rng rng(9);
+  const nb201::Genotype g = nb201::random_genotype(rng);
+  engine.evaluate(g);
+  const long long evals_after_first = suite->proxy_eval_count();
+  engine.evaluate(g);
+  engine.evaluate(g);
+  EXPECT_EQ(suite->proxy_eval_count(), evals_after_first);  // no new proxy work
+
+  const EvalEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.cache_hits, 2);
+  EXPECT_EQ(stats.evaluations, 1);
+}
+
+TEST(EvalEngine, IsomorphicGenotypesShareCacheEntries) {
+  auto suite = make_suite();
+  const ProxyEvalEngine engine(*suite, engine_config(1));
+
+  // Two genotypes differing only on a dead edge (node 1 never reaches
+  // the output) are functionally equivalent and must share an entry.
+  nb201::Genotype a;
+  a.set_op(nb201::edge_index(0, 3), nb201::Op::kConv1x1);
+  nb201::Genotype b = a;
+  b.set_op(nb201::edge_index(0, 1), nb201::Op::kAvgPool3x3);  // dead edge
+  ASSERT_TRUE(nb201::functionally_equivalent(a, b));
+  ASSERT_NE(a, b);
+
+  const IndicatorValues va = engine.evaluate(a);
+  const long long evals_after_first = suite->proxy_eval_count();
+  const IndicatorValues vb = engine.evaluate(b);
+  EXPECT_EQ(suite->proxy_eval_count(), evals_after_first);  // b replayed from a's entry
+  EXPECT_TRUE(bitwise_equal(va, vb));
+  EXPECT_EQ(engine.stats().cache_hits, 1);
+}
+
+TEST(EvalEngine, CacheDisabledRecomputes) {
+  auto suite = make_suite();
+  const ProxyEvalEngine engine(*suite, engine_config(1, /*cache=*/false));
+  Rng rng(10);
+  const nb201::Genotype g = nb201::random_genotype(rng);
+  engine.evaluate(g);
+  engine.evaluate(g);
+  EXPECT_EQ(engine.stats().cache_hits, 0);
+  EXPECT_EQ(engine.stats().evaluations, 2);
+}
+
+TEST(EvalEngine, ClearCacheForcesRecomputation) {
+  auto suite = make_suite();
+  const ProxyEvalEngine engine(*suite, engine_config(1));
+  Rng rng(11);
+  const nb201::Genotype g = nb201::random_genotype(rng);
+  const IndicatorValues before = engine.evaluate(g);
+  engine.clear_cache();
+  const IndicatorValues after = engine.evaluate(g);
+  EXPECT_EQ(engine.stats().evaluations, 2);
+  // Content-hash seeding: the recomputation reproduces the same bits.
+  EXPECT_TRUE(bitwise_equal(before, after));
+}
+
+TEST(EvalEngine, SupernetBatchBitIdenticalToSerial) {
+  auto suite = make_suite();
+  const ProxyEvalEngine serial(*suite, engine_config(1));
+  const ProxyEvalEngine parallel(*suite, engine_config(4));
+
+  // A few partially pruned supernets.
+  std::vector<EdgeOps> candidates;
+  nb201::OpSet opset = nb201::OpSet::full();
+  candidates.push_back(edge_ops_from_opset(opset));
+  opset.remove(0, nb201::Op::kNone);
+  candidates.push_back(edge_ops_from_opset(opset));
+  opset.remove(3, nb201::Op::kAvgPool3x3);
+  candidates.push_back(edge_ops_from_opset(opset));
+
+  const auto a = serial.evaluate_supernets(candidates, /*repeats=*/2);
+  const auto b = parallel.evaluate_supernets(candidates, /*repeats=*/2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ntk_condition, b[i].ntk_condition);
+    EXPECT_EQ(a[i].linear_regions, b[i].linear_regions);
+  }
+}
+
+TEST(EvalEngine, SupernetBatchesAreMemoized) {
+  // The adaptive outer loop re-prunes from the full supernet, so the
+  // same candidate supernets recur across rounds — the second batch
+  // must replay from the cache without new proxy work.
+  auto suite = make_suite();
+  const ProxyEvalEngine engine(*suite, engine_config(1));
+  const std::vector<EdgeOps> candidates = {edge_ops_from_opset(nb201::OpSet::full())};
+
+  const auto first = engine.evaluate_supernets(candidates, /*repeats=*/1);
+  const long long evals_after_first = suite->proxy_eval_count();
+  const auto second = engine.evaluate_supernets(candidates, /*repeats=*/1);
+  EXPECT_EQ(suite->proxy_eval_count(), evals_after_first);
+  EXPECT_EQ(engine.stats().supernet_hits, 1);
+  EXPECT_EQ(first[0].ntk_condition, second[0].ntk_condition);
+  EXPECT_EQ(first[0].linear_regions, second[0].linear_regions);
+
+  // A different repeat count is a different measurement, not a hit.
+  engine.evaluate_supernets(candidates, /*repeats=*/2);
+  EXPECT_EQ(engine.stats().supernet_hits, 1);
+}
+
+TEST(EvalEngine, HardwareIndicatorsMatchAnalyticEngine) {
+  // A full engine and an analytic-only engine agree on the hardware
+  // subset, and the analytic engine rejects proxy evaluation.
+  auto suite = make_suite();
+  const ProxyEvalEngine full(*suite, engine_config(1));
+  const ProxyEvalEngine analytic(suite->config().deploy_net, nullptr, engine_config(1));
+
+  Rng rng(12);
+  const nb201::Genotype g = nb201::random_genotype(rng);
+  const IndicatorValues a = full.hardware_indicators(g);
+  const IndicatorValues b = analytic.hardware_indicators(g);
+  EXPECT_EQ(a.flops_m, b.flops_m);
+  EXPECT_EQ(a.params_m, b.params_m);
+  EXPECT_EQ(a.peak_sram_kb, b.peak_sram_kb);
+  EXPECT_THROW(analytic.evaluate(g), std::logic_error);
+}
+
+TEST(EvalEngine, StatsHitRate) {
+  auto suite = make_suite();
+  const ProxyEvalEngine engine(*suite, engine_config(1));
+  Rng rng(13);
+  const nb201::Genotype g = nb201::random_genotype(rng);
+  engine.evaluate(g);
+  engine.evaluate(g);
+  EXPECT_DOUBLE_EQ(engine.stats().hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace micronas

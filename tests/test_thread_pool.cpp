@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/common/thread_pool.hpp"
+
+namespace micronas {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeReturnsImmediately) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInIndexOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16U);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 13) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after a throwing batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  for (int batch = 0; batch < 20; ++batch) {
+    pool.parallel_for(50, [&](std::size_t i) { sum += static_cast<long long>(i); });
+  }
+  EXPECT_EQ(sum.load(), 20LL * (49 * 50 / 2));
+}
+
+TEST(ThreadPool, ZeroPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+}
+
+}  // namespace
+}  // namespace micronas
