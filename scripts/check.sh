@@ -1,28 +1,45 @@
 #!/usr/bin/env bash
 # Tier-1 verify + example smoke test, in one command.
 #
-#   scripts/check.sh            # configure, build, ctest, quickstart smoke
-#   JOBS=4 scripts/check.sh     # cap build/test parallelism
+#   scripts/check.sh              # configure, build, ctest, smoke tests
+#   scripts/check.sh --sanitize   # same under ASan+UBSan (build-asan/)
+#   JOBS=4 scripts/check.sh       # cap build/test parallelism
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
-echo "== configure =="
-cmake -B build -S . >/dev/null
+BUILD_DIR=build
+CMAKE_FLAGS=""
+if [[ "${1:-}" == "--sanitize" ]]; then
+  BUILD_DIR=build-asan
+  CMAKE_FLAGS="-DMICRONAS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+elif [[ $# -gt 0 ]]; then
+  echo "usage: $0 [--sanitize]" >&2
+  exit 2
+fi
+
+echo "== configure ($BUILD_DIR) =="
+# shellcheck disable=SC2086  # CMAKE_FLAGS is intentionally word-split
+cmake -B "$BUILD_DIR" -S . $CMAKE_FLAGS >/dev/null
 
 echo "== build =="
-cmake --build build -j "$JOBS"
+cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "== ctest =="
-(cd build && ctest --output-on-failure -j "$JOBS")
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 
 echo "== smoke: quickstart =="
-./build/quickstart --threads 2 >/dev/null
+"./$BUILD_DIR/quickstart" --threads 2 >/dev/null
 echo "quickstart OK"
 
 echo "== smoke: eval engine bench (small) =="
-./build/bench_eval_engine --samples 8 --sweep 200 --max-threads 2 >/dev/null
+"./$BUILD_DIR/bench_eval_engine" --samples 8 --sweep 200 --max-threads 2 >/dev/null
 echo "bench_eval_engine OK"
+
+echo "== smoke: pareto sweep (two targets, tiny) =="
+"./$BUILD_DIR/pareto_sweep" --mcus m4,m7 --pop 8 --gens 2 --threads 2 >/dev/null
+echo "pareto_sweep OK"
 
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate the golden end-to-end regression file
+# (tests/golden/e2e_search.golden) after an INTENTIONAL behaviour
+# change, then show what moved so the diff can be committed alongside
+# the change that caused it.
+#
+#   scripts/update_golden.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target test_golden_e2e >/dev/null
+
+MICRONAS_UPDATE_GOLDEN=1 ./build/test_golden_e2e
+
+echo
+git --no-pager diff -- tests/golden || true

@@ -57,6 +57,21 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   return v ? std::stod(*v) : fallback;
 }
 
+std::vector<std::string> CliArgs::get_list(const std::string& name,
+                                           const std::string& fallback) const {
+  const std::string joined = get_string(name, fallback);
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= joined.size()) {
+    const std::size_t comma = joined.find(',', start);
+    const std::size_t end = comma == std::string::npos ? joined.size() : comma;
+    if (end > start) out.push_back(joined.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto v = raw(name);
   if (!v) return fallback;

@@ -22,6 +22,9 @@ class CliArgs {
   int get_int(const std::string& name, int fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+  /// Comma-separated list flag, e.g. `--mcus m4,m7`; empty items are
+  /// dropped. `fallback` is itself parsed as a comma-separated list.
+  std::vector<std::string> get_list(const std::string& name, const std::string& fallback) const;
 
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }

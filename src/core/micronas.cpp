@@ -110,4 +110,74 @@ DiscoveredModel MicroNas::evaluate(const nb201::Genotype& genotype) {
   return finish(genotype, 1, 0.0, eval_rng);
 }
 
+namespace {
+
+/// Stable 64-bit name hash (FNV-1a): preset-derived seeds must not
+/// depend on the standard library's std::hash implementation.
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ParetoSweepResult MicroNas::pareto_sweep(const ParetoSweepConfig& sweep) {
+  if (sweep.mcu_presets.empty()) {
+    throw std::invalid_argument("pareto_sweep: at least one MCU preset required");
+  }
+
+  ParetoSweepResult out;
+  long long later_requests = 0;  // shared-engine traffic on targets 2..N
+  long long later_hits = 0;
+  for (std::size_t t = 0; t < sweep.mcu_presets.size(); ++t) {
+    const std::string& name = sweep.mcu_presets[t];
+    const McuSpec& spec = mcu_preset(name);
+    // Every per-target stream derives from (config seed, target name),
+    // so a target's archive is the same whatever portfolio it is swept
+    // in — and whatever threads/cache the engines use.
+    const std::uint64_t tag = hash_combine(config_.seed, fnv1a64(name));
+
+    // Profile this target into its own frozen estimator.
+    Rng profile_rng(hash_combine(tag, 0x9F0F11E5ULL));
+    LatencyTable table =
+        build_latency_table(spec, profile_rng, config_.deploy_net, config_.profiler);
+    const LatencyEstimator estimator(
+        std::move(table), profile_constant_overhead_ms(spec, profile_rng, config_.profiler),
+        spec.clock_hz);
+
+    // Per-target analytic engine: only latency/memory re-scores here;
+    // the trainless proxies replay from the shared facade engine.
+    EvalEngineConfig ecfg;
+    ecfg.threads = config_.threads;
+    ecfg.cache = config_.cache;
+    ecfg.seed = hash_combine(tag, 0xA2C11E55EEDULL);
+    const ProxyEvalEngine hw_engine(config_.deploy_net, &estimator, ecfg);
+
+    const EvalEngineStats shared_before = engine_->stats();
+    Rng search_rng(hash_combine(tag, 0x5EA2C8ULL));
+
+    ScenarioResult scenario;
+    scenario.mcu_name = name;
+    scenario.mcu = spec;
+    scenario.search = nsga2_search(hw_engine, sweep.proxy_quality ? engine_.get() : nullptr,
+                                   &oracle_, sweep.nsga2, search_rng);
+    scenario.hw_stats = hw_engine.stats();
+    scenario.shared_delta = engine_->stats() - shared_before;
+    if (t > 0) {
+      later_requests += scenario.shared_delta.requests;
+      later_hits += scenario.shared_delta.cache_hits;
+    }
+    out.scenarios.push_back(std::move(scenario));
+  }
+  out.shared_stats = engine_->stats();
+  out.cross_target_hit_rate =
+      later_requests > 0 ? static_cast<double>(later_hits) / static_cast<double>(later_requests)
+                         : 0.0;
+  return out;
+}
+
 }  // namespace micronas

@@ -17,6 +17,7 @@
 #include "src/nb201/surrogate.hpp"
 #include "src/search/cost_model.hpp"
 #include "src/search/eval_engine.hpp"
+#include "src/search/nsga2_search.hpp"
 #include "src/search/pruning_search.hpp"
 
 namespace micronas {
@@ -63,6 +64,40 @@ struct DiscoveredModel {
   EvalEngineStats eval_stats;
 };
 
+/// Multi-MCU scenario sweep: one NSGA-II Pareto archive per named
+/// hardware target (see mcusim::mcu_presets), all sharing the facade's
+/// memoized genotype-indicator cache.
+struct ParetoSweepConfig {
+  /// Target portfolio by preset name; each gets its own profiled
+  /// latency estimator and its own archive.
+  std::vector<std::string> mcu_presets = {"m4", "m7", "m33"};
+  Nsga2Config nsga2;
+  /// true: quality objectives are the trainless proxies (NTK κ, linear
+  /// regions) scored through the facade's shared engine — the
+  /// expensive, target-independent work is computed once and replayed
+  /// from the cache on every further target. false: surrogate-oracle
+  /// accuracy drives the search instead (cheap; no cross-target reuse).
+  bool proxy_quality = true;
+};
+
+/// One target's slice of a sweep.
+struct ScenarioResult {
+  std::string mcu_name;
+  McuSpec mcu;
+  Nsga2Result search;            // the target's Pareto archive + history
+  EvalEngineStats hw_stats;      // per-target analytic engine counters
+  EvalEngineStats shared_delta;  // shared-engine requests/hits consumed by this target
+};
+
+struct ParetoSweepResult {
+  std::vector<ScenarioResult> scenarios;
+  /// Hit rate on the shared genotype-indicator cache over targets
+  /// 2..N — what the cross-target memo reuse actually saved. 0 when
+  /// fewer than two targets or when proxy_quality is off.
+  double cross_target_hit_rate = 0.0;
+  EvalEngineStats shared_stats;  // facade-engine cumulative counters
+};
+
 /// End-to-end MicroNAS: owns the profiled latency estimator, probe
 /// batch, proxy suite and search loop.
 class MicroNas {
@@ -75,6 +110,14 @@ class MicroNas {
   /// Evaluate an arbitrary genotype with the same apparatus (used by
   /// examples and baseline comparisons).
   DiscoveredModel evaluate(const nb201::Genotype& genotype);
+
+  /// Multi-objective scenario sweep: profile each named MCU target,
+  /// run one NSGA-II archive per target, and reuse the facade engine's
+  /// genotype-indicator memo cache across targets so only the analytic
+  /// latency/memory scoring is target-specific. Each target's result
+  /// depends only on (config seed, target name, sweep config) — not on
+  /// the portfolio composition or order, and not on threads/cache.
+  ParetoSweepResult pareto_sweep(const ParetoSweepConfig& sweep);
 
   const LatencyEstimator& estimator() const { return *estimator_; }
   const ProxySuite& suite() const { return *suite_; }

@@ -7,6 +7,65 @@
 
 namespace micronas {
 
+const std::vector<McuPreset>& mcu_presets() {
+  // Throughputs and budgets are class-typical, not board-exact: what
+  // matters for the sweeps is that the targets rank differently on
+  // clock, MAC efficiency and SRAM so the per-target Pareto fronts
+  // genuinely diverge (SRAM pressure bites at different cells).
+  static const std::vector<McuPreset> presets = [] {
+    std::vector<McuPreset> p;
+
+    McuSpec m4;
+    m4.clock_hz = 180e6;
+    m4.macs_per_cycle_conv3x3 = 0.30;   // single-issue MAC, narrower bus
+    m4.macs_per_cycle_conv1x1 = 0.44;
+    m4.macs_per_cycle_linear = 0.40;
+    m4.layer_overhead_cycles = 2600.0;  // slower flash wait-states
+    m4.network_overhead_cycles = 190000.0;
+    m4.sram_budget_bytes = 96 * 1024;
+    m4.sram_pressure_slowdown = 0.18;   // no cache to absorb spills
+    p.push_back({"m4", "Cortex-M4 class (STM32F446 @ 180 MHz, 96 KB SRAM)", m4});
+
+    McuSpec m33;
+    m33.clock_hz = 160e6;
+    m33.macs_per_cycle_conv3x3 = 0.36;
+    m33.macs_per_cycle_conv1x1 = 0.50;
+    m33.macs_per_cycle_linear = 0.46;
+    m33.layer_overhead_cycles = 2400.0;
+    m33.network_overhead_cycles = 180000.0;
+    m33.sram_budget_bytes = 256 * 1024;
+    m33.sram_pressure_slowdown = 0.15;
+    p.push_back({"m33", "Cortex-M33 class (STM32U585 @ 160 MHz, 256 KB SRAM)", m33});
+
+    p.push_back({"m7", "Cortex-M7 class (STM32F746 @ 216 MHz, 320 KB SRAM)", McuSpec{}});
+
+    McuSpec m7hp;                        // dual-issue core + big caches
+    m7hp.clock_hz = 480e6;
+    m7hp.macs_per_cycle_conv3x3 = 0.48;
+    m7hp.macs_per_cycle_conv1x1 = 0.64;
+    m7hp.macs_per_cycle_linear = 0.58;
+    m7hp.layer_overhead_cycles = 1800.0;
+    m7hp.network_overhead_cycles = 150000.0;
+    m7hp.sram_budget_bytes = 512 * 1024;
+    m7hp.sram_pressure_slowdown = 0.08;
+    p.push_back({"m7hp", "high-end Cortex-M7 (STM32H743 @ 480 MHz, 512 KB SRAM)", m7hp});
+    return p;
+  }();
+  return presets;
+}
+
+const McuSpec& mcu_preset(const std::string& name) {
+  for (const McuPreset& p : mcu_presets()) {
+    if (p.name == name) return p.spec;
+  }
+  std::string known;
+  for (const McuPreset& p : mcu_presets()) {
+    if (!known.empty()) known += ", ";
+    known += p.name;
+  }
+  throw std::invalid_argument("mcu_preset: unknown target '" + name + "' (known: " + known + ")");
+}
+
 double layer_cycles(const LayerSpec& spec, const McuSpec& mcu) {
   const bool int8 = spec.bits == 8;
   const double mac_scale = int8 ? mcu.int8_mac_speedup : 1.0;

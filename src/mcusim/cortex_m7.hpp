@@ -17,6 +17,9 @@
 //   * multiplicative measurement jitter on timed runs.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "src/common/rng.hpp"
 #include "src/net/macro_net.hpp"
 
@@ -42,6 +45,24 @@ struct McuSpec {
   double int8_mac_speedup = 3.5;
   double int8_mem_speedup = 4.0;
 };
+
+/// A named MCU target for scenario sweeps (see MicroNas::pareto_sweep).
+struct McuPreset {
+  std::string name;         // stable CLI identifier, e.g. "m7"
+  std::string description;  // human-readable class, e.g. "STM32F746 @ 216 MHz"
+  McuSpec spec;
+};
+
+/// The built-in target portfolio, ordered from weakest to strongest:
+///   m4   — Cortex-M4 class (STM32F446 @ 180 MHz, 96 KB data SRAM)
+///   m33  — Cortex-M33 class (STM32U585 @ 160 MHz, 256 KB)
+///   m7   — Cortex-M7 class (STM32F746 @ 216 MHz, 320 KB; the paper's board)
+///   m7hp — high-end Cortex-M7 (STM32H743 @ 480 MHz, 512 KB)
+const std::vector<McuPreset>& mcu_presets();
+
+/// Look up a preset spec by name; throws std::invalid_argument on an
+/// unknown name (the message lists the valid ones).
+const McuSpec& mcu_preset(const std::string& name);
 
 /// Deterministic cycle cost of one layer, excluding cross-layer effects.
 double layer_cycles(const LayerSpec& spec, const McuSpec& mcu = {});

@@ -17,6 +17,19 @@ int resolve_threads(int requested) {
 
 }  // namespace
 
+EvalEngineStats operator-(const EvalEngineStats& a, const EvalEngineStats& b) {
+  EvalEngineStats d;
+  d.requests = a.requests - b.requests;
+  d.cache_hits = a.cache_hits - b.cache_hits;
+  d.evaluations = a.evaluations - b.evaluations;
+  d.hw_requests = a.hw_requests - b.hw_requests;
+  d.hw_cache_hits = a.hw_cache_hits - b.hw_cache_hits;
+  d.supernet_requests = a.supernet_requests - b.supernet_requests;
+  d.supernet_hits = a.supernet_hits - b.supernet_hits;
+  d.supernet_evals = a.supernet_evals - b.supernet_evals;
+  return d;
+}
+
 std::uint64_t edge_ops_hash(const EdgeOps& edge_ops) {
   std::uint64_t h = 0x0DDC0FFEEULL;
   for (const auto& ops : edge_ops) {

@@ -82,6 +82,11 @@ struct EvalEngineStats {
   }
 };
 
+/// Counter-wise difference — before/after deltas for attributing
+/// engine traffic to a phase (e.g. one sweep target). Keep in sync
+/// with the counter list above when adding counters.
+EvalEngineStats operator-(const EvalEngineStats& a, const EvalEngineStats& b);
+
 /// Shared scoring backend: batched, parallel, memoized.
 ///
 /// Thread-safe: all public methods may be called concurrently; the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/search/pareto_archive.hpp"
+
 namespace micronas {
 
 std::vector<ArchRecord> exhaustive_records(const nb201::SurrogateOracle& oracle,
@@ -50,20 +52,35 @@ std::vector<ArchRecord> pareto_front(std::vector<ArchRecord> records) {
   if (records.empty()) return {};
   const bool use_latency = std::any_of(records.begin(), records.end(),
                                        [](const ArchRecord& r) { return r.latency_ms > 0.0; });
-  auto cost = [&](const ArchRecord& r) { return use_latency ? r.latency_ms : r.flops_m; };
 
-  std::sort(records.begin(), records.end(), [&](const ArchRecord& a, const ArchRecord& b) {
-    if (cost(a) != cost(b)) return cost(a) < cost(b);
-    return a.accuracy > b.accuracy;
-  });
+  // One dominance implementation for the whole repo: the archive keeps
+  // the (cost ascending, accuracy strictly ascending) staircase and
+  // resolves exact (cost, accuracy) ties deterministically by smallest
+  // canonical genotype index, independent of the input order.
+  ParetoArchive archive({use_latency ? "latency_ms" : "flops_m", "neg_accuracy"});
+  for (ArchRecord& r : records) {
+    ParetoEntry e;
+    e.genotype = r.genotype;
+    e.objectives = {use_latency ? r.latency_ms : r.flops_m, -r.accuracy};
+    e.accuracy = r.accuracy;
+    e.indicators.flops_m = r.flops_m;
+    e.indicators.params_m = r.params_m;
+    e.indicators.latency_ms = r.latency_ms;
+    e.indicators.peak_sram_kb = r.peak_sram_kb;
+    archive.insert(std::move(e));
+  }
 
   std::vector<ArchRecord> front;
-  double best_acc = -1.0;
-  for (const auto& r : records) {
-    if (r.accuracy > best_acc) {
-      front.push_back(r);
-      best_acc = r.accuracy;
-    }
+  front.reserve(archive.size());
+  for (const ParetoEntry& e : archive.snapshot()) {
+    ArchRecord r;
+    r.genotype = e.genotype;
+    r.accuracy = e.accuracy;
+    r.flops_m = e.indicators.flops_m;
+    r.params_m = e.indicators.params_m;
+    r.latency_ms = e.indicators.latency_ms;
+    r.peak_sram_kb = e.indicators.peak_sram_kb;
+    front.push_back(r);
   }
   return front;
 }

@@ -40,8 +40,12 @@ std::vector<ArchRecord> exhaustive_records(const nb201::SurrogateOracle& oracle,
 const ArchRecord& best_by_accuracy(const std::vector<ArchRecord>& records,
                                    const Constraints& constraints);
 
-/// Pareto front over (latency ascending, accuracy descending). Records
-/// with latency 0 (no estimator) use FLOPs as the cost axis.
+/// Pareto front over (cost ascending, accuracy strictly ascending),
+/// computed through ParetoArchive — the repo's single dominance
+/// implementation. Records with latency 0 (no estimator) use FLOPs as
+/// the cost axis. Deterministic under ties: exact (cost, accuracy)
+/// duplicates collapse to the entry with the smallest canonical
+/// genotype index, regardless of input order.
 std::vector<ArchRecord> pareto_front(std::vector<ArchRecord> records);
 
 }  // namespace micronas

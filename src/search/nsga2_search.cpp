@@ -1,0 +1,276 @@
+#include "src/search/nsga2_search.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/nb201/space.hpp"
+
+namespace micronas {
+
+namespace {
+
+/// One scored population member. rank/crowding are populated by
+/// environmental selection and read by tournament selection.
+struct Individual {
+  nb201::Genotype genotype;
+  std::vector<double> objectives;  // minimized
+  IndicatorValues indicators;      // payload: hw (raw) + proxies when scored
+  double accuracy = 0.0;           // payload: oracle accuracy (0 without oracle)
+  double violation = 0.0;          // summed relative constraint excess; 0 = feasible
+  int rank = 0;
+  double crowding = 0.0;
+};
+
+double relative_excess(double value, double bound) {
+  return value > bound ? (value - bound) / std::max(bound, 1e-12) : 0.0;
+}
+
+double constraint_violation(const IndicatorValues& v, const Constraints& c) {
+  double total = 0.0;
+  if (c.max_latency_ms) total += relative_excess(v.latency_ms, *c.max_latency_ms);
+  if (c.max_flops_m) total += relative_excess(v.flops_m, *c.max_flops_m);
+  if (c.max_params_m) total += relative_excess(v.params_m, *c.max_params_m);
+  if (c.max_sram_kb) total += relative_excess(v.peak_sram_kb, *c.max_sram_kb);
+  return total;
+}
+
+/// Deb's constrained fronts: feasible individuals are Pareto-sorted
+/// first; infeasible ones follow in ascending-violation tiers (equal
+/// violations share a tier). Returned fronts index into `pop`.
+std::vector<std::vector<std::size_t>> constrained_fronts(const std::vector<Individual>& pop) {
+  std::vector<std::size_t> feasible;
+  std::vector<std::size_t> infeasible;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    (pop[i].violation == 0.0 ? feasible : infeasible).push_back(i);
+  }
+
+  std::vector<std::vector<std::size_t>> fronts;
+  if (!feasible.empty()) {
+    std::vector<std::vector<double>> objectives;
+    objectives.reserve(feasible.size());
+    for (std::size_t i : feasible) objectives.push_back(pop[i].objectives);
+    for (const auto& front : non_dominated_sort(objectives)) {
+      std::vector<std::size_t> mapped;
+      mapped.reserve(front.size());
+      for (std::size_t k : front) mapped.push_back(feasible[k]);
+      fronts.push_back(std::move(mapped));
+    }
+  }
+  // Stable on (violation, index): deterministic tier order.
+  std::stable_sort(infeasible.begin(), infeasible.end(), [&](std::size_t a, std::size_t b) {
+    return pop[a].violation < pop[b].violation;
+  });
+  std::size_t i = 0;
+  while (i < infeasible.size()) {
+    std::vector<std::size_t> tier;
+    const double v = pop[infeasible[i]].violation;
+    while (i < infeasible.size() && pop[infeasible[i]].violation == v) tier.push_back(infeasible[i++]);
+    fronts.push_back(std::move(tier));
+  }
+  return fronts;
+}
+
+/// Crowded-comparison winner of a binary tournament (Deb's rules:
+/// feasibility, then violation, then rank, then crowding; final
+/// tie-break on population index keeps the pick deterministic).
+std::size_t tournament(const std::vector<Individual>& pop, Rng& rng) {
+  const std::size_t a = rng.index(pop.size());
+  const std::size_t b = rng.index(pop.size());
+  const Individual& ia = pop[a];
+  const Individual& ib = pop[b];
+  if (ia.violation != ib.violation) return ia.violation < ib.violation ? a : b;
+  if (ia.rank != ib.rank) return ia.rank < ib.rank ? a : b;
+  if (ia.crowding != ib.crowding) return ia.crowding > ib.crowding ? a : b;
+  return std::min(a, b);
+}
+
+nb201::Genotype mutate_edges(const nb201::Genotype& g, double per_edge_prob, Rng& rng) {
+  nb201::Genotype out = g;
+  for (int e = 0; e < nb201::kNumEdges; ++e) {
+    if (!rng.bernoulli(per_edge_prob)) continue;
+    // Replace with a uniformly chosen *different* op.
+    const int cur = static_cast<int>(out.op(e));
+    const int shift = rng.uniform_int(1, nb201::kNumOps - 1);
+    out.set_op(e, static_cast<nb201::Op>((cur + shift) % nb201::kNumOps));
+  }
+  return out;
+}
+
+}  // namespace
+
+Nsga2Result nsga2_search(const ProxyEvalEngine& hw_engine, const ProxyEvalEngine* proxy_engine,
+                         const nb201::SurrogateOracle* oracle, const Nsga2Config& config,
+                         Rng& rng) {
+  if (config.population_size < 2) throw std::invalid_argument("nsga2_search: population >= 2");
+  if (config.generations < 0) throw std::invalid_argument("nsga2_search: generations >= 0");
+  if (proxy_engine == nullptr && oracle == nullptr) {
+    throw std::invalid_argument("nsga2_search: need a proxy engine or an oracle for quality");
+  }
+  if (proxy_engine != nullptr && proxy_engine->suite() == nullptr) {
+    throw std::invalid_argument("nsga2_search: proxy engine must carry a proxy suite");
+  }
+  if (config.constraints.max_latency_ms && hw_engine.estimator() == nullptr) {
+    throw std::invalid_argument("nsga2_search: latency constraint requires an estimator");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const int pop_size = config.population_size + (config.population_size % 2);
+  const double mutation_prob =
+      config.mutation_prob < 0.0 ? 1.0 / nb201::kNumEdges : config.mutation_prob;
+  const bool proxy_quality = proxy_engine != nullptr;
+  const char* cost_name = hw_engine.estimator() != nullptr ? "latency_ms" : "flops_m";
+
+  std::vector<std::string> names;
+  if (proxy_quality) {
+    names = {"log10_ntk_kappa", "neg_linear_regions"};
+  } else {
+    names = {"neg_accuracy"};
+  }
+  names.emplace_back(cost_name);
+  names.emplace_back("peak_sram_kb");
+
+  Nsga2Result res;
+  res.archive = ParetoArchive(names);
+
+  // Score a batch: hardware analytically (raw genotype — the honest
+  // deployment price), quality through the proxy engine's memoized
+  // batch path or the oracle. Every value is a pure function of the
+  // candidate, so the result is independent of thread count and cache
+  // state; archive insertion stays on this thread, in index order.
+  auto score_batch = [&](const std::vector<nb201::Genotype>& batch) {
+    const std::size_t n = batch.size();
+    std::vector<IndicatorValues> hw(n);
+    hw_engine.parallel_for(n, [&](std::size_t i) { hw[i] = hw_engine.hardware_indicators(batch[i]); });
+
+    std::vector<IndicatorValues> prox;
+    if (proxy_quality) prox = proxy_engine->evaluate_batch(batch);
+
+    std::vector<Individual> scored(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Individual& ind = scored[i];
+      ind.genotype = batch[i];
+      ind.indicators = hw[i];
+      if (proxy_quality) {
+        ind.indicators.ntk_condition = prox[i].ntk_condition;
+        ind.indicators.linear_regions = prox[i].linear_regions;
+      }
+      if (oracle != nullptr) ind.accuracy = oracle->mean_accuracy(batch[i], config.dataset);
+      const double cost = hw_engine.estimator() != nullptr ? hw[i].latency_ms : hw[i].flops_m;
+      if (proxy_quality) {
+        ind.objectives = {std::log10(std::max(prox[i].ntk_condition, 1.0)),
+                          -prox[i].linear_regions, cost, hw[i].peak_sram_kb};
+      } else {
+        ind.objectives = {-ind.accuracy, cost, hw[i].peak_sram_kb};
+      }
+      ind.violation = constraint_violation(hw[i], config.constraints);
+    }
+    res.evaluations += static_cast<long long>(n);
+
+    for (const Individual& ind : scored) {
+      if (ind.violation != 0.0) continue;  // only feasible points archive
+      ParetoEntry entry;
+      entry.genotype = ind.genotype;
+      entry.objectives = ind.objectives;
+      entry.indicators = ind.indicators;
+      entry.accuracy = ind.accuracy;
+      res.archive.insert(std::move(entry));
+    }
+    return scored;
+  };
+
+  // Environmental selection: fill from the constrained fronts; the
+  // partial front is truncated by crowding (stable on front order).
+  auto select = [&](std::vector<Individual> pool) {
+    std::vector<std::vector<double>> objectives;
+    objectives.reserve(pool.size());
+    for (const Individual& ind : pool) objectives.push_back(ind.objectives);
+
+    std::vector<Individual> next;
+    next.reserve(static_cast<std::size_t>(pop_size));
+    int rank = 0;
+    for (const auto& front : constrained_fronts(pool)) {
+      const std::vector<double> dist = crowding_distances(objectives, front);
+      std::vector<std::size_t> order(front.size());
+      std::iota(order.begin(), order.end(), 0);
+      if (next.size() + front.size() > static_cast<std::size_t>(pop_size)) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
+      }
+      for (std::size_t k : order) {
+        if (next.size() == static_cast<std::size_t>(pop_size)) break;
+        Individual ind = pool[front[k]];
+        ind.rank = rank;
+        ind.crowding = dist[k];
+        next.push_back(std::move(ind));
+      }
+      if (next.size() == static_cast<std::size_t>(pop_size)) break;
+      ++rank;
+    }
+    return next;
+  };
+
+  // Initial population.
+  std::vector<nb201::Genotype> batch(static_cast<std::size_t>(pop_size));
+  for (auto& g : batch) g = nb201::random_genotype(rng);
+  std::vector<Individual> population = select(score_batch(batch));
+
+  if (config.track_hypervolume) {
+    // Reference: the initial population's worst value per objective,
+    // padded 10 % — deterministic, and fixed for the whole run.
+    res.hv_reference.assign(res.archive.num_objectives(),
+                            -std::numeric_limits<double>::infinity());
+    for (const Individual& ind : population) {
+      for (std::size_t j = 0; j < res.hv_reference.size(); ++j) {
+        res.hv_reference[j] = std::max(res.hv_reference[j], ind.objectives[j]);
+      }
+    }
+    for (double& r : res.hv_reference) r += std::max(0.1 * std::abs(r), 1e-6);
+  }
+
+  auto record = [&](int generation) {
+    Nsga2GenerationStats s;
+    s.generation = generation;
+    s.archive_size = res.archive.size();
+    s.evaluations = res.evaluations;
+    if (config.track_hypervolume) s.hypervolume = res.archive.hypervolume(res.hv_reference);
+    res.history.push_back(s);
+  };
+  record(0);
+
+  for (int gen = 1; gen <= config.generations; ++gen) {
+    batch.clear();
+    while (batch.size() < static_cast<std::size_t>(pop_size)) {
+      const Individual& p1 = population[tournament(population, rng)];
+      const Individual& p2 = population[tournament(population, rng)];
+      nb201::Genotype c1 = p1.genotype;
+      nb201::Genotype c2 = p2.genotype;
+      if (rng.bernoulli(config.crossover_prob)) {
+        for (int e = 0; e < nb201::kNumEdges; ++e) {
+          if (rng.bernoulli(0.5)) continue;  // keep own edge
+          c1.set_op(e, p2.genotype.op(e));
+          c2.set_op(e, p1.genotype.op(e));
+        }
+      }
+      batch.push_back(mutate_edges(c1, mutation_prob, rng));
+      if (batch.size() < static_cast<std::size_t>(pop_size)) {
+        batch.push_back(mutate_edges(c2, mutation_prob, rng));
+      }
+    }
+
+    std::vector<Individual> offspring = score_batch(batch);
+    std::vector<Individual> pool = std::move(population);
+    pool.insert(pool.end(), std::make_move_iterator(offspring.begin()),
+                std::make_move_iterator(offspring.end()));
+    population = select(std::move(pool));
+    record(gen);
+  }
+
+  res.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+}  // namespace micronas

@@ -1,0 +1,75 @@
+// NSGA-II multi-objective evolutionary backend over the NB201 space.
+//
+// Instead of answering one (objective weights, constraint budget)
+// query per run, the backend emits the whole trade-off surface in one
+// search: populations evolve under fast non-dominated sorting with
+// crowding-distance diversity (Deb et al., 2002) and every feasible
+// candidate ever scored is folded into a ParetoArchive.
+//
+// Objectives (all minimized internally):
+//   * quality — either the trainless proxies (log10 NTK κ ascending,
+//     linear regions descending) scored in batches through a full
+//     ProxyEvalEngine, or surrogate oracle accuracy (descending) when
+//     no proxy engine is given;
+//   * cost — LUT-estimated latency from the hardware engine (FLOPs
+//     when it has no estimator), plus peak SRAM.
+//
+// Determinism contract (matching the other backends): results are
+// bit-identical across thread counts and cache states. All evolution
+// randomness (sampling, tournaments, crossover, mutation) draws from
+// the caller's Rng on the driving thread; candidate scores are pure
+// functions of the candidate via the engines' per-candidate streams;
+// sorting uses stable, key-based tie-breaks throughout.
+#pragma once
+
+#include "src/nb201/surrogate.hpp"
+#include "src/search/eval_engine.hpp"
+#include "src/search/objective.hpp"
+#include "src/search/pareto_archive.hpp"
+
+namespace micronas {
+
+struct Nsga2Config {
+  int population_size = 32;     // rounded up to even
+  int generations = 16;         // offspring generations after the initial one
+  double crossover_prob = 0.9;  // per-pair uniform crossover probability
+  double mutation_prob = -1.0;  // per-edge; < 0 picks 1/kNumEdges
+  nb201::Dataset dataset = nb201::Dataset::kCifar10;
+  /// Hard resource constraints, enforced by Deb's constrained
+  /// dominance: feasible beats infeasible, lower total violation beats
+  /// higher. Only feasible candidates enter the archive.
+  Constraints constraints;
+  /// Record per-generation hypervolume in the result history. The
+  /// reference point is derived from the initial population (worst
+  /// value per objective, padded 10 %), so it is deterministic.
+  bool track_hypervolume = false;
+};
+
+/// Per-generation search trajectory (for benches and regression tests).
+struct Nsga2GenerationStats {
+  int generation = 0;           // 0 = initial population
+  std::size_t archive_size = 0;
+  long long evaluations = 0;    // cumulative scoring requests
+  double hypervolume = 0.0;     // 0 unless track_hypervolume
+};
+
+struct Nsga2Result {
+  ParetoArchive archive;
+  long long evaluations = 0;    // quality-scoring requests (cache hits included)
+  double wall_seconds = 0.0;
+  std::vector<Nsga2GenerationStats> history;
+  /// Reference point used for hypervolume tracking (empty otherwise).
+  std::vector<double> hv_reference;
+};
+
+/// Run NSGA-II. `hw_engine` prices latency/FLOPs/SRAM (analytic-only
+/// engines suffice). Quality objectives come from `proxy_engine`
+/// (NTK/linear regions; must have a proxy suite) when non-null,
+/// otherwise from `oracle` (surrogate accuracy), which must then be
+/// non-null. When both are given, the proxies drive the search and the
+/// oracle only annotates archive entries with accuracy for reporting.
+Nsga2Result nsga2_search(const ProxyEvalEngine& hw_engine, const ProxyEvalEngine* proxy_engine,
+                         const nb201::SurrogateOracle* oracle, const Nsga2Config& config,
+                         Rng& rng);
+
+}  // namespace micronas

@@ -1,0 +1,267 @@
+#include "src/search/pareto_archive.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/common/csv.hpp"
+#include "src/nb201/canonical.hpp"
+
+namespace micronas {
+
+namespace {
+
+/// Shortest round-trippable decimal form: archive exports must be
+/// byte-comparable across runs, so payload doubles print at full
+/// precision.
+std::string fmt_full(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool lex_less(std::span<const double> a, std::span<const double> b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+bool pareto_dominates(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("pareto_dominates: objective-vector length mismatch");
+  }
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+ParetoArchive::ParetoArchive(std::vector<std::string> objective_names)
+    : objective_names_(std::move(objective_names)) {
+  if (objective_names_.empty()) {
+    throw std::invalid_argument("ParetoArchive: at least one objective required");
+  }
+}
+
+bool ParetoArchive::insert(ParetoEntry entry) {
+  if (objective_names_.empty()) {
+    throw std::logic_error("ParetoArchive: default-constructed archive cannot insert");
+  }
+  if (entry.objectives.size() != objective_names_.size()) {
+    throw std::invalid_argument("ParetoArchive::insert: wrong objective-vector length");
+  }
+  Keyed keyed;
+  keyed.canonical_index = nb201::canonicalize(entry.genotype).index();
+  keyed.raw_index = entry.genotype.index();
+  keyed.entry = std::move(entry);
+
+  const auto key = [](const Keyed& k) { return std::make_pair(k.canonical_index, k.raw_index); };
+
+  // Reject if dominated, or if an objective-tie incumbent has a
+  // smaller-or-equal key (the invariant allows at most one tie).
+  for (const Keyed& e : entries_) {
+    if (pareto_dominates(e.entry.objectives, keyed.entry.objectives)) return false;
+    if (e.entry.objectives == keyed.entry.objectives && key(e) <= key(keyed)) return false;
+  }
+  // Retained: evict everything it dominates or out-ties.
+  std::erase_if(entries_, [&](const Keyed& e) {
+    return pareto_dominates(keyed.entry.objectives, e.entry.objectives) ||
+           e.entry.objectives == keyed.entry.objectives;
+  });
+  entries_.push_back(std::move(keyed));
+  return true;
+}
+
+std::vector<ParetoEntry> ParetoArchive::snapshot() const {
+  std::vector<const Keyed*> order;
+  order.reserve(entries_.size());
+  for (const Keyed& e : entries_) order.push_back(&e);
+  std::sort(order.begin(), order.end(), [](const Keyed* a, const Keyed* b) {
+    if (a->entry.objectives != b->entry.objectives) {
+      return lex_less(a->entry.objectives, b->entry.objectives);
+    }
+    if (a->canonical_index != b->canonical_index) return a->canonical_index < b->canonical_index;
+    return a->raw_index < b->raw_index;
+  });
+  std::vector<ParetoEntry> out;
+  out.reserve(order.size());
+  for (const Keyed* k : order) out.push_back(k->entry);
+  return out;
+}
+
+double ParetoArchive::hypervolume(std::span<const double> reference) const {
+  std::vector<std::vector<double>> pts;
+  pts.reserve(entries_.size());
+  for (const Keyed& e : entries_) pts.push_back(e.entry.objectives);
+  return micronas::hypervolume(pts, reference);
+}
+
+std::string ParetoArchive::to_csv() const {
+  std::vector<std::string> header = {"genotype", "index", "canonical_index"};
+  // "obj:" disambiguates objectives from the same-named payload
+  // columns (e.g. latency_ms appears in both roles).
+  for (const std::string& n : objective_names_) header.push_back("obj:" + n);
+  header.insert(header.end(), {"accuracy", "ntk_kappa", "linear_regions", "flops_m", "params_m",
+                               "latency_ms", "peak_sram_kb"});
+  CsvWriter csv(std::move(header));
+  for (const ParetoEntry& e : snapshot()) {
+    std::vector<std::string> row = {e.genotype.to_string(), std::to_string(e.genotype.index()),
+                                    std::to_string(nb201::canonicalize(e.genotype).index())};
+    for (double o : e.objectives) row.push_back(fmt_full(o));
+    const IndicatorValues& v = e.indicators;
+    for (double p : {e.accuracy, v.ntk_condition, v.linear_regions, v.flops_m, v.params_m,
+                     v.latency_ms, v.peak_sram_kb}) {
+      row.push_back(fmt_full(p));
+    }
+    csv.add_row(std::move(row));
+  }
+  return csv.to_string();
+}
+
+void ParetoArchive::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ParetoArchive::save_csv: cannot open " + path);
+  out << to_csv();
+}
+
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    std::span<const std::vector<double>> objectives) {
+  const std::size_t n = objectives.size();
+  std::vector<int> dominated_by(n, 0);             // # points dominating i
+  std::vector<std::vector<std::size_t>> dominates_set(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (pareto_dominates(objectives[i], objectives[j])) {
+        dominates_set[i].push_back(j);
+        ++dominated_by[j];
+      } else if (pareto_dominates(objectives[j], objectives[i])) {
+        dominates_set[j].push_back(i);
+        ++dominated_by[i];
+      }
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> fronts;
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dominated_by[i] == 0) current.push_back(i);
+  }
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t i : current) {
+      for (std::size_t j : dominates_set[i]) {
+        if (--dominated_by[j] == 0) next.push_back(j);
+      }
+    }
+    std::sort(next.begin(), next.end());  // deterministic within-front order
+    fronts.push_back(std::move(current));
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<double> crowding_distances(std::span<const std::vector<double>> objectives,
+                                       std::span<const std::size_t> front) {
+  const std::size_t n = front.size();
+  std::vector<double> dist(n, 0.0);
+  if (n == 0) return dist;
+  const std::size_t m = objectives[front[0]].size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    std::iota(order.begin(), order.end(), 0);
+    // Stable: ties keep front order, so distances are deterministic.
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return objectives[front[a]][obj] < objectives[front[b]][obj];
+    });
+    const double lo = objectives[front[order.front()]][obj];
+    const double hi = objectives[front[order.back()]][obj];
+    dist[order.front()] = kInf;
+    dist[order.back()] = kInf;
+    if (hi <= lo) continue;  // degenerate objective: no spread to reward
+    for (std::size_t k = 1; k + 1 < n; ++k) {
+      if (dist[order[k]] == kInf) continue;
+      dist[order[k]] += (objectives[front[order[k + 1]]][obj] -
+                         objectives[front[order[k - 1]]][obj]) /
+                        (hi - lo);
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+/// Recursive hypervolume by objective slicing (exact, all-minimize).
+/// Callers guarantee every point strictly dominates `ref`.
+double hv_recursive(std::vector<std::vector<double>> pts, std::span<const double> ref) {
+  const std::size_t d = ref.size();
+  if (pts.empty()) return 0.0;
+  if (d == 1) {
+    double lo = pts[0][0];
+    for (const auto& p : pts) lo = std::min(lo, p[0]);
+    return ref[0] - lo;
+  }
+  if (d == 2) {
+    std::sort(pts.begin(), pts.end());  // x ascending, y ascending on x-ties
+    double best_y = ref[1];
+    double area = 0.0;
+    for (const auto& p : pts) {
+      if (p[1] < best_y) {
+        area += (ref[0] - p[0]) * (best_y - p[1]);
+        best_y = p[1];
+      }
+    }
+    return area;
+  }
+  // Slice along the last objective: between consecutive distinct
+  // levels, the dominated set is the (d-1)-dim volume of the prefix.
+  std::sort(pts.begin(), pts.end(), [d](const auto& a, const auto& b) {
+    return a[d - 1] < b[d - 1];
+  });
+  const std::span<const double> subref(ref.data(), d - 1);
+  std::vector<std::vector<double>> prefix;
+  prefix.reserve(pts.size());
+  double total = 0.0;
+  std::size_t i = 0;
+  while (i < pts.size()) {
+    const double z = pts[i][d - 1];
+    while (i < pts.size() && pts[i][d - 1] == z) {
+      prefix.emplace_back(pts[i].begin(), pts[i].end() - 1);
+      ++i;
+    }
+    const double next_z = i < pts.size() ? pts[i][d - 1] : ref[d - 1];
+    total += hv_recursive(prefix, subref) * (next_z - z);
+  }
+  return total;
+}
+
+}  // namespace
+
+double hypervolume(std::span<const std::vector<double>> points, std::span<const double> reference) {
+  if (reference.empty()) throw std::invalid_argument("hypervolume: empty reference");
+  std::vector<std::vector<double>> inside;
+  inside.reserve(points.size());
+  for (const auto& p : points) {
+    if (p.size() != reference.size()) {
+      throw std::invalid_argument("hypervolume: point/reference length mismatch");
+    }
+    bool strict = true;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p[i] >= reference[i]) {
+        strict = false;
+        break;
+      }
+    }
+    if (strict) inside.push_back(p);
+  }
+  return hv_recursive(std::move(inside), reference);
+}
+
+}  // namespace micronas

@@ -1,0 +1,110 @@
+// Dominance-sorted Pareto archive — the single multi-objective kernel
+// every front in the repo is computed with (NSGA-II populations, the
+// exhaustive sweep's accuracy/cost front, the multi-MCU scenario
+// sweeps).
+//
+// Conventions:
+//   * Every objective is MINIMIZED. Maximized quantities (accuracy,
+//     linear regions) enter negated; the payload fields keep the
+//     original sign for reporting.
+//   * Dominance is weak Pareto dominance: a dominates b iff a <= b in
+//     every objective and a < b in at least one.
+//   * Ties are deterministic. Entries with *identical* objective
+//     vectors collapse to one representative — the one with the
+//     smallest (canonical genotype index, raw genotype index) pair —
+//     so archive contents are independent of insertion order, thread
+//     counts and duplicate/isomorphic candidates.
+//   * `snapshot()` orders entries lexicographically by objective
+//     vector (then canonical key), so exports are reproducible
+//     byte-for-byte.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/nb201/genotype.hpp"
+#include "src/proxies/proxy_suite.hpp"
+
+namespace micronas {
+
+/// One archived candidate: the genotype, its minimized objective
+/// vector, and reporting payload (full indicators + oracle accuracy).
+struct ParetoEntry {
+  nb201::Genotype genotype;
+  std::vector<double> objectives;  // minimized, one per archive objective
+  IndicatorValues indicators;      // payload: full indicator set
+  double accuracy = 0.0;           // payload: surrogate accuracy (%; 0 if unused)
+};
+
+/// True iff `a` weakly dominates `b` (same length, all-minimize).
+bool pareto_dominates(std::span<const double> a, std::span<const double> b);
+
+/// Non-dominated archive with deterministic tie-breaking.
+///
+/// Not thread-safe: searches score candidates in parallel but insert
+/// serially from the driving thread, which is what keeps archive
+/// contents bit-identical across thread counts.
+class ParetoArchive {
+ public:
+  ParetoArchive() = default;
+  /// `objective_names` label the CSV columns; their count fixes the
+  /// expected objective-vector length.
+  explicit ParetoArchive(std::vector<std::string> objective_names);
+
+  /// Insert a candidate, dropping it if dominated (or an objective-tie
+  /// with a smaller-keyed incumbent) and evicting any entries it
+  /// dominates. Returns true iff the entry was retained.
+  bool insert(ParetoEntry entry);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t num_objectives() const { return objective_names_.size(); }
+  const std::vector<std::string>& objective_names() const { return objective_names_; }
+
+  /// Entries sorted by (objective vector lexicographic, canonical
+  /// index, raw index) — a deterministic, insertion-order-independent
+  /// view. For two objectives this is the classic monotone front:
+  /// first objective ascending, second strictly descending.
+  std::vector<ParetoEntry> snapshot() const;
+
+  /// Dominated hypervolume of the archive relative to `reference`
+  /// (all-minimize; entries not strictly inside the reference box are
+  /// ignored). Exact for any objective count via recursive slicing.
+  double hypervolume(std::span<const double> reference) const;
+
+  /// RFC-4180 CSV: genotype, raw/canonical indices, objectives,
+  /// accuracy and the full indicator payload, in snapshot order.
+  std::string to_csv() const;
+  void save_csv(const std::string& path) const;
+
+ private:
+  struct Keyed {
+    ParetoEntry entry;
+    int canonical_index = 0;
+    int raw_index = 0;
+  };
+
+  std::vector<std::string> objective_names_;
+  std::vector<Keyed> entries_;  // invariant: mutually non-dominated, no objective ties
+};
+
+/// Fast non-dominated sort (Deb et al.): partition indices into fronts
+/// (rank 0 = non-dominated). Index order within a front follows the
+/// input order, so the result is deterministic.
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    std::span<const std::vector<double>> objectives);
+
+/// NSGA-II crowding distances for the subset `front` of `objectives`
+/// (aligned with `front`; boundary points get +infinity). Objective
+/// ties are resolved by stable sort, so distances are deterministic.
+std::vector<double> crowding_distances(std::span<const std::vector<double>> objectives,
+                                       std::span<const std::size_t> front);
+
+/// Dominated hypervolume of `points` relative to `reference`
+/// (all-minimize). Points not strictly dominating the reference in
+/// every coordinate are ignored. Exact for any dimension (recursive
+/// slicing; intended for archive-sized point sets).
+double hypervolume(std::span<const std::vector<double>> points, std::span<const double> reference);
+
+}  // namespace micronas

@@ -42,6 +42,14 @@ TEST(Cli, UnknownFlagThrows) {
   EXPECT_THROW(CliArgs(3, argv, {"known"}), std::invalid_argument);
 }
 
+TEST(Cli, ListFlagSplitsOnCommas) {
+  const char* argv[] = {"prog", "--mcus", "m4,,m7,"};
+  CliArgs args(3, argv, {"mcus"});
+  EXPECT_EQ(args.get_list("mcus", ""), (std::vector<std::string>{"m4", "m7"}));
+  EXPECT_EQ(args.get_list("absent", "a,b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(args.get_list("absent", "").empty());
+}
+
 TEST(Cli, PositionalCollected) {
   const char* argv[] = {"prog", "pos1", "--k", "v", "pos2"};
   CliArgs args(5, argv, {"k"});

@@ -1,0 +1,125 @@
+// Golden end-to-end regression: a fixed-seed MicroNas::search() must
+// keep discovering the same model with the same indicator values.
+//
+// The golden file lives at tests/golden/e2e_search.golden. After an
+// *intentional* behaviour change, regenerate it with
+//
+//   scripts/update_golden.sh
+//
+// (equivalently: MICRONAS_UPDATE_GOLDEN=1 ./build/test_golden_e2e) and
+// commit the diff alongside the change that caused it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/core/micronas.hpp"
+
+namespace micronas {
+namespace {
+
+#ifndef MICRONAS_SOURCE_DIR
+#error "MICRONAS_SOURCE_DIR must point at the repository root"
+#endif
+
+const char* golden_path() { return MICRONAS_SOURCE_DIR "/tests/golden/e2e_search.golden"; }
+
+/// The fixed search scenario: small proxy apparatus (the
+/// pareto_explore configuration), latency-guided weights, seed 7.
+DiscoveredModel run_fixed_search() {
+  MicroNasConfig cfg;
+  cfg.seed = 7;
+  cfg.batch_size = 16;
+  cfg.proxy_net.input_size = 8;
+  cfg.proxy_net.base_channels = 4;
+  cfg.lr.grid = 10;
+  cfg.lr.input_size = 8;
+  cfg.weights = IndicatorWeights::latency_guided(2.0);
+  MicroNas nas(cfg);
+  return nas.search();
+}
+
+std::map<std::string, std::string> serialize(const DiscoveredModel& model) {
+  const nb201::Genotype canonical = nb201::canonicalize(model.genotype);
+  const auto full = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  return {
+      {"canonical", canonical.to_string()},
+      {"canonical_index", std::to_string(canonical.index())},
+      {"genotype_index", std::to_string(model.genotype.index())},
+      {"accuracy", full(model.accuracy)},
+      {"ntk_condition", full(model.indicators.ntk_condition)},
+      {"linear_regions", full(model.indicators.linear_regions)},
+      {"flops_m", full(model.indicators.flops_m)},
+      {"params_m", full(model.indicators.params_m)},
+      {"latency_ms", full(model.indicators.latency_ms)},
+      {"peak_sram_kb", full(model.indicators.peak_sram_kb)},
+      {"measured_latency_ms", full(model.measured_latency_ms)},
+      {"adapt_rounds", std::to_string(model.adapt_rounds_used)},
+  };
+}
+
+std::map<std::string, std::string> load_golden(const std::string& path) {
+  std::ifstream in(path);
+  std::map<std::string, std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    out[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return out;
+}
+
+void save_golden(const std::string& path, const std::map<std::string, std::string>& kv) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << "# Golden result of the fixed-seed end-to-end search (see\n"
+         "# tests/test_golden_e2e.cpp). Regenerate with scripts/update_golden.sh\n"
+         "# after an intentional behaviour change.\n";
+  for (const auto& [k, v] : kv) out << k << "=" << v << "\n";
+}
+
+TEST(GoldenEndToEnd, FixedSeedSearchMatchesGolden) {
+  const auto actual = serialize(run_fixed_search());
+
+  if (std::getenv("MICRONAS_UPDATE_GOLDEN") != nullptr) {
+    save_golden(golden_path(), actual);
+    std::cout << "golden file updated: " << golden_path() << "\n";
+    return;
+  }
+
+  const auto golden = load_golden(golden_path());
+  ASSERT_FALSE(golden.empty()) << "missing or empty golden file " << golden_path()
+                               << " — run scripts/update_golden.sh to create it";
+
+  for (const auto& [key, expected] : golden) {
+    ASSERT_TRUE(actual.count(key)) << "golden key '" << key << "' not produced by the search";
+    const std::string& got = actual.at(key);
+    // Discrete fields must match exactly; floating-point fields get a
+    // tight relative tolerance so a libm variation does not mask the
+    // regressions this test exists to catch.
+    double expected_d = 0.0;
+    double got_d = 0.0;
+    std::istringstream es(expected);
+    std::istringstream gs(got);
+    if (key != "canonical" && (es >> expected_d) && (gs >> got_d) &&
+        es.rdbuf()->in_avail() == 0) {
+      EXPECT_NEAR(got_d, expected_d, 1e-6 * std::max(1.0, std::abs(expected_d)))
+          << "indicator '" << key << "' drifted from the golden value";
+    } else {
+      EXPECT_EQ(got, expected) << "field '" << key << "' changed";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,109 @@
+// NSGA-II backend: archive validity, constraint handling, trajectory
+// accounting, and bit-identical results across thread counts and
+// cache states.
+#include <gtest/gtest.h>
+
+#include "src/search/nsga2_search.hpp"
+
+namespace micronas {
+namespace {
+
+Nsga2Result run(const Nsga2Config& config, const EvalEngineConfig& ecfg,
+                std::uint64_t rng_seed = 11) {
+  const ProxyEvalEngine engine(MacroNetConfig{}, /*estimator=*/nullptr, ecfg);
+  const nb201::SurrogateOracle oracle;
+  Rng rng(rng_seed);
+  return nsga2_search(engine, /*proxy_engine=*/nullptr, &oracle, config, rng);
+}
+
+Nsga2Config small_config() {
+  Nsga2Config cfg;
+  cfg.population_size = 16;
+  cfg.generations = 6;
+  return cfg;
+}
+
+TEST(Nsga2Search, ArchiveIsMutuallyNonDominatedAndNonTrivial) {
+  const Nsga2Result res = run(small_config(), EvalEngineConfig{});
+  ASSERT_GE(res.archive.size(), 5U);  // a real trade-off surface, not a point
+  const auto snap = res.archive.snapshot();
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    for (std::size_t j = 0; j < snap.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(pareto_dominates(snap[i].objectives, snap[j].objectives))
+          << "archive entries " << i << " and " << j << " are not mutually non-dominated";
+    }
+  }
+  // No estimator: the cost objective falls back to FLOPs.
+  EXPECT_EQ(res.archive.objective_names()[1], "flops_m");
+  // Payload accuracy matches the negated first objective.
+  for (const ParetoEntry& e : snap) EXPECT_DOUBLE_EQ(e.objectives[0], -e.accuracy);
+}
+
+TEST(Nsga2Search, HistoryAccountsEveryGeneration) {
+  Nsga2Config cfg = small_config();
+  cfg.track_hypervolume = true;
+  const Nsga2Result res = run(cfg, EvalEngineConfig{});
+  ASSERT_EQ(res.history.size(), static_cast<std::size_t>(cfg.generations) + 1);
+  EXPECT_EQ(res.evaluations, static_cast<long long>(cfg.population_size) * (cfg.generations + 1));
+  ASSERT_EQ(res.hv_reference.size(), res.archive.num_objectives());
+  for (std::size_t g = 1; g < res.history.size(); ++g) {
+    EXPECT_EQ(res.history[g].generation, static_cast<int>(g));
+    // The archive only ever improves, so hypervolume is monotone.
+    EXPECT_GE(res.history[g].hypervolume, res.history[g - 1].hypervolume);
+    EXPECT_GT(res.history[g].evaluations, res.history[g - 1].evaluations);
+  }
+  EXPECT_GT(res.history.back().hypervolume, 0.0);
+}
+
+TEST(Nsga2Search, ConstraintsKeepArchiveFeasible) {
+  Nsga2Config cfg = small_config();
+  // Binding but satisfiable bounds: the space spans FLOPs ∈ [7.8, 158]
+  // M and peak SRAM ∈ [152, 344] KB on the default skeleton.
+  cfg.constraints.max_flops_m = 60.0;
+  cfg.constraints.max_sram_kb = 250.0;
+  const Nsga2Result res = run(cfg, EvalEngineConfig{});
+  ASSERT_GE(res.archive.size(), 1U);
+  for (const ParetoEntry& e : res.archive.snapshot()) {
+    EXPECT_LE(e.indicators.flops_m, 60.0);
+    EXPECT_LE(e.indicators.peak_sram_kb, 250.0);
+  }
+}
+
+TEST(Nsga2Search, BitIdenticalAcrossThreadsAndCache) {
+  const Nsga2Result base = run(small_config(), EvalEngineConfig{});  // serial + cached
+  for (const int threads : {1, 4}) {
+    for (const bool cache : {true, false}) {
+      EvalEngineConfig ecfg;
+      ecfg.threads = threads;
+      ecfg.cache = cache;
+      const Nsga2Result other = run(small_config(), ecfg);
+      EXPECT_EQ(other.evaluations, base.evaluations);
+      // CSV carries genotypes, objectives and payload at full
+      // precision: string equality is bit equality.
+      EXPECT_EQ(other.archive.to_csv(), base.archive.to_csv())
+          << "threads=" << threads << " cache=" << cache;
+    }
+  }
+}
+
+TEST(Nsga2Search, RejectsInvalidSetups) {
+  const ProxyEvalEngine engine(MacroNetConfig{}, nullptr, EvalEngineConfig{});
+  Rng rng(1);
+  // No quality source at all.
+  EXPECT_THROW(nsga2_search(engine, nullptr, nullptr, Nsga2Config{}, rng), std::invalid_argument);
+  // Analytic engine cannot serve as the proxy-quality engine.
+  const nb201::SurrogateOracle oracle;
+  EXPECT_THROW(nsga2_search(engine, &engine, &oracle, Nsga2Config{}, rng), std::invalid_argument);
+  // Latency constraint without an estimator.
+  Nsga2Config constrained;
+  constrained.constraints.max_latency_ms = 100.0;
+  EXPECT_THROW(nsga2_search(engine, nullptr, &oracle, constrained, rng), std::invalid_argument);
+  // Degenerate population.
+  Nsga2Config tiny;
+  tiny.population_size = 1;
+  EXPECT_THROW(nsga2_search(engine, nullptr, &oracle, tiny, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace micronas

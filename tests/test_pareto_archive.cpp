@@ -1,0 +1,268 @@
+// Edge cases of the multi-objective kernel (ParetoArchive, dominance,
+// fronts, crowding, hypervolume) and of the stats/ranking transforms
+// it leans on: empty input, single element, all-dominated, all-ties,
+// duplicate genotypes.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/nb201/canonical.hpp"
+#include "src/search/exhaustive.hpp"
+#include "src/search/pareto_archive.hpp"
+#include "src/stats/ranking.hpp"
+
+namespace micronas {
+namespace {
+
+ParetoEntry entry(int genotype_index, std::vector<double> objectives, double accuracy = 0.0) {
+  ParetoEntry e;
+  e.genotype = nb201::Genotype::from_index(genotype_index);
+  e.objectives = std::move(objectives);
+  e.accuracy = accuracy;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Dominance.
+
+TEST(ParetoDominates, BasicAndTies) {
+  EXPECT_TRUE(pareto_dominates(std::vector<double>{1.0, 2.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_TRUE(pareto_dominates(std::vector<double>{1.0, 1.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_FALSE(pareto_dominates(std::vector<double>{1.0, 3.0}, std::vector<double>{2.0, 2.0}));
+  // Identical vectors dominate in neither direction.
+  EXPECT_FALSE(pareto_dominates(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0, 2.0}));
+  EXPECT_THROW(pareto_dominates(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Archive edge cases.
+
+TEST(ParetoArchive, EmptyArchive) {
+  const ParetoArchive archive({"a", "b"});
+  EXPECT_TRUE(archive.empty());
+  EXPECT_EQ(archive.size(), 0U);
+  EXPECT_TRUE(archive.snapshot().empty());
+  EXPECT_EQ(archive.hypervolume(std::vector<double>{1.0, 1.0}), 0.0);
+  // CSV still carries the header row.
+  EXPECT_NE(archive.to_csv().find("genotype"), std::string::npos);
+}
+
+TEST(ParetoArchive, DefaultConstructedRejectsInsert) {
+  ParetoArchive archive;
+  EXPECT_THROW(archive.insert(entry(0, {1.0})), std::logic_error);
+}
+
+TEST(ParetoArchive, WrongObjectiveLengthThrows) {
+  ParetoArchive archive({"a", "b"});
+  EXPECT_THROW(archive.insert(entry(0, {1.0})), std::invalid_argument);
+}
+
+TEST(ParetoArchive, SingleElement) {
+  ParetoArchive archive({"a", "b"});
+  EXPECT_TRUE(archive.insert(entry(3, {1.0, 2.0})));
+  EXPECT_EQ(archive.size(), 1U);
+  const auto snap = archive.snapshot();
+  ASSERT_EQ(snap.size(), 1U);
+  EXPECT_EQ(snap[0].genotype.index(), 3);
+  EXPECT_EQ(archive.hypervolume(std::vector<double>{2.0, 3.0}), 1.0);
+}
+
+TEST(ParetoArchive, AllDominatedCollapseToOne) {
+  ParetoArchive archive({"a", "b"});
+  // Dominator first: everything after is rejected.
+  EXPECT_TRUE(archive.insert(entry(0, {1.0, 1.0})));
+  EXPECT_FALSE(archive.insert(entry(1, {2.0, 1.0})));
+  EXPECT_FALSE(archive.insert(entry(2, {1.0, 3.0})));
+  EXPECT_EQ(archive.size(), 1U);
+
+  // Dominator last: it must evict every incumbent.
+  ParetoArchive reversed({"a", "b"});
+  EXPECT_TRUE(reversed.insert(entry(1, {2.0, 1.0})));
+  EXPECT_TRUE(reversed.insert(entry(2, {1.0, 3.0})));
+  EXPECT_TRUE(reversed.insert(entry(0, {1.0, 1.0})));
+  EXPECT_EQ(reversed.size(), 1U);
+  EXPECT_EQ(reversed.snapshot()[0].genotype.index(), 0);
+}
+
+TEST(ParetoArchive, AllTiesKeepOneDeterministically) {
+  // Identical objective vectors from distinct genotypes collapse to a
+  // single representative, independent of insertion order.
+  const std::vector<int> indices = {14000, 77, 5000, 444};
+  ParetoArchive forward({"a", "b"});
+  for (int i : indices) forward.insert(entry(i, {1.0, 1.0}));
+  ParetoArchive backward({"a", "b"});
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) backward.insert(entry(*it, {1.0, 1.0}));
+
+  ASSERT_EQ(forward.size(), 1U);
+  ASSERT_EQ(backward.size(), 1U);
+  EXPECT_EQ(forward.snapshot()[0].genotype, backward.snapshot()[0].genotype);
+  EXPECT_EQ(forward.to_csv(), backward.to_csv());
+}
+
+TEST(ParetoArchive, DuplicateGenotypesInsertOnce) {
+  ParetoArchive archive({"a", "b"});
+  EXPECT_TRUE(archive.insert(entry(123, {1.0, 2.0})));
+  EXPECT_FALSE(archive.insert(entry(123, {1.0, 2.0})));
+  EXPECT_EQ(archive.size(), 1U);
+}
+
+TEST(ParetoArchive, SnapshotIsMonotoneStaircaseIn2D) {
+  ParetoArchive archive({"cost", "neg_quality"});
+  archive.insert(entry(1, {3.0, -30.0}));
+  archive.insert(entry(2, {1.0, -10.0}));
+  archive.insert(entry(3, {2.0, -20.0}));
+  archive.insert(entry(4, {2.5, -15.0}));  // dominated by genotype 3
+  const auto snap = archive.snapshot();
+  ASSERT_EQ(snap.size(), 3U);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_GT(snap[i].objectives[0], snap[i - 1].objectives[0]);
+    EXPECT_LT(snap[i].objectives[1], snap[i - 1].objectives[1]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pareto_front (exhaustive) now routes through the archive.
+
+TEST(ParetoFront, TiesResolvedIndependentOfInputOrder) {
+  auto record = [](int index, double flops, double acc) {
+    ArchRecord r;
+    r.genotype = nb201::Genotype::from_index(index);
+    r.flops_m = flops;
+    r.accuracy = acc;
+    return r;
+  };
+  // Two exact (cost, accuracy) ties plus one distinct point.
+  const ArchRecord a = record(140, 5.0, 50.0);
+  const ArchRecord b = record(4100, 5.0, 50.0);
+  const ArchRecord c = record(7, 1.0, 20.0);
+
+  const auto front1 = pareto_front({a, b, c});
+  const auto front2 = pareto_front({b, a, c});
+  ASSERT_EQ(front1.size(), 2U);
+  ASSERT_EQ(front2.size(), 2U);
+  for (std::size_t i = 0; i < front1.size(); ++i) {
+    EXPECT_EQ(front1[i].genotype, front2[i].genotype);
+  }
+  // The documented tie-break: smallest canonical index wins.
+  const int kept = front1[1].genotype.index();
+  const int canon_a = nb201::canonicalize(a.genotype).index();
+  const int canon_b = nb201::canonicalize(b.genotype).index();
+  EXPECT_EQ(nb201::canonicalize(front1[1].genotype).index(), std::min(canon_a, canon_b));
+  EXPECT_TRUE(kept == a.genotype.index() || kept == b.genotype.index());
+}
+
+TEST(ParetoFront, EmptyInput) { EXPECT_TRUE(pareto_front({}).empty()); }
+
+// ---------------------------------------------------------------------------
+// Non-dominated sort and crowding distances.
+
+TEST(NonDominatedSort, EmptyAndFronts) {
+  EXPECT_TRUE(non_dominated_sort({}).empty());
+
+  const std::vector<std::vector<double>> objectives = {
+      {1.0, 4.0},  // front 0
+      {2.0, 2.0},  // front 0
+      {4.0, 1.0},  // front 0
+      {3.0, 3.0},  // front 1 (dominated by {2,2})
+      {5.0, 5.0},  // front 2 (dominated by {3,3})
+  };
+  const auto fronts = non_dominated_sort(objectives);
+  ASSERT_EQ(fronts.size(), 3U);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{3}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{4}));
+}
+
+TEST(CrowdingDistances, ExtremesInfiniteInteriorFinite) {
+  const std::vector<std::vector<double>> objectives = {{1.0, 4.0}, {2.0, 2.0}, {4.0, 1.0}};
+  const std::vector<std::size_t> front = {0, 1, 2};
+  const auto dist = crowding_distances(objectives, front);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ASSERT_EQ(dist.size(), 3U);
+  EXPECT_EQ(dist[0], kInf);
+  EXPECT_EQ(dist[2], kInf);
+  EXPECT_GT(dist[1], 0.0);
+  EXPECT_LT(dist[1], kInf);
+}
+
+TEST(CrowdingDistances, AllTiesAreZeroWidthAndDeterministic) {
+  const std::vector<std::vector<double>> objectives = {{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const std::vector<std::size_t> front = {0, 1, 2};
+  const auto dist = crowding_distances(objectives, front);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Stable sort keeps front order: first/last get the boundary bonus,
+  // the middle one accumulates nothing from zero-spread objectives.
+  EXPECT_EQ(dist[0], kInf);
+  EXPECT_EQ(dist[1], 0.0);
+  EXPECT_EQ(dist[2], kInf);
+}
+
+TEST(CrowdingDistances, EmptyFront) {
+  EXPECT_TRUE(crowding_distances({}, {}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Hypervolume.
+
+TEST(Hypervolume, TwoDimensional) {
+  const std::vector<std::vector<double>> pts = {{1.0, 3.0}, {2.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(pts, std::vector<double>{4.0, 4.0}), 7.0);
+  // Points outside the reference box are ignored.
+  const std::vector<std::vector<double>> outside = {{5.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(outside, std::vector<double>{4.0, 4.0}), 0.0);
+}
+
+TEST(Hypervolume, ThreeAndFourDimensional) {
+  const std::vector<std::vector<double>> unit = {{1.0, 1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(unit, std::vector<double>{2.0, 2.0, 2.0}), 1.0);
+
+  // Two overlapping boxes: 2x2x2 + 3x1x1 minus the 2x1x1 overlap.
+  const std::vector<std::vector<double>> pts = {{1.0, 1.0, 1.0}, {0.0, 2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(pts, std::vector<double>{3.0, 3.0, 3.0}), 8.0 + 3.0 - 2.0);
+
+  const std::vector<std::vector<double>> p4 = {{0.0, 0.0, 0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(hypervolume(p4, std::vector<double>{1.0, 2.0, 3.0, 1.0}), 6.0);
+}
+
+TEST(Hypervolume, DegenerateInputs) {
+  EXPECT_EQ(hypervolume({}, std::vector<double>{1.0}), 0.0);
+  const std::vector<std::vector<double>> one = {{1.0}};
+  EXPECT_THROW(hypervolume(one, std::vector<double>{}), std::invalid_argument);
+  const std::vector<std::vector<double>> two = {{1.0, 2.0}};
+  EXPECT_THROW(hypervolume(two, std::vector<double>{3.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// stats/ranking edge cases (the objective layer depends on these).
+
+TEST(RankingEdgeCases, EmptyInputs) {
+  EXPECT_TRUE(stats::average_ranks({}).empty());
+  EXPECT_TRUE(stats::ordinal_ranks_ascending({}).empty());
+  EXPECT_TRUE(stats::ordinal_ranks_descending({}).empty());
+  EXPECT_THROW(stats::argmin({}), std::invalid_argument);
+  EXPECT_THROW(stats::argmax({}), std::invalid_argument);
+}
+
+TEST(RankingEdgeCases, SingleElement) {
+  const std::vector<double> one = {42.0};
+  EXPECT_EQ(stats::average_ranks(one), (std::vector<double>{1.0}));
+  EXPECT_EQ(stats::ordinal_ranks_ascending(one), (std::vector<int>{0}));
+  EXPECT_EQ(stats::argmin(one), 0U);
+  EXPECT_EQ(stats::argmax(one), 0U);
+}
+
+TEST(RankingEdgeCases, AllTies) {
+  const std::vector<double> ties = {7.0, 7.0, 7.0, 7.0};
+  // Average ranks share the mean of positions 1..4.
+  EXPECT_EQ(stats::average_ranks(ties), (std::vector<double>{2.5, 2.5, 2.5, 2.5}));
+  // Ordinal ranks break ties by original index, both directions.
+  EXPECT_EQ(stats::ordinal_ranks_ascending(ties), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(stats::ordinal_ranks_descending(ties), (std::vector<int>{0, 1, 2, 3}));
+  // argmin/argmax return the first on ties.
+  EXPECT_EQ(stats::argmin(ties), 0U);
+  EXPECT_EQ(stats::argmax(ties), 0U);
+}
+
+}  // namespace
+}  // namespace micronas

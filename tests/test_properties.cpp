@@ -3,6 +3,8 @@
 // configuration, not just hand-picked cases.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/hw/latency_estimator.hpp"
 #include "src/hw/memory_model.hpp"
 #include "src/mcusim/profiler.hpp"
@@ -10,6 +12,10 @@
 #include "src/nb201/surrogate.hpp"
 #include "src/proxies/flops.hpp"
 #include "src/proxies/ntk.hpp"
+#include "src/search/evolution_search.hpp"
+#include "src/search/local_search.hpp"
+#include "src/search/nsga2_search.hpp"
+#include "src/search/random_search.hpp"
 
 namespace micronas {
 namespace {
@@ -170,6 +176,130 @@ INSTANTIATE_TEST_SUITE_P(
                       OpStageCase{nb201::Op::kConv1x1, 0}, OpStageCase{nb201::Op::kConv1x1, 2},
                       OpStageCase{nb201::Op::kConv3x3, 0}, OpStageCase{nb201::Op::kConv3x3, 1},
                       OpStageCase{nb201::Op::kConv3x3, 2}));
+
+// ---------------------------------------------------------------------------
+// Cross-backend determinism: every search backend must produce
+// bit-identical winners (and, for NSGA-II, archive contents) whatever
+// the engine's thread count or cache state — the eval-engine contract,
+// checked end to end through each backend's own control flow.
+
+struct EngineVariant {
+  int threads;
+  bool cache;
+};
+
+class BackendDeterminismTest : public ::testing::TestWithParam<EngineVariant> {
+ protected:
+  // Shared proxy suite (no estimator: hardware cost falls back to
+  // FLOPs, which keeps the sweep fast and the values exact).
+  static const ProxySuite& suite() {
+    static const std::unique_ptr<ProxySuite> s = [] {
+      ProxySuiteConfig cfg;
+      cfg.proxy_net.input_size = 8;
+      cfg.proxy_net.base_channels = 4;
+      cfg.lr.grid = 8;
+      cfg.lr.input_size = 8;
+      Tensor probe(Shape{6, 3, 8, 8});
+      Rng rng(99);
+      rng.fill_normal(probe.data());
+      return std::make_unique<ProxySuite>(cfg, std::move(probe), nullptr);
+    }();
+    return *s;
+  }
+
+  static EvalEngineConfig engine_config(const EngineVariant& v) {
+    EvalEngineConfig e;
+    e.threads = v.threads;
+    e.cache = v.cache;
+    e.seed = 0x5EED;  // fixed: the variant must not change the streams
+    return e;
+  }
+
+  static bool same_bits(const IndicatorValues& a, const IndicatorValues& b) {
+    return a.ntk_condition == b.ntk_condition && a.linear_regions == b.linear_regions &&
+           a.flops_m == b.flops_m && a.params_m == b.params_m && a.latency_ms == b.latency_ms &&
+           a.peak_sram_kb == b.peak_sram_kb;
+  }
+};
+
+TEST_P(BackendDeterminismTest, RandomSearchWinnerIdentical) {
+  auto once = [&](const EngineVariant& v) {
+    const ProxyEvalEngine engine(suite(), engine_config(v));
+    RandomSearchConfig cfg;
+    cfg.num_samples = 12;
+    cfg.weights = IndicatorWeights::flops_guided();
+    Rng rng(5);
+    return random_search(engine, cfg, rng);
+  };
+  static const RandomSearchResult baseline = once({1, true});
+  const RandomSearchResult res = once(GetParam());
+  EXPECT_EQ(res.genotype, baseline.genotype);
+  EXPECT_TRUE(same_bits(res.indicators, baseline.indicators));
+  EXPECT_EQ(res.proxy_evals, baseline.proxy_evals);
+}
+
+TEST_P(BackendDeterminismTest, LocalSearchTrajectoryIdentical) {
+  auto once = [&](const EngineVariant& v) {
+    const ProxyEvalEngine engine(suite(), engine_config(v));
+    LocalSearchConfig cfg;
+    cfg.max_evals = 30;
+    cfg.max_restarts = 2;
+    cfg.weights = IndicatorWeights::flops_guided();
+    Rng rng(6);
+    return local_search(engine, cfg, rng);
+  };
+  static const LocalSearchResult baseline = once({1, true});
+  const LocalSearchResult res = once(GetParam());
+  EXPECT_EQ(res.genotype, baseline.genotype);
+  EXPECT_TRUE(same_bits(res.indicators, baseline.indicators));
+  EXPECT_EQ(res.proxy_evals, baseline.proxy_evals);
+  EXPECT_EQ(res.restarts, baseline.restarts);
+}
+
+TEST_P(BackendDeterminismTest, EvolutionWinnerIdentical) {
+  auto once = [&](const EngineVariant& v) {
+    const ProxyEvalEngine engine(MacroNetConfig{}, nullptr, engine_config(v));
+    const nb201::SurrogateOracle oracle;
+    EvolutionSearchConfig cfg;
+    cfg.population_size = 10;
+    cfg.tournament_size = 3;
+    cfg.total_evals = 60;
+    cfg.constraints.max_flops_m = 90.0;  // exercise the feasibility path
+    Rng rng(7);
+    return evolution_search(oracle, cfg, engine, rng);
+  };
+  static const EvolutionSearchResult baseline = once({1, true});
+  const EvolutionSearchResult res = once(GetParam());
+  EXPECT_EQ(res.genotype, baseline.genotype);
+  EXPECT_EQ(res.accuracy, baseline.accuracy);
+  EXPECT_EQ(res.history, baseline.history);
+}
+
+TEST_P(BackendDeterminismTest, Nsga2ArchiveIdentical) {
+  auto once = [&](const EngineVariant& v) {
+    const ProxyEvalEngine hw(MacroNetConfig{}, nullptr, engine_config(v));
+    const ProxyEvalEngine proxies(suite(), engine_config(v));
+    const nb201::SurrogateOracle oracle;
+    Nsga2Config cfg;
+    cfg.population_size = 10;
+    cfg.generations = 3;
+    Rng rng(8);
+    return nsga2_search(hw, &proxies, &oracle, cfg, rng);
+  };
+  static const Nsga2Result baseline = once({1, true});
+  const Nsga2Result res = once(GetParam());
+  EXPECT_EQ(res.evaluations, baseline.evaluations);
+  // Full-precision CSV equality == bit-identical archive contents.
+  EXPECT_EQ(res.archive.to_csv(), baseline.archive.to_csv());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsAndCache, BackendDeterminismTest,
+                         ::testing::Values(EngineVariant{1, true}, EngineVariant{1, false},
+                                           EngineVariant{4, true}, EngineVariant{4, false}),
+                         [](const ::testing::TestParamInfo<EngineVariant>& info) {
+                           return "threads" + std::to_string(info.param.threads) +
+                                  (info.param.cache ? "_cache" : "_nocache");
+                         });
 
 // ---------------------------------------------------------------------------
 // Surrogate noise calibration across datasets.
