@@ -1,0 +1,97 @@
+#include "bench/compare.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/report.hpp"
+
+namespace micronas::bench {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kRegression: return "REGRESSION";
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kMissing: return "MISSING";
+    case Verdict::kNew: return "new";
+  }
+  return "?";
+}
+
+CompareResult compare_reports(const Report& baseline, const Report& current,
+                              const CompareOptions& opts) {
+  CompareResult result;
+
+  auto find_case = [](const Report& report, const std::string& full_name) -> const CaseResult* {
+    for (const CaseResult& c : report.cases) {
+      if (c.full_name() == full_name) return &c;
+    }
+    return nullptr;
+  };
+
+  for (const CaseResult& base : baseline.cases) {
+    CaseComparison cmp;
+    cmp.full_name = base.full_name();
+    cmp.baseline_median_ms = base.wall_ms.median;
+
+    const CaseResult* cur = find_case(current, cmp.full_name);
+    if (cur == nullptr) {
+      cmp.verdict = Verdict::kMissing;
+      ++result.missing;
+      result.cases.push_back(cmp);
+      continue;
+    }
+    cmp.current_median_ms = cur->wall_ms.median;
+    // A case that stopped producing measurements (capped, early-
+    // returned, or broken) must not sail through as 'ok': its
+    // coverage is gone, so it counts as missing.
+    if (base.wall_ms.median > 0.0 && cur->wall_ms.median <= 0.0) {
+      cmp.verdict = Verdict::kMissing;
+      ++result.missing;
+      result.cases.push_back(cmp);
+      continue;
+    }
+    if (base.wall_ms.median > 0.0) {
+      cmp.ratio = cur->wall_ms.median / base.wall_ms.median;
+    }
+    if (cmp.ratio > 1.0 + opts.threshold) {
+      cmp.verdict = Verdict::kRegression;
+      ++result.regressions;
+    } else if (cmp.ratio > 0.0 && cmp.ratio < 1.0 - opts.threshold) {
+      cmp.verdict = Verdict::kImprovement;
+      ++result.improvements;
+    }
+    result.cases.push_back(cmp);
+  }
+
+  for (const CaseResult& cur : current.cases) {
+    if (find_case(baseline, cur.full_name()) != nullptr) continue;
+    CaseComparison cmp;
+    cmp.full_name = cur.full_name();
+    cmp.current_median_ms = cur.wall_ms.median;
+    cmp.verdict = Verdict::kNew;
+    ++result.added;
+    result.cases.push_back(cmp);
+  }
+  return result;
+}
+
+std::string render_comparison(const CompareResult& result, const CompareOptions& opts) {
+  TablePrinter table({"Case", "Base median(ms)", "Curr median(ms)", "Ratio", "Verdict"});
+  for (const CaseComparison& c : result.cases) {
+    auto ms = [](double v) { return v > 0.0 ? TablePrinter::fmt(v, 3) : std::string("-"); };
+    table.add_row({c.full_name, ms(c.baseline_median_ms), ms(c.current_median_ms),
+                   c.ratio > 0.0 ? TablePrinter::fmt(c.ratio, 2) + "x" : "-",
+                   verdict_name(c.verdict)});
+  }
+
+  char summary[256];
+  std::snprintf(summary, sizeof(summary),
+                "\nthreshold +/-%.0f%%: %d regression(s), %d improvement(s), %d missing, "
+                "%d new — %s\n",
+                opts.threshold * 100.0, result.regressions, result.improvements, result.missing,
+                result.added, result.failed(opts) ? "FAIL" : "PASS");
+  return table.render() + summary;
+}
+
+}  // namespace micronas::bench

@@ -1,0 +1,58 @@
+// Perf-regression comparison between two BENCH_*.json reports.
+//
+// The CI perf job runs `bench_compare bench/baselines/BENCH_tier1.json
+// BENCH_tier1.json --threshold 0.25`: a case whose median wall time
+// grew by more than the threshold fraction is a regression (non-zero
+// exit), one that shrank by more than the threshold is flagged as an
+// improvement (baseline refresh suggested), and a baseline case absent
+// from the current report fails as missing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+namespace micronas::bench {
+
+enum class Verdict { kOk, kRegression, kImprovement, kMissing, kNew };
+
+const char* verdict_name(Verdict v);
+
+struct CaseComparison {
+  std::string full_name;
+  Verdict verdict = Verdict::kOk;
+  double baseline_median_ms = 0.0;
+  double current_median_ms = 0.0;
+  /// current/baseline median; 0 when either side is absent.
+  double ratio = 0.0;
+};
+
+struct CompareOptions {
+  /// Allowed fractional median growth (0.25 == +25 %).
+  double threshold = 0.25;
+  /// When true, baseline cases missing from the current report are
+  /// reported but do not fail the comparison.
+  bool allow_missing = false;
+};
+
+struct CompareResult {
+  std::vector<CaseComparison> cases;  // baseline order, then new cases
+  int regressions = 0;
+  int improvements = 0;
+  int missing = 0;
+  int added = 0;
+
+  bool failed(const CompareOptions& opts) const {
+    return regressions > 0 || (!opts.allow_missing && missing > 0);
+  }
+};
+
+/// Diff `current` against `baseline` case-by-case on median wall time.
+CompareResult compare_reports(const Report& baseline, const Report& current,
+                              const CompareOptions& opts);
+
+/// Human-readable verdict table (stdout of the bench_compare CLI).
+std::string render_comparison(const CompareResult& result, const CompareOptions& opts);
+
+}  // namespace micronas::bench

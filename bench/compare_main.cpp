@@ -1,0 +1,54 @@
+// bench_compare — perf-regression gate over two BENCH_*.json documents.
+//
+//   bench_compare <baseline.json> <current.json> [--threshold 0.25]
+//                 [--allow-missing]
+//
+// Exit status: 0 when no case regressed (and none missing unless
+// --allow-missing), 1 on regression/missing, 2 on usage errors.
+#include <iostream>
+
+#include "bench/compare.hpp"
+#include "src/common/cli.hpp"
+
+using namespace micronas;
+using namespace micronas::bench;
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, {"threshold", "allow-missing"});
+    if (args.positional().size() != 2) {
+      std::cerr << "usage: " << args.program()
+                << " <baseline.json> <current.json> [--threshold 0.25] [--allow-missing]\n";
+      return 2;
+    }
+
+    CompareOptions opts;
+    opts.threshold = args.get_double("threshold", opts.threshold);
+    opts.allow_missing = args.get_bool("allow-missing", false);
+    if (opts.threshold <= 0.0) {
+      std::cerr << "error: --threshold must be > 0\n";
+      return 2;
+    }
+
+    const Report baseline = Report::from_json(load_json_file(args.positional()[0]));
+    const Report current = Report::from_json(load_json_file(args.positional()[1]));
+
+    // Absolute wall times only compare meaningfully on like-for-like
+    // builds; surface toolchain/build-type drift loudly.
+    if (baseline.build.compiler != current.build.compiler ||
+        baseline.build.build_type != current.build.build_type) {
+      std::cerr << "warning: build mismatch — baseline {" << baseline.build.compiler << ", "
+                << baseline.build.build_type << "} vs current {" << current.build.compiler
+                << ", " << current.build.build_type
+                << "}; medians reflect the toolchain as much as the code. Regenerate the "
+                   "baseline with scripts/update_baselines.sh on this setup.\n";
+    }
+
+    const CompareResult result = compare_reports(baseline, current, opts);
+    std::cout << render_comparison(result, opts);
+    return result.failed(opts) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

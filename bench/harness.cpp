@@ -1,0 +1,409 @@
+#include "bench/harness.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "src/stats/summary.hpp"
+
+namespace micronas::bench {
+
+// ------------------------------------------------------------ statistics
+
+SampleStats compute_stats(std::vector<double> samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  const stats::Summary summary = stats::summarize(samples);
+  s.min = summary.min;
+  s.median = summary.median;
+  s.mean = summary.mean;
+  s.max = summary.max;
+  s.stddev = summary.stddev;
+  s.p90 = stats::percentile(samples, 90.0);
+  return s;
+}
+
+CaseOptions experiment_opts(int tier) {
+  CaseOptions opts;
+  opts.warmup = 0;
+  opts.min_reps = 1;
+  opts.max_reps = 1;
+  opts.steady_rsd = 0.0;
+  opts.tier = tier;
+  return opts;
+}
+
+// ------------------------------------------------------------------ state
+
+namespace {
+
+double wall_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double cpu_now_ms() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) * 1e-6;
+  }
+#endif
+  return static_cast<double>(std::clock()) * 1e3 / CLOCKS_PER_SEC;
+}
+
+bool sample_is_steady(const std::vector<double>& samples, double rsd_threshold) {
+  if (rsd_threshold <= 0.0 || samples.size() < 2) return false;
+  const SampleStats s = compute_stats(samples);
+  return s.mean > 0.0 && (s.stddev / s.mean) < rsd_threshold;
+}
+
+}  // namespace
+
+bool State::keep_running() {
+  const double wall = wall_now_ms();
+  const double cpu = cpu_now_ms();
+  if (started_) {
+    // Close out the iteration that just finished.
+    if (iteration_ >= options_.warmup) {
+      wall_ms_.push_back(wall - wall_start_);
+      cpu_ms_.push_back(cpu - cpu_start_);
+    }
+    ++iteration_;
+  } else {
+    started_ = true;
+  }
+
+  const int measured = static_cast<int>(wall_ms_.size());
+  if (measured >= options_.max_reps) return false;
+  if (measured >= options_.min_reps && sample_is_steady(wall_ms_, options_.steady_rsd)) {
+    return false;
+  }
+
+  wall_start_ = wall_now_ms();
+  cpu_start_ = cpu_now_ms();
+  return true;
+}
+
+int State::param_int(const std::string& name, int fallback) {
+  const std::string raw = param_string(name, std::to_string(fallback));
+  try {
+    return std::stoi(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bench param --set " + name + "=" + raw + ": not an int");
+  }
+}
+
+double State::param_double(const std::string& name, double fallback) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", fallback);
+  const std::string raw = param_string(name, buf);
+  try {
+    return std::stod(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bench param --set " + name + "=" + raw + ": not a number");
+  }
+}
+
+std::string State::param_string(const std::string& name, const std::string& fallback) {
+  std::string value = fallback;
+  if (overrides_ != nullptr) {
+    auto it = overrides_->find(name);
+    if (it != overrides_->end()) value = it->second;
+  }
+  params_[name] = value;
+  return value;
+}
+
+void State::record_param(const std::string& name, const std::string& value) {
+  params_[name] = value;
+}
+
+void State::set_items_processed(double items_per_iteration) {
+  items_per_iteration_ = items_per_iteration;
+}
+
+void State::set_bytes_processed(double bytes_per_iteration) {
+  bytes_per_iteration_ = bytes_per_iteration;
+}
+
+void State::counter(const std::string& name, double value) { counters_[name] = value; }
+
+// --------------------------------------------------------------- registry
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(CaseInfo info) { cases_.push_back(std::move(info)); }
+
+std::vector<CaseInfo> Registry::sorted_cases() const {
+  std::vector<CaseInfo> sorted = cases_;
+  std::sort(sorted.begin(), sorted.end(), [](const CaseInfo& a, const CaseInfo& b) {
+    return a.full_name() < b.full_name();
+  });
+  return sorted;
+}
+
+Registrar::Registrar(const char* suite, const char* name, CaseFn fn, CaseOptions options,
+                     std::vector<std::int64_t> args) {
+  if (args.empty()) {
+    Registry::instance().add(CaseInfo{suite, name, fn, options, 0});
+    return;
+  }
+  for (std::int64_t arg : args) {
+    Registry::instance().add(
+        CaseInfo{suite, std::string(name) + "/" + std::to_string(arg), fn, options, arg});
+  }
+}
+
+// ----------------------------------------------------------------- report
+
+BuildInfo current_build_info() {
+  BuildInfo info;
+#ifdef MICRONAS_GIT_SHA
+  info.git_sha = MICRONAS_GIT_SHA;
+#else
+  info.git_sha = "unknown";
+#endif
+#ifdef MICRONAS_COMPILER
+  info.compiler = MICRONAS_COMPILER;
+#else
+  info.compiler = "unknown";
+#endif
+#ifdef MICRONAS_CXX_FLAGS
+  info.flags = MICRONAS_CXX_FLAGS;
+#else
+  info.flags = "";
+#endif
+#ifdef MICRONAS_BUILD_TYPE
+  info.build_type = MICRONAS_BUILD_TYPE;
+#else
+  info.build_type = "";
+#endif
+  info.hardware_threads = static_cast<int>(std::thread::hardware_concurrency());
+
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  info.timestamp_utc = buf;
+  return info;
+}
+
+namespace {
+
+// NaN/Inf serialize as JSON null (bench/json.cpp); read them back as
+// the fallback instead of throwing so one bad counter cannot make a
+// whole telemetry document unreadable.
+double number_or(const Json& j, double fallback) {
+  return j.is_null() ? fallback : j.as_number();
+}
+
+Json stats_to_json(const SampleStats& s) {
+  JsonObject o;
+  o["min"] = s.min;
+  o["median"] = s.median;
+  o["mean"] = s.mean;
+  o["p90"] = s.p90;
+  o["max"] = s.max;
+  o["stddev"] = s.stddev;
+  return Json(std::move(o));
+}
+
+SampleStats stats_from_json(const Json& j, std::size_t count) {
+  SampleStats s;
+  s.count = count;
+  s.min = number_or(j.at("min"), 0.0);
+  s.median = number_or(j.at("median"), 0.0);
+  s.mean = number_or(j.at("mean"), 0.0);
+  s.p90 = number_or(j.at("p90"), 0.0);
+  s.max = number_or(j.at("max"), 0.0);
+  s.stddev = number_or(j.at("stddev"), 0.0);
+  return s;
+}
+
+}  // namespace
+
+Json Report::to_json() const {
+  JsonObject doc;
+  doc["schema_version"] = 1;
+
+  JsonObject b;
+  b["git_sha"] = build.git_sha;
+  b["compiler"] = build.compiler;
+  b["flags"] = build.flags;
+  b["build_type"] = build.build_type;
+  b["hardware_threads"] = build.hardware_threads;
+  b["timestamp_utc"] = build.timestamp_utc;
+  doc["build"] = Json(std::move(b));
+
+  JsonArray arr;
+  for (const CaseResult& c : cases) {
+    JsonObject o;
+    o["suite"] = c.suite;
+    o["case"] = c.name;
+    o["tier"] = c.tier;
+    JsonObject params;
+    for (const auto& [k, v] : c.params) params[k] = v;
+    o["params"] = Json(std::move(params));
+
+    JsonObject stats;
+    stats["repetitions"] = c.wall_ms.count;
+    stats["warmup"] = c.warmup;
+    stats["wall_ms"] = stats_to_json(c.wall_ms);
+    stats["cpu_ms"] = stats_to_json(c.cpu_ms);
+    o["stats"] = Json(std::move(stats));
+
+    if (c.items_per_second > 0.0) o["items_per_second"] = c.items_per_second;
+    if (c.bytes_per_second > 0.0) o["bytes_per_second"] = c.bytes_per_second;
+    if (!c.counters.empty()) {
+      JsonObject counters;
+      for (const auto& [k, v] : c.counters) counters[k] = v;
+      o["counters"] = Json(std::move(counters));
+    }
+    arr.push_back(Json(std::move(o)));
+  }
+  doc["cases"] = Json(std::move(arr));
+  return Json(std::move(doc));
+}
+
+Report Report::from_json(const Json& doc) {
+  const double version = doc.at("schema_version").as_number();
+  if (version != 1) {
+    throw std::runtime_error("unsupported BENCH json schema_version " + std::to_string(version));
+  }
+  Report report;
+  const Json& b = doc.at("build");
+  report.build.git_sha = b.at("git_sha").as_string();
+  report.build.compiler = b.at("compiler").as_string();
+  report.build.flags = b.at("flags").as_string();
+  report.build.build_type = b.at("build_type").as_string();
+  report.build.hardware_threads = static_cast<int>(b.at("hardware_threads").as_number());
+  report.build.timestamp_utc = b.at("timestamp_utc").as_string();
+
+  for (const Json& j : doc.at("cases").as_array()) {
+    CaseResult c;
+    c.suite = j.at("suite").as_string();
+    c.name = j.at("case").as_string();
+    c.tier = static_cast<int>(j.at("tier").as_number());
+    for (const auto& [k, v] : j.at("params").as_object()) c.params[k] = v.as_string();
+
+    const Json& stats = j.at("stats");
+    const auto reps = static_cast<std::size_t>(stats.at("repetitions").as_number());
+    c.warmup = static_cast<int>(stats.at("warmup").as_number());
+    c.wall_ms = stats_from_json(stats.at("wall_ms"), reps);
+    c.cpu_ms = stats_from_json(stats.at("cpu_ms"), reps);
+
+    if (const Json* ips = j.find("items_per_second")) c.items_per_second = number_or(*ips, 0.0);
+    if (const Json* bps = j.find("bytes_per_second")) c.bytes_per_second = number_or(*bps, 0.0);
+    if (const Json* counters = j.find("counters")) {
+      for (const auto& [k, v] : counters->as_object()) {
+        c.counters[k] = number_or(v, std::numeric_limits<double>::quiet_NaN());
+      }
+    }
+    report.cases.push_back(std::move(c));
+  }
+  return report;
+}
+
+void Report::merge(const Report& other) {
+  for (const CaseResult& incoming : other.cases) {
+    auto it = std::find_if(cases.begin(), cases.end(), [&](const CaseResult& existing) {
+      return existing.full_name() == incoming.full_name();
+    });
+    if (it != cases.end()) {
+      *it = incoming;
+    } else {
+      cases.push_back(incoming);
+    }
+  }
+  std::sort(cases.begin(), cases.end(), [](const CaseResult& a, const CaseResult& b) {
+    return a.full_name() < b.full_name();
+  });
+}
+
+// ----------------------------------------------------------------- runner
+
+CaseOptions Runner::effective_options(const CaseOptions& c) const {
+  CaseOptions e = c;
+  if (e.warmup < 0) e.warmup = options_.warmup;
+  if (e.min_reps < 0) e.min_reps = options_.min_reps;
+  if (e.max_reps < 0) e.max_reps = options_.max_reps;
+  if (e.steady_rsd < 0.0) e.steady_rsd = options_.steady_rsd;
+  e.min_reps = std::max(1, e.min_reps);
+  e.max_reps = std::max(e.min_reps, e.max_reps);
+  return e;
+}
+
+std::vector<CaseInfo> Runner::selection() const {
+  std::vector<CaseInfo> selected;
+  for (const CaseInfo& info : Registry::instance().sorted_cases()) {
+    if (options_.tier != 0 && info.options.tier != options_.tier) continue;
+    if (!options_.filter.empty() &&
+        info.full_name().find(options_.filter) == std::string::npos) {
+      continue;
+    }
+    selected.push_back(info);
+  }
+  return selected;
+}
+
+Report Runner::run(std::ostream* progress) const {
+  Report report;
+  report.build = current_build_info();
+
+  for (const CaseInfo& info : selection()) {
+    State state;
+    state.overrides_ = &options_.overrides;
+    state.options_ = effective_options(info.options);
+    state.arg_ = info.arg;
+    state.verbose_ = options_.verbose;
+    if (info.arg != 0) state.record_param("arg", std::to_string(info.arg));
+
+    if (progress != nullptr) {
+      *progress << "[bench] " << info.full_name() << " ..." << std::flush;
+    }
+    info.fn(state);
+
+    CaseResult result;
+    result.suite = info.suite;
+    result.name = info.name;
+    result.tier = info.options.tier;
+    result.params = state.params_;
+    result.warmup = state.options_.warmup;
+    result.wall_ms = compute_stats(state.wall_ms_);
+    result.cpu_ms = compute_stats(state.cpu_ms_);
+    result.counters = state.counters_;
+    if (result.wall_ms.median > 0.0) {
+      if (state.items_per_iteration_ > 0.0) {
+        result.items_per_second = state.items_per_iteration_ / (result.wall_ms.median * 1e-3);
+      }
+      if (state.bytes_per_iteration_ > 0.0) {
+        result.bytes_per_second = state.bytes_per_iteration_ / (result.wall_ms.median * 1e-3);
+      }
+    }
+    if (progress != nullptr) {
+      char line[160];
+      std::snprintf(line, sizeof(line), " median %.3f ms (n=%zu, p90 %.3f, stddev %.3f)",
+                    result.wall_ms.median, result.wall_ms.count, result.wall_ms.p90,
+                    result.wall_ms.stddev);
+      *progress << line << "\n";
+    }
+    report.cases.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace micronas::bench

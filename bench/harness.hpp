@@ -1,0 +1,306 @@
+// Unified micro/macro benchmark harness.
+//
+// Every bench suite in bench/suites/ registers cases with BENCH_CASE /
+// BENCH_CASE_OPTS / BENCH_CASE_ARGS and is linked into the single
+// `bench_runner` CLI, which can list, filter and run cases and writes
+// one canonical BENCH_<suite>.json telemetry document (schema below).
+// `bench_compare` diffs two such documents against a regression
+// threshold; scripts/bench.sh drives both in CI.
+//
+// A case body times its workload with the range-for protocol borrowed
+// from Google Benchmark — each loop iteration is one repetition sample:
+//
+//   BENCH_CASE(latency, estimate_lut) {
+//     LatencyEstimator est = make_estimator();
+//     for (auto _ : state) {
+//       do_not_optimize(est.estimate_ms(model));
+//     }
+//     state.set_items_processed(1);
+//   }
+//
+// The harness discards warmup iterations, then records wall + CPU time
+// per repetition until either the sample is steady (relative stddev
+// below CaseOptions::steady_rsd after min_reps) or max_reps is hit,
+// and aggregates robust statistics (min/median/mean/p90/max/stddev).
+// Macro experiment cases (whole search reproductions) register with
+// experiment_opts() — one timed repetition, no warmup — and report
+// their scientific results through state.counter().
+//
+// JSON schema (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "build": {"git_sha", "compiler", "flags", "build_type",
+//               "hardware_threads", "timestamp_utc"},
+//     "cases": [
+//       {"suite", "case", "tier", "params": {"batch": "16", ...},
+//        "stats": {"repetitions", "warmup",
+//                  "wall_ms":  {"min","median","mean","p90","max","stddev"},
+//                  "cpu_ms":   {"min","median","mean","p90","max","stddev"}},
+//        "items_per_second": 123.4,        // optional
+//        "bytes_per_second": 567.8,        // optional
+//        "counters": {"kendall_tau": 0.42, ...}}   // optional
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/json.hpp"
+
+namespace micronas::bench {
+
+// ------------------------------------------------------------ statistics
+
+/// Robust aggregate over repetition samples (milliseconds).
+struct SampleStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double median = 0.0;
+  double mean = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1); 0 for n < 2
+};
+
+/// Aggregate `samples` (any unit). Exposed for tests.
+SampleStats compute_stats(std::vector<double> samples);
+
+// ------------------------------------------------------------- case setup
+
+/// Per-case repetition policy. Negative fields inherit runner defaults.
+struct CaseOptions {
+  int warmup = -1;        // discarded leading iterations
+  int min_reps = -1;      // samples always collected
+  int max_reps = -1;      // hard iteration ceiling
+  double steady_rsd = -1.0;  // early exit: stddev/mean below this after min_reps
+  int tier = 1;           // 1 = fast (CI perf job), 2 = slow macro reproduction
+};
+
+/// One timed repetition, no warmup, no steady-state exit — for macro
+/// experiment cases where a single run *is* the measurement.
+CaseOptions experiment_opts(int tier = 2);
+
+// ------------------------------------------------------------------ state
+
+class Runner;
+
+/// Per-case execution context: the timed loop, parameter lookup and
+/// metric reporting. Constructed by the Runner only.
+class State {
+ public:
+  // Range-for timing protocol: `for (auto _ : state) { work(); }`.
+  // The dereference type has user-provided special members so the
+  // unused loop variable does not trip -Wunused-variable /
+  // -Wunused-but-set-variable.
+  struct Tick {
+    Tick() {}
+    ~Tick() {}  // NOLINT(modernize-use-equals-default)
+  };
+  struct Iterator {
+    State* state;
+    bool operator!=(const Iterator&) const { return state->keep_running(); }
+    void operator++() {}
+    Tick operator*() const { return Tick(); }
+  };
+  Iterator begin() { return Iterator{this}; }
+  Iterator end() { return Iterator{nullptr}; }
+
+  /// Registration argument for BENCH_CASE_ARGS cases (0 otherwise).
+  std::int64_t arg() const { return arg_; }
+
+  /// Runner-provided `--set name=value` override with fallback; the
+  /// effective value is recorded in the JSON params block either way.
+  int param_int(const std::string& name, int fallback);
+  double param_double(const std::string& name, double fallback);
+  std::string param_string(const std::string& name, const std::string& fallback);
+
+  /// Record a parameter that is fixed in code (still telemetry-worthy).
+  void record_param(const std::string& name, const std::string& value);
+
+  /// Work volume per loop iteration; converted to items/bytes per
+  /// second using the median wall time.
+  void set_items_processed(double items_per_iteration);
+  void set_bytes_processed(double bytes_per_iteration);
+
+  /// Scientific result metric (Kendall tau, accuracy, hit rate, ...).
+  void counter(const std::string& name, double value);
+
+  /// True when the runner was invoked with --verbose; cases gate their
+  /// human-readable tables on this so default runs stay parseable.
+  bool verbose() const { return verbose_; }
+
+ private:
+  friend class Runner;
+  State() = default;
+
+  bool keep_running();
+
+  // Filled by the Runner.
+  const std::map<std::string, std::string>* overrides_ = nullptr;
+  CaseOptions options_;
+  std::int64_t arg_ = 0;
+  bool verbose_ = false;
+
+  // Loop bookkeeping.
+  bool started_ = false;
+  int iteration_ = 0;
+  double wall_start_ = 0.0;
+  double cpu_start_ = 0.0;
+  std::vector<double> wall_ms_;
+  std::vector<double> cpu_ms_;
+
+  // Reported results.
+  std::map<std::string, std::string> params_;
+  std::map<std::string, double> counters_;
+  double items_per_iteration_ = 0.0;
+  double bytes_per_iteration_ = 0.0;
+};
+
+/// Compiler barrier so benchmarked expressions are not optimized away.
+template <typename T>
+inline void do_not_optimize(T&& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(value) : "memory");
+#else
+  static volatile T sink = value;
+  (void)sink;
+#endif
+}
+
+// --------------------------------------------------------------- registry
+
+using CaseFn = void (*)(State&);
+
+struct CaseInfo {
+  std::string suite;
+  std::string name;  // includes "/<arg>" suffix for BENCH_CASE_ARGS
+  CaseFn fn = nullptr;
+  CaseOptions options;
+  std::int64_t arg = 0;
+
+  std::string full_name() const { return suite + "." + name; }
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+  void add(CaseInfo info);
+  /// All cases, sorted by (suite, name) for stable listing and output.
+  std::vector<CaseInfo> sorted_cases() const;
+
+ private:
+  std::vector<CaseInfo> cases_;
+};
+
+struct Registrar {
+  Registrar(const char* suite, const char* name, CaseFn fn, CaseOptions options,
+            std::vector<std::int64_t> args = {});
+};
+
+#define MICRONAS_BENCH_CONCAT_(a, b) a##b
+#define MICRONAS_BENCH_CONCAT(a, b) MICRONAS_BENCH_CONCAT_(a, b)
+
+#define MICRONAS_BENCH_CASE_IMPL(suite, name, opts, args)                               \
+  static void MICRONAS_BENCH_CONCAT(micronas_bench_, __LINE__)(::micronas::bench::State&); \
+  static const ::micronas::bench::Registrar MICRONAS_BENCH_CONCAT(                      \
+      micronas_bench_reg_, __LINE__)(#suite, #name,                                     \
+                                     &MICRONAS_BENCH_CONCAT(micronas_bench_, __LINE__), \
+                                     opts, args);                                       \
+  static void MICRONAS_BENCH_CONCAT(micronas_bench_, __LINE__)(::micronas::bench::State & state)
+
+/// Register `suite.name` with runner-default repetition policy.
+#define BENCH_CASE(suite, name) \
+  MICRONAS_BENCH_CASE_IMPL(suite, name, ::micronas::bench::CaseOptions{}, {})
+
+/// Register with explicit CaseOptions (e.g. experiment_opts() or a
+/// braced CaseOptions literal — variadic so embedded commas are fine).
+#define BENCH_CASE_OPTS(suite, name, ...) \
+  MICRONAS_BENCH_CASE_IMPL(suite, name, (__VA_ARGS__), {})
+
+/// Register one case per argument: `suite.name/arg`, state.arg() set.
+#define BENCH_CASE_ARGS(suite, name, ...) \
+  MICRONAS_BENCH_CASE_IMPL(suite, name, ::micronas::bench::CaseOptions{}, \
+                           (std::vector<std::int64_t>__VA_ARGS__))
+
+/// BENCH_CASE_ARGS with explicit options.
+#define BENCH_CASE_ARGS_OPTS(suite, name, opts, ...) \
+  MICRONAS_BENCH_CASE_IMPL(suite, name, opts, (std::vector<std::int64_t>__VA_ARGS__))
+
+// ----------------------------------------------------------------- report
+
+/// Toolchain + host provenance stamped into every JSON document.
+struct BuildInfo {
+  std::string git_sha;
+  std::string compiler;
+  std::string flags;
+  std::string build_type;
+  int hardware_threads = 0;
+  std::string timestamp_utc;
+};
+
+/// Compiled-in build metadata (CMake definitions) + current host info.
+BuildInfo current_build_info();
+
+struct CaseResult {
+  std::string suite;
+  std::string name;
+  int tier = 1;
+  std::map<std::string, std::string> params;
+  int warmup = 0;
+  SampleStats wall_ms;
+  SampleStats cpu_ms;
+  double items_per_second = 0.0;  // 0 = not reported
+  double bytes_per_second = 0.0;  // 0 = not reported
+  std::map<std::string, double> counters;
+
+  std::string full_name() const { return suite + "." + name; }
+};
+
+struct Report {
+  BuildInfo build;
+  std::vector<CaseResult> cases;
+
+  Json to_json() const;
+  static Report from_json(const Json& doc);
+
+  /// Append `other`'s cases (build info of *this* wins); duplicate
+  /// suite.case keys are replaced by the later document.
+  void merge(const Report& other);
+};
+
+// ----------------------------------------------------------------- runner
+
+struct RunnerOptions {
+  std::string filter;      // substring on "suite.case"; empty = all
+  int tier = 0;            // 0 = every tier, else exact match
+  bool verbose = false;
+  std::map<std::string, std::string> overrides;  // --set name=value
+  // Runner-wide repetition defaults (per-case CaseOptions win).
+  int warmup = 2;
+  int min_reps = 5;
+  int max_reps = 30;
+  double steady_rsd = 0.05;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options) : options_(std::move(options)) {}
+
+  /// Cases selected by the filter/tier, in stable order.
+  std::vector<CaseInfo> selection() const;
+
+  /// Execute the selection, streaming one summary line per case to
+  /// `progress` (stderr in the CLI; may be null).
+  Report run(std::ostream* progress) const;
+
+ private:
+  CaseOptions effective_options(const CaseOptions& c) const;
+  RunnerOptions options_;
+};
+
+}  // namespace micronas::bench

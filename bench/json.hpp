@@ -1,0 +1,82 @@
+// Minimal JSON value — just enough for the benchmark telemetry schema
+// (objects, arrays, strings, numbers, bools, null) with a strict
+// parser and a deterministic serializer.
+//
+// Lives in bench/ rather than src/common because the library proper
+// has no JSON needs; the harness, the compare tool and the tests share
+// this one implementation.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace micronas::bench {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// std::map keeps keys sorted, so serialization is deterministic and
+/// two semantically equal documents serialize identically.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                      // NOLINT(google-explicit-constructor)
+  Json(double n) : type_(Type::kNumber), number_(n) {}                // NOLINT(google-explicit-constructor)
+  Json(int n) : type_(Type::kNumber), number_(n) {}                   // NOLINT(google-explicit-constructor)
+  Json(long long n)                                                   // NOLINT(google-explicit-constructor)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(std::size_t n)                                                 // NOLINT(google-explicit-constructor)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  Json(const char* s) : type_(Type::kString), string_(s) {}           // NOLINT(google-explicit-constructor)
+  Json(JsonArray a);                                                  // NOLINT(google-explicit-constructor)
+  Json(JsonObject o);                                                 // NOLINT(google-explicit-constructor)
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; throws if not an object or key missing.
+  const Json& at(const std::string& key) const;
+  /// Object member lookup with nullptr on absence (no throw).
+  const Json* find(const std::string& key) const;
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete document; throws std::runtime_error
+  /// with a character offset on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Indirection keeps Json copyable while the recursive containers
+  // hold incomplete-type elements during class definition.
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Read/write a whole file; throw std::runtime_error on I/O failure.
+Json load_json_file(const std::string& path);
+void save_json_file(const Json& value, const std::string& path);
+
+}  // namespace micronas::bench

@@ -1,0 +1,116 @@
+// bench_runner — the single CLI over every registered bench suite.
+//
+//   bench_runner --list                      # enumerate cases (suite.case)
+//   bench_runner                             # run everything, write BENCH_all.json
+//   bench_runner --tier 1 --out BENCH_tier1.json
+//   bench_runner --filter micro_kernels      # substring on suite.case
+//   bench_runner --set samples=8,sweep=200   # per-case param overrides
+//   bench_runner --reps 10 --warmup 3 --rsd 0.02   # repetition policy
+//   bench_runner --best-of 2                 # keep each case's fastest pass
+//   bench_runner --merge a.json,b.json --out merged.json  # no run; merge docs
+//
+// Progress lines go to stderr; the JSON telemetry document is the only
+// artifact (plus optional verbose case tables on stdout).
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "src/common/cli.hpp"
+
+using namespace micronas;
+using namespace micronas::bench;
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"list", "filter", "tier", "out", "set", "verbose", "warmup", "reps",
+                        "max-reps", "rsd", "best-of", "merge"});
+
+    // --merge a.json,b.json: combine existing documents, latest-wins
+    // per duplicated suite.case key; no cases are run.
+    const std::vector<std::string> merge_inputs = args.get_list("merge", "");
+    if (!merge_inputs.empty()) {
+      Report merged = Report::from_json(load_json_file(merge_inputs.front()));
+      for (std::size_t i = 1; i < merge_inputs.size(); ++i) {
+        merged.merge(Report::from_json(load_json_file(merge_inputs[i])));
+      }
+      const std::string out = args.get_string("out", "BENCH_all.json");
+      save_json_file(merged.to_json(), out);
+      std::cerr << "[bench] merged " << merge_inputs.size() << " document(s), "
+                << merged.cases.size() << " case(s) -> " << out << "\n";
+      return 0;
+    }
+
+    RunnerOptions options;
+    options.filter = args.get_string("filter", "");
+    options.tier = args.get_int("tier", 0);
+    options.verbose = args.get_bool("verbose", false);
+    options.warmup = args.get_int("warmup", options.warmup);
+    options.min_reps = args.get_int("reps", options.min_reps);
+    options.max_reps = args.get_int("max-reps", options.max_reps);
+    options.steady_rsd = args.get_double("rsd", options.steady_rsd);
+    // CliArgs keeps only the last occurrence of a repeated flag, so
+    // overrides arrive as one comma list: --set a=1,b=2. An item
+    // without '=' continues the previous value, so comma-valued params
+    // survive: --set mcus=m4,m7,pop=32 -> {mcus: "m4,m7", pop: "32"}.
+    std::string last_key;
+    for (const std::string& item : args.get_list("set", "")) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        if (last_key.empty()) {
+          throw std::invalid_argument("--set expects name=value, got '" + item + "'");
+        }
+        options.overrides[last_key] += "," + item;
+        continue;
+      }
+      last_key = item.substr(0, eq);
+      options.overrides[last_key] = item.substr(eq + 1);
+    }
+
+    const Runner runner(options);
+
+    if (args.get_bool("list", false)) {
+      for (const CaseInfo& info : runner.selection()) {
+        std::cout << info.full_name() << " (tier " << info.options.tier << ")\n";
+      }
+      return 0;
+    }
+
+    const auto selected = runner.selection();
+    if (selected.empty()) {
+      std::cerr << "[bench] no cases match filter '" << options.filter << "' tier "
+                << options.tier << "\n";
+      return 2;
+    }
+    std::cerr << "[bench] running " << selected.size() << " case(s)\n";
+    Report report = runner.run(&std::cerr);
+
+    // --best-of N: re-run the whole selection and keep each case's
+    // fastest pass. A transient contention spike must hit the same
+    // case in every pass to survive into the telemetry, which is what
+    // keeps the CI perf gate from flaking on shared runners.
+    const int best_of = args.get_int("best-of", 1);
+    for (int pass = 1; pass < best_of; ++pass) {
+      std::cerr << "[bench] best-of pass " << pass + 1 << "/" << best_of << "\n";
+      const Report again = runner.run(&std::cerr);
+      for (CaseResult& kept : report.cases) {
+        for (const CaseResult& candidate : again.cases) {
+          if (candidate.full_name() == kept.full_name() &&
+              candidate.wall_ms.median > 0.0 &&
+              (kept.wall_ms.median <= 0.0 ||
+               candidate.wall_ms.median < kept.wall_ms.median)) {
+            kept = candidate;
+          }
+        }
+      }
+    }
+
+    const std::string out = args.get_string("out", "BENCH_all.json");
+    save_json_file(report.to_json(), out);
+    std::cerr << "[bench] wrote " << report.cases.size() << " case(s) -> " << out << " (sha "
+              << report.build.git_sha << ", " << report.build.compiler << ")\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,12 +1,13 @@
-// Shared apparatus for the table/figure benches: a profiled latency
-// estimator, a proxy suite on a synthetic probe batch, and helpers for
-// uniform-cell genotypes. Kept header-only so each bench binary stays a
-// single translation unit.
+// Shared apparatus for the table/figure bench suites: a profiled
+// latency estimator, a proxy suite on a synthetic probe batch, and
+// helpers for uniform-cell genotypes. Kept header-only so each suite
+// stays a single translation unit inside bench_runner.
 #pragma once
 
 #include <iostream>
 #include <memory>
 
+#include "bench/harness.hpp"
 #include "src/core/micronas.hpp"
 #include "src/core/report.hpp"
 #include "src/data/synthetic.hpp"

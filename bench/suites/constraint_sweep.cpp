@@ -1,0 +1,85 @@
+// §III latency-advantage reproduction: sweeping the latency-indicator
+// weight from 0 (pure TE-NAS) upward, MicroNAS should trade a little
+// accuracy for a 1.59x-3.23x MCU speedup band — "Our hardware-aware
+// strategy provides a latency advantage of 1.59x to 3.23x with
+// negligible performance trade-offs."
+//
+// A FLOPs-guided sweep is printed alongside: the paper observes that
+// latency guidance is the better-balanced of the two because the LUT
+// captures MCU-specific op costs that FLOPs miss.
+#include "bench/suites/common.hpp"
+
+namespace micronas {
+namespace {
+
+BENCH_CASE_OPTS(constraint_sweep, latency_advantage_vs_tenas, bench::experiment_opts()) {
+  bench::Apparatus app(/*seed=*/42, /*batch=*/state.param_int("batch", 16));
+  const MacroNetConfig deploy;
+  Rng measure_rng(9);
+  auto measure = [&](const nb201::Genotype& g) {
+    return measure_latency_ms(build_macro_model(g, deploy), app.mcu, measure_rng);
+  };
+
+  std::string reading;
+  for (auto _ : state) {
+    // Baseline: TE-NAS weights.
+    PruningSearchConfig base_cfg;
+    base_cfg.proxy_repeats = 2;
+    base_cfg.weights = IndicatorWeights::te_nas();
+    Rng base_rng(1);
+    const auto base = pruning_search(*app.suite, *app.hw_model, base_cfg, base_rng);
+    const double base_ms = measure(base.genotype);
+    const double base_acc = app.oracle.mean_accuracy(base.genotype, nb201::Dataset::kCifar10);
+    state.counter("tenas_latency_ms", base_ms);
+    state.counter("tenas_acc", base_acc);
+
+    if (state.verbose()) {
+      bench::print_header("Constraint sweep — latency advantage vs TE-NAS baseline");
+      std::cout << "TE-NAS baseline: " << TablePrinter::fmt(base_ms, 1) << " ms, "
+                << TablePrinter::fmt(base_acc, 2) << " % — " << base.genotype.to_string()
+                << "\n\n";
+    }
+
+    const std::array<double, 5> weights = {0.5, 1.0, 2.0, 4.0, 8.0};
+    double best_speedup = 0.0;
+    double worst_dacc = 0.0;
+
+    for (const bool latency_mode : {true, false}) {
+      TablePrinter table({latency_mode ? "w_latency" : "w_flops", "Latency(ms)", "Speedup",
+                          "ACC(%)", "dACC(pts)", "FLOPs(M)"});
+      for (double w : weights) {
+        PruningSearchConfig cfg;
+        cfg.proxy_repeats = 2;
+        cfg.weights = latency_mode ? IndicatorWeights::latency_guided(w)
+                                   : IndicatorWeights::flops_guided(w);
+        Rng rng(17);
+        const auto res = pruning_search(*app.suite, *app.hw_model, cfg, rng);
+        const double ms = measure(res.genotype);
+        const double acc = app.oracle.mean_accuracy(res.genotype, nb201::Dataset::kCifar10);
+        if (latency_mode) {
+          best_speedup = std::max(best_speedup, base_ms / ms);
+          worst_dacc = std::min(worst_dacc, acc - base_acc);
+        }
+        table.add_row({TablePrinter::fmt(w, 1), TablePrinter::fmt(ms, 1),
+                       TablePrinter::fmt(base_ms / ms, 2) + "x", TablePrinter::fmt(acc, 2),
+                       TablePrinter::fmt(acc - base_acc, 2),
+                       TablePrinter::fmt(flops_m(res.genotype), 1)});
+      }
+      if (state.verbose()) {
+        std::cout << (latency_mode ? "Latency-guided MicroNAS:" : "FLOPs-guided MicroNAS:")
+                  << "\n"
+                  << table.render() << "\n";
+      }
+    }
+    state.counter("best_speedup", best_speedup);
+    state.counter("worst_dacc_pts", worst_dacc);
+    reading =
+        "Paper reference: latency advantage 1.59x-3.23x across constraint levels with "
+        "negligible accuracy trade-off; latency-guided beats FLOPs-guided because the "
+        "LUT captures MCU-specific op costs.\n";
+  }
+  if (state.verbose()) std::cout << reading;
+}
+
+}  // namespace
+}  // namespace micronas

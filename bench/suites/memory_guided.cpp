@@ -1,0 +1,56 @@
+// Peak-memory-guided search (the paper's future work, implemented):
+// "Future experiments will incorporate peak memory usage modeling of
+// MCUs to guide the search."
+//
+// The MicroNas facade searches under a hard peak-SRAM constraint,
+// escalating hardware weights until the discovered cell fits. We sweep
+// the budget from roomy to tight and report the accuracy/memory
+// trade-off curve.
+#include "bench/suites/common.hpp"
+
+namespace micronas {
+namespace {
+
+BENCH_CASE_OPTS(memory_guided, peak_sram_constraint_sweep, bench::experiment_opts()) {
+  const std::array<double, 4> budgets_kb = {400.0, 344.0, 300.0, 220.0};
+
+  TablePrinter table({"SRAM budget(KB)", "Peak SRAM(KB)", "Feasible", "ACC(%)", "Latency(ms)",
+                      "Adapt rounds"});
+  for (auto _ : state) {
+    for (double budget : budgets_kb) {
+      MicroNasConfig cfg;
+      cfg.batch_size = 8;
+      cfg.proxy_net.input_size = 8;
+      cfg.proxy_net.base_channels = 4;
+      cfg.lr.grid = 10;
+      cfg.lr.input_size = 8;
+      cfg.seed = 5;
+      cfg.weights = IndicatorWeights::latency_guided(1.0);
+      cfg.constraints.max_sram_kb = budget;
+
+      MicroNas nas(cfg);
+      const DiscoveredModel m = nas.search();
+      const bool feasible = cfg.constraints.satisfied_by(m.indicators);
+      const std::string key = TablePrinter::fmt(budget, 0) + "kb";
+      state.counter("feasible_" + key, feasible ? 1.0 : 0.0);
+      state.counter("acc_" + key, m.accuracy);
+      state.counter("peak_sram_" + key, m.indicators.peak_sram_kb);
+      table.add_row({TablePrinter::fmt(budget, 0), TablePrinter::fmt(m.indicators.peak_sram_kb, 1),
+                     feasible ? "yes" : "no", TablePrinter::fmt(m.accuracy, 2),
+                     TablePrinter::fmt(m.indicators.latency_ms, 1),
+                     TablePrinter::fmt_int(m.adapt_rounds_used)});
+    }
+  }
+  state.set_items_processed(static_cast<double>(budgets_kb.size()));
+
+  if (state.verbose()) {
+    bench::print_header("Memory-guided search — peak-SRAM constraint sweep (future work)");
+    std::cout << table.render();
+    std::cout << "\nReading: the peak-SRAM model steers the search away from wide high-resolution\n"
+                 "cells as the budget tightens, trading accuracy for fit — the guidance loop the\n"
+                 "paper's conclusion proposes.\n";
+  }
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,178 @@
+// Microkernels for the numerical substrates, including the
+// proxy-cost-vs-batch-size curve that motivates the paper's batch = 32
+// choice (§II.A.1: "Increasing beyond 32 to 128 ... significantly
+// escalates search costs").
+#include "bench/harness.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/hw/latency_estimator.hpp"
+#include "src/mcusim/profiler.hpp"
+#include "src/proxies/linear_regions.hpp"
+#include "src/proxies/ntk.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace micronas {
+namespace {
+
+BENCH_CASE_ARGS(micro_kernels, conv2d_forward, {4, 8, 16}) {
+  const int c = static_cast<int>(state.arg());
+  Rng rng(1);
+  Tensor x(Shape{1, c, 16, 16});
+  Tensor w(Shape{c, c, 3, 3});
+  rng.fill_normal(x.data());
+  rng.fill_normal(w.data());
+  // Inner batch keeps each sample >~100 us so timer/scheduler noise
+  // cannot push a 12 us kernel past the CI regression threshold.
+  constexpr int kInner = 8;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      bench::do_not_optimize(ops::conv2d_forward(x, w, nullptr, 1, 1));
+    }
+  }
+  state.set_items_processed(9.0 * c * c * 256 * kInner);  // MACs per sample
+}
+
+BENCH_CASE_ARGS(micro_kernels, conv2d_forward_gemm, {4, 8, 16}) {
+  const int c = static_cast<int>(state.arg());
+  Rng rng(1);
+  Tensor x(Shape{1, c, 16, 16});
+  Tensor w(Shape{c, c, 3, 3});
+  rng.fill_normal(x.data());
+  rng.fill_normal(w.data());
+  constexpr int kInner = 8;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      bench::do_not_optimize(ops::conv2d_forward_gemm(x, w, nullptr, 1, 1));
+    }
+  }
+  state.set_items_processed(9.0 * c * c * 256 * kInner);
+}
+
+BENCH_CASE_ARGS(micro_kernels, conv2d_backward, {4, 8}) {
+  const int c = static_cast<int>(state.arg());
+  Rng rng(2);
+  Tensor x(Shape{1, c, 16, 16});
+  Tensor w(Shape{c, c, 3, 3});
+  rng.fill_normal(x.data());
+  rng.fill_normal(w.data());
+  const Tensor y = ops::conv2d_forward(x, w, nullptr, 1, 1);
+  Tensor gy(y.shape(), 1.0F);
+  constexpr int kInner = 4;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      bench::do_not_optimize(ops::conv2d_backward(x, w, false, 1, 1, gy));
+    }
+  }
+  state.set_items_processed(kInner);
+}
+
+/// The paper's cost argument: NTK proxy cost vs batch size.
+BENCH_CASE_ARGS(micro_kernels, ntk_condition_vs_batch, {8, 16, 32, 64}) {
+  const int batch = static_cast<int>(state.arg());
+  CellNetConfig cfg;
+  cfg.input_size = 8;
+  cfg.base_channels = 4;
+  Rng data_rng(3);
+  Tensor probe(Shape{batch, 3, 8, 8});
+  data_rng.fill_normal(probe.data());
+  const nb201::Genotype g = nb201::Genotype::from_index(14000);
+  Rng rng(4);
+  for (auto _ : state) {
+    bench::do_not_optimize(ntk_condition(g, cfg, probe, rng).condition_number);
+  }
+  state.set_items_processed(batch);
+}
+
+BENCH_CASE_ARGS(micro_kernels, linear_region_count, {8, 16}) {
+  const int grid = static_cast<int>(state.arg());
+  CellNetConfig cfg;
+  cfg.input_size = 8;
+  cfg.base_channels = 4;
+  LinearRegionOptions opts;
+  opts.grid = grid;
+  const nb201::Genotype g = nb201::Genotype::from_index(14000);
+  Rng rng(5);
+  for (auto _ : state) {
+    bench::do_not_optimize(count_linear_regions(g, cfg, rng, opts).region_count);
+  }
+}
+
+BENCH_CASE_ARGS(micro_kernels, sym_eig, {16, 32, 64}) {
+  const int n = static_cast<int>(state.arg());
+  Rng rng(6);
+  std::vector<std::vector<float>> rows(static_cast<std::size_t>(n));
+  for (auto& r : rows) {
+    r.resize(static_cast<std::size_t>(n) * 4);
+    rng.fill_normal(r);
+  }
+  const Matrix gram = gram_matrix(rows);
+  constexpr int kInner = 4;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      bench::do_not_optimize(sym_eig(gram).eigenvalues);
+    }
+  }
+  state.set_items_processed(kInner);
+}
+
+BENCH_CASE(micro_kernels, latency_estimate) {
+  Rng rng(7);
+  ProfilerOptions opts;
+  opts.deterministic = true;
+  LatencyTable table = build_latency_table(McuSpec{}, rng, MacroNetConfig{}, opts);
+  const LatencyEstimator est(std::move(table),
+                             profile_constant_overhead_ms(McuSpec{}, rng, opts));
+  const MacroModel m = build_macro_model(nb201::Genotype::from_index(9999));
+  constexpr int kInner = 256;  // sub-microsecond op; batch per sample
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) bench::do_not_optimize(est.estimate_ms(m));
+  }
+  state.set_items_processed(kInner);
+}
+
+BENCH_CASE(micro_kernels, mcu_simulate) {
+  const MacroModel m = build_macro_model(nb201::Genotype::from_index(9999));
+  constexpr int kInner = 32;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) bench::do_not_optimize(simulate_network(m).latency_ms);
+  }
+  state.set_items_processed(kInner);
+}
+
+BENCH_CASE(micro_kernels, surrogate_accuracy) {
+  const nb201::SurrogateOracle oracle;
+  constexpr int kInner = 512;
+  int idx = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      bench::do_not_optimize(oracle.accuracy(nb201::Genotype::from_index(idx % 15625),
+                                             nb201::Dataset::kCifar10));
+      ++idx;
+    }
+  }
+  state.set_items_processed(kInner);
+}
+
+BENCH_CASE(micro_kernels, macro_model_build) {
+  constexpr int kInner = 64;
+  int idx = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      bench::do_not_optimize(
+          build_macro_model(nb201::Genotype::from_index(idx % 15625)).layers.size());
+      ++idx;
+    }
+  }
+  state.set_items_processed(kInner);
+}
+
+BENCH_CASE(micro_kernels, synthetic_batch) {
+  Rng rng(8);
+  SyntheticDataset ds(dataset_spec(nb201::Dataset::kCifar10), rng);
+  for (auto _ : state) {
+    bench::do_not_optimize(ds.sample_batch_resized(32, 16, rng).images.numel());
+  }
+  state.set_bytes_processed(32.0 * 3 * 16 * 16 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace micronas

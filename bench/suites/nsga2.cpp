@@ -1,0 +1,91 @@
+// NSGA-II backend suite: archive growth and hypervolume per generation
+// on each MCU target, plus the cross-target cache economics of the
+// scenario sweep (the shared genotype-indicator memo means only
+// latency/memory re-score on targets 2+).
+//
+//   bench_runner --filter nsga2
+//   bench_runner --filter nsga2 --set mcus=m4,m7,m7hp,pop=32,gens=12,threads=0
+#include "bench/suites/common.hpp"
+#include "src/common/cli.hpp"
+
+namespace micronas {
+namespace {
+
+BENCH_CASE_OPTS(nsga2, pareto_sweep_multi_target, bench::experiment_opts()) {
+  const std::string quality = state.param_string("quality", "proxy");
+  if (quality != "proxy" && quality != "oracle") {
+    throw std::invalid_argument("--set quality must be 'proxy' or 'oracle'");
+  }
+
+  MicroNasConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(state.param_int("seed", 1));
+  cfg.batch_size = 16;
+  cfg.proxy_net.input_size = 8;
+  cfg.proxy_net.base_channels = 4;
+  cfg.lr.grid = 10;
+  cfg.lr.input_size = 8;
+  cfg.threads = state.param_int("threads", 1);
+  MicroNas nas(cfg);
+
+  ParetoSweepConfig sweep;
+  sweep.mcu_presets = CliArgs::split_csv(state.param_string("mcus", "m4,m7,m33"));
+  sweep.proxy_quality = quality == "proxy";
+  sweep.nsga2.population_size = state.param_int("pop", 24);
+  sweep.nsga2.generations = state.param_int("gens", 8);
+  sweep.nsga2.track_hypervolume = true;
+
+  ParetoSweepResult result;
+  for (auto _ : state) {
+    result = nas.pareto_sweep(sweep);
+  }
+  state.set_items_processed(static_cast<double>(result.scenarios.size()));
+
+  state.counter("targets_swept", static_cast<double>(result.scenarios.size()));
+  state.counter("shared_hit_rate", result.shared_stats.hit_rate());
+  state.counter("cross_target_hit_rate", result.cross_target_hit_rate);
+  state.counter("shared_proxy_evaluations", static_cast<double>(result.shared_stats.evaluations));
+  for (const ScenarioResult& s : result.scenarios) {
+    if (!s.search.history.empty()) {
+      state.counter("final_hypervolume_" + s.mcu_name, s.search.history.back().hypervolume);
+      state.counter("final_archive_" + s.mcu_name,
+                    static_cast<double>(s.search.history.back().archive_size));
+    }
+  }
+
+  if (state.verbose()) {
+    bench::print_header("NSGA-II archive growth + hypervolume per generation");
+    for (const ScenarioResult& s : result.scenarios) {
+      std::cout << "\n[" << s.mcu_name << "]  reference point (minimized objectives):";
+      for (std::size_t j = 0; j < s.search.hv_reference.size(); ++j) {
+        std::cout << (j == 0 ? " " : ", ") << s.search.archive.objective_names()[j] << "="
+                  << TablePrinter::fmt(s.search.hv_reference[j], 3);
+      }
+      std::cout << "\n";
+      TablePrinter table({"Gen", "Archive", "Evals", "Hypervolume"});
+      for (const Nsga2GenerationStats& g : s.search.history) {
+        table.add_row({TablePrinter::fmt_int(g.generation),
+                       TablePrinter::fmt_int(static_cast<long long>(g.archive_size)),
+                       TablePrinter::fmt_int(g.evaluations),
+                       TablePrinter::fmt(g.hypervolume, 4)});
+      }
+      std::cout << table.render();
+      std::cout << "wall " << TablePrinter::fmt(s.search.wall_seconds, 2) << " s; shared-engine"
+                << " delta: " << s.shared_delta.requests << " requests, "
+                << s.shared_delta.cache_hits << " hits, " << s.shared_delta.evaluations
+                << " proxy computations\n";
+    }
+
+    bench::print_header("cross-target cache economics");
+    std::cout << "targets swept:            " << result.scenarios.size() << "\n"
+              << "shared proxy requests:    " << result.shared_stats.requests << "\n"
+              << "shared proxy evaluations: " << result.shared_stats.evaluations << "\n"
+              << "overall hit rate:         "
+              << TablePrinter::fmt(100.0 * result.shared_stats.hit_rate(), 1) << " %\n"
+              << "cross-target hit rate:    "
+              << TablePrinter::fmt(100.0 * result.cross_target_hit_rate, 1)
+              << " % (targets 2+ replayed from the shared genotype-indicator cache)\n";
+  }
+}
+
+}  // namespace
+}  // namespace micronas

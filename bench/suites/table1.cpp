@@ -1,0 +1,158 @@
+// Table I reproduction (CIFAR-10): µNAS-method baseline vs TE-NAS
+// (trainless, no hardware terms) vs MicroNAS (latency-guided).
+//
+// Columns mirror the paper: FLOPs (M), Params (M), MCU inference
+// speedup over the TE-NAS model, search time (modeled GPU-hours, plus
+// measured wall seconds for transparency) and CIFAR-10 accuracy
+// (surrogate oracle). Paper reference rows are printed alongside.
+#include <chrono>
+#include <limits>
+#include <optional>
+
+#include "bench/suites/common.hpp"
+#include "src/search/evolution_search.hpp"
+
+namespace micronas {
+namespace {
+
+struct Row {
+  std::string name;
+  std::string key;
+  nb201::Genotype genotype;
+  double gpu_hours = 0.0;
+  double wall_seconds = 0.0;
+  double accuracy = 0.0;
+  std::optional<double> latency_ms;  // measured on the MCU simulator
+};
+
+BENCH_CASE_OPTS(table1, cifar10_results, bench::experiment_opts()) {
+  bench::Apparatus app(/*seed=*/42, /*batch=*/16);
+  const CostModel cost;
+  const MacroNetConfig deploy;
+  Rng measure_rng(7);
+
+  auto measure_ms = [&](const nb201::Genotype& g) {
+    return measure_latency_ms(build_macro_model(g, deploy), app.mcu, measure_rng);
+  };
+
+  std::vector<Row> rows;
+
+  for (auto _ : state) {
+    rows.clear();
+
+    // --- µNAS-method baseline: aging evolution with trained evaluations
+    // under a tight resource budget (µNAS targets very small models).
+    {
+      EvolutionSearchConfig cfg;
+      cfg.population_size = 50;
+      cfg.tournament_size = 10;
+      cfg.total_evals = 1000;
+      cfg.constraints.max_params_m = 0.11;
+      Rng rng(1);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto res = evolution_search(app.oracle, cfg, deploy, app.estimator.get(), rng);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      rows.push_back({"uNAS-method (evolution, trained)", "unas", res.genotype,
+                      cost.trained_search_gpu_hours(res.trained_evals), wall, res.accuracy,
+                      std::nullopt});
+    }
+
+    // --- TE-NAS: pruning search on NTK + LR only.
+    {
+      PruningSearchConfig cfg;
+      cfg.proxy_repeats = 2;
+      cfg.weights = IndicatorWeights::te_nas();
+      Rng rng(2);
+      const auto res = pruning_search(*app.suite, *app.hw_model, cfg, rng);
+      rows.push_back({"TE-NAS (NTK+LR, no hw)", "tenas", res.genotype,
+                      cost.proxy_search_gpu_hours(res.proxy_evals), res.wall_seconds,
+                      app.oracle.mean_accuracy(res.genotype, nb201::Dataset::kCifar10),
+                      measure_ms(res.genotype)});
+    }
+
+    // --- MicroNAS (ours): latency-guided hybrid objective with the
+    // paper's adaptive weight escalation, targeting ~1/3 of the TE-NAS
+    // model's estimated latency ("MicroNAS adapts FLOPs and latency
+    // indicator weights, consistently discovering highly efficient
+    // models across various constraints").
+    {
+      const double target_ms =
+          app.estimator->estimate_ms(build_macro_model(rows[1].genotype, deploy)) / 3.0;
+      nb201::Genotype best;
+      nb201::Genotype fastest;  // fallback when no weight meets the target
+      double best_acc = -1.0;
+      double fastest_ms = std::numeric_limits<double>::infinity();
+      double fastest_acc = -1.0;
+      long long evals = 0;
+      double wall = 0.0;
+      for (double w : {1.0, 2.0, 4.0, 8.0}) {
+        PruningSearchConfig cfg;
+        cfg.proxy_repeats = 2;
+        cfg.weights = IndicatorWeights::latency_guided(w);
+        Rng rng(3);
+        const auto res = pruning_search(*app.suite, *app.hw_model, cfg, rng);
+        evals += res.proxy_evals;
+        wall += res.wall_seconds;
+        const double est = app.estimator->estimate_ms(build_macro_model(res.genotype, deploy));
+        const double acc = app.oracle.mean_accuracy(res.genotype, nb201::Dataset::kCifar10);
+        if (est <= target_ms && acc > best_acc) {
+          best = res.genotype;
+          best_acc = acc;
+        }
+        if (est < fastest_ms) {
+          fastest = res.genotype;
+          fastest_ms = est;
+          fastest_acc = acc;
+        }
+      }
+      // The 1/3 target is data-dependent; if every weight missed it,
+      // report the fastest discovered cell instead of a genotype no
+      // search produced.
+      const bool target_met = best_acc >= 0.0;
+      if (!target_met) {
+        best = fastest;
+        best_acc = fastest_acc;
+      }
+      state.counter("micronas_target_met", target_met ? 1.0 : 0.0);
+      rows.push_back({"MicroNAS (ours, latency-guided)", "micronas", best,
+                      cost.proxy_search_gpu_hours(evals), wall, best_acc, measure_ms(best)});
+    }
+  }
+  state.set_items_processed(static_cast<double>(rows.size()));
+
+  const double tenas_ms = *rows[1].latency_ms;
+  for (const auto& r : rows) {
+    state.counter("acc_" + r.key, r.accuracy);
+    state.counter("gpu_hours_" + r.key, r.gpu_hours);
+    if (r.latency_ms) state.counter("speedup_" + r.key, tenas_ms / *r.latency_ms);
+  }
+
+  if (state.verbose()) {
+    bench::print_header("Table I — Results on CIFAR-10");
+    TablePrinter table({"NAS framework", "FLOPs(M)", "Params(M)", "Latency(ms)", "Speedup",
+                        "Search(GPU-h)", "Wall(s)", "ACC(%)"});
+    for (const auto& r : rows) {
+      const std::string latency =
+          r.latency_ms ? TablePrinter::fmt(*r.latency_ms, 1) : std::string("-");
+      const std::string speedup =
+          r.latency_ms ? TablePrinter::fmt(tenas_ms / *r.latency_ms, 2) + "x" : std::string("-");
+      table.add_row({r.name, TablePrinter::fmt(flops_m(r.genotype), 2),
+                     TablePrinter::fmt(params_m(r.genotype), 3), latency, speedup,
+                     TablePrinter::fmt(r.gpu_hours, 2), TablePrinter::fmt(r.wall_seconds, 1),
+                     TablePrinter::fmt(r.accuracy, 2)});
+    }
+    std::cout << table.render();
+
+    for (const auto& r : rows) {
+      std::cout << "  " << r.name << ": " << r.genotype.to_string() << "\n";
+    }
+
+    std::cout << "\nPaper Table I reference: uNAS {params 0.014M, 552 GPU-h, 86.49%}; "
+                 "TE-NAS {188.66M FLOPs, 1.317M params, 1x, 0.43 GPU-h, 93.78%}; "
+                 "MicroNAS {51.04M FLOPs, 0.372M params, 3.23x, 0.43 GPU-h, 93.88%}\n";
+  }
+}
+
+}  // namespace
+}  // namespace micronas

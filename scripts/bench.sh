@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Build Release and run the benchmark suites through bench_runner,
+# emitting one canonical BENCH_*.json telemetry document (schema
+# documented in bench/harness.hpp and docs/ARCHITECTURE.md).
+#
+#   scripts/bench.sh                # tier-1 suites -> BENCH_tier1.json
+#   scripts/bench.sh --all          # every suite   -> BENCH_all.json
+#   scripts/bench.sh --compare      # also gate vs bench/baselines/ (25 %)
+#   BENCH_ARGS="--set samples=16,sweep=500" scripts/bench.sh   # extra runner flags
+#   JOBS=4 scripts/bench.sh         # cap build parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+THRESHOLD="${BENCH_THRESHOLD:-0.25}"
+
+TIER_FLAGS=(--tier 1)
+OUT=BENCH_tier1.json
+COMPARE=0
+for arg in "$@"; do
+  case "$arg" in
+    --all) TIER_FLAGS=(); OUT=BENCH_all.json ;;
+    --compare) COMPARE=1 ;;
+    *) echo "usage: $0 [--all] [--compare]" >&2; exit 2 ;;
+  esac
+done
+
+# Fail fast instead of discovering a missing baseline after a long run:
+# only tier-1 baselines are checked in (scripts/update_baselines.sh).
+if [[ "$COMPARE" == 1 && ! -f "bench/baselines/$OUT" ]]; then
+  echo "error: no baseline bench/baselines/$OUT (only tier-1 baselines are maintained)" >&2
+  exit 2
+fi
+
+echo "== build (Release) =="
+# Build type is forced: telemetry/baselines from a build/ that was
+# left configured Debug would gate CI at the wrong optimization level.
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "$JOBS" --target bench_runner bench_compare
+
+echo "== bench -> $OUT =="
+# --best-of 2 only for the gated tier-1 run: keeping each case's
+# fastest pass stops one transient contention spike from tripping the
+# regression gate. The --all sweep repeats whole macro searches, where
+# doubling minutes of wall time buys nothing. BENCH_ARGS is
+# intentionally word-split (extra runner flags); the TIER_FLAGS
+# expansion is guarded so an empty array survives `set -u` on bash 3.2
+# (macOS default).
+BEST_OF_FLAGS=()
+if [[ ${#TIER_FLAGS[@]} -gt 0 ]]; then
+  BEST_OF_FLAGS=(--best-of 2)
+fi
+# shellcheck disable=SC2086
+./build/bench_runner ${TIER_FLAGS[@]+"${TIER_FLAGS[@]}"} \
+  ${BEST_OF_FLAGS[@]+"${BEST_OF_FLAGS[@]}"} --out "$OUT" ${BENCH_ARGS:-}
+
+if [[ "$COMPARE" == 1 ]]; then
+  echo "== compare vs bench/baselines/$OUT (threshold ${THRESHOLD}) =="
+  ./build/bench_compare "bench/baselines/$OUT" "$OUT" --threshold "$THRESHOLD"
+fi

@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh              # configure, build, ctest, smoke tests
 #   scripts/check.sh --sanitize   # same under ASan+UBSan (build-asan/)
+#   scripts/check.sh --werror     # warnings are errors (CI default)
 #   JOBS=4 scripts/check.sh       # cap build/test parallelism
 set -euo pipefail
 
@@ -11,14 +12,22 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 BUILD_DIR=build
 CMAKE_FLAGS=""
-if [[ "${1:-}" == "--sanitize" ]]; then
-  BUILD_DIR=build-asan
-  CMAKE_FLAGS="-DMICRONAS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo"
-  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
-elif [[ $# -gt 0 ]]; then
-  echo "usage: $0 [--sanitize]" >&2
-  exit 2
-fi
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize)
+      BUILD_DIR=build-asan
+      CMAKE_FLAGS="$CMAKE_FLAGS -DMICRONAS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo"
+      export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+      ;;
+    --werror)
+      CMAKE_FLAGS="$CMAKE_FLAGS -DMICRONAS_WERROR=ON"
+      ;;
+    *)
+      echo "usage: $0 [--sanitize] [--werror]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "== configure ($BUILD_DIR) =="
 # shellcheck disable=SC2086  # CMAKE_FLAGS is intentionally word-split
@@ -34,9 +43,15 @@ echo "== smoke: quickstart =="
 "./$BUILD_DIR/quickstart" --threads 2 >/dev/null
 echo "quickstart OK"
 
-echo "== smoke: eval engine bench (small) =="
-"./$BUILD_DIR/bench_eval_engine" --samples 8 --sweep 200 --max-threads 2 >/dev/null
-echo "bench_eval_engine OK"
+echo "== smoke: bench_runner (eval_engine, small) =="
+"./$BUILD_DIR/bench_runner" --filter eval_engine --set samples=8,sweep=200,max-threads=2 \
+  --out "$BUILD_DIR/BENCH_smoke.json"
+echo "bench_runner OK"
+
+echo "== smoke: bench_compare (self-compare passes) =="
+"./$BUILD_DIR/bench_compare" "$BUILD_DIR/BENCH_smoke.json" "$BUILD_DIR/BENCH_smoke.json" \
+  --threshold 0.25 >/dev/null
+echo "bench_compare OK"
 
 echo "== smoke: pareto sweep (two targets, tiny) =="
 "./$BUILD_DIR/pareto_sweep" --mcus m4,m7 --pop 8 --gens 2 --threads 2 >/dev/null

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in perf baselines (bench/baselines/*.json)
+# after an INTENTIONAL performance change, then show what moved so the
+# new baseline can be committed alongside the change that caused it.
+# Mirrors scripts/update_golden.sh for the golden e2e fixture.
+#
+#   scripts/update_baselines.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+scripts/bench.sh
+
+mkdir -p bench/baselines
+# Old baseline (if any) drives the before/after verdict table.
+if [[ -f bench/baselines/BENCH_tier1.json ]]; then
+  ./build/bench_compare bench/baselines/BENCH_tier1.json BENCH_tier1.json \
+    --threshold "${BENCH_THRESHOLD:-0.25}" --allow-missing || true
+fi
+cp BENCH_tier1.json bench/baselines/BENCH_tier1.json
+
+echo
+git --no-pager diff --stat -- bench/baselines || true
+echo "bench/baselines/BENCH_tier1.json updated — commit it with the change that moved the numbers."

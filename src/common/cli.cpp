@@ -59,7 +59,10 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
 
 std::vector<std::string> CliArgs::get_list(const std::string& name,
                                            const std::string& fallback) const {
-  const std::string joined = get_string(name, fallback);
+  return split_csv(get_string(name, fallback));
+}
+
+std::vector<std::string> CliArgs::split_csv(const std::string& joined) {
   std::vector<std::string> out;
   std::size_t start = 0;
   while (start <= joined.size()) {

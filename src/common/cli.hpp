@@ -29,6 +29,11 @@ class CliArgs {
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Split a comma-separated string; empty items are dropped. The
+  /// list-flag parsing above and non-flag callers (bench suites) share
+  /// this one implementation.
+  static std::vector<std::string> split_csv(const std::string& joined);
+
   const std::string& program() const { return program_; }
 
  private:

@@ -1,0 +1,290 @@
+// Benchmark-subsystem tests: the stats aggregator on known samples,
+// the BENCH_*.json schema round-trip, and the compare tool's
+// regression / improvement / missing-case verdicts (including the
+// acceptance check that a synthetic 2x slowdown fails while identical
+// inputs pass).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/compare.hpp"
+#include "bench/harness.hpp"
+#include "bench/json.hpp"
+
+namespace micronas::bench {
+namespace {
+
+// ------------------------------------------------------------ statistics
+
+TEST(BenchStats, KnownSamples) {
+  // 1..10: mean 5.5, median 5.5, p90 by linear interpolation = 9.1.
+  const SampleStats s = compute_stats({10, 9, 8, 7, 6, 5, 4, 3, 2, 1});
+  EXPECT_EQ(s.count, 10U);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.median, 5.5);
+  EXPECT_NEAR(s.p90, 9.1, 1e-12);
+  // Sample stddev of 1..10 is sqrt(55/6).
+  EXPECT_NEAR(s.stddev, std::sqrt(55.0 / 6.0), 1e-12);
+}
+
+TEST(BenchStats, OddCountMedianIsMiddleValue) {
+  const SampleStats s = compute_stats({3, 1, 2});
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.p90, 2.8);
+}
+
+TEST(BenchStats, SingleSample) {
+  const SampleStats s = compute_stats({4.2});
+  EXPECT_EQ(s.count, 1U);
+  EXPECT_DOUBLE_EQ(s.min, 4.2);
+  EXPECT_DOUBLE_EQ(s.median, 4.2);
+  EXPECT_DOUBLE_EQ(s.p90, 4.2);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(BenchStats, EmptyIsAllZero) {
+  const SampleStats s = compute_stats({});
+  EXPECT_EQ(s.count, 0U);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+// ------------------------------------------------------------------ json
+
+TEST(BenchJson, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"a": [1, 2.5, -3e2], "b": {"nested": "va\"lue"}, "c": true, "d": null})";
+  const Json parsed = Json::parse(text);
+  EXPECT_DOUBLE_EQ(parsed.at("a").as_array()[2].as_number(), -300.0);
+  EXPECT_EQ(parsed.at("b").at("nested").as_string(), "va\"lue");
+  EXPECT_TRUE(parsed.at("c").as_bool());
+  EXPECT_TRUE(parsed.at("d").is_null());
+  // dump -> parse -> dump is a fixed point (keys are sorted).
+  const std::string once = parsed.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(BenchJson, AcceptsSubnormalsRejectsOverflow) {
+  // %.17g can emit subnormals; parse must accept them (strtod flags
+  // ERANGE underflow) while genuine overflow is malformed.
+  EXPECT_GT(Json::parse("5e-324").as_number(), 0.0);
+  EXPECT_THROW(Json::parse("1e999"), std::runtime_error);
+}
+
+TEST(BenchJson, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"dup\" 1}"), std::runtime_error);
+}
+
+// ---------------------------------------------------------- report schema
+
+CaseResult make_case(const std::string& suite, const std::string& name, double median_ms) {
+  CaseResult c;
+  c.suite = suite;
+  c.name = name;
+  c.tier = 1;
+  c.params = {{"batch", "16"}};
+  c.warmup = 2;
+  c.wall_ms = compute_stats({median_ms * 0.9, median_ms, median_ms * 1.1});
+  c.cpu_ms = c.wall_ms;
+  c.items_per_second = 1000.0 / median_ms;
+  c.counters = {{"kendall_tau", 0.42}};
+  return c;
+}
+
+Report make_report(double scale = 1.0) {
+  Report r;
+  r.build.git_sha = "abc1234";
+  r.build.compiler = "GNU 12.2.0";
+  r.build.flags = "-O3";
+  r.build.build_type = "Release";
+  r.build.hardware_threads = 4;
+  r.build.timestamp_utc = "2026-07-30T00:00:00Z";
+  r.cases.push_back(make_case("micro", "conv/4", 2.0 * scale));
+  r.cases.push_back(make_case("macro", "table1", 150.0 * scale));
+  return r;
+}
+
+TEST(BenchReport, JsonSchemaRoundTrip) {
+  const Report original = make_report();
+  const Json doc = original.to_json();
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").as_number(), 1.0);
+
+  const Report restored = Report::from_json(doc);
+  ASSERT_EQ(restored.cases.size(), original.cases.size());
+  EXPECT_EQ(restored.build.git_sha, original.build.git_sha);
+  EXPECT_EQ(restored.build.hardware_threads, 4);
+  for (std::size_t i = 0; i < original.cases.size(); ++i) {
+    const CaseResult& a = original.cases[i];
+    const CaseResult& b = restored.cases[i];
+    EXPECT_EQ(b.full_name(), a.full_name());
+    EXPECT_EQ(b.tier, a.tier);
+    EXPECT_EQ(b.params, a.params);
+    EXPECT_EQ(b.warmup, a.warmup);
+    EXPECT_EQ(b.wall_ms.count, a.wall_ms.count);
+    EXPECT_DOUBLE_EQ(b.wall_ms.median, a.wall_ms.median);
+    EXPECT_DOUBLE_EQ(b.wall_ms.p90, a.wall_ms.p90);
+    EXPECT_DOUBLE_EQ(b.wall_ms.stddev, a.wall_ms.stddev);
+    EXPECT_DOUBLE_EQ(b.items_per_second, a.items_per_second);
+    EXPECT_EQ(b.counters, a.counters);
+  }
+  // Serialization is deterministic.
+  EXPECT_EQ(restored.to_json().dump(2), doc.dump(2));
+}
+
+TEST(BenchReport, RejectsUnknownSchemaVersion) {
+  Json doc = make_report().to_json();
+  JsonObject o = doc.as_object();
+  o["schema_version"] = 2;
+  const Json bumped(std::move(o));
+  EXPECT_THROW(Report::from_json(bumped), std::runtime_error);
+}
+
+TEST(BenchReport, MergeLatestWinsAndSorts) {
+  Report a = make_report();
+  Report b;
+  b.build = a.build;
+  b.cases.push_back(make_case("micro", "conv/4", 99.0));  // replaces
+  b.cases.push_back(make_case("aaa", "first", 1.0));      // new, sorts first
+  a.merge(b);
+  ASSERT_EQ(a.cases.size(), 3U);
+  EXPECT_EQ(a.cases[0].full_name(), "aaa.first");
+  for (const CaseResult& c : a.cases) {
+    if (c.full_name() == "micro.conv/4") {
+      EXPECT_DOUBLE_EQ(c.wall_ms.median, 99.0);
+    }
+  }
+}
+
+// --------------------------------------------------------------- compare
+
+TEST(BenchCompare, IdenticalInputsPass) {
+  const Report base = make_report();
+  const CompareOptions opts{.threshold = 0.25};
+  const CompareResult result = compare_reports(base, base, opts);
+  EXPECT_FALSE(result.failed(opts));
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_EQ(result.improvements, 0);
+  EXPECT_EQ(result.missing, 0);
+  for (const CaseComparison& c : result.cases) {
+    EXPECT_EQ(c.verdict, Verdict::kOk);
+    EXPECT_DOUBLE_EQ(c.ratio, 1.0);
+  }
+}
+
+TEST(BenchCompare, SyntheticTwoXSlowdownIsFlagged) {
+  const Report base = make_report();
+  const Report slow = make_report(/*scale=*/2.0);
+  const CompareOptions opts{.threshold = 0.25};
+  const CompareResult result = compare_reports(base, slow, opts);
+  EXPECT_TRUE(result.failed(opts));
+  EXPECT_EQ(result.regressions, 2);
+  for (const CaseComparison& c : result.cases) {
+    EXPECT_EQ(c.verdict, Verdict::kRegression);
+    EXPECT_NEAR(c.ratio, 2.0, 1e-12);
+  }
+}
+
+TEST(BenchCompare, ImprovementIsReportedNotFailed) {
+  const Report base = make_report();
+  const Report fast = make_report(/*scale=*/0.5);
+  const CompareOptions opts{.threshold = 0.25};
+  const CompareResult result = compare_reports(base, fast, opts);
+  EXPECT_FALSE(result.failed(opts));
+  EXPECT_EQ(result.improvements, 2);
+  EXPECT_EQ(result.regressions, 0);
+}
+
+TEST(BenchCompare, WithinThresholdIsOk) {
+  const Report base = make_report();
+  const Report near = make_report(/*scale=*/1.2);  // +20 % < 25 % threshold
+  const CompareOptions opts{.threshold = 0.25};
+  const CompareResult result = compare_reports(base, near, opts);
+  EXPECT_FALSE(result.failed(opts));
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_EQ(result.improvements, 0);
+}
+
+TEST(BenchCompare, MissingCaseFailsUnlessAllowed) {
+  const Report base = make_report();
+  Report current = make_report();
+  current.cases.pop_back();  // drop macro.table1
+
+  const CompareOptions strict{.threshold = 0.25};
+  const CompareResult result = compare_reports(base, current, strict);
+  EXPECT_TRUE(result.failed(strict));
+  EXPECT_EQ(result.missing, 1);
+
+  const CompareOptions lenient{.threshold = 0.25, .allow_missing = true};
+  EXPECT_FALSE(compare_reports(base, current, lenient).failed(lenient));
+}
+
+TEST(BenchCompare, ZeroMeasurementCurrentCountsAsMissing) {
+  const Report base = make_report();
+  Report current = make_report();
+  current.cases[0].wall_ms = compute_stats({});  // case stopped measuring
+  const CompareOptions opts{.threshold = 0.25};
+  const CompareResult result = compare_reports(base, current, opts);
+  EXPECT_TRUE(result.failed(opts));
+  EXPECT_EQ(result.missing, 1);
+  EXPECT_EQ(result.regressions, 0);
+}
+
+TEST(BenchCompare, NewCaseIsInformationalOnly) {
+  const Report base = make_report();
+  Report current = make_report();
+  current.cases.push_back(make_case("brand", "new_case", 5.0));
+
+  const CompareOptions opts{.threshold = 0.25};
+  const CompareResult result = compare_reports(base, current, opts);
+  EXPECT_FALSE(result.failed(opts));
+  EXPECT_EQ(result.added, 1);
+  bool saw_new = false;
+  for (const CaseComparison& c : result.cases) {
+    if (c.full_name == "brand.new_case") {
+      EXPECT_EQ(c.verdict, Verdict::kNew);
+      saw_new = true;
+    }
+  }
+  EXPECT_TRUE(saw_new);
+  // Render never throws and mentions the PASS/FAIL summary.
+  EXPECT_NE(render_comparison(result, opts).find("PASS"), std::string::npos);
+}
+
+// ------------------------------------------------------- harness execution
+
+BENCH_CASE_OPTS(harness_selftest, fixed_reps,
+                CaseOptions{.warmup = 1, .min_reps = 4, .max_reps = 4, .steady_rsd = 0.0}) {
+  int iterations = 0;
+  for (auto _ : state) {
+    ++iterations;
+    // Enough work that the wall sample cannot quantize to zero.
+    for (int i = 0; i < 10000; ++i) do_not_optimize(i);
+  }
+  state.counter("iterations", iterations);
+  state.set_items_processed(10.0);
+}
+
+TEST(BenchRunner, ExecutesRegisteredCaseWithRepetitionPolicy) {
+  RunnerOptions options;
+  options.filter = "harness_selftest.fixed_reps";
+  const Runner runner(options);
+  ASSERT_EQ(runner.selection().size(), 1U);
+
+  const Report report = runner.run(nullptr);
+  ASSERT_EQ(report.cases.size(), 1U);
+  const CaseResult& c = report.cases[0];
+  // 1 warmup discarded + 4 recorded samples = 5 loop iterations.
+  EXPECT_EQ(c.wall_ms.count, 4U);
+  EXPECT_EQ(c.warmup, 1);
+  EXPECT_DOUBLE_EQ(c.counters.at("iterations"), 5.0);
+  EXPECT_GT(c.wall_ms.median, 0.0);
+  EXPECT_GT(c.items_per_second, 0.0);
+  EXPECT_FALSE(report.build.git_sha.empty());
+}
+
+}  // namespace
+}  // namespace micronas::bench
