@@ -1,0 +1,119 @@
+// Deployment-compiler bench suite (tier 1): lowering throughput, pass
+// pipeline cost, memory-planner quality, and the fused-int8 vs naive
+// float interpreter inference race the subsystem exists to win.
+//
+// The inference case reports `speedup` (naive float wall / fused int8
+// wall) as a counter: the acceptance bar for the subsystem is >= 2x on
+// the reduced skeleton used here (the full NB201 skeleton does better —
+// see examples/compile_and_run).
+#include <chrono>
+
+#include "bench/suites/common.hpp"
+#include "src/compile/compiler.hpp"
+#include "src/rt/runtime.hpp"
+
+namespace micronas {
+namespace {
+
+nb201::Genotype bench_genotype() {
+  return nb201::Genotype::from_string(
+      "|nor_conv_3x3~0|+|skip_connect~0|nor_conv_3x3~1|+"
+      "|avg_pool_3x3~0|nor_conv_1x1~1|nor_conv_3x3~2|");
+}
+
+compile::CompilerOptions bench_options(bench::State& state) {
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = state.param_int("cells", 1);
+  options.macro.input_size = state.param_int("input", 16);
+  return options;
+}
+
+BENCH_CASE(compile, lower) {
+  const nb201::Genotype g = bench_genotype();
+  const compile::CompilerOptions options = bench_options(state);
+  ir::LowerOptions lower;
+  lower.macro = options.macro;
+  int nodes = 0;
+  for (auto _ : state) {
+    ir::Graph graph = ir::lower_genotype(g, lower);
+    nodes = graph.size();
+    bench::do_not_optimize(nodes);
+  }
+  state.counter("lowered_nodes", nodes);
+  state.set_items_processed(1);
+}
+
+BENCH_CASE(compile, pass_pipeline) {
+  const nb201::Genotype g = bench_genotype();
+  const compile::CompilerOptions options = bench_options(state);
+  int final_nodes = 0;
+  for (auto _ : state) {
+    const compile::CompiledModel m = compile::compile_genotype(g, options);
+    final_nodes = m.graph.size();
+    bench::do_not_optimize(final_nodes);
+  }
+  const compile::CompiledModel m = compile::compile_genotype(g, options);
+  state.counter("lowered_executed", m.report.lowered_executed);
+  state.counter("final_executed", m.report.final_executed);
+  state.set_items_processed(1);
+}
+
+BENCH_CASE(compile, memory_plan) {
+  const compile::CompiledModel m = compile::compile_genotype(bench_genotype(), bench_options(state));
+  long long arena = 0;
+  for (auto _ : state) {
+    const rt::MemoryPlan plan = rt::plan_memory(m.graph);
+    arena = plan.arena_bytes;
+    bench::do_not_optimize(arena);
+  }
+  state.counter("arena_kb", static_cast<double>(m.plan.arena_bytes) / 1024.0);
+  state.counter("reuse_factor", m.plan.reuse_factor());
+  state.counter("arena_to_model_ratio", m.report.arena_to_model_ratio);
+  state.set_items_processed(1);
+}
+
+// The headline race: fused int8 deployment graph vs the naive float
+// interpreter on the same genotype, weights and input. Runs both paths
+// inside one case so the `speedup` counter is apples-to-apples on the
+// same machine state; wall time of this case tracks the int8 path
+// (items_processed counts int8 inferences).
+BENCH_CASE_OPTS(compile, int8_vs_float_inference,
+                bench::CaseOptions{.warmup = 1, .min_reps = 3, .max_reps = 8, .tier = 1}) {
+  const nb201::Genotype g = bench_genotype();
+  const compile::CompilerOptions options = bench_options(state);
+  compile::CompilerOptions naive = options;
+  naive.fold = naive.fuse = naive.quantize = false;
+
+  const compile::CompiledModel int8_model = compile::compile_genotype(g, options);
+  const compile::CompiledModel float_model = compile::compile_genotype(g, naive);
+
+  DatasetSpec spec;
+  spec.height = spec.width = options.macro.input_size;
+  Rng rng(7);
+  SyntheticDataset data(spec, rng);
+  const Tensor input = data.sample_batch(1, rng).images;
+
+  rt::Executor int8_exec(int8_model.graph, int8_model.plan, rt::ExecOptions{1});
+  rt::Executor float_exec(float_model.graph, rt::ExecOptions{1});
+  float_exec.run(input);  // warm both paths outside the timed loop
+  int8_exec.run(input);
+
+  double float_ms = 1e300;
+  double int8_ms = 1e300;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    bench::do_not_optimize(int8_exec.run(input));
+    auto t1 = std::chrono::steady_clock::now();
+    bench::do_not_optimize(float_exec.run(input));
+    auto t2 = std::chrono::steady_clock::now();
+    int8_ms = std::min(int8_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    float_ms = std::min(float_ms, std::chrono::duration<double, std::milli>(t2 - t1).count());
+  }
+  state.counter("float_naive_ms", float_ms);
+  state.counter("int8_fused_ms", int8_ms);
+  state.counter("speedup", float_ms / int8_ms);
+  state.set_items_processed(1);
+}
+
+}  // namespace
+}  // namespace micronas

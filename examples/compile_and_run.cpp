@@ -1,0 +1,152 @@
+// Compile & run a searched model: the deployment pipeline end to end.
+//
+//   1. lower an NB201 genotype to the dataflow IR,
+//   2. run the pass pipeline (constant folding, conv+bn+relu fusion,
+//      DCE, calibrated int8 quantization),
+//   3. plan the static activation arena and print the memory report
+//      (planned arena vs hw/memory_model's predicted peak SRAM),
+//   4. execute int8 inference, checking bit-identical logits across
+//      repeated runs and thread counts,
+//   5. compare against the naive float interpreter (numerics + host
+//      wall time) and against the LUT estimator's predicted latency
+//      (predicted vs executed on the simulated MCU).
+//
+//   ./compile_and_run --arch 7777 --cells 5 --runs 3 --threads 4
+//   ./compile_and_run --arch "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|avg_pool_3x3~0|none~1|nor_conv_1x1~2|"
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/cli.hpp"
+#include "src/compile/compiler.hpp"
+#include "src/core/report.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/hw/latency_estimator.hpp"
+#include "src/mcusim/profiler.hpp"
+#include "src/rt/runtime.hpp"
+
+using namespace micronas;
+
+namespace {
+
+double time_run_ms(rt::Executor& exec, const Tensor& input) {
+  const auto t0 = std::chrono::steady_clock::now();
+  exec.run(input);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"arch", "cells", "input", "seed", "runs", "threads", "mcu"});
+    const std::string arch = args.get_string("arch", "");
+    const int runs = args.get_int("runs", 3);
+    const int threads = args.get_int("threads", 4);
+    const McuSpec mcu = mcu_preset(args.get_string("mcu", "m7"));
+
+    nb201::Genotype genotype = nb201::Genotype::from_string(
+        "|nor_conv_3x3~0|+|skip_connect~0|nor_conv_1x1~1|+|avg_pool_3x3~0|none~1|nor_conv_3x3~2|");
+    if (!arch.empty()) {
+      genotype = arch.find('|') != std::string::npos
+                     ? nb201::Genotype::from_string(arch)
+                     : nb201::Genotype::from_index(std::stoi(arch));
+    }
+
+    compile::CompilerOptions options;
+    options.macro.cells_per_stage = args.get_int("cells", 5);
+    options.macro.input_size = args.get_int("input", 32);
+    options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+    std::cout << "Step 1+2: lowering " << genotype.to_string()
+              << " and running the pass pipeline\n";
+    compile::CompiledModel model = compile::compile_genotype(genotype, options);
+
+    // Predicted latency: profile the target into a LUT estimator (the
+    // search-side cost model), on the same quantized deployment model.
+    Rng profile_rng(options.seed ^ 0xBEEF);
+    LatencyTable table = build_latency_table(mcu, profile_rng, options.macro);
+    const LatencyEstimator estimator(std::move(table),
+                                     profile_constant_overhead_ms(mcu, profile_rng),
+                                     mcu.clock_hz);
+    const MacroModel macro =
+        quantize_model(build_macro_model(genotype, options.macro), options.quant);
+    model.report.predicted_latency_ms = estimator.estimate_ms(macro);
+    Rng measure_rng(options.seed ^ 0x3EA5);
+    model.report.executed_latency_ms = measure_compiled_latency_ms(model, mcu, measure_rng);
+
+    std::cout << "\n" << model.report.to_string() << "\n";
+
+    std::cout << "Step 4: int8 inference (" << runs << " runs x {1, " << threads
+              << "} threads)\n";
+    DatasetSpec spec;
+    spec.channels = options.macro.input_channels;
+    spec.height = spec.width = options.macro.input_size;
+    Rng data_rng(options.seed ^ 0xDA7A);
+    SyntheticDataset dataset(spec, data_rng);
+    const Tensor input = dataset.sample_batch(1, data_rng).images;
+
+    rt::Executor int8_serial(model.graph, model.plan, rt::ExecOptions{1});
+    rt::Executor int8_threaded(model.graph, model.plan, rt::ExecOptions{threads});
+    const Tensor reference = int8_serial.run(input);
+    const std::uint64_t hash =
+        fnv1a64(reference.data().data(), reference.numel() * sizeof(float));
+    bool identical = true;
+    double int8_ms = 1e300;
+    for (int r = 0; r < runs; ++r) {
+      for (rt::Executor* exec : {&int8_serial, &int8_threaded}) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const Tensor y = exec->run(input);
+        const auto t1 = std::chrono::steady_clock::now();
+        int8_ms = std::min(int8_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+        for (std::size_t i = 0; i < y.numel(); ++i) {
+          if (y[i] != reference[i]) identical = false;
+        }
+      }
+    }
+    std::printf("  logits hash %016llx, bit-identical across runs/threads: %s\n",
+                static_cast<unsigned long long>(hash), identical ? "yes" : "NO");
+    if (!identical) return 1;
+
+    std::cout << "Step 5: naive float interpreter comparison\n";
+    compile::CompilerOptions naive = options;
+    naive.fold = naive.fuse = naive.quantize = false;
+    compile::CompiledModel float_model = compile::compile_genotype(genotype, naive);
+    rt::Executor float_exec(float_model.graph, rt::ExecOptions{1});
+    const Tensor float_logits = float_exec.run(input);
+    double float_ms = 1e300;
+    for (int r = 0; r < runs; ++r) float_ms = std::min(float_ms, time_run_ms(float_exec, input));
+
+    int argmax_q = 0, argmax_f = 0;
+    for (std::size_t i = 1; i < reference.numel(); ++i) {
+      if (reference[i] > reference[static_cast<std::size_t>(argmax_q)])
+        argmax_q = static_cast<int>(i);
+      if (float_logits[i] > float_logits[static_cast<std::size_t>(argmax_f)])
+        argmax_f = static_cast<int>(i);
+    }
+
+    TablePrinter out({"Metric", "Value"});
+    out.add_row({"executed ops (float naive -> fused int8)",
+                 std::to_string(float_model.graph.executed_node_count()) + " -> " +
+                     std::to_string(model.graph.executed_node_count())});
+    out.add_row({"planned arena", TablePrinter::fmt(model.plan.arena_bytes / 1024.0, 1) + " KB"});
+    out.add_row({"arena / model-predicted peak",
+                 TablePrinter::fmt(model.report.arena_to_model_ratio, 3)});
+    out.add_row({"predicted latency (LUT)",
+                 TablePrinter::fmt(model.report.predicted_latency_ms, 3) + " ms"});
+    out.add_row({"executed latency (mcusim)",
+                 TablePrinter::fmt(model.report.executed_latency_ms, 3) + " ms"});
+    out.add_row({"host: float naive", TablePrinter::fmt(float_ms, 2) + " ms"});
+    out.add_row({"host: fused int8", TablePrinter::fmt(int8_ms, 2) + " ms"});
+    out.add_row({"host speedup", TablePrinter::fmt(float_ms / int8_ms, 2) + "x"});
+    out.add_row({"top-1 agreement (int8 vs float)", argmax_q == argmax_f ? "yes" : "no"});
+    std::cout << out.render();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -57,4 +57,8 @@ echo "== smoke: pareto sweep (two targets, tiny) =="
 "./$BUILD_DIR/pareto_sweep" --mcus m4,m7 --pop 8 --gens 2 --threads 2 >/dev/null
 echo "pareto_sweep OK"
 
+echo "== smoke: compile_and_run (lower + passes + int8 execute, reduced skeleton) =="
+"./$BUILD_DIR/compile_and_run" --cells 1 --input 16 --runs 2 --threads 2 >/dev/null
+echo "compile_and_run OK"
+
 echo "ALL CHECKS PASSED"

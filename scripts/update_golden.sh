@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Regenerate the golden end-to-end regression file
-# (tests/golden/e2e_search.golden) after an INTENTIONAL behaviour
-# change, then show what moved so the diff can be committed alongside
-# the change that caused it.
+# Regenerate the golden regression fixtures (tests/golden/*.golden:
+# the e2e search result and the compile report) after an INTENTIONAL
+# behaviour change, then show what moved so the diff can be committed
+# alongside the change that caused it.
 #
 #   scripts/update_golden.sh
 set -euo pipefail
@@ -11,9 +11,10 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target test_golden_e2e >/dev/null
+cmake --build build -j "$JOBS" --target test_golden_e2e --target test_compile_e2e >/dev/null
 
 MICRONAS_UPDATE_GOLDEN=1 ./build/test_golden_e2e
+MICRONAS_UPDATE_GOLDEN=1 ./build/test_compile_e2e --gtest_filter='CompileGoldenE2e.*'
 
 echo
 git --no-pager diff -- tests/golden || true

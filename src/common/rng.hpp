@@ -95,4 +95,10 @@ double hash_to_normal(std::uint64_t h);
 /// Map a 64-bit hash to a deterministic uniform in [0,1).
 double hash_to_uniform(std::uint64_t h);
 
+/// FNV-1a over a byte range — the one stable content hash the repo
+/// uses (preset-name seeds, ReLU-pattern counting, compiled-logits
+/// golden hashes). Never std::hash: results must not depend on the
+/// standard library implementation.
+std::uint64_t fnv1a64(const void* data, std::size_t n);
+
 }  // namespace micronas

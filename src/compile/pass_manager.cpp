@@ -1,0 +1,30 @@
+#include "src/compile/pass_manager.hpp"
+
+#include <chrono>
+
+namespace micronas::compile {
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+std::vector<PassStat> PassManager::run(ir::Graph& graph) const {
+  std::vector<PassStat> stats;
+  stats.reserve(passes_.size());
+  for (const auto& pass : passes_) {
+    PassStat s;
+    s.name = pass->name();
+    s.nodes_before = graph.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    s.changed = pass->run(graph);
+    const auto t1 = std::chrono::steady_clock::now();
+    s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    s.nodes_after = graph.size();
+    graph.validate();
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+}  // namespace micronas::compile

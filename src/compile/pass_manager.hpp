@@ -1,0 +1,47 @@
+// Compiler pass infrastructure (the npu_compiler-style pass pipeline,
+// scaled to this repo's IR).
+//
+// A Pass is a named graph-to-graph rewrite; the PassManager runs an
+// ordered list of them, validates the graph after every rewrite (a
+// pass that corrupts types or topology fails loudly at compile time,
+// not at inference time), and records per-pass telemetry that feeds
+// the CompileReport and the compile bench suite.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/graph.hpp"
+
+namespace micronas::compile {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  /// Rewrite the graph in place; true if anything changed.
+  virtual bool run(ir::Graph& graph) = 0;
+};
+
+struct PassStat {
+  std::string name;
+  bool changed = false;
+  int nodes_before = 0;
+  int nodes_after = 0;
+  double wall_ms = 0.0;
+};
+
+class PassManager {
+ public:
+  PassManager& add(std::unique_ptr<Pass> pass);
+
+  /// Run every pass in order; throws std::logic_error (from
+  /// Graph::validate) if a pass leaves the graph inconsistent.
+  std::vector<PassStat> run(ir::Graph& graph) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace micronas::compile

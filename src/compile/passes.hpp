@@ -1,0 +1,42 @@
+// The float-graph optimization passes.
+//
+//   constant-fold  — evaluates everything computable at compile time:
+//                    batch-norm parameter chains collapse into
+//                    channel-affine scale/shift vectors, `none`-edge
+//                    zero constants vanish from node sums, and any
+//                    all-constant subgraph is executed once with the
+//                    runtime's own f32 kernels (so folding is exact).
+//   fuse-conv-bn-relu — folds channel affines into conv weights/bias
+//                    and absorbs trailing ReLUs into the conv's fused
+//                    activation, the classic deployment fusion.
+//   dce            — drops nodes unreachable from the output (orphaned
+//                    weights, BN parameters, replaced ops).
+//
+// Passes rewrite via a replacement map and leave dead nodes behind;
+// run dce afterwards to reclaim them (the canonical pipeline in
+// src/compile/compiler.cpp does).
+#pragma once
+
+#include "src/compile/pass_manager.hpp"
+
+namespace micronas::compile {
+
+class ConstantFoldPass final : public Pass {
+ public:
+  std::string name() const override { return "constant-fold"; }
+  bool run(ir::Graph& graph) override;
+};
+
+class FuseConvBnReluPass final : public Pass {
+ public:
+  std::string name() const override { return "fuse-conv-bn-relu"; }
+  bool run(ir::Graph& graph) override;
+};
+
+class DeadCodeElimPass final : public Pass {
+ public:
+  std::string name() const override { return "dce"; }
+  bool run(ir::Graph& graph) override;
+};
+
+}  // namespace micronas::compile

@@ -110,20 +110,25 @@ DiscoveredModel MicroNas::evaluate(const nb201::Genotype& genotype) {
   return finish(genotype, 1, 0.0, eval_rng);
 }
 
-namespace {
+compile::CompiledModel MicroNas::compile_winner(const DiscoveredModel& model,
+                                                compile::CompilerOptions options) const {
+  // The facade owns the deployment skeleton and the reproducibility
+  // seed; callers customize pass toggles, calibration and threading.
+  options.macro = config_.deploy_net;
+  options.seed = config_.seed;
 
-/// Stable 64-bit name hash (FNV-1a): preset-derived seeds must not
-/// depend on the standard library's std::hash implementation.
-std::uint64_t fnv1a64(const std::string& s) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
+  // Compile (and measure) the canonical form, matching finish().
+  const nb201::Genotype canonical = nb201::canonicalize(model.genotype);
+  compile::CompiledModel compiled = compile::compile_genotype(canonical, options);
+
+  MacroModel macro = build_macro_model(canonical, config_.deploy_net);
+  if (options.quantize) macro = quantize_model(macro, options.quant);
+  compiled.report.predicted_latency_ms = estimator_->estimate_ms(macro);
+  Rng measure_rng = Rng(config_.seed).fork(0xC03B);
+  compiled.report.executed_latency_ms =
+      measure_compiled_latency_ms(compiled, config_.mcu, measure_rng);
+  return compiled;
 }
-
-}  // namespace
 
 ParetoSweepResult MicroNas::pareto_sweep(const ParetoSweepConfig& sweep) {
   if (sweep.mcu_presets.empty()) {
@@ -139,7 +144,7 @@ ParetoSweepResult MicroNas::pareto_sweep(const ParetoSweepConfig& sweep) {
     // Every per-target stream derives from (config seed, target name),
     // so a target's archive is the same whatever portfolio it is swept
     // in — and whatever threads/cache the engines use.
-    const std::uint64_t tag = hash_combine(config_.seed, fnv1a64(name));
+    const std::uint64_t tag = hash_combine(config_.seed, fnv1a64(name.data(), name.size()));
 
     // Profile this target into its own frozen estimator.
     Rng profile_rng(hash_combine(tag, 0x9F0F11E5ULL));

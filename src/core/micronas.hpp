@@ -111,6 +111,16 @@ class MicroNas {
   /// examples and baseline comparisons).
   DiscoveredModel evaluate(const nb201::Genotype& genotype);
 
+  /// Lower a discovered model through the deployment compiler: IR
+  /// frontend, fold/fuse/DCE passes, calibrated int8 quantization and
+  /// static arena planning on the facade's deploy_net skeleton. The
+  /// returned report carries predicted latency (this facade's profiled
+  /// LUT estimator on the quantized macro model) vs executed latency
+  /// (MCU simulator on the fused compiled schedule), plus the planned
+  /// arena vs analytic-peak-SRAM ratio.
+  compile::CompiledModel compile_winner(const DiscoveredModel& model,
+                                        compile::CompilerOptions options = {}) const;
+
   /// Multi-objective scenario sweep: profile each named MCU target,
   /// run one NSGA-II archive per target, and reuse the facade engine's
   /// genotype-indicator memo cache across targets so only the analytic

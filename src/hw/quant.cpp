@@ -1,6 +1,9 @@
 #include "src/hw/quant.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 #include "src/proxies/flops.hpp"
@@ -44,6 +47,81 @@ double quantized_accuracy(double fp32_accuracy, const QuantSpec& spec) {
   // 16-bit is lossless in practice; 8-bit pays the configured penalty.
   const double penalty = spec.bits <= 8 ? spec.accuracy_penalty_pts : 0.0;
   return std::max(0.0, fp32_accuracy - penalty);
+}
+
+AffineParams choose_affine_params(double min, double max) {
+  // Real zero must quantize exactly (zero padding, ReLU cutoff).
+  min = std::min(min, 0.0);
+  max = std::max(max, 0.0);
+  AffineParams p;
+  if (max - min < 1e-12) return p;  // degenerate: identity scale, zp 0
+  p.scale = (max - min) / static_cast<double>(kInt8Max - kInt8Min);
+  const double zp_real = static_cast<double>(kInt8Min) - min / p.scale;
+  p.zero_point = static_cast<int>(std::lround(zp_real));
+  p.zero_point = std::clamp(p.zero_point, kInt8Min, kInt8Max);
+  return p;
+}
+
+double choose_symmetric_scale(double abs_max) {
+  if (abs_max < 1e-12) return 1.0;
+  return abs_max / static_cast<double>(kInt8Max);
+}
+
+void quantize_multiplier(double m, std::int32_t* mantissa, int* shift) {
+  if (m <= 0.0 || !std::isfinite(m)) {
+    throw std::invalid_argument("quantize_multiplier: multiplier must be positive and finite");
+  }
+  int exponent = 0;
+  const double significand = std::frexp(m, &exponent);  // in [0.5, 1)
+  auto q = static_cast<std::int64_t>(std::llround(significand * (1LL << 31)));
+  if (q == (1LL << 31)) {  // rounding carried significand up to 1.0
+    q /= 2;
+    ++exponent;
+  }
+  *mantissa = static_cast<std::int32_t>(q);
+  *shift = exponent;
+}
+
+std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a, std::int32_t b) {
+  const bool overflow = a == b && a == std::numeric_limits<std::int32_t>::min();
+  if (overflow) return std::numeric_limits<std::int32_t>::max();
+  const std::int64_t ab = static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
+  const std::int32_t nudge = ab >= 0 ? (1 << 30) : (1 - (1 << 30));
+  return static_cast<std::int32_t>((ab + nudge) / (1LL << 31));
+}
+
+std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent) {
+  if (exponent < 0 || exponent > 31) {
+    throw std::invalid_argument("rounding_divide_by_pot: exponent out of [0, 31]");
+  }
+  if (exponent == 0) return x;
+  const std::int32_t mask = static_cast<std::int32_t>((1LL << exponent) - 1);
+  const std::int32_t remainder = x & mask;
+  std::int32_t threshold = mask >> 1;
+  if (x < 0) threshold += 1;
+  std::int32_t result = x >> exponent;
+  if (remainder > threshold) result += 1;
+  return result;
+}
+
+std::int32_t multiply_by_quantized_multiplier(std::int32_t x, std::int32_t mantissa, int shift) {
+  // x * mantissa * 2^(shift - 31): the high mul supplies 2^-31; the
+  // remaining power of two is applied as a shift on either side.
+  const int left_shift = shift > 0 ? shift : 0;
+  const int right_shift = shift > 0 ? 0 : -shift;
+  const std::int32_t shifted = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(x) << left_shift);
+  return rounding_divide_by_pot(saturating_rounding_doubling_high_mul(shifted, mantissa),
+                                right_shift);
+}
+
+std::int8_t quantize_one(float v, const AffineParams& p) {
+  const long q = std::lround(static_cast<double>(v) / p.scale) + p.zero_point;
+  return static_cast<std::int8_t>(std::clamp<long>(q, kInt8Min, kInt8Max));
+}
+
+float dequantize_one(std::int8_t q, const AffineParams& p) {
+  return static_cast<float>(p.scale * (static_cast<int>(q) - p.zero_point));
 }
 
 }  // namespace micronas

@@ -9,6 +9,8 @@
 // penalty so quantization can participate in search constraints.
 #pragma once
 
+#include <cstdint>
+
 #include "src/hw/memory_model.hpp"
 #include "src/net/macro_net.hpp"
 
@@ -36,5 +38,52 @@ MemoryReport analyze_quantized_memory(const MacroModel& model, const QuantSpec& 
 
 /// Surrogate accuracy after quantization.
 double quantized_accuracy(double fp32_accuracy, const QuantSpec& spec = {});
+
+// ------------------------------------------------------- affine arithmetic
+//
+// The numeric substrate of the int8 deployment path (src/compile/,
+// src/rt/): TFLite-style affine quantization. real = scale * (q - zp),
+// with asymmetric per-tensor activations and symmetric per-channel
+// weights. Requantization of int32 accumulators goes through a
+// fixed-point multiplier (gemmlowp idiom: saturating rounding doubling
+// high mul + rounding right shift) so inference is integer-exact and
+// bit-identical across runs, threads and hosts.
+
+inline constexpr int kInt8Min = -128;
+inline constexpr int kInt8Max = 127;
+
+/// real = scale * (q - zero_point), q in [-128, 127].
+struct AffineParams {
+  double scale = 1.0;
+  int zero_point = 0;
+};
+
+/// Asymmetric parameters covering [min, max] (range is widened to
+/// include 0 so that real zero is exactly representable; degenerate
+/// ranges get scale 1). The zero point is nudged onto the int8 grid.
+AffineParams choose_affine_params(double min, double max);
+
+/// Symmetric weight scale for |w| <= abs_max mapped onto [-127, 127]
+/// (zero point fixed at 0; degenerate abs_max gets scale 1).
+double choose_symmetric_scale(double abs_max);
+
+/// Decompose a positive real multiplier into a Q31 fixed-point
+/// `mantissa` and a power-of-two `shift` such that
+/// m ~= mantissa * 2^(shift - 31). Exact for powers of two.
+void quantize_multiplier(double m, std::int32_t* mantissa, int* shift);
+
+/// (a * b) rounded to the high 32 bits of the doubled 64-bit product.
+/// Saturates the single overflow case a == b == INT32_MIN.
+std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a, std::int32_t b);
+
+/// x / 2^exponent with round-to-nearest, ties away from zero.
+std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent);
+
+/// Apply a quantized multiplier produced by quantize_multiplier.
+std::int32_t multiply_by_quantized_multiplier(std::int32_t x, std::int32_t mantissa, int shift);
+
+/// Round-to-nearest quantization with saturation to [-128, 127].
+std::int8_t quantize_one(float v, const AffineParams& p);
+float dequantize_one(std::int8_t q, const AffineParams& p);
 
 }  // namespace micronas

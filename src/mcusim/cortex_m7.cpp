@@ -99,21 +99,15 @@ double layer_cycles(const LayerSpec& spec, const McuSpec& mcu) {
   return cycles;
 }
 
-SimulatedRun simulate_network(const MacroModel& model, const McuSpec& mcu, Rng* jitter_rng) {
+SimulatedRun simulate_layers(const std::vector<LayerSpec>& layers, long long peak_sram_bytes,
+                             const McuSpec& mcu, Rng* jitter_rng) {
   SimulatedRun run;
-  run.per_layer_cycles.reserve(model.layers.size());
-
-  // The runtime arena (scheduler + im2col scratch) shares SRAM with the
-  // activations on the real board, so it counts against the budget.
-  // Activation width follows the model's precision (int8 shrinks 4x).
-  const int bpa = model.layers.empty() ? 4 : model.layers.front().bits / 8;
-  const long long peak =
-      peak_activation_bytes(model, bpa) + MemoryModelSpec{}.runtime_arena_bytes;
-  run.sram_pressure = peak > mcu.sram_budget_bytes;
+  run.per_layer_cycles.reserve(layers.size());
+  run.sram_pressure = peak_sram_bytes > mcu.sram_budget_bytes;
   const double pressure = run.sram_pressure ? (1.0 + mcu.sram_pressure_slowdown) : 1.0;
 
   double total = mcu.network_overhead_cycles;
-  for (const auto& spec : model.layers) {
+  for (const auto& spec : layers) {
     double c = layer_cycles(spec, mcu) * pressure;
     run.per_layer_cycles.push_back(c);
     total += c;
@@ -124,6 +118,16 @@ SimulatedRun simulate_network(const MacroModel& model, const McuSpec& mcu, Rng* 
   run.total_cycles = total;
   run.latency_ms = total / mcu.clock_hz * 1e3;
   return run;
+}
+
+SimulatedRun simulate_network(const MacroModel& model, const McuSpec& mcu, Rng* jitter_rng) {
+  // The runtime arena (scheduler + im2col scratch) shares SRAM with the
+  // activations on the real board, so it counts against the budget.
+  // Activation width follows the model's precision (int8 shrinks 4x).
+  const int bpa = model.layers.empty() ? 4 : model.layers.front().bits / 8;
+  const long long peak =
+      peak_activation_bytes(model, bpa) + MemoryModelSpec{}.runtime_arena_bytes;
+  return simulate_layers(model.layers, peak, mcu, jitter_rng);
 }
 
 double measure_latency_ms(const MacroModel& model, const McuSpec& mcu, Rng& rng, int runs) {

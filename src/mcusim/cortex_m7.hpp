@@ -79,6 +79,14 @@ struct SimulatedRun {
 SimulatedRun simulate_network(const MacroModel& model, const McuSpec& mcu = {},
                               Rng* jitter_rng = nullptr);
 
+/// Core of simulate_network, reusable for arbitrary schedules (the
+/// profiler's compiled-graph measure path): per-layer cycle costs plus
+/// the constant network overhead, with the SRAM-pressure slowdown
+/// applied when `peak_sram_bytes` (activations + runtime arena)
+/// exceeds the target's budget.
+SimulatedRun simulate_layers(const std::vector<LayerSpec>& layers, long long peak_sram_bytes,
+                             const McuSpec& mcu = {}, Rng* jitter_rng = nullptr);
+
 /// Median latency over `runs` jittered executions — what a careful
 /// on-board measurement procedure reports.
 double measure_latency_ms(const MacroModel& model, const McuSpec& mcu, Rng& rng, int runs = 7);

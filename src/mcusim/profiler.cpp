@@ -76,4 +76,94 @@ double profile_constant_overhead_ms(const McuSpec& mcu, Rng& rng, const Profiler
   return ms[ms.size() / 2];
 }
 
+std::vector<LayerSpec> compiled_layer_specs(const compile::CompiledModel& model) {
+  std::vector<LayerSpec> specs;
+  const ir::Graph& g = model.graph;
+  for (int id : model.plan.schedule) {
+    const ir::Node& node = g.node(id);
+    const Shape& out = node.type.shape;
+    LayerSpec s;
+    s.bits = node.type.dtype == ir::DType::kI8 ? 8 : 32;
+    if (!node.inputs.empty()) {
+      const Shape& in = g.node(node.inputs[0]).type.shape;
+      if (in.rank() >= 2) s.cin = in[1];
+      if (in.rank() == 4) {
+        s.h = in[2];
+        s.w = in[3];
+      }
+    }
+    if (out.rank() >= 2) s.cout = out[1];
+    if (out.rank() == 4) {
+      s.out_h = out[2];
+      s.out_w = out[3];
+    } else {
+      s.out_h = 1;
+      s.out_w = 1;
+    }
+    switch (node.op) {
+      case ir::OpKind::kConv2d:
+      case ir::OpKind::kQConv2d:
+        s.kind = LayerKind::kConv;
+        s.kernel = node.conv.kernel;
+        s.stride = node.conv.stride;
+        s.pad = node.conv.pad;
+        break;
+      case ir::OpKind::kAvgPool:
+      case ir::OpKind::kQAvgPool:
+        s.kind = LayerKind::kAvgPool;
+        s.kernel = node.conv.kernel;
+        s.stride = node.conv.stride;
+        s.pad = node.conv.pad;
+        break;
+      case ir::OpKind::kAdd:
+      case ir::OpKind::kQAdd:
+        s.kind = LayerKind::kAdd;
+        break;
+      case ir::OpKind::kGlobalAvgPool:
+      case ir::OpKind::kQGlobalAvgPool:
+        s.kind = LayerKind::kGlobalPool;
+        if (!node.inputs.empty()) {
+          const Shape& in = g.node(node.inputs[0]).type.shape;
+          s.h = in[2];
+          s.w = in[3];
+        }
+        break;
+      case ir::OpKind::kLinear:
+      case ir::OpKind::kQLinear:
+        s.kind = LayerKind::kLinear;
+        s.h = 1;
+        s.w = 1;
+        break;
+      default:
+        // quantize/dequantize and any surviving elementwise op
+        // (relu, batch norm, channel affine) cost an element-wise pass.
+        s.kind = LayerKind::kSkip;
+        break;
+    }
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+SimulatedRun simulate_compiled(const compile::CompiledModel& model, const McuSpec& mcu,
+                               Rng* jitter_rng) {
+  const long long peak = model.plan.arena_bytes + MemoryModelSpec{}.runtime_arena_bytes;
+  return simulate_layers(compiled_layer_specs(model), peak, mcu, jitter_rng);
+}
+
+double measure_compiled_latency_ms(const compile::CompiledModel& model, const McuSpec& mcu,
+                                   Rng& rng, int runs) {
+  if (runs < 1) throw std::invalid_argument("measure_compiled_latency_ms: runs must be >= 1");
+  // Only the jitter differs between runs: derive the schedule once.
+  const std::vector<LayerSpec> specs = compiled_layer_specs(model);
+  const long long peak = model.plan.arena_bytes + MemoryModelSpec{}.runtime_arena_bytes;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    samples.push_back(simulate_layers(specs, peak, mcu, &rng).latency_ms);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
 }  // namespace micronas

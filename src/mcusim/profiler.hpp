@@ -9,6 +9,7 @@
 // quantifies that gap, mirroring the paper's board validation.
 #pragma once
 
+#include "src/compile/compiler.hpp"
 #include "src/hw/latency_table.hpp"
 #include "src/mcusim/cortex_m7.hpp"
 
@@ -37,5 +38,30 @@ LatencyTable build_latency_table(const McuSpec& mcu, Rng& rng,
 /// model, in milliseconds.
 double profile_constant_overhead_ms(const McuSpec& mcu, Rng& rng,
                                     const ProfilerOptions& options = {});
+
+// ------------------------------------------------- compiled-graph path
+//
+// The measure(CompiledGraph) entry points: map the compiled schedule's
+// ops back onto LayerSpecs and run the same cycle model, so the LUT
+// estimator's *predicted* latency (on the un-fused macro model) can be
+// compared against the *executed* latency of the fused, quantized
+// schedule that actually ships — the compile report's
+// predicted-vs-executed delta.
+
+/// One LayerSpec per scheduled op of the compiled graph (fused
+/// conv+bn+relu is a single conv; quantize/dequantize and leftover
+/// elementwise ops count as copies; bits follow the op's dtype).
+std::vector<LayerSpec> compiled_layer_specs(const compile::CompiledModel& model);
+
+/// Deterministic single-run simulation of the compiled schedule; SRAM
+/// pressure is judged on the *planned* arena, not the analytic peak.
+SimulatedRun simulate_compiled(const compile::CompiledModel& model, const McuSpec& mcu = {},
+                               Rng* jitter_rng = nullptr);
+
+/// Median latency over `runs` jittered executions of the compiled
+/// schedule — the measurement procedure of measure_latency_ms, on the
+/// deployed graph.
+double measure_compiled_latency_ms(const compile::CompiledModel& model, const McuSpec& mcu,
+                                   Rng& rng, int runs = 7);
 
 }  // namespace micronas

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "src/common/rng.hpp"
+
 namespace micronas {
 
 namespace {
@@ -10,12 +12,7 @@ namespace {
 /// FNV-1a over the activation bit string; collisions are vanishingly
 /// unlikely at the few hundred patterns we count per repeat.
 std::uint64_t hash_bits(const std::vector<unsigned char>& bits) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (unsigned char b : bits) {
-    h ^= b;
-    h *= 1099511628211ULL;
-  }
-  return h;
+  return fnv1a64(bits.data(), bits.size());
 }
 
 LinearRegionResult count_impl(const EdgeOps& edge_ops, CellNetConfig config, Rng& rng,

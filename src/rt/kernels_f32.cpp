@@ -1,0 +1,135 @@
+#include "src/rt/kernels_f32.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace micronas::rt {
+
+void conv2d_f32(const float* input, const float* weight, const float* bias, float* output,
+                int batch, int cin, int h, int w, int cout, int kernel, int stride, int pad,
+                int out_h, int out_w, bool fused_relu, ThreadPool* pool) {
+  const int npix = out_h * out_w;
+  for (int n = 0; n < batch; ++n) {
+    const float* in = input + static_cast<std::ptrdiff_t>(n) * cin * h * w;
+    float* out = output + static_cast<std::ptrdiff_t>(n) * cout * npix;
+    auto channel = [&](std::size_t ci) {
+      const int c = static_cast<int>(ci);
+      const float* wbase = weight + static_cast<std::ptrdiff_t>(c) * cin * kernel * kernel;
+      float* oplane = out + static_cast<std::ptrdiff_t>(c) * npix;
+      for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+          float acc = bias ? bias[c] : 0.0F;
+          for (int ic = 0; ic < cin; ++ic) {
+            const float* plane = in + static_cast<std::ptrdiff_t>(ic) * h * w;
+            const float* wk = wbase + static_cast<std::ptrdiff_t>(ic) * kernel * kernel;
+            for (int ky = 0; ky < kernel; ++ky) {
+              const int iy = oy * stride - pad + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kernel; ++kx) {
+                const int ix = ox * stride - pad + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += plane[static_cast<std::ptrdiff_t>(iy) * w + ix] *
+                       wk[static_cast<std::ptrdiff_t>(ky) * kernel + kx];
+              }
+            }
+          }
+          if (fused_relu && acc < 0.0F) acc = 0.0F;
+          oplane[static_cast<std::ptrdiff_t>(oy) * out_w + ox] = acc;
+        }
+      }
+    };
+    if (pool && pool->size() > 1 && cout > 1) {
+      pool->parallel_for(static_cast<std::size_t>(cout), channel);
+    } else {
+      for (int c = 0; c < cout; ++c) channel(static_cast<std::size_t>(c));
+    }
+  }
+}
+
+void batch_norm_f32(const float* input, const float* gamma, const float* beta,
+                    const float* mean, const float* var, float* output, int batch, int channels,
+                    int spatial, double eps) {
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float scale = gamma[c] / std::sqrt(var[c] + static_cast<float>(eps));
+      const float shift = beta[c] - mean[c] * scale;
+      const float* in = input + (static_cast<std::ptrdiff_t>(n) * channels + c) * spatial;
+      float* out = output + (static_cast<std::ptrdiff_t>(n) * channels + c) * spatial;
+      for (int i = 0; i < spatial; ++i) out[i] = in[i] * scale + shift;
+    }
+  }
+}
+
+void channel_affine_f32(const float* input, const float* scale, const float* shift,
+                        float* output, int batch, int channels, int spatial) {
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float* in = input + (static_cast<std::ptrdiff_t>(n) * channels + c) * spatial;
+      float* out = output + (static_cast<std::ptrdiff_t>(n) * channels + c) * spatial;
+      for (int i = 0; i < spatial; ++i) out[i] = in[i] * scale[c] + shift[c];
+    }
+  }
+}
+
+void relu_f32(const float* input, float* output, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) output[i] = input[i] > 0.0F ? input[i] : 0.0F;
+}
+
+void avg_pool_f32(const float* input, float* output, int batch, int channels, int h, int w,
+                  int kernel, int stride, int pad, int out_h, int out_w) {
+  const float inv = 1.0F / static_cast<float>(kernel * kernel);  // count_include_pad
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float* plane = input + (static_cast<std::ptrdiff_t>(n) * channels + c) * h * w;
+      float* oplane = output + (static_cast<std::ptrdiff_t>(n) * channels + c) * out_h * out_w;
+      for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+          float acc = 0.0F;
+          for (int ky = 0; ky < kernel; ++ky) {
+            const int iy = oy * stride - pad + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int ix = ox * stride - pad + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += plane[static_cast<std::ptrdiff_t>(iy) * w + ix];
+            }
+          }
+          oplane[static_cast<std::ptrdiff_t>(oy) * out_w + ox] = acc * inv;
+        }
+      }
+    }
+  }
+}
+
+void add_f32(const float* a, const float* b, float* output, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) output[i] = a[i] + b[i];
+}
+
+void global_avg_pool_f32(const float* input, float* output, int batch, int channels,
+                         int spatial) {
+  const float inv = 1.0F / static_cast<float>(spatial);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const float* plane = input + (static_cast<std::ptrdiff_t>(n) * channels + c) * spatial;
+      float acc = 0.0F;
+      for (int i = 0; i < spatial; ++i) acc += plane[i];
+      output[static_cast<std::ptrdiff_t>(n) * channels + c] = acc * inv;
+    }
+  }
+}
+
+void linear_f32(const float* input, const float* weight, const float* bias, float* output,
+                int batch, int in_features, int out_features) {
+  for (int n = 0; n < batch; ++n) {
+    const float* in = input + static_cast<std::ptrdiff_t>(n) * in_features;
+    float* out = output + static_cast<std::ptrdiff_t>(n) * out_features;
+    for (int c = 0; c < out_features; ++c) {
+      const float* wrow = weight + static_cast<std::ptrdiff_t>(c) * in_features;
+      float acc = bias ? bias[c] : 0.0F;
+      for (int k = 0; k < in_features; ++k) acc += wrow[k] * in[k];
+      out[c] = acc;
+    }
+  }
+}
+
+}  // namespace micronas::rt

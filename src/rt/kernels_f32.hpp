@@ -1,0 +1,39 @@
+// Naive float reference kernels (direct loops, no blocking, no
+// vectorization beyond what the compiler finds).
+//
+// These define the semantics the compile passes must preserve and the
+// baseline the int8 deployment path is benchmarked against. The
+// constant folder (src/compile/passes.cpp) calls them at compile time
+// to evaluate all-constant subgraphs, so compile-time and run-time
+// folding agree bit for bit.
+#pragma once
+
+#include "src/common/thread_pool.hpp"
+
+namespace micronas::rt {
+
+void conv2d_f32(const float* input, const float* weight, const float* bias, float* output,
+                int batch, int cin, int h, int w, int cout, int kernel, int stride, int pad,
+                int out_h, int out_w, bool fused_relu, ThreadPool* pool);
+
+void batch_norm_f32(const float* input, const float* gamma, const float* beta,
+                    const float* mean, const float* var, float* output, int batch, int channels,
+                    int spatial, double eps);
+
+void channel_affine_f32(const float* input, const float* scale, const float* shift,
+                        float* output, int batch, int channels, int spatial);
+
+void relu_f32(const float* input, float* output, std::size_t n);
+
+void avg_pool_f32(const float* input, float* output, int batch, int channels, int h, int w,
+                  int kernel, int stride, int pad, int out_h, int out_w);
+
+void add_f32(const float* a, const float* b, float* output, std::size_t n);
+
+void global_avg_pool_f32(const float* input, float* output, int batch, int channels,
+                         int spatial);
+
+void linear_f32(const float* input, const float* weight, const float* bias, float* output,
+                int batch, int in_features, int out_features);
+
+}  // namespace micronas::rt

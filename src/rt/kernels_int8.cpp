@@ -1,0 +1,172 @@
+#include "src/rt/kernels_int8.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/hw/quant.hpp"
+
+namespace micronas::rt {
+
+namespace {
+
+inline std::int8_t clamp_i8(std::int32_t v, int lo) {
+  return static_cast<std::int8_t>(std::clamp<std::int32_t>(v, lo, kInt8Max));
+}
+
+}  // namespace
+
+void im2col_i8(const std::int8_t* input, int cin, int h, int w, int kernel, int stride, int pad,
+               int out_h, int out_w, std::int8_t pad_value, std::int8_t* columns) {
+  const int patch = cin * kernel * kernel;
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      std::int8_t* col = columns + (static_cast<std::ptrdiff_t>(oy) * out_w + ox) * patch;
+      int k = 0;
+      for (int c = 0; c < cin; ++c) {
+        const std::int8_t* plane = input + static_cast<std::ptrdiff_t>(c) * h * w;
+        for (int ky = 0; ky < kernel; ++ky) {
+          const int iy = oy * stride - pad + ky;
+          for (int kx = 0; kx < kernel; ++kx) {
+            const int ix = ox * stride - pad + kx;
+            col[k++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                           ? plane[static_cast<std::ptrdiff_t>(iy) * w + ix]
+                           : pad_value;
+          }
+        }
+      }
+    }
+  }
+}
+
+void qconv2d(const QConv2dArgs& a, ThreadPool* pool) {
+  const int patch = a.cin * a.kernel * a.kernel;
+  const int npix = a.out_h * a.out_w;
+  const int relu_lo = a.fused_relu ? std::max(kInt8Min, a.out_zp) : kInt8Min;
+
+  for (int n = 0; n < a.batch; ++n) {
+    const std::int8_t* in =
+        a.input + static_cast<std::ptrdiff_t>(n) * a.cin * a.h * a.w;
+    std::int8_t* out = a.output + static_cast<std::ptrdiff_t>(n) * a.cout * npix;
+    im2col_i8(in, a.cin, a.h, a.w, a.kernel, a.stride, a.pad, a.out_h, a.out_w,
+              static_cast<std::int8_t>(a.in_zp), a.columns);
+
+    auto channel = [&](std::size_t ci) {
+      const int c = static_cast<int>(ci);
+      const std::int8_t* wrow = a.weight + static_cast<std::ptrdiff_t>(c) * patch;
+      // acc = Σ_k w*q - zp*Σ_k w (+ bias): padding cells hold q == zp,
+      // so the correction term works uniformly across the border.
+      const std::int32_t base =
+          (a.bias ? a.bias[c] : 0) - a.in_zp * a.weight_sum[c];
+      std::int8_t* orow = out + static_cast<std::ptrdiff_t>(c) * npix;
+      for (int j = 0; j < npix; ++j) {
+        const std::int8_t* col = a.columns + static_cast<std::ptrdiff_t>(j) * patch;
+        std::int32_t acc = base;
+        for (int k = 0; k < patch; ++k) {
+          acc += static_cast<std::int32_t>(wrow[k]) * static_cast<std::int32_t>(col[k]);
+        }
+        const std::int32_t q =
+            multiply_by_quantized_multiplier(acc, a.mantissa[c], a.shift[c]) + a.out_zp;
+        orow[j] = clamp_i8(q, relu_lo);
+      }
+    };
+
+    if (pool && pool->size() > 1 && a.cout > 1) {
+      pool->parallel_for(static_cast<std::size_t>(a.cout), channel);
+    } else {
+      for (int c = 0; c < a.cout; ++c) channel(static_cast<std::size_t>(c));
+    }
+  }
+}
+
+void qlinear(const QLinearArgs& a) {
+  for (int n = 0; n < a.batch; ++n) {
+    const std::int8_t* in = a.input + static_cast<std::ptrdiff_t>(n) * a.in_features;
+    std::int8_t* out = a.output + static_cast<std::ptrdiff_t>(n) * a.out_features;
+    for (int c = 0; c < a.out_features; ++c) {
+      const std::int8_t* wrow = a.weight + static_cast<std::ptrdiff_t>(c) * a.in_features;
+      std::int32_t acc = (a.bias ? a.bias[c] : 0) - a.in_zp * a.weight_sum[c];
+      for (int k = 0; k < a.in_features; ++k) {
+        acc += static_cast<std::int32_t>(wrow[k]) * static_cast<std::int32_t>(in[k]);
+      }
+      const std::int32_t q =
+          multiply_by_quantized_multiplier(acc, a.mantissa[c], a.shift[c]) + a.out_zp;
+      out[c] = clamp_i8(q, kInt8Min);
+    }
+  }
+}
+
+void qadd(const std::int8_t* a, const std::int8_t* b, std::int8_t* out, std::size_t n,
+          int zp_a, std::int32_t mant_a, int shift_a, int zp_b, std::int32_t mant_b, int shift_b,
+          int zp_out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t ta =
+        multiply_by_quantized_multiplier(static_cast<std::int32_t>(a[i]) - zp_a, mant_a, shift_a);
+    const std::int32_t tb =
+        multiply_by_quantized_multiplier(static_cast<std::int32_t>(b[i]) - zp_b, mant_b, shift_b);
+    out[i] = clamp_i8(ta + tb + zp_out, kInt8Min);
+  }
+}
+
+void qavg_pool(const std::int8_t* input, std::int8_t* output, int batch, int channels, int h,
+               int w, int kernel, int stride, int pad, int out_h, int out_w, int in_zp,
+               std::int32_t mantissa, int shift, int out_zp) {
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const std::int8_t* plane =
+          input + (static_cast<std::ptrdiff_t>(n) * channels + c) * h * w;
+      std::int8_t* oplane =
+          output + (static_cast<std::ptrdiff_t>(n) * channels + c) * out_h * out_w;
+      for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+          std::int32_t acc = 0;
+          for (int ky = 0; ky < kernel; ++ky) {
+            const int iy = oy * stride - pad + ky;
+            if (iy < 0 || iy >= h) continue;  // pad: (q - zp) == 0
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int ix = ox * stride - pad + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += static_cast<std::int32_t>(plane[static_cast<std::ptrdiff_t>(iy) * w + ix]) -
+                     in_zp;
+            }
+          }
+          const std::int32_t q =
+              multiply_by_quantized_multiplier(acc, mantissa, shift) + out_zp;
+          oplane[static_cast<std::ptrdiff_t>(oy) * out_w + ox] = clamp_i8(q, kInt8Min);
+        }
+      }
+    }
+  }
+}
+
+void qglobal_avg_pool(const std::int8_t* input, std::int8_t* output, int batch, int channels,
+                      int h, int w, int in_zp, std::int32_t mantissa, int shift, int out_zp) {
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < channels; ++c) {
+      const std::int8_t* plane =
+          input + (static_cast<std::ptrdiff_t>(n) * channels + c) * h * w;
+      std::int32_t acc = 0;
+      for (int i = 0; i < h * w; ++i) acc += static_cast<std::int32_t>(plane[i]) - in_zp;
+      const std::int32_t q = multiply_by_quantized_multiplier(acc, mantissa, shift) + out_zp;
+      output[static_cast<std::ptrdiff_t>(n) * channels + c] = clamp_i8(q, kInt8Min);
+    }
+  }
+}
+
+void qrelu(const std::int8_t* input, std::int8_t* output, std::size_t n, int zp) {
+  const auto lo = static_cast<std::int8_t>(std::max(kInt8Min, zp));
+  for (std::size_t i = 0; i < n; ++i) output[i] = std::max(input[i], lo);
+}
+
+void quantize_buffer(const float* input, std::int8_t* output, std::size_t n, double scale,
+                     int zp) {
+  const AffineParams p{scale, zp};
+  for (std::size_t i = 0; i < n; ++i) output[i] = quantize_one(input[i], p);
+}
+
+void dequantize_buffer(const std::int8_t* input, float* output, std::size_t n, double scale,
+                       int zp) {
+  const AffineParams p{scale, zp};
+  for (std::size_t i = 0; i < n; ++i) output[i] = dequantize_one(input[i], p);
+}
+
+}  // namespace micronas::rt

@@ -1,0 +1,86 @@
+// Integer reference kernels for the int8 deployment path.
+//
+// All arithmetic is integer-exact: int8 operands, int32 accumulators,
+// and fixed-point requantization through hw/quant's gemmlowp-style
+// multiplier — so outputs are bit-identical across runs, thread counts
+// and hosts. Convolution goes through im2col + an int8 GEMM whose inner
+// dot product is contiguous in both operands (the CMSIS-NN shape), and
+// is partitioned over output channels when a thread pool is provided;
+// channels are fully independent, so the partition cannot change the
+// result.
+//
+// Zero-point convention (TFLite): real = scale * (q - zero_point).
+// Padding contributes real 0.0, i.e. q == zero_point, so padded cells
+// drop out of (q - zp) sums and the kernels simply skip them.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/thread_pool.hpp"
+
+namespace micronas::rt {
+
+/// im2col for int8 NCHW input, one sample: columns[pixel][cin*k*k],
+/// row-contiguous per output pixel, padding filled with `pad_value`
+/// (the input zero point). `columns` must hold out_h*out_w*cin*k*k.
+void im2col_i8(const std::int8_t* input, int cin, int h, int w, int kernel, int stride, int pad,
+               int out_h, int out_w, std::int8_t pad_value, std::int8_t* columns);
+
+struct QConv2dArgs {
+  int batch = 1;
+  int cin = 0, h = 0, w = 0;
+  int cout = 0, kernel = 1, stride = 1, pad = 0;
+  int out_h = 0, out_w = 0;
+  int in_zp = 0, out_zp = 0;
+  bool fused_relu = false;
+  const std::int8_t* input = nullptr;    // [N, Cin, H, W]
+  const std::int8_t* weight = nullptr;   // [Cout, Cin, K, K]
+  const std::int32_t* bias = nullptr;    // [Cout] or null
+  const std::int32_t* weight_sum = nullptr;  // [Cout]: Σ_k w[c,k] (precomputed)
+  const std::int32_t* mantissa = nullptr;    // [Cout] per-channel requant
+  const int* shift = nullptr;                // [Cout]
+  std::int8_t* columns = nullptr;        // scratch, out_h*out_w*cin*k*k
+  std::int8_t* output = nullptr;         // [N, Cout, Ho, Wo]
+};
+
+void qconv2d(const QConv2dArgs& args, ThreadPool* pool);
+
+struct QLinearArgs {
+  int batch = 1;
+  int in_features = 0, out_features = 0;
+  int in_zp = 0, out_zp = 0;
+  const std::int8_t* input = nullptr;    // [N, F]
+  const std::int8_t* weight = nullptr;   // [Out, F]
+  const std::int32_t* bias = nullptr;
+  const std::int32_t* weight_sum = nullptr;
+  const std::int32_t* mantissa = nullptr;
+  const int* shift = nullptr;
+  std::int8_t* output = nullptr;         // [N, Out]
+};
+
+void qlinear(const QLinearArgs& args);
+
+/// out = clamp(zp_out + M_a(a - zp_a) + M_b(b - zp_b)).
+void qadd(const std::int8_t* a, const std::int8_t* b, std::int8_t* out, std::size_t n,
+          int zp_a, std::int32_t mant_a, int shift_a, int zp_b, std::int32_t mant_b, int shift_b,
+          int zp_out);
+
+/// Average pooling, count_include_pad: divisor k*k, padded cells
+/// contribute q == zp_in and drop out of the shifted sum.
+void qavg_pool(const std::int8_t* input, std::int8_t* output, int batch, int channels, int h,
+               int w, int kernel, int stride, int pad, int out_h, int out_w, int in_zp,
+               std::int32_t mantissa, int shift, int out_zp);
+
+/// Global average pooling [N,C,H,W] -> [N,C].
+void qglobal_avg_pool(const std::int8_t* input, std::int8_t* output, int batch, int channels,
+                      int h, int w, int in_zp, std::int32_t mantissa, int shift, int out_zp);
+
+/// max(q, zero_point) — ReLU when input and output share parameters.
+void qrelu(const std::int8_t* input, std::int8_t* output, std::size_t n, int zp);
+
+void quantize_buffer(const float* input, std::int8_t* output, std::size_t n, double scale,
+                     int zp);
+void dequantize_buffer(const std::int8_t* input, float* output, std::size_t n, double scale,
+                       int zp);
+
+}  // namespace micronas::rt

@@ -1,0 +1,150 @@
+#include "src/rt/memory_planner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace micronas::rt {
+
+namespace {
+
+long long align_up(long long v, int alignment) {
+  const long long a = alignment;
+  return (v + a - 1) / a * a;
+}
+
+bool lifetimes_overlap(const BufferPlacement& a, const BufferPlacement& b) {
+  return a.def_step <= b.last_use_step && b.def_step <= a.last_use_step;
+}
+
+}  // namespace
+
+const BufferPlacement* MemoryPlan::find(int node_id) const {
+  auto it = std::lower_bound(buffers.begin(), buffers.end(), node_id,
+                             [](const BufferPlacement& p, int id) { return p.node_id < id; });
+  if (it == buffers.end() || it->node_id != node_id) return nullptr;
+  return &*it;
+}
+
+MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options) {
+  graph.validate();
+  if (options.alignment < 1) throw std::invalid_argument("plan_memory: alignment must be >= 1");
+
+  MemoryPlan plan;
+
+  // Schedule steps: the input is step 0, executed nodes follow in
+  // graph order. Constants take no step and no buffer.
+  std::vector<int> step_of(static_cast<std::size_t>(graph.size()), -1);
+  step_of[static_cast<std::size_t>(graph.input())] = 0;
+  int step = 0;
+  for (const auto& node : graph.nodes()) {
+    if (node.is_const() || node.op == ir::OpKind::kInput) continue;
+    step_of[static_cast<std::size_t>(node.id)] = ++step;
+    plan.schedule.push_back(node.id);
+  }
+  const int last_step = step;
+
+  // Liveness: def at own step, last use at the latest consuming step.
+  std::vector<BufferPlacement> buffers;
+  for (const auto& node : graph.nodes()) {
+    if (node.is_const()) continue;
+    BufferPlacement b;
+    b.node_id = node.id;
+    b.size = node.type.bytes();
+    b.def_step = step_of[static_cast<std::size_t>(node.id)];
+    b.last_use_step = b.def_step;
+    buffers.push_back(b);
+  }
+  auto placement_of = [&buffers](int id) -> BufferPlacement& {
+    auto it = std::lower_bound(buffers.begin(), buffers.end(), id,
+                               [](const BufferPlacement& p, int i) { return p.node_id < i; });
+    return *it;  // buffers is sorted by construction (graph order)
+  };
+  for (const auto& node : graph.nodes()) {
+    if (node.is_const() || node.op == ir::OpKind::kInput) continue;
+    for (int in : node.inputs) {
+      if (graph.node(in).is_const()) continue;
+      auto& producer = placement_of(in);
+      producer.last_use_step =
+          std::max(producer.last_use_step, step_of[static_cast<std::size_t>(node.id)]);
+    }
+  }
+  // A fully folded graph can end in a constant (e.g. an all-`none`
+  // genotype under constant folding): constants have no placement.
+  if (!graph.node(graph.output()).is_const()) {
+    placement_of(graph.output()).last_use_step = last_step;
+  }
+
+  // Greedy by size, largest first (ties broken by def step then id so
+  // the plan is deterministic): lowest aligned offset whose span is
+  // free across every already-placed, lifetime-overlapping buffer.
+  std::vector<std::size_t> order(buffers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (buffers[a].size != buffers[b].size) return buffers[a].size > buffers[b].size;
+    if (buffers[a].def_step != buffers[b].def_step)
+      return buffers[a].def_step < buffers[b].def_step;
+    return buffers[a].node_id < buffers[b].node_id;
+  });
+
+  std::vector<std::size_t> placed;
+  for (std::size_t idx : order) {
+    BufferPlacement& buf = buffers[idx];
+    std::vector<const BufferPlacement*> conflicts;
+    for (std::size_t p : placed) {
+      if (lifetimes_overlap(buffers[p], buf)) conflicts.push_back(&buffers[p]);
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const BufferPlacement* a, const BufferPlacement* b) {
+                return a->offset < b->offset;
+              });
+    long long offset = 0;
+    for (const BufferPlacement* c : conflicts) {
+      if (offset + buf.size <= c->offset) break;  // fits in the gap before c
+      offset = std::max(offset, align_up(c->offset + c->size, options.alignment));
+    }
+    buf.offset = offset;
+    placed.push_back(idx);
+    plan.arena_bytes = std::max(plan.arena_bytes, offset + buf.size);
+  }
+
+  for (const auto& b : buffers) plan.naive_bytes += align_up(b.size, options.alignment);
+  plan.buffers = std::move(buffers);
+
+  // Invariant: no two simultaneously live buffers may overlap.
+  for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
+      const auto& a = plan.buffers[i];
+      const auto& b = plan.buffers[j];
+      if (!lifetimes_overlap(a, b)) continue;
+      const bool disjoint = a.offset + a.size <= b.offset || b.offset + b.size <= a.offset;
+      if (!disjoint) {
+        throw std::logic_error("plan_memory: overlapping live buffers %" +
+                               std::to_string(a.node_id) + " and %" + std::to_string(b.node_id));
+      }
+    }
+  }
+  return plan;
+}
+
+std::string MemoryPlan::to_string(const ir::Graph& graph) const {
+  std::ostringstream ss;
+  ss << "arena " << arena_bytes << " B (naive " << naive_bytes << " B, reuse x";
+  char reuse[32];
+  std::snprintf(reuse, sizeof(reuse), "%.2f", reuse_factor());
+  ss << reuse << ")\n";
+  ss << "step  node  op              bytes     offset  live\n";
+  for (int id : schedule) {
+    const BufferPlacement* b = find(id);
+    const ir::Node& node = graph.node(id);
+    char line[160];
+    std::snprintf(line, sizeof(line), "%4d  %%%-4d %-15s %7lld  %9lld  [%d, %d]", b->def_step,
+                  id, op_kind_name(node.op).c_str(), b->size, b->offset, b->def_step,
+                  b->last_use_step);
+    ss << line << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace micronas::rt

@@ -1,0 +1,63 @@
+// Static arena memory planner: liveness analysis + greedy-by-size
+// offset assignment (the TFLite-Micro planning strategy).
+//
+// The node list of an ir::Graph is its execution schedule, so value
+// lifetimes are intervals over schedule steps: a value is live from the
+// step that defines it to the last step that consumes it (the graph
+// output stays live to the end). Buffers whose lifetimes do not
+// intersect may share arena bytes; the planner places buffers largest
+// first, each at the lowest aligned offset free over its whole
+// lifetime. The resulting arena is what an MCU deployment would
+// statically allocate in SRAM — tests/test_memory_planner.cpp checks it
+// against hw/memory_model's predicted peak on sampled genotypes, and
+// the compile report logs the ratio.
+//
+// Constants are flash-resident and get no arena bytes; `skip_connect`
+// edges alias their producer in the IR and so cost nothing here either.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ir/graph.hpp"
+
+namespace micronas::rt {
+
+struct MemoryPlanOptions {
+  int alignment = 16;
+};
+
+/// One value's slot in the arena.
+struct BufferPlacement {
+  int node_id = -1;
+  long long offset = 0;
+  long long size = 0;       // bytes (unaligned true size)
+  int def_step = 0;         // schedule step producing the value
+  int last_use_step = 0;    // last schedule step reading it
+};
+
+struct MemoryPlan {
+  long long arena_bytes = 0;  // planned peak (max over placements)
+  long long naive_bytes = 0;  // every buffer distinct — no lifetime reuse
+  std::vector<BufferPlacement> buffers;   // sorted by node_id
+  std::vector<int> schedule;              // executed node ids, in order
+
+  /// Placement for a node id; nullptr for consts / planned-out values.
+  const BufferPlacement* find(int node_id) const;
+
+  double reuse_factor() const {
+    return arena_bytes > 0 ? static_cast<double>(naive_bytes) / static_cast<double>(arena_bytes)
+                           : 1.0;
+  }
+
+  /// Human-readable per-op schedule with offsets (the memory-plan
+  /// report section of CompileReport).
+  std::string to_string(const ir::Graph& graph) const;
+};
+
+/// Plan the graph. Throws std::logic_error if any two placements with
+/// overlapping lifetimes overlap in the arena (internal invariant,
+/// checked before returning).
+MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options = {});
+
+}  // namespace micronas::rt

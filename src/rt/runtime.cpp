@@ -1,0 +1,276 @@
+#include "src/rt/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/rt/kernels_f32.hpp"
+#include "src/rt/kernels_int8.hpp"
+
+namespace micronas::rt {
+
+Executor::Executor(const ir::Graph& graph, const MemoryPlan& plan, ExecOptions options)
+    : graph_(graph), plan_(plan), planned_(true), options_(options) {
+  prepare();
+}
+
+Executor::Executor(const ir::Graph& graph, ExecOptions options)
+    : graph_(graph), planned_(false), options_(options) {
+  prepare();
+}
+
+void Executor::prepare() {
+  graph_.validate();
+  const ir::Node& out = graph_.node(graph_.output());
+  if (out.type.dtype != ir::DType::kF32) {
+    throw std::invalid_argument("Executor: graph must end in a f32 node (add a dequantize)");
+  }
+  if (graph_.node(graph_.input()).type.dtype != ir::DType::kF32) {
+    throw std::invalid_argument("Executor: graph input must be f32 (insert a quantize node)");
+  }
+  if (options_.threads != 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
+
+  if (planned_) {
+    arena_.resize(static_cast<std::size_t>(plan_.arena_bytes));
+  } else {
+    private_buffers_.resize(static_cast<std::size_t>(graph_.size()));
+    for (const auto& node : graph_.nodes()) {
+      if (node.is_const()) continue;
+      private_buffers_[static_cast<std::size_t>(node.id)].resize(
+          static_cast<std::size_t>(node.type.bytes()));
+    }
+  }
+
+  // Precompute per-channel weight sums and the im2col scratch high-water.
+  weight_sums_.resize(static_cast<std::size_t>(graph_.size()));
+  std::size_t max_columns = 0;
+  for (const auto& node : graph_.nodes()) {
+    if (node.op == ir::OpKind::kQConv2d || node.op == ir::OpKind::kQLinear) {
+      const ir::Node& w = graph_.node(node.inputs[1]);
+      const int cout = w.type.shape[0];
+      const auto patch = w.type.shape.numel() / static_cast<std::size_t>(cout);
+      std::vector<std::int32_t> sums(static_cast<std::size_t>(cout), 0);
+      for (int c = 0; c < cout; ++c) {
+        std::int32_t s = 0;
+        for (std::size_t k = 0; k < patch; ++k) {
+          s += w.i8_data[static_cast<std::size_t>(c) * patch + k];
+        }
+        sums[static_cast<std::size_t>(c)] = s;
+      }
+      weight_sums_[static_cast<std::size_t>(node.id)] = std::move(sums);
+    }
+    if (node.op == ir::OpKind::kQConv2d) {
+      const ir::Node& x = graph_.node(node.inputs[0]);
+      const std::size_t cols = static_cast<std::size_t>(node.type.shape[2]) *
+                               static_cast<std::size_t>(node.type.shape[3]) *
+                               static_cast<std::size_t>(x.type.shape[1]) *
+                               static_cast<std::size_t>(node.conv.kernel * node.conv.kernel);
+      max_columns = std::max(max_columns, cols);
+    }
+  }
+  columns_.resize(max_columns);
+}
+
+std::byte* Executor::buffer(int node_id) {
+  return const_cast<std::byte*>(read_buffer(node_id));
+}
+
+const std::byte* Executor::read_buffer(int node_id) const {
+  const ir::Node& node = graph_.node(node_id);
+  if (node.is_const()) {
+    switch (node.type.dtype) {
+      case ir::DType::kF32:
+        return reinterpret_cast<const std::byte*>(node.f32_data.data().data());
+      case ir::DType::kI8:
+        return reinterpret_cast<const std::byte*>(node.i8_data.data());
+      case ir::DType::kI32:
+        return reinterpret_cast<const std::byte*>(node.i32_data.data());
+    }
+  }
+  if (planned_) {
+    const BufferPlacement* b = plan_.find(node_id);
+    if (!b) throw std::logic_error("Executor: node has no arena placement");
+    return arena_.data() + b->offset;
+  }
+  return private_buffers_[static_cast<std::size_t>(node_id)].data();
+}
+
+const float* Executor::f32_in(int node_id) const {
+  return reinterpret_cast<const float*>(read_buffer(node_id));
+}
+
+const std::int8_t* Executor::i8_in(int node_id) const {
+  return reinterpret_cast<const std::int8_t*>(read_buffer(node_id));
+}
+
+Tensor Executor::run(const Tensor& input) {
+  const ir::Node& in_node = graph_.node(graph_.input());
+  if (!(input.shape() == in_node.type.shape)) {
+    throw std::invalid_argument("Executor::run: input shape " + input.shape().to_string() +
+                                " != graph input " + in_node.type.shape.to_string());
+  }
+  std::memcpy(buffer(in_node.id), input.data().data(), input.numel() * sizeof(float));
+  if (observer_) observer_(in_node.id, input.data());
+
+  for (const auto& node : graph_.nodes()) {
+    if (node.is_const() || node.op == ir::OpKind::kInput) continue;
+    dispatch(node);
+    if (observer_ && node.type.dtype == ir::DType::kF32) {
+      observer_(node.id, std::span<const float>(f32_in(node.id), node.type.shape.numel()));
+    }
+  }
+
+  const ir::Node& out = graph_.node(graph_.output());
+  Tensor result(out.type.shape);
+  std::memcpy(result.data().data(), read_buffer(out.id), result.numel() * sizeof(float));
+  return result;
+}
+
+void Executor::dispatch(const ir::Node& node) {
+  const auto& shape = node.type.shape;
+  const auto in_shape = [&](std::size_t i) -> const Shape& {
+    return graph_.node(node.inputs[i]).type.shape;
+  };
+
+  switch (node.op) {
+    case ir::OpKind::kConv2d: {
+      const Shape& x = in_shape(0);
+      const float* bias = node.inputs.size() == 3 ? f32_in(node.inputs[2]) : nullptr;
+      conv2d_f32(f32_in(node.inputs[0]), f32_in(node.inputs[1]), bias,
+                 reinterpret_cast<float*>(buffer(node.id)), x[0], x[1], x[2], x[3], shape[1],
+                 node.conv.kernel, node.conv.stride, node.conv.pad, shape[2], shape[3],
+                 node.conv.fused_relu, pool_.get());
+      return;
+    }
+    case ir::OpKind::kBatchNorm: {
+      const Shape& x = in_shape(0);
+      batch_norm_f32(f32_in(node.inputs[0]), f32_in(node.inputs[1]), f32_in(node.inputs[2]),
+                     f32_in(node.inputs[3]), f32_in(node.inputs[4]),
+                     reinterpret_cast<float*>(buffer(node.id)), x[0], x[1], x[2] * x[3],
+                     node.conv.bn_eps);
+      return;
+    }
+    case ir::OpKind::kChannelAffine: {
+      const Shape& x = in_shape(0);
+      channel_affine_f32(f32_in(node.inputs[0]), f32_in(node.inputs[1]), f32_in(node.inputs[2]),
+                         reinterpret_cast<float*>(buffer(node.id)), x[0], x[1], x[2] * x[3]);
+      return;
+    }
+    case ir::OpKind::kRelu:
+      relu_f32(f32_in(node.inputs[0]), reinterpret_cast<float*>(buffer(node.id)),
+               shape.numel());
+      return;
+    case ir::OpKind::kAvgPool: {
+      const Shape& x = in_shape(0);
+      avg_pool_f32(f32_in(node.inputs[0]), reinterpret_cast<float*>(buffer(node.id)), x[0],
+                   x[1], x[2], x[3], node.conv.kernel, node.conv.stride, node.conv.pad, shape[2],
+                   shape[3]);
+      return;
+    }
+    case ir::OpKind::kAdd:
+      add_f32(f32_in(node.inputs[0]), f32_in(node.inputs[1]),
+              reinterpret_cast<float*>(buffer(node.id)), shape.numel());
+      return;
+    case ir::OpKind::kGlobalAvgPool: {
+      const Shape& x = in_shape(0);
+      global_avg_pool_f32(f32_in(node.inputs[0]), reinterpret_cast<float*>(buffer(node.id)),
+                          x[0], x[1], x[2] * x[3]);
+      return;
+    }
+    case ir::OpKind::kLinear: {
+      const Shape& x = in_shape(0);
+      const float* bias = node.inputs.size() == 3 ? f32_in(node.inputs[2]) : nullptr;
+      linear_f32(f32_in(node.inputs[0]), f32_in(node.inputs[1]), bias,
+                 reinterpret_cast<float*>(buffer(node.id)), x[0], x[1], shape[1]);
+      return;
+    }
+    case ir::OpKind::kQuantize:
+      quantize_buffer(f32_in(node.inputs[0]),
+                      reinterpret_cast<std::int8_t*>(buffer(node.id)), shape.numel(),
+                      node.quant.out_q.scale, node.quant.out_q.zero_point);
+      return;
+    case ir::OpKind::kDequantize:
+      dequantize_buffer(i8_in(node.inputs[0]), reinterpret_cast<float*>(buffer(node.id)),
+                        shape.numel(), node.quant.in_q.scale, node.quant.in_q.zero_point);
+      return;
+    case ir::OpKind::kQConv2d: {
+      const Shape& x = in_shape(0);
+      QConv2dArgs a;
+      a.batch = x[0];
+      a.cin = x[1];
+      a.h = x[2];
+      a.w = x[3];
+      a.cout = shape[1];
+      a.kernel = node.conv.kernel;
+      a.stride = node.conv.stride;
+      a.pad = node.conv.pad;
+      a.out_h = shape[2];
+      a.out_w = shape[3];
+      a.in_zp = node.quant.in_q.zero_point;
+      a.out_zp = node.quant.out_q.zero_point;
+      a.fused_relu = node.conv.fused_relu;
+      a.input = i8_in(node.inputs[0]);
+      a.weight = i8_in(node.inputs[1]);
+      a.bias = reinterpret_cast<const std::int32_t*>(read_buffer(node.inputs[2]));
+      a.weight_sum = weight_sums_[static_cast<std::size_t>(node.id)].data();
+      a.mantissa = node.quant.mantissa.data();
+      a.shift = node.quant.shift.data();
+      a.columns = columns_.data();
+      a.output = reinterpret_cast<std::int8_t*>(buffer(node.id));
+      qconv2d(a, pool_.get());
+      return;
+    }
+    case ir::OpKind::kQAvgPool: {
+      const Shape& x = in_shape(0);
+      qavg_pool(i8_in(node.inputs[0]), reinterpret_cast<std::int8_t*>(buffer(node.id)), x[0],
+                x[1], x[2], x[3], node.conv.kernel, node.conv.stride, node.conv.pad, shape[2],
+                shape[3], node.quant.in_q.zero_point, node.quant.mantissa[0],
+                node.quant.shift[0], node.quant.out_q.zero_point);
+      return;
+    }
+    case ir::OpKind::kQAdd:
+      qadd(i8_in(node.inputs[0]), i8_in(node.inputs[1]),
+           reinterpret_cast<std::int8_t*>(buffer(node.id)), shape.numel(),
+           node.quant.in_q.zero_point, node.quant.mantissa[0], node.quant.shift[0],
+           node.quant.in2_q.zero_point, node.quant.mantissa2, node.quant.shift2,
+           node.quant.out_q.zero_point);
+      return;
+    case ir::OpKind::kQGlobalAvgPool: {
+      const Shape& x = in_shape(0);
+      qglobal_avg_pool(i8_in(node.inputs[0]), reinterpret_cast<std::int8_t*>(buffer(node.id)),
+                       x[0], x[1], x[2], x[3], node.quant.in_q.zero_point,
+                       node.quant.mantissa[0], node.quant.shift[0],
+                       node.quant.out_q.zero_point);
+      return;
+    }
+    case ir::OpKind::kQLinear: {
+      const Shape& x = in_shape(0);
+      QLinearArgs a;
+      a.batch = x[0];
+      a.in_features = x[1];
+      a.out_features = shape[1];
+      a.in_zp = node.quant.in_q.zero_point;
+      a.out_zp = node.quant.out_q.zero_point;
+      a.input = i8_in(node.inputs[0]);
+      a.weight = i8_in(node.inputs[1]);
+      a.bias = reinterpret_cast<const std::int32_t*>(read_buffer(node.inputs[2]));
+      a.weight_sum = weight_sums_[static_cast<std::size_t>(node.id)].data();
+      a.mantissa = node.quant.mantissa.data();
+      a.shift = node.quant.shift.data();
+      a.output = reinterpret_cast<std::int8_t*>(buffer(node.id));
+      qlinear(a);
+      return;
+    }
+    case ir::OpKind::kQRelu:
+      qrelu(i8_in(node.inputs[0]), reinterpret_cast<std::int8_t*>(buffer(node.id)),
+            shape.numel(), node.quant.out_q.zero_point);
+      return;
+    case ir::OpKind::kInput:
+    case ir::OpKind::kConst:
+      return;  // handled by the caller
+  }
+  throw std::logic_error("Executor::dispatch: unhandled op kind");
+}
+
+}  // namespace micronas::rt

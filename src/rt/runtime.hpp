@@ -1,0 +1,82 @@
+// Deterministic interpreter runtime for compiled ir::Graphs.
+//
+// The Executor walks the node list (which is the schedule) and
+// dispatches one kernel per node. Two buffer modes:
+//
+//   * planned  — all activations live in a single static arena laid out
+//     by rt/memory_planner.hpp; this is the deployment configuration
+//     whose peak the compile report compares against hw/memory_model.
+//   * unplanned — every value gets its own allocation; this is the
+//     naive reference interpreter used for calibration, numerics
+//     validation and as the bench baseline the fused int8 path is
+//     measured against.
+//
+// Float kernels are deliberately naive direct loops (the reference
+// semantics); the int8 kernels (kernels_int8.hpp) are the optimized
+// deployment path. Integer inference is bit-identical across repeated
+// runs and thread counts: convolution channels are independent, and
+// every other kernel is single-pass integer arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/ir/graph.hpp"
+#include "src/rt/memory_planner.hpp"
+
+namespace micronas::rt {
+
+struct ExecOptions {
+  /// Worker threads for the int8/float convolution channel partition
+  /// (1 = serial, 0 = one per hardware thread). Results are
+  /// bit-identical for every setting.
+  int threads = 1;
+};
+
+class Executor {
+ public:
+  /// Planned mode: activations at the planner's arena offsets.
+  Executor(const ir::Graph& graph, const MemoryPlan& plan, ExecOptions options = {});
+  /// Unplanned mode: one private buffer per value (naive interpreter).
+  explicit Executor(const ir::Graph& graph, ExecOptions options = {});
+
+  /// Execute the graph on `input` (must match the graph input type;
+  /// f32). Returns the f32 output (the graph must end in a f32 node).
+  Tensor run(const Tensor& input);
+
+  /// Calibration hook: called after each f32-producing step (and for
+  /// the input) with the node id and its output values.
+  using Observer = std::function<void(int node_id, std::span<const float>)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Arena bytes actually allocated (0 in unplanned mode — buffers are
+  /// per-value; see MemoryPlan::naive_bytes for that total).
+  long long arena_bytes() const { return static_cast<long long>(arena_.size()); }
+
+ private:
+  void prepare();
+  std::byte* buffer(int node_id);
+  const std::byte* read_buffer(int node_id) const;
+  const float* f32_in(int node_id) const;
+  const std::int8_t* i8_in(int node_id) const;
+  void dispatch(const ir::Node& node);
+
+  const ir::Graph& graph_;
+  MemoryPlan plan_;        // empty in unplanned mode
+  bool planned_ = false;
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  Observer observer_;
+
+  std::vector<std::byte> arena_;
+  std::vector<std::vector<std::byte>> private_buffers_;  // unplanned mode
+  std::vector<std::int8_t> columns_;                     // im2col scratch
+  // Per-node Σ_k w[c,k] for kQConv2d / kQLinear, computed once.
+  std::vector<std::vector<std::int32_t>> weight_sums_;
+};
+
+}  // namespace micronas::rt

@@ -1,0 +1,137 @@
+// Golden end-to-end compile regression: a fixed genotype + seed must
+// keep producing the same compile report (node counts, pass effects,
+// arena plan, predicted/executed latency) and bit-identical int8
+// logits (FNV-1a over the output bytes).
+//
+// The golden file lives at tests/golden/compile_report.golden. After
+// an *intentional* behaviour change, regenerate with
+//
+//   scripts/update_golden.sh
+//
+// (equivalently: MICRONAS_UPDATE_GOLDEN=1 ./build/test_compile_e2e)
+// and commit the diff alongside the change that caused it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/micronas.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/hw/latency_estimator.hpp"
+#include "src/rt/runtime.hpp"
+
+namespace micronas {
+namespace {
+
+#ifndef MICRONAS_SOURCE_DIR
+#error "MICRONAS_SOURCE_DIR must point at the repository root"
+#endif
+
+const char* golden_path() { return MICRONAS_SOURCE_DIR "/tests/golden/compile_report.golden"; }
+
+/// The fixed scenario: reduced skeleton, seed 7, deterministic
+/// profiling — everything that feeds the report is a pure function of
+/// this block.
+std::string run_fixed_compile() {
+  const nb201::Genotype genotype = nb201::Genotype::from_string(
+      "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|avg_pool_3x3~0|nor_conv_1x1~1|nor_conv_3x3~2|");
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 16;
+  options.seed = 7;
+  compile::CompiledModel model = compile::compile_genotype(genotype, options);
+
+  const McuSpec mcu;
+  ProfilerOptions popts;
+  popts.deterministic = true;
+  Rng profile_rng(7);
+  LatencyTable table = build_latency_table(mcu, profile_rng, options.macro, popts);
+  const LatencyEstimator estimator(std::move(table),
+                                   profile_constant_overhead_ms(mcu, profile_rng, popts),
+                                   mcu.clock_hz);
+  const MacroModel macro =
+      quantize_model(build_macro_model(genotype, options.macro), options.quant);
+  model.report.predicted_latency_ms = estimator.estimate_ms(macro);
+  model.report.executed_latency_ms = simulate_compiled(model, mcu, nullptr).latency_ms;
+
+  DatasetSpec spec;
+  spec.height = spec.width = options.macro.input_size;
+  Rng data_rng(7);
+  SyntheticDataset data(spec, data_rng);
+  const Tensor input = data.sample_batch(1, data_rng).images;
+  rt::Executor exec(model.graph, model.plan, rt::ExecOptions{1});
+  const Tensor logits = exec.run(input);
+
+  std::ostringstream ss;
+  ss << model.report.to_string(/*include_timing=*/false);
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(
+                    fnv1a64(logits.data().data(), logits.numel() * sizeof(float))));
+  ss << "logits_hash " << hash << "\n";
+  return ss.str();
+}
+
+TEST(CompileGoldenE2e, ReportMatchesGolden) {
+  const std::string actual = run_fixed_compile();
+
+  if (std::getenv("MICRONAS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " — run scripts/update_golden.sh";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "compile report drifted; if intentional, run scripts/update_golden.sh";
+}
+
+TEST(CompileGoldenE2e, RepeatedCompilesAreBitIdentical) {
+  EXPECT_EQ(run_fixed_compile(), run_fixed_compile());
+}
+
+TEST(CompileWinner, ClosesTheLoopFromSearchToExecutable) {
+  MicroNasConfig cfg;
+  cfg.seed = 7;
+  cfg.batch_size = 16;
+  cfg.proxy_net.input_size = 8;
+  cfg.proxy_net.base_channels = 4;
+  cfg.lr.grid = 10;
+  cfg.lr.input_size = 8;
+  cfg.deploy_net.cells_per_stage = 1;  // keep the compile fast in CI
+  cfg.deploy_net.input_size = 16;
+  MicroNas nas(cfg);
+  const DiscoveredModel winner = nas.evaluate(nb201::Genotype::from_index(8888));
+
+  const compile::CompiledModel compiled = nas.compile_winner(winner);
+  EXPECT_NO_THROW(compiled.graph.validate());
+  EXPECT_GT(compiled.plan.arena_bytes, 0);
+  EXPECT_GT(compiled.report.predicted_latency_ms, 0.0);
+  EXPECT_GT(compiled.report.executed_latency_ms, 0.0);
+  EXPECT_LE(compiled.report.arena_bytes, compiled.report.model_peak_sram_bytes);
+
+  // The compiled schedule must execute: one int8 inference on the
+  // deployment input shape.
+  DatasetSpec spec;
+  spec.height = spec.width = cfg.deploy_net.input_size;
+  Rng rng(3);
+  SyntheticDataset data(spec, rng);
+  rt::Executor exec(compiled.graph, compiled.plan, rt::ExecOptions{2});
+  const Tensor logits = exec.run(data.sample_batch(1, rng).images);
+  EXPECT_EQ(logits.shape(), (Shape{1, cfg.deploy_net.num_classes}));
+
+  // Fusion removes per-layer overheads the LUT estimator prices on the
+  // un-fused macro model, so executed must not exceed predicted.
+  EXPECT_LT(compiled.report.executed_latency_ms, compiled.report.predicted_latency_ms * 1.05);
+}
+
+}  // namespace
+}  // namespace micronas

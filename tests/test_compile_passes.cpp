@@ -1,0 +1,180 @@
+// Pass pipeline: constant folding, conv+bn+relu fusion and DCE must
+// preserve float semantics exactly (up to float round-off from the
+// algebraic refactoring) while shrinking the executed graph.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compile/passes.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/ir/lower.hpp"
+#include "src/rt/runtime.hpp"
+
+namespace micronas {
+namespace {
+
+ir::LowerOptions small_options() {
+  ir::LowerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 8;
+  return options;
+}
+
+Tensor probe_input(int size, std::uint64_t seed = 3) {
+  DatasetSpec spec;
+  spec.height = spec.width = size;
+  Rng rng(seed);
+  SyntheticDataset data(spec, rng);
+  return data.sample_batch(1, rng).images;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.numel(), b.numel());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+TEST(CompilePasses, FoldFuseDcePreserveFloatSemantics) {
+  // A genotype exercising every op kind, including `none` zero-adds.
+  const nb201::Genotype g = nb201::Genotype::from_string(
+      "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|avg_pool_3x3~0|none~1|nor_conv_1x1~2|");
+  ir::Graph reference = ir::lower_genotype(g, small_options());
+  ir::Graph optimized = ir::lower_genotype(g, small_options());
+
+  compile::PassManager pm;
+  pm.add(std::make_unique<compile::ConstantFoldPass>())
+      .add(std::make_unique<compile::FuseConvBnReluPass>())
+      .add(std::make_unique<compile::DeadCodeElimPass>());
+  const auto stats = pm.run(optimized);
+  ASSERT_EQ(stats.size(), 3U);
+  EXPECT_TRUE(stats[0].changed);  // BN folds, zero-adds dissolve
+  EXPECT_TRUE(stats[1].changed);  // conv+affine+relu fuse
+  EXPECT_TRUE(stats[2].changed);  // orphaned BN params reclaimed
+  EXPECT_LT(optimized.executed_node_count(), reference.executed_node_count());
+
+  // No BN/affine survives, and every conv->relu pattern was absorbed
+  // (standalone ReLUs may remain only after adds — the reduction's
+  // residual activation — and convs without a trailing ReLU, like the
+  // reduction shortcut, legitimately stay un-fused).
+  int fused_convs = 0;
+  for (const auto& node : optimized.nodes()) {
+    EXPECT_NE(node.op, ir::OpKind::kBatchNorm);
+    EXPECT_NE(node.op, ir::OpKind::kChannelAffine);
+    fused_convs += node.op == ir::OpKind::kConv2d && node.conv.fused_relu ? 1 : 0;
+    if (node.op == ir::OpKind::kRelu) {
+      EXPECT_NE(optimized.node(node.inputs[0]).op, ir::OpKind::kConv2d)
+          << "un-fused conv->relu survived at %" << node.id;
+    }
+  }
+  EXPECT_GT(fused_convs, 0);
+
+  const Tensor input = probe_input(8);
+  rt::Executor ref_exec(reference, rt::ExecOptions{});
+  rt::Executor opt_exec(optimized, rt::ExecOptions{});
+  const Tensor ref_logits = ref_exec.run(input);
+  const Tensor opt_logits = opt_exec.run(input);
+  // Fusion reassociates float math (w*s at compile time vs (w*x)*s at
+  // run time); bound the drift tightly relative to logit magnitude.
+  EXPECT_LT(max_abs_diff(ref_logits, opt_logits), 1e-3 * (1.0 + ref_logits.abs_max()));
+}
+
+TEST(CompilePasses, ConstantFoldComputesBnParameters) {
+  ir::Graph g;
+  const int x = g.add_input({Shape{1, 2, 2, 2}, ir::DType::kF32});
+  Tensor gamma = Tensor::from_vector(Shape{2}, {2.0F, 0.5F});
+  Tensor beta = Tensor::from_vector(Shape{2}, {1.0F, -1.0F});
+  Tensor mean = Tensor::from_vector(Shape{2}, {0.5F, 0.25F});
+  Tensor var = Tensor::from_vector(Shape{2}, {4.0F, 1.0F});
+  ir::ConvAttrs attrs;
+  attrs.bn_eps = 0.0;
+  const int bn = g.add_node(
+      ir::OpKind::kBatchNorm,
+      {x, g.add_const(std::move(gamma), "g"), g.add_const(std::move(beta), "b"),
+       g.add_const(std::move(mean), "m"), g.add_const(std::move(var), "v")},
+      attrs);
+  g.set_output(bn);
+
+  compile::ConstantFoldPass fold;
+  EXPECT_TRUE(fold.run(g));
+  const ir::Node& affine = g.node(g.output());
+  ASSERT_EQ(affine.op, ir::OpKind::kChannelAffine);
+  const Tensor& scale = g.node(affine.inputs[1]).f32_data;
+  const Tensor& shift = g.node(affine.inputs[2]).f32_data;
+  EXPECT_FLOAT_EQ(scale[0], 1.0F);    // 2 / sqrt(4)
+  EXPECT_FLOAT_EQ(scale[1], 0.5F);    // 0.5 / sqrt(1)
+  EXPECT_FLOAT_EQ(shift[0], 0.5F);    // 1 − 0.5·1
+  EXPECT_FLOAT_EQ(shift[1], -1.125F); // −1 − 0.25·0.5
+}
+
+TEST(CompilePasses, ZeroAddsDissolveAndGenericFoldEvaluates) {
+  ir::Graph g;
+  const int x = g.add_input({Shape{1, 1, 2, 2}, ir::DType::kF32});
+  const int zero = g.add_const(Tensor(Shape{1, 1, 2, 2}), "zero");
+  const int a = g.add_node(ir::OpKind::kAdd, {x, zero});  // x + 0 -> x
+  // relu(c) on a constant folds to a new constant at compile time.
+  Tensor c = Tensor::from_vector(Shape{1, 1, 2, 2}, {-1.0F, 2.0F, -3.0F, 4.0F});
+  const int c_id = g.add_const(std::move(c), "c");
+  const int relu_c = g.add_node(ir::OpKind::kRelu, {c_id});
+  const int sum = g.add_node(ir::OpKind::kAdd, {a, relu_c});
+  g.set_output(sum);
+
+  compile::ConstantFoldPass fold;
+  EXPECT_TRUE(fold.run(g));
+  compile::DeadCodeElimPass dce;
+  EXPECT_TRUE(dce.run(g));
+
+  // Result: add(x, const{0,2,0,4}); the zero-add and relu are gone.
+  const ir::Node& out = g.node(g.output());
+  ASSERT_EQ(out.op, ir::OpKind::kAdd);
+  EXPECT_EQ(out.inputs[0], g.input());
+  const ir::Node& folded = g.node(out.inputs[1]);
+  ASSERT_TRUE(folded.is_const());
+  EXPECT_FLOAT_EQ(folded.f32_data[0], 0.0F);
+  EXPECT_FLOAT_EQ(folded.f32_data[1], 2.0F);
+  EXPECT_FLOAT_EQ(folded.f32_data[3], 4.0F);
+  EXPECT_EQ(g.executed_node_count(), 1);
+}
+
+TEST(CompilePasses, FusionSkipsMultiUseProducers) {
+  // conv feeding BOTH a relu and another consumer must not absorb the
+  // relu (the second consumer needs the pre-activation value).
+  ir::Graph g;
+  const int x = g.add_input({Shape{1, 2, 4, 4}, ir::DType::kF32});
+  Tensor w(Shape{2, 2, 1, 1});
+  w.fill(1.0F);
+  ir::ConvAttrs attrs;  // 1x1
+  const int conv = g.add_node(ir::OpKind::kConv2d, {x, g.add_const(std::move(w), "w")}, attrs);
+  const int relu = g.add_node(ir::OpKind::kRelu, {conv});
+  const int sum = g.add_node(ir::OpKind::kAdd, {conv, relu});
+  g.set_output(sum);
+
+  compile::FuseConvBnReluPass fuse;
+  EXPECT_FALSE(fuse.run(g));
+  EXPECT_FALSE(g.node(conv).conv.fused_relu);
+  EXPECT_EQ(g.node(sum).inputs[1], relu);
+}
+
+TEST(CompilePasses, PassManagerValidatesAfterEveryPass) {
+  /// A deliberately corrupting pass must be caught by validation.
+  class CorruptingPass final : public compile::Pass {
+   public:
+    std::string name() const override { return "corrupt"; }
+    bool run(ir::Graph& graph) override {
+      graph.node(graph.output()).type.dtype = ir::DType::kI8;  // stale type
+      return true;
+    }
+  };
+  ir::Graph g;
+  const int x = g.add_input({Shape{1, 1, 2, 2}, ir::DType::kF32});
+  g.set_output(g.add_node(ir::OpKind::kRelu, {x}));
+
+  compile::PassManager pm;
+  pm.add(std::make_unique<CorruptingPass>());
+  EXPECT_THROW(pm.run(g), std::logic_error);
+}
+
+}  // namespace
+}  // namespace micronas

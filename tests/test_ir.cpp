@@ -1,0 +1,164 @@
+// Graph IR: construction, shape/dtype inference, validation, and the
+// lowering frontend's structural contract against the macro model.
+#include <gtest/gtest.h>
+
+#include "src/ir/graph.hpp"
+#include "src/ir/lower.hpp"
+#include "src/net/macro_net.hpp"
+#include "src/proxies/flops.hpp"
+
+namespace micronas::ir {
+namespace {
+
+TEST(IrGraph, ShapeAndDtypeInference) {
+  Graph g;
+  const int x = g.add_input({Shape{1, 3, 8, 8}, DType::kF32});
+  Tensor w(Shape{4, 3, 3, 3});
+  const int w_id = g.add_const(std::move(w), "w");
+  ConvAttrs attrs;
+  attrs.kernel = 3;
+  attrs.stride = 1;
+  attrs.pad = 1;
+  const int conv = g.add_node(OpKind::kConv2d, {x, w_id}, attrs);
+  EXPECT_EQ(g.node(conv).type.shape, (Shape{1, 4, 8, 8}));
+  EXPECT_EQ(g.node(conv).type.dtype, DType::kF32);
+
+  const int relu = g.add_node(OpKind::kRelu, {conv});
+  const int gap = g.add_node(OpKind::kGlobalAvgPool, {relu});
+  EXPECT_EQ(g.node(gap).type.shape, (Shape{1, 4}));
+
+  Tensor fw(Shape{10, 4});
+  const int fw_id = g.add_const(std::move(fw), "fc.w");
+  const int fc = g.add_node(OpKind::kLinear, {gap, fw_id});
+  EXPECT_EQ(g.node(fc).type.shape, (Shape{1, 10}));
+  g.set_output(fc);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(IrGraph, RejectsMalformedWiring) {
+  Graph g;
+  const int x = g.add_input({Shape{1, 3, 8, 8}, DType::kF32});
+  Tensor w(Shape{4, 5, 3, 3});  // Cin 5 != 3
+  const int w_id = g.add_const(std::move(w), "w");
+  ConvAttrs attrs;
+  attrs.kernel = 3;
+  EXPECT_THROW(g.add_node(OpKind::kConv2d, {x, w_id}, attrs), std::invalid_argument);
+
+  // Kernel attribute must match the weight tensor.
+  Tensor w2(Shape{4, 3, 3, 3});
+  const int w2_id = g.add_const(std::move(w2), "w2");
+  ConvAttrs bad;
+  bad.kernel = 5;
+  EXPECT_THROW(g.add_node(OpKind::kConv2d, {x, w2_id}, bad), std::invalid_argument);
+
+  // Add requires matching shapes.
+  const int y = g.add_node(OpKind::kRelu, {x});
+  Tensor small(Shape{1, 3, 4, 4});
+  const int s_id = g.add_const(std::move(small), "small");
+  EXPECT_THROW(g.add_node(OpKind::kAdd, {y, s_id}), std::invalid_argument);
+
+  // Quantize wants f32, dequantize wants i8.
+  const int q = g.add_node(OpKind::kQuantize, {x});
+  EXPECT_THROW(g.add_node(OpKind::kQuantize, {q}), std::invalid_argument);
+  EXPECT_NO_THROW(g.add_node(OpKind::kDequantize, {q}));
+  EXPECT_THROW(g.add_node(OpKind::kDequantize, {y}), std::invalid_argument);
+}
+
+TEST(IrGraph, CompactDropsUnreachableAndRemaps) {
+  Graph g;
+  const int x = g.add_input({Shape{1, 2, 4, 4}, DType::kF32});
+  const int dead = g.add_node(OpKind::kRelu, {x});  // never consumed
+  const int live = g.add_node(OpKind::kRelu, {x});
+  g.add_const(Tensor(Shape{2}), "orphan");
+  g.set_output(live);
+  (void)dead;
+
+  const int before = g.size();
+  const int removed = g.compact();
+  EXPECT_EQ(removed, 2);
+  EXPECT_EQ(g.size(), before - 2);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.node(g.output()).op, OpKind::kRelu);
+  EXPECT_EQ(g.node(g.output()).inputs[0], g.input());
+}
+
+TEST(IrLower, MirrorsMacroSkeletonStructure) {
+  // Conv/pool/linear op counts of the lowered graph must match the
+  // macro model (BN and ReLU are extra IR nodes; adds differ because
+  // `none` edges lower to zero-const adds that fold away later).
+  const nb201::Genotype g = nb201::Genotype::from_index(4421);
+  MacroNetConfig macro;
+  macro.cells_per_stage = 2;
+  macro.input_size = 16;
+  const MacroModel m = build_macro_model(g, macro);
+
+  LowerOptions options;
+  options.macro = macro;
+  const Graph graph = lower_genotype(g, options);
+
+  int macro_convs = 0, macro_pools = 0, macro_linear = 0;
+  for (const auto& spec : m.layers) {
+    macro_convs += spec.kind == LayerKind::kConv ? 1 : 0;
+    macro_pools += spec.kind == LayerKind::kAvgPool ? 1 : 0;
+    macro_linear += spec.kind == LayerKind::kLinear ? 1 : 0;
+  }
+  int ir_convs = 0, ir_pools = 0, ir_linear = 0, ir_bn = 0;
+  for (const auto& node : graph.nodes()) {
+    ir_convs += node.op == OpKind::kConv2d ? 1 : 0;
+    ir_pools += node.op == OpKind::kAvgPool ? 1 : 0;
+    ir_linear += node.op == OpKind::kLinear ? 1 : 0;
+    ir_bn += node.op == OpKind::kBatchNorm ? 1 : 0;
+  }
+  EXPECT_EQ(ir_convs, macro_convs);
+  EXPECT_EQ(ir_pools, macro_pools);
+  EXPECT_EQ(ir_linear, macro_linear);
+  EXPECT_EQ(ir_bn, ir_convs);  // every conv carries a BN in the frontend
+
+  // Output must be the [1, num_classes] logits.
+  EXPECT_EQ(graph.node(graph.output()).type.shape, (Shape{1, macro.num_classes}));
+}
+
+TEST(IrLower, DeterministicGivenSeedAndSensitiveToIt) {
+  const nb201::Genotype g = nb201::Genotype::from_index(123);
+  LowerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 8;
+  const Graph a = lower_genotype(g, options);
+  const Graph b = lower_genotype(g, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    if (a.node(i).is_const() && a.node(i).type.dtype == DType::kF32) {
+      const auto da = a.node(i).f32_data.data();
+      const auto db = b.node(i).f32_data.data();
+      ASSERT_EQ(da.size(), db.size());
+      for (std::size_t k = 0; k < da.size(); ++k) ASSERT_EQ(da[k], db[k]);
+    }
+  }
+
+  options.seed = 2;
+  const Graph c = lower_genotype(g, options);
+  bool any_diff = false;
+  for (int i = 0; i < a.size() && !any_diff; ++i) {
+    if (!a.node(i).is_const() || a.node(i).type.dtype != DType::kF32) continue;
+    const auto da = a.node(i).f32_data.data();
+    const auto dc = c.node(i).f32_data.data();
+    for (std::size_t k = 0; k < da.size(); ++k) {
+      if (da[k] != dc[k]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(IrLower, AllNoneGenotypeStillProducesValidGraph) {
+  const Graph graph = lower_genotype(nb201::Genotype(), LowerOptions{
+                                                           .macro = {.cells_per_stage = 1},
+                                                       });
+  EXPECT_NO_THROW(graph.validate());
+  EXPECT_EQ(graph.node(graph.output()).op, OpKind::kLinear);
+}
+
+}  // namespace
+}  // namespace micronas::ir

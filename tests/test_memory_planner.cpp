@@ -1,0 +1,135 @@
+// Static arena planner: liveness/overlap invariants, reuse quality,
+// determinism, and the end-to-end validation of hw/memory_model —
+// the planned arena peak must stay at or under the analytic model's
+// predicted peak SRAM on sampled NB201 genotypes.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <map>
+
+#include "src/compile/compiler.hpp"
+#include "src/hw/quant.hpp"
+#include "src/ir/lower.hpp"
+#include "src/nb201/space.hpp"
+#include "src/rt/memory_planner.hpp"
+#include "src/rt/runtime.hpp"
+
+namespace micronas {
+namespace {
+
+ir::Graph lowered(const nb201::Genotype& g, int cells = 1, int input = 8) {
+  ir::LowerOptions options;
+  options.macro.cells_per_stage = cells;
+  options.macro.input_size = input;
+  return ir::lower_genotype(g, options);
+}
+
+TEST(MemoryPlanner, NoOverlapAmongLiveBuffersAndFullCoverage) {
+  const ir::Graph g = lowered(nb201::Genotype::from_string(
+                                  "|nor_conv_3x3~0|+|skip_connect~0|nor_conv_3x3~1|+"
+                                  "|avg_pool_3x3~0|nor_conv_1x1~1|nor_conv_3x3~2|"),
+                              2, 16);
+  const rt::MemoryPlan plan = rt::plan_memory(g);
+
+  // Every executed node and the input have a placement.
+  EXPECT_NE(plan.find(g.input()), nullptr);
+  for (int id : plan.schedule) {
+    ASSERT_NE(plan.find(id), nullptr);
+    EXPECT_FALSE(g.node(id).is_const());
+  }
+  EXPECT_EQ(plan.buffers.size(), plan.schedule.size() + 1);  // + input
+
+  // Brute-force pairwise check mirroring the planner's invariant.
+  for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
+      const auto& a = plan.buffers[i];
+      const auto& b = plan.buffers[j];
+      const bool live_together =
+          a.def_step <= b.last_use_step && b.def_step <= a.last_use_step;
+      const bool disjoint = a.offset + a.size <= b.offset || b.offset + b.size <= a.offset;
+      EXPECT_TRUE(!live_together || disjoint)
+          << "buffers %" << a.node_id << " and %" << b.node_id << " overlap while live";
+    }
+  }
+
+  // Arena bound sanity: covers every placement, beats no-reuse.
+  for (const auto& b : plan.buffers) EXPECT_LE(b.offset + b.size, plan.arena_bytes);
+  EXPECT_LT(plan.arena_bytes, plan.naive_bytes);
+  EXPECT_GT(plan.reuse_factor(), 1.5);
+}
+
+TEST(MemoryPlanner, LifetimesMatchConsumerSchedule) {
+  const ir::Graph g = lowered(nb201::Genotype::from_index(321));
+  const rt::MemoryPlan plan = rt::plan_memory(g);
+  std::map<int, int> step_of;
+  step_of[g.input()] = 0;
+  for (std::size_t s = 0; s < plan.schedule.size(); ++s) {
+    step_of[plan.schedule[s]] = static_cast<int>(s) + 1;
+  }
+  for (const auto& b : plan.buffers) {
+    EXPECT_EQ(b.def_step, step_of.at(b.node_id));
+    int last = b.def_step;
+    for (int id : plan.schedule) {
+      for (int in : g.node(id).inputs) {
+        if (in == b.node_id) last = std::max(last, step_of.at(id));
+      }
+    }
+    if (b.node_id == g.output()) last = static_cast<int>(plan.schedule.size());
+    EXPECT_EQ(b.last_use_step, last) << "node %" << b.node_id;
+  }
+}
+
+TEST(MemoryPlanner, DeterministicAcrossCalls) {
+  const ir::Graph g = lowered(nb201::Genotype::from_index(4545), 2);
+  const rt::MemoryPlan a = rt::plan_memory(g);
+  const rt::MemoryPlan b = rt::plan_memory(g);
+  ASSERT_EQ(a.buffers.size(), b.buffers.size());
+  EXPECT_EQ(a.arena_bytes, b.arena_bytes);
+  for (std::size_t i = 0; i < a.buffers.size(); ++i) {
+    EXPECT_EQ(a.buffers[i].offset, b.buffers[i].offset);
+  }
+}
+
+TEST(MemoryPlanner, HandlesFullyFoldedConstOutput) {
+  // An all-`none` genotype under fold+fuse+dce (no quantization)
+  // collapses the entire network into a constant: the cell outputs are
+  // zero consts, so the reductions, GAP and classifier all fold. The
+  // planner must cope with a graph whose output has no placement.
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 8;
+  options.quantize = false;
+  const compile::CompiledModel m = compile::compile_genotype(nb201::Genotype(), options);
+  EXPECT_TRUE(m.graph.node(m.graph.output()).is_const());
+  EXPECT_TRUE(m.plan.schedule.empty());
+
+  // And it still executes: the logits are the folded constant.
+  rt::Executor exec(m.graph, m.plan, rt::ExecOptions{1});
+  Tensor input(Shape{1, 3, 8, 8});
+  const Tensor logits = exec.run(input);
+  EXPECT_EQ(logits.shape(), (Shape{1, 10}));
+}
+
+// Satellite: the planner's arena (+ its true scratch needs) must fit
+// the analytic model's predicted peak SRAM for the same quantized
+// deployment model, on every sampled genotype; the compile report logs
+// the ratio.
+TEST(MemoryPlanner, PlannedArenaWithinModelPredictedPeak) {
+  Rng rng(11);
+  double worst = 0.0;
+  for (const auto& g : nb201::sample_genotypes(rng, 25)) {
+    compile::CompilerOptions options;  // full NB201 skeleton, int8
+    options.calibration_batches = 1;   // keep the float calibration pass cheap
+    const compile::CompiledModel model = compile::compile_genotype(g, options);
+    EXPECT_GT(model.report.model_peak_sram_bytes, 0);
+    EXPECT_LE(model.report.arena_bytes, model.report.model_peak_sram_bytes)
+        << "genotype " << g.to_string();
+    worst = std::max(worst, model.report.arena_to_model_ratio);
+  }
+  std::cout << "[planner-vs-model] worst planned/predicted ratio over 25 genotypes: " << worst
+            << "\n";
+  EXPECT_LE(worst, 1.0);
+}
+
+}  // namespace
+}  // namespace micronas
