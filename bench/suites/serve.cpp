@@ -1,0 +1,132 @@
+// Persistence + serving bench suite (tier 1): the cost of the .mnpkg
+// round trip, the load-vs-recompile speedup the package format exists
+// to deliver (acceptance bar: >= 5x — loading parses bytes while
+// recompiling re-lowers, re-folds and re-runs PTQ calibration
+// inference), and the batching server's throughput against a serial
+// request loop on the same model and inputs.
+#include <chrono>
+
+#include "bench/suites/common.hpp"
+#include "src/compile/compiler.hpp"
+#include "src/rt/runtime.hpp"
+#include "src/serialize/serialize.hpp"
+#include "src/serve/model_server.hpp"
+
+namespace micronas {
+namespace {
+
+nb201::Genotype serve_genotype() {
+  return nb201::Genotype::from_string(
+      "|nor_conv_3x3~0|+|skip_connect~0|nor_conv_3x3~1|+"
+      "|avg_pool_3x3~0|nor_conv_1x1~1|nor_conv_3x3~2|");
+}
+
+compile::CompilerOptions serve_options(bench::State& state) {
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = state.param_int("cells", 1);
+  options.macro.input_size = state.param_int("input", 16);
+  return options;
+}
+
+double min_ms_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+// save -> load round trip; wall time of the case tracks one full
+// round trip, and the counters break out the halves plus the headline
+// load_vs_recompile_speedup (compile wall / load wall, both min-of-3).
+BENCH_CASE_OPTS(serve, save_load,
+                bench::CaseOptions{.warmup = 1, .min_reps = 3, .max_reps = 8, .tier = 1}) {
+  const nb201::Genotype g = serve_genotype();
+  const compile::CompilerOptions options = serve_options(state);
+  const compile::CompiledModel model = compile::compile_genotype(g, options);
+
+  const double compile_ms = min_ms_of(3, [&] {
+    bench::do_not_optimize(compile::compile_genotype(g, options).graph.size());
+  });
+  std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+  const double save_ms = min_ms_of(3, [&] {
+    bench::do_not_optimize(serialize::save_model_bytes(model).size());
+  });
+  const double load_ms = min_ms_of(3, [&] {
+    bench::do_not_optimize(serialize::load_model_bytes(bytes).graph.size());
+  });
+
+  for (auto _ : state) {
+    std::vector<std::byte> packed = serialize::save_model_bytes(model);
+    const compile::CompiledModel loaded = serialize::load_model_bytes(packed);
+    bench::do_not_optimize(loaded.graph.size());
+  }
+  state.counter("package_kb", static_cast<double>(bytes.size()) / 1024.0);
+  state.counter("compile_ms", compile_ms);
+  state.counter("save_ms", save_ms);
+  state.counter("load_ms", load_ms);
+  state.counter("load_vs_recompile_speedup", compile_ms / load_ms);
+  state.set_items_processed(1);
+  state.set_bytes_processed(static_cast<double>(bytes.size()));
+}
+
+// Batched server vs a serial request loop, same loaded model and
+// inputs; wall time of the case tracks the batched pass
+// (items_processed counts its requests). The batched logits are
+// asserted bit-identical to serial in tests/test_serve.cpp; here only
+// the throughput race is measured.
+BENCH_CASE_OPTS(serve, batched_vs_serial,
+                bench::CaseOptions{.warmup = 1, .min_reps = 3, .max_reps = 8, .tier = 1}) {
+  const compile::CompilerOptions options = serve_options(state);
+  const int requests = state.param_int("requests", 32);
+  const int max_batch = state.param_int("max_batch", 8);
+  const int threads = state.param_int("threads", 4);
+
+  const std::vector<std::byte> bytes =
+      serialize::save_model_bytes(compile::compile_genotype(serve_genotype(), options));
+
+  DatasetSpec spec;
+  spec.height = spec.width = options.macro.input_size;
+  Rng rng(7);
+  SyntheticDataset data(spec, rng);
+  std::vector<Tensor> inputs;
+  inputs.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) inputs.push_back(data.sample_batch(1, rng).images);
+
+  compile::CompiledModel serial_model = serialize::load_model_bytes(bytes);
+  rt::Executor serial(serial_model.graph, serial_model.plan, rt::ExecOptions{1});
+  serial.run(inputs[0]);  // warm
+  const double serial_ms = min_ms_of(2, [&] {
+    for (const Tensor& in : inputs) bench::do_not_optimize(serial.run(in).numel());
+  });
+
+  serve::ServerOptions sopts;
+  sopts.max_batch = max_batch;
+  sopts.max_wait_us = 2000;
+  sopts.threads = threads;
+  serve::ModelServer server(serialize::load_model_bytes(bytes), sopts);
+
+  double batched_ms = 1e300;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(inputs.size());
+    for (const Tensor& in : inputs) futures.push_back(server.submit(in));
+    for (std::future<Tensor>& f : futures) bench::do_not_optimize(f.get().numel());
+    const auto t1 = std::chrono::steady_clock::now();
+    batched_ms =
+        std::min(batched_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  const serve::ServerStats stats = server.stats();
+  state.counter("serial_rps", 1000.0 * requests / serial_ms);
+  state.counter("batched_rps", 1000.0 * requests / batched_ms);
+  state.counter("batch_speedup", serial_ms / batched_ms);
+  state.counter("mean_batch", stats.mean_batch);
+  state.set_items_processed(requests);
+}
+
+}  // namespace
+}  // namespace micronas

@@ -1,0 +1,210 @@
+// Deploy-once / serve-many, end to end:
+//
+//   1. compile an NB201 genotype to a CompiledModel (once),
+//   2. save it as a versioned .mnpkg binary package,
+//   3. load it back — no re-lowering, no re-quantization, no
+//      re-calibration — and verify the reloaded logits hash (against
+//      the checked-in compile-report golden with --golden),
+//   4. serve it: a batching ModelServer coalesces requests from N
+//      synthetic clients over the int8 runtime and reports
+//      throughput + latency percentiles,
+//   5. print the load-vs-recompile speedup the package exists for.
+//
+//   ./serve_bench                                  # compile+save+load+serve
+//   ./serve_bench --mode save --out model.mnpkg    # producer half (CI job)
+//   ./serve_bench --mode load --package model.mnpkg
+//       --golden tests/golden/compile_report.golden  (consumer half, CI job)
+//   ./serve_bench --clients 8 --requests 64 --max-batch 8 --threads 4
+//
+// Defaults reproduce the fixed scenario of tests/golden/
+// compile_report.golden (genotype, seed 7, reduced skeleton), so the
+// reloaded hash is directly comparable against that fixture.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "src/common/cli.hpp"
+#include "src/compile/compiler.hpp"
+#include "src/core/report.hpp"
+#include "src/data/synthetic.hpp"
+#include "src/rt/runtime.hpp"
+#include "src/serialize/serialize.hpp"
+#include "src/serve/model_server.hpp"
+
+using namespace micronas;
+
+namespace {
+
+constexpr const char* kGoldenArch =
+    "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|avg_pool_3x3~0|nor_conv_1x1~1|nor_conv_3x3~2|";
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The fixed input of the golden scenario: a pure function of (input
+/// size, seed), matching tests/test_compile_e2e.cpp.
+Tensor scenario_input(int input_size, std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.height = spec.width = input_size;
+  Rng rng(seed);
+  SyntheticDataset data(spec, rng);
+  return data.sample_batch(1, rng).images;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"mode", "arch", "cells", "input", "seed", "out", "package", "golden",
+                        "clients", "requests", "max-batch", "max-wait-us", "threads"});
+    const std::string mode = args.get_string("mode", "all");
+    if (mode != "all" && mode != "save" && mode != "load" && mode != "serve") {
+      throw std::runtime_error("--mode must be all|save|load|serve");
+    }
+    const int input_size = args.get_int("input", 16);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const std::string out_path = args.get_string("out", "model.mnpkg");
+    const std::string package = args.get_string("package", out_path);
+    const std::string golden = args.get_string("golden", "");
+    const bool do_save = mode == "all" || mode == "save";
+    const bool do_load = mode == "all" || mode == "load" || mode == "serve";
+    const bool do_serve = mode == "all" || mode == "serve";
+
+    double compile_ms = 0.0;
+    if (do_save) {
+      const std::string arch = args.get_string("arch", kGoldenArch);
+      const nb201::Genotype genotype = arch.find('|') != std::string::npos
+                                           ? nb201::Genotype::from_string(arch)
+                                           : nb201::Genotype::from_index(std::stoi(arch));
+      compile::CompilerOptions options;
+      options.macro.cells_per_stage = args.get_int("cells", 1);
+      options.macro.input_size = input_size;
+      options.seed = seed;
+
+      auto t0 = std::chrono::steady_clock::now();
+      const compile::CompiledModel model = compile::compile_genotype(genotype, options);
+      compile_ms = ms_since(t0);
+
+      t0 = std::chrono::steady_clock::now();
+      const std::uint64_t bytes = serialize::save_model(model, out_path);
+      const double save_ms = ms_since(t0);
+      std::printf("compiled %s in %.1f ms; saved %llu B to %s in %.2f ms\n",
+                  genotype.to_string().c_str(), compile_ms,
+                  static_cast<unsigned long long>(bytes), out_path.c_str(), save_ms);
+      std::cout << serialize::read_package_info_file(out_path).to_string();
+    }
+    if (!do_load) return 0;
+
+    auto t0 = std::chrono::steady_clock::now();
+    compile::CompiledModel loaded = serialize::load_model(package);
+    const double load_ms = ms_since(t0);
+    std::printf("loaded %s in %.2f ms (graph %d nodes, arena %lld B)\n", package.c_str(),
+                load_ms, loaded.graph.size(), loaded.plan.arena_bytes);
+    if (compile_ms > 0.0) {
+      std::printf("load vs recompile: %.1fx faster\n", compile_ms / load_ms);
+    }
+
+    // One deterministic inference on the golden-scenario input; with
+    // --golden this is the format-drift gate the CI model-package job
+    // runs in a separate step from the save.
+    const int loaded_input = loaded.graph.node(loaded.graph.input()).type.shape[2];
+    rt::Executor exec(loaded.graph, loaded.plan, rt::ExecOptions{1});
+    const Tensor logits = exec.run(scenario_input(loaded_input, seed));
+    const std::string hash = serialize::logits_hash_hex(logits);
+    std::printf("reloaded logits hash %s\n", hash.c_str());
+    if (!golden.empty()) {
+      const std::string want = serialize::read_golden_logits_hash(golden);
+      if (hash != want) {
+        std::fprintf(stderr,
+                     "FAIL: reloaded logits hash %s != golden %s (%s)\n"
+                     "      the package format or the runtime drifted\n",
+                     hash.c_str(), want.c_str(), golden.c_str());
+        return 1;
+      }
+      std::printf("golden hash check OK (%s)\n", golden.c_str());
+    }
+    if (!do_serve) return 0;
+
+    const int clients = args.get_int("clients", 4);
+    const int requests = args.get_int("requests", 32);
+    serve::ServerOptions sopts;
+    sopts.max_batch = args.get_int("max-batch", 8);
+    sopts.max_wait_us = args.get_int("max-wait-us", 2000);
+    sopts.threads = args.get_int("threads", 0);
+
+    // Serial reference pass (and baseline wall time): every request's
+    // batched logits must equal this executor's, bit for bit.
+    std::vector<std::vector<Tensor>> inputs(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      Rng rng(hash_combine(seed, static_cast<std::uint64_t>(c) + 1));
+      DatasetSpec spec;
+      spec.height = spec.width = loaded_input;
+      SyntheticDataset data(spec, rng);
+      for (int r = 0; r < requests; ++r) {
+        inputs[static_cast<std::size_t>(c)].push_back(data.sample_batch(1, rng).images);
+      }
+    }
+    t0 = std::chrono::steady_clock::now();
+    std::vector<std::vector<Tensor>> expected(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      for (const Tensor& in : inputs[static_cast<std::size_t>(c)]) {
+        expected[static_cast<std::size_t>(c)].push_back(exec.run(in));
+      }
+    }
+    const double serial_s = ms_since(t0) / 1000.0;
+
+    serve::ModelServer server(std::move(loaded), sopts);
+    std::vector<std::thread> workers;
+    std::vector<std::vector<std::future<Tensor>>> futures(static_cast<std::size_t>(clients));
+    t0 = std::chrono::steady_clock::now();
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([c, &server, &inputs, &futures] {
+        auto& mine = futures[static_cast<std::size_t>(c)];
+        for (const Tensor& in : inputs[static_cast<std::size_t>(c)]) {
+          mine.push_back(server.submit(in));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    long long mismatches = 0;
+    for (int c = 0; c < clients; ++c) {
+      for (std::size_t r = 0; r < futures[static_cast<std::size_t>(c)].size(); ++r) {
+        const Tensor got = futures[static_cast<std::size_t>(c)][r].get();
+        const Tensor& want = expected[static_cast<std::size_t>(c)][r];
+        for (std::size_t i = 0; i < got.numel(); ++i) {
+          if (got[i] != want[i]) {
+            ++mismatches;
+            break;
+          }
+        }
+      }
+    }
+    const double batched_s = ms_since(t0) / 1000.0;
+    server.stop();
+
+    const serve::ServerStats stats = server.stats();
+    const double total = static_cast<double>(clients) * requests;
+    TablePrinter table({"Metric", "Value"});
+    table.add_row({"clients x requests",
+                   std::to_string(clients) + " x " + std::to_string(requests)});
+    table.add_row({"batches", std::to_string(stats.batches)});
+    table.add_row({"mean batch", TablePrinter::fmt(stats.mean_batch, 2)});
+    table.add_row({"serial throughput", TablePrinter::fmt(total / serial_s, 1) + " req/s"});
+    table.add_row({"batched throughput", TablePrinter::fmt(total / batched_s, 1) + " req/s"});
+    table.add_row({"batched / serial", TablePrinter::fmt(serial_s / batched_s, 2) + "x"});
+    table.add_row({"latency p50 / p90 / p99",
+                   TablePrinter::fmt(stats.p50_ms, 2) + " / " + TablePrinter::fmt(stats.p90_ms, 2) +
+                       " / " + TablePrinter::fmt(stats.p99_ms, 2) + " ms"});
+    table.add_row({"batched logits == serial", mismatches == 0 ? "yes" : "NO"});
+    std::cout << table.render();
+    return mismatches == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

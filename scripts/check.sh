@@ -61,4 +61,9 @@ echo "== smoke: compile_and_run (lower + passes + int8 execute, reduced skeleton
 "./$BUILD_DIR/compile_and_run" --cells 1 --input 16 --runs 2 --threads 2 >/dev/null
 echo "compile_and_run OK"
 
+echo "== smoke: serve_bench (compile -> save -> load -> golden hash -> batched serve) =="
+"./$BUILD_DIR/serve_bench" --clients 2 --requests 8 --max-batch 4 --threads 2 \
+  --out "$BUILD_DIR/smoke.mnpkg" --golden tests/golden/compile_report.golden >/dev/null
+echo "serve_bench OK"
+
 echo "ALL CHECKS PASSED"

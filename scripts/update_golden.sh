@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Regenerate the golden regression fixtures (tests/golden/*.golden:
-# the e2e search result and the compile report) after an INTENTIONAL
-# behaviour change, then show what moved so the diff can be committed
-# alongside the change that caused it.
+# the e2e search result, the compile report, and the serialized model
+# package layout) after an INTENTIONAL behaviour change, then show
+# what moved so the diff can be committed alongside the change that
+# caused it.
 #
 #   scripts/update_golden.sh
 set -euo pipefail
@@ -11,10 +12,12 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target test_golden_e2e --target test_compile_e2e >/dev/null
+cmake --build build -j "$JOBS" --target test_golden_e2e --target test_compile_e2e \
+  --target test_serialize >/dev/null
 
 MICRONAS_UPDATE_GOLDEN=1 ./build/test_golden_e2e
 MICRONAS_UPDATE_GOLDEN=1 ./build/test_compile_e2e --gtest_filter='CompileGoldenE2e.*'
+MICRONAS_UPDATE_GOLDEN=1 ./build/test_serialize --gtest_filter='SerializeGolden.PackageLayoutMatchesGolden'
 
 echo
 git --no-pager diff -- tests/golden || true

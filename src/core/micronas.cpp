@@ -5,6 +5,7 @@
 
 #include "src/common/log.hpp"
 #include "src/data/synthetic.hpp"
+#include "src/serialize/serialize.hpp"
 
 namespace micronas {
 
@@ -128,6 +129,18 @@ compile::CompiledModel MicroNas::compile_winner(const DiscoveredModel& model,
   compiled.report.executed_latency_ms =
       measure_compiled_latency_ms(compiled, config_.mcu, measure_rng);
   return compiled;
+}
+
+compile::CompiledModel MicroNas::save_winner(const DiscoveredModel& model,
+                                             const std::string& path,
+                                             compile::CompilerOptions options) const {
+  compile::CompiledModel compiled = compile_winner(model, std::move(options));
+  serialize::save_model(compiled, path);
+  return compiled;
+}
+
+compile::CompiledModel MicroNas::load_model(const std::string& path) {
+  return serialize::load_model(path);
 }
 
 ParetoSweepResult MicroNas::pareto_sweep(const ParetoSweepConfig& sweep) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/mcusim/profiler.hpp"
 #include "src/nb201/surrogate.hpp"
@@ -120,6 +121,19 @@ class MicroNas {
   /// arena vs analytic-peak-SRAM ratio.
   compile::CompiledModel compile_winner(const DiscoveredModel& model,
                                         compile::CompilerOptions options = {}) const;
+
+  /// compile_winner + serialize: persist the discovered model as a
+  /// versioned .mnpkg binary package at `path` (src/serialize/), so
+  /// deployments load it without re-running the compiler. Returns the
+  /// compiled model that was written.
+  compile::CompiledModel save_winner(const DiscoveredModel& model, const std::string& path,
+                                     compile::CompilerOptions options = {}) const;
+
+  /// Load a package previously written by save_winner (or
+  /// serialize::save_model); validates fail-closed and is bit-exact —
+  /// see src/serialize/serialize.hpp. Static: serving a saved model
+  /// needs no search apparatus.
+  static compile::CompiledModel load_model(const std::string& path);
 
   /// Multi-objective scenario sweep: profile each named MCU target,
   /// run one NSGA-II archive per target, and reuse the facade engine's

@@ -27,6 +27,7 @@ std::string TensorType::to_string() const {
 }
 
 const std::string& op_kind_name(OpKind kind) {
+  static_assert(kOpKindCount == 18, "update kOpKindCount alongside the name table");
   static const std::array<std::string, 18> names = {
       "input",      "const",     "conv2d",  "batch_norm", "channel_affine", "relu",
       "avg_pool",   "add",       "gap",     "linear",     "quantize",       "dequantize",
@@ -346,6 +347,58 @@ void Graph::validate() const {
       }
     }
   }
+}
+
+Graph Graph::from_nodes(std::vector<Node> nodes, int input, int output) {
+  Graph g;
+  g.nodes_ = std::move(nodes);
+  const int n = g.size();
+  if (input < 0 || input >= n) {
+    throw std::invalid_argument("Graph::from_nodes: input id out of range");
+  }
+  if (output < 0 || output >= n) {
+    throw std::invalid_argument("Graph::from_nodes: output id out of range");
+  }
+  for (int i = 0; i < n; ++i) {
+    const Node& node = g.nodes_[static_cast<std::size_t>(i)];
+    if (node.id != i) {
+      throw std::invalid_argument("Graph::from_nodes: node id/index mismatch at " +
+                                  std::to_string(i));
+    }
+    if ((node.op == OpKind::kInput) != (i == input)) {
+      throw std::invalid_argument(
+          "Graph::from_nodes: exactly the declared input node may be kInput (node " +
+          std::to_string(i) + ")");
+    }
+    const std::size_t numel = node.type.shape.numel();
+    bool payload_ok = false;
+    if (node.is_const()) {
+      switch (node.type.dtype) {
+        case DType::kF32:
+          payload_ok = node.f32_data.shape() == node.type.shape && node.i8_data.empty() &&
+                       node.i32_data.empty();
+          break;
+        case DType::kI8:
+          payload_ok = node.i8_data.size() == numel && node.f32_data.empty() &&
+                       node.i32_data.empty();
+          break;
+        case DType::kI32:
+          payload_ok = node.i32_data.size() == numel && node.f32_data.empty() &&
+                       node.i8_data.empty();
+          break;
+      }
+    } else {
+      payload_ok = node.f32_data.empty() && node.i8_data.empty() && node.i32_data.empty();
+    }
+    if (!payload_ok) {
+      throw std::invalid_argument("Graph::from_nodes: const payload/type mismatch on %" +
+                                  std::to_string(i));
+    }
+  }
+  g.input_ = input;
+  g.output_ = output;
+  g.validate();
+  return g;
 }
 
 std::string Graph::to_string() const {

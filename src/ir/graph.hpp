@@ -65,6 +65,10 @@ enum class OpKind {
 
 const std::string& op_kind_name(OpKind kind);
 
+/// Number of OpKind values — range check for deserialized op bytes
+/// (static_assert'd against the name table in graph.cpp).
+inline constexpr int kOpKindCount = 18;
+
 /// Convolution / pooling geometry (also reused by kLinear for nothing
 /// but uniformity — unused fields stay at their defaults).
 struct ConvAttrs {
@@ -145,6 +149,14 @@ class Graph {
   /// Structural validation (wiring, types, topology of executed nodes);
   /// throws std::logic_error with a description on violation.
   void validate() const;
+
+  /// Reassemble a graph from raw node records — the deserializer path:
+  /// constants may appear after their consumers (passes append them),
+  /// so a saved node list cannot be replayed through add_node. Checks
+  /// id/index agreement, the single-kInput invariant and const
+  /// payload/type consistency, then runs the same type re-inference
+  /// and topology validation as validate(); throws on any violation.
+  static Graph from_nodes(std::vector<Node> nodes, int input, int output);
 
   std::string to_string() const;
 

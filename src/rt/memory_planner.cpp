@@ -18,20 +18,16 @@ bool lifetimes_overlap(const BufferPlacement& a, const BufferPlacement& b) {
   return a.def_step <= b.last_use_step && b.def_step <= a.last_use_step;
 }
 
-}  // namespace
+/// Schedule + value lifetimes, a pure function of the graph: shared by
+/// plan_memory (which then assigns offsets) and check_plan (which
+/// verifies a deserialized plan against a re-derivation).
+struct Liveness {
+  std::vector<int> schedule;               // executed node ids, in order
+  std::vector<BufferPlacement> buffers;    // offsets left at 0
+};
 
-const BufferPlacement* MemoryPlan::find(int node_id) const {
-  auto it = std::lower_bound(buffers.begin(), buffers.end(), node_id,
-                             [](const BufferPlacement& p, int id) { return p.node_id < id; });
-  if (it == buffers.end() || it->node_id != node_id) return nullptr;
-  return &*it;
-}
-
-MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options) {
-  graph.validate();
-  if (options.alignment < 1) throw std::invalid_argument("plan_memory: alignment must be >= 1");
-
-  MemoryPlan plan;
+Liveness compute_liveness(const ir::Graph& graph) {
+  Liveness live;
 
   // Schedule steps: the input is step 0, executed nodes follow in
   // graph order. Constants take no step and no buffer.
@@ -41,12 +37,12 @@ MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options)
   for (const auto& node : graph.nodes()) {
     if (node.is_const() || node.op == ir::OpKind::kInput) continue;
     step_of[static_cast<std::size_t>(node.id)] = ++step;
-    plan.schedule.push_back(node.id);
+    live.schedule.push_back(node.id);
   }
   const int last_step = step;
 
   // Liveness: def at own step, last use at the latest consuming step.
-  std::vector<BufferPlacement> buffers;
+  std::vector<BufferPlacement>& buffers = live.buffers;
   for (const auto& node : graph.nodes()) {
     if (node.is_const()) continue;
     BufferPlacement b;
@@ -75,6 +71,26 @@ MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options)
   if (!graph.node(graph.output()).is_const()) {
     placement_of(graph.output()).last_use_step = last_step;
   }
+  return live;
+}
+
+}  // namespace
+
+const BufferPlacement* MemoryPlan::find(int node_id) const {
+  auto it = std::lower_bound(buffers.begin(), buffers.end(), node_id,
+                             [](const BufferPlacement& p, int id) { return p.node_id < id; });
+  if (it == buffers.end() || it->node_id != node_id) return nullptr;
+  return &*it;
+}
+
+MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options) {
+  graph.validate();
+  if (options.alignment < 1) throw std::invalid_argument("plan_memory: alignment must be >= 1");
+
+  MemoryPlan plan;
+  Liveness live = compute_liveness(graph);
+  plan.schedule = std::move(live.schedule);
+  std::vector<BufferPlacement> buffers = std::move(live.buffers);
 
   // Greedy by size, largest first (ties broken by def step then id so
   // the plan is deterministic): lowest aligned offset whose span is
@@ -126,6 +142,56 @@ MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options)
     }
   }
   return plan;
+}
+
+void check_plan(const ir::Graph& graph, const MemoryPlan& plan) {
+  graph.validate();
+  const auto fail = [](const std::string& what) { throw std::logic_error("check_plan: " + what); };
+
+  const Liveness live = compute_liveness(graph);
+  if (plan.schedule != live.schedule) fail("schedule does not match the graph's executed nodes");
+  if (plan.buffers.size() != live.buffers.size()) {
+    fail("placement count " + std::to_string(plan.buffers.size()) + " != live value count " +
+         std::to_string(live.buffers.size()));
+  }
+  if (plan.arena_bytes < 0 || plan.arena_bytes > plan.naive_bytes) {
+    fail("arena_bytes outside [0, naive_bytes]");
+  }
+  long long min_naive = 0;
+  for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+    const BufferPlacement& got = plan.buffers[i];
+    const BufferPlacement& want = live.buffers[i];  // both sorted by node id
+    if (got.node_id != want.node_id) fail("placement for unexpected node id");
+    if (got.size != want.size) {
+      fail("size mismatch on %" + std::to_string(got.node_id) + " (" + std::to_string(got.size) +
+           " vs value bytes " + std::to_string(want.size) + ")");
+    }
+    if (got.def_step != want.def_step || got.last_use_step != want.last_use_step) {
+      fail("lifetime mismatch on %" + std::to_string(got.node_id));
+    }
+    // Overflow-safe form of offset + size > arena_bytes: the fields
+    // may come from a hostile file, so the sum must never be formed
+    // before the range is established.
+    if (got.offset < 0 || got.size > plan.arena_bytes ||
+        got.offset > plan.arena_bytes - got.size) {
+      fail("placement for %" + std::to_string(got.node_id) + " escapes the arena");
+    }
+    min_naive += want.size;
+  }
+  if (plan.naive_bytes < min_naive) fail("naive_bytes below the sum of value sizes");
+
+  for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
+      const auto& a = plan.buffers[i];
+      const auto& b = plan.buffers[j];
+      if (!lifetimes_overlap(a, b)) continue;
+      const bool disjoint = a.offset + a.size <= b.offset || b.offset + b.size <= a.offset;
+      if (!disjoint) {
+        fail("overlapping live buffers %" + std::to_string(a.node_id) + " and %" +
+             std::to_string(b.node_id));
+      }
+    }
+  }
 }
 
 std::string MemoryPlan::to_string(const ir::Graph& graph) const {

@@ -60,4 +60,12 @@ struct MemoryPlan {
 /// checked before returning).
 MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options = {});
 
+/// Re-derive schedule and liveness from `graph` and check `plan`
+/// against them: coverage (every non-const value placed, nothing
+/// else), sizes, def/last-use steps, offsets within [0, arena_bytes],
+/// and the no-overlap-while-live invariant. Throws std::logic_error on
+/// the first violation — the deserializer's fail-closed gate before a
+/// loaded plan ever reaches an Executor.
+void check_plan(const ir::Graph& graph, const MemoryPlan& plan);
+
 }  // namespace micronas::rt

@@ -1,0 +1,156 @@
+// Endian-explicit byte-stream primitives for the model package format.
+//
+// Every multi-byte value is encoded little-endian one byte at a time,
+// so the on-disk format is identical whatever the host byte order and
+// nothing ever depends on type punning a struct. The reader side is
+// the security boundary of the loader: every read is bounds-checked
+// against the underlying span and throws SerializeError instead of
+// walking off the end, so a truncated or corrupted package fails
+// closed — never undefined behavior.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace micronas::serialize {
+
+/// Every malformed-package condition (bad magic, unsupported version,
+/// out-of-bounds offset, checksum mismatch, inconsistent graph/plan)
+/// surfaces as this one exception type so callers can catch corruption
+/// distinctly from programming errors.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what) : std::runtime_error("mnpkg: " + what) {}
+};
+
+/// Growable little-endian byte sink.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<std::byte>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+
+  /// Length-prefixed UTF-8/byte string.
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  /// Zero-pad so the NEXT byte lands on a multiple of `alignment`
+  /// relative to the start of this writer.
+  void align(std::size_t alignment) {
+    while (bytes_.size() % alignment != 0) u8(0);
+  }
+
+  std::size_t size() const { return bytes_.size(); }
+  const std::vector<std::byte>& bytes() const { return bytes_; }
+  std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Bounds-checked little-endian byte source over a borrowed span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes, std::string what = "package")
+      : bytes_(bytes), what_(std::move(what)) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  float f32() { return std::bit_cast<float>(u32()); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > kMaxString) {
+      throw SerializeError(what_ + ": string length " + std::to_string(n) + " exceeds cap");
+    }
+    need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Element count prefix for a vector whose elements occupy at least
+  /// `min_elem_bytes` each — rejects counts the remaining bytes cannot
+  /// possibly hold, so corrupted counts cannot trigger huge allocations.
+  std::size_t count(std::size_t min_elem_bytes) {
+    const std::uint32_t n = u32();
+    if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes) {
+      throw SerializeError(what_ + ": element count " + std::to_string(n) +
+                           " exceeds remaining bytes");
+    }
+    return n;
+  }
+
+  void raw(void* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// True when the reader consumed the span exactly — trailing garbage
+  /// in a section is treated as corruption by callers.
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  static constexpr std::uint32_t kMaxString = 1U << 22;  // 4 MiB
+
+  void need(std::size_t n) const {
+    if (n > remaining()) {
+      throw SerializeError(what_ + ": truncated at byte " + std::to_string(pos_) + " (need " +
+                           std::to_string(n) + ", have " + std::to_string(remaining()) + ")");
+    }
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+  std::string what_;
+};
+
+}  // namespace micronas::serialize

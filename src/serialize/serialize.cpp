@@ -1,0 +1,633 @@
+#include "src/serialize/serialize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/rng.hpp"  // fnv1a64
+#include "src/rt/memory_planner.hpp"
+
+// Writer provenance stamped into the META section. The definition is
+// scoped to this translation unit (CMake set_source_files_properties)
+// so a new commit only rebuilds the serializer, not the library.
+#ifndef MICRONAS_GIT_SHA
+#define MICRONAS_GIT_SHA "unknown"
+#endif
+
+namespace micronas::serialize {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'N', 'A', 'S', 'P', 'K', 'G', '\0'};
+constexpr std::uint32_t kEndianTag = 0x01020304;
+// magic | version | endian | file_size | section_count | reserved
+// | file checksum (fnv1a64 over every file byte except this field —
+// so corruption anywhere, including inter-section padding, is caught).
+constexpr std::size_t kChecksumOffset = 8 + 4 + 4 + 8 + 4 + 4;
+constexpr std::size_t kHeaderBytes = kChecksumOffset + 8;
+constexpr std::size_t kTableEntryBytes = 4 + 4 + 8 + 8 + 8;
+constexpr std::uint32_t kMaxSections = 64;
+
+/// fnv1a64 with an explicit running state, so the file checksum can
+/// skip its own storage field (constants match common/rng.cpp).
+std::uint64_t fnv1a64_chain(std::uint64_t h, const std::byte* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(data[i]));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t file_checksum(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = fnv1a64_chain(h, bytes.data(), kChecksumOffset);
+  h = fnv1a64_chain(h, bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
+  return h;
+}
+
+// Section four-character codes, little-endian packed.
+constexpr std::uint32_t fourcc(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+constexpr std::uint32_t kTagMeta = fourcc("META");
+constexpr std::uint32_t kTagGraph = fourcc("GRPH");
+constexpr std::uint32_t kTagConst = fourcc("CNST");
+constexpr std::uint32_t kTagPlan = fourcc("PLAN");
+constexpr std::uint32_t kTagReport = fourcc("RPRT");
+
+std::string tag_name(std::uint32_t tag) {
+  std::string s(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+    s[static_cast<std::size_t>(i)] = (c >= 32 && c < 127) ? c : '?';
+  }
+  return s;
+}
+
+// Sanity caps for deserialized dimensions: a corrupted count must be
+// rejected before it can drive a multi-gigabyte allocation or an
+// integer-overflowed bytes() computation.
+constexpr int kMaxDim = 1 << 24;
+constexpr std::uint64_t kMaxNumel = 1ULL << 31;
+
+// ------------------------------------------------------------- writers
+
+void write_affine(ByteWriter& w, const AffineParams& p) {
+  w.f64(p.scale);
+  w.i32(p.zero_point);
+}
+
+void write_type(ByteWriter& w, const ir::TensorType& t) {
+  w.u8(static_cast<std::uint8_t>(t.shape.rank()));
+  for (int d = 0; d < t.shape.rank(); ++d) w.i32(t.shape[d]);
+  w.u8(static_cast<std::uint8_t>(t.dtype));
+}
+
+/// GRPH node records; const payloads are appended to `consts`, each at
+/// a kConstAlignment boundary relative to the CNST section start (the
+/// section itself lands on a 64-byte file offset, so payloads are
+/// mmap-aligned in the file too).
+void write_graph(ByteWriter& w, ByteWriter& consts, const ir::Graph& graph) {
+  w.u32(static_cast<std::uint32_t>(graph.size()));
+  w.i32(graph.input());
+  w.i32(graph.output());
+  for (const ir::Node& node : graph.nodes()) {
+    w.i32(node.id);
+    w.u8(static_cast<std::uint8_t>(node.op));
+    w.str(node.name);
+    w.u32(static_cast<std::uint32_t>(node.inputs.size()));
+    for (int in : node.inputs) w.i32(in);
+    write_type(w, node.type);
+
+    w.i32(node.conv.kernel);
+    w.i32(node.conv.stride);
+    w.i32(node.conv.pad);
+    w.u8(node.conv.fused_relu ? 1 : 0);
+    w.f64(node.conv.bn_eps);
+
+    write_affine(w, node.quant.in_q);
+    write_affine(w, node.quant.in2_q);
+    write_affine(w, node.quant.out_q);
+    w.u32(static_cast<std::uint32_t>(node.quant.mantissa.size()));
+    for (std::int32_t m : node.quant.mantissa) w.i32(m);
+    w.u32(static_cast<std::uint32_t>(node.quant.shift.size()));
+    for (int s : node.quant.shift) w.i32(s);
+    w.i32(node.quant.mantissa2);
+    w.i32(node.quant.shift2);
+
+    w.u8(node.is_const() ? 1 : 0);
+    if (!node.is_const()) continue;
+    consts.align(kConstAlignment);
+    const std::uint64_t offset = consts.size();
+    switch (node.type.dtype) {
+      case ir::DType::kF32:
+        for (float v : node.f32_data.data()) consts.f32(v);
+        break;
+      case ir::DType::kI8:
+        consts.raw(node.i8_data.data(), node.i8_data.size());
+        break;
+      case ir::DType::kI32:
+        for (std::int32_t v : node.i32_data) consts.i32(v);
+        break;
+    }
+    w.u64(offset);
+    w.u64(consts.size() - offset);
+  }
+}
+
+void write_plan(ByteWriter& w, const rt::MemoryPlan& plan) {
+  w.i64(plan.arena_bytes);
+  w.i64(plan.naive_bytes);
+  w.u32(static_cast<std::uint32_t>(plan.buffers.size()));
+  for (const rt::BufferPlacement& b : plan.buffers) {
+    w.i32(b.node_id);
+    w.i64(b.offset);
+    w.i64(b.size);
+    w.i32(b.def_step);
+    w.i32(b.last_use_step);
+  }
+  w.u32(static_cast<std::uint32_t>(plan.schedule.size()));
+  for (int id : plan.schedule) w.i32(id);
+}
+
+void write_report(ByteWriter& w, const compile::CompileReport& report) {
+  w.str(report.arch);
+  w.i32(report.lowered_nodes);
+  w.i32(report.final_nodes);
+  w.i32(report.lowered_executed);
+  w.i32(report.final_executed);
+  w.u32(static_cast<std::uint32_t>(report.passes.size()));
+  for (const compile::PassStat& p : report.passes) {
+    w.str(p.name);
+    w.u8(p.changed ? 1 : 0);
+    w.i32(p.nodes_before);
+    w.i32(p.nodes_after);
+    w.f64(p.wall_ms);
+  }
+  w.i64(report.arena_bytes);
+  w.i64(report.naive_arena_bytes);
+  w.i64(report.const_bytes);
+  w.i64(report.model_peak_sram_bytes);
+  w.f64(report.arena_to_model_ratio);
+  w.f64(report.predicted_latency_ms);
+  w.f64(report.executed_latency_ms);
+  w.str(report.memory_plan);
+}
+
+void write_meta(ByteWriter& w, const compile::CompiledModel& model) {
+  w.str("micronas-serialize");
+  w.u32(kFormatVersion);
+  w.str(MICRONAS_GIT_SHA);
+  w.str(model.report.arch);
+}
+
+// ------------------------------------------------------------- readers
+
+AffineParams read_affine(ByteReader& r) {
+  AffineParams p;
+  p.scale = r.f64();
+  p.zero_point = r.i32();
+  return p;
+}
+
+ir::TensorType read_type(ByteReader& r) {
+  const int rank = r.u8();
+  if (rank < 1 || rank > 4) {
+    throw SerializeError("GRPH: tensor rank " + std::to_string(rank) + " out of range");
+  }
+  std::vector<int> dims(static_cast<std::size_t>(rank));
+  std::uint64_t numel = 1;
+  for (int d = 0; d < rank; ++d) {
+    const std::int32_t v = r.i32();
+    if (v < 1 || v > kMaxDim) {
+      throw SerializeError("GRPH: tensor dim " + std::to_string(v) + " out of range");
+    }
+    dims[static_cast<std::size_t>(d)] = v;
+    numel *= static_cast<std::uint64_t>(v);
+    if (numel > kMaxNumel) throw SerializeError("GRPH: tensor numel exceeds cap");
+  }
+  const int dtype = r.u8();
+  if (dtype < 0 || dtype > 2) {
+    throw SerializeError("GRPH: dtype byte " + std::to_string(dtype) + " out of range");
+  }
+  return ir::TensorType{Shape(std::move(dims)), static_cast<ir::DType>(dtype)};
+}
+
+ir::Graph read_graph(ByteReader& r, std::span<const std::byte> consts) {
+  const std::size_t node_count = r.count(16);
+  const int input = r.i32();
+  const int output = r.i32();
+  std::vector<ir::Node> nodes;
+  nodes.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    ir::Node node;
+    node.id = r.i32();
+    const int op = r.u8();
+    if (op < 0 || op >= ir::kOpKindCount) {
+      throw SerializeError("GRPH: op byte " + std::to_string(op) + " out of range");
+    }
+    node.op = static_cast<ir::OpKind>(op);
+    node.name = r.str();
+    const std::size_t num_inputs = r.count(4);
+    node.inputs.reserve(num_inputs);
+    for (std::size_t k = 0; k < num_inputs; ++k) node.inputs.push_back(r.i32());
+    node.type = read_type(r);
+
+    node.conv.kernel = r.i32();
+    node.conv.stride = r.i32();
+    node.conv.pad = r.i32();
+    node.conv.fused_relu = r.u8() != 0;
+    node.conv.bn_eps = r.f64();
+
+    node.quant.in_q = read_affine(r);
+    node.quant.in2_q = read_affine(r);
+    node.quant.out_q = read_affine(r);
+    const std::size_t num_mantissa = r.count(4);
+    node.quant.mantissa.reserve(num_mantissa);
+    for (std::size_t k = 0; k < num_mantissa; ++k) node.quant.mantissa.push_back(r.i32());
+    const std::size_t num_shift = r.count(4);
+    node.quant.shift.reserve(num_shift);
+    for (std::size_t k = 0; k < num_shift; ++k) node.quant.shift.push_back(r.i32());
+    node.quant.mantissa2 = r.i32();
+    node.quant.shift2 = r.i32();
+
+    const int has_payload = r.u8();
+    if (has_payload != (node.is_const() ? 1 : 0)) {
+      throw SerializeError("GRPH: payload flag disagrees with op on node " + std::to_string(i));
+    }
+    if (node.is_const()) {
+      const std::uint64_t offset = r.u64();
+      const std::uint64_t size = r.u64();
+      if (offset > consts.size() || size > consts.size() - offset) {
+        throw SerializeError("GRPH: const payload of node " + std::to_string(i) +
+                             " escapes the CNST section");
+      }
+      if (static_cast<long long>(size) != node.type.bytes()) {
+        throw SerializeError("GRPH: const payload size disagrees with type on node " +
+                             std::to_string(i));
+      }
+      ByteReader payload(consts.subspan(offset, size), "CNST");
+      const std::size_t numel = node.type.shape.numel();
+      switch (node.type.dtype) {
+        case ir::DType::kF32: {
+          std::vector<float> values(numel);
+          for (float& v : values) v = payload.f32();
+          node.f32_data = Tensor::from_vector(node.type.shape, std::move(values));
+          break;
+        }
+        case ir::DType::kI8: {
+          node.i8_data.resize(numel);
+          payload.raw(node.i8_data.data(), numel);
+          break;
+        }
+        case ir::DType::kI32: {
+          node.i32_data.resize(numel);
+          for (std::int32_t& v : node.i32_data) v = payload.i32();
+          break;
+        }
+      }
+    }
+    nodes.push_back(std::move(node));
+  }
+  if (!r.exhausted()) throw SerializeError("GRPH: trailing bytes after node records");
+  try {
+    return ir::Graph::from_nodes(std::move(nodes), input, output);
+  } catch (const std::exception& e) {
+    throw SerializeError(std::string("GRPH: graph validation failed: ") + e.what());
+  }
+}
+
+rt::MemoryPlan read_plan(ByteReader& r) {
+  rt::MemoryPlan plan;
+  plan.arena_bytes = r.i64();
+  plan.naive_bytes = r.i64();
+  const std::size_t num_buffers = r.count(28);
+  plan.buffers.reserve(num_buffers);
+  for (std::size_t i = 0; i < num_buffers; ++i) {
+    rt::BufferPlacement b;
+    b.node_id = r.i32();
+    b.offset = r.i64();
+    b.size = r.i64();
+    b.def_step = r.i32();
+    b.last_use_step = r.i32();
+    plan.buffers.push_back(b);
+  }
+  const std::size_t num_schedule = r.count(4);
+  plan.schedule.reserve(num_schedule);
+  for (std::size_t i = 0; i < num_schedule; ++i) plan.schedule.push_back(r.i32());
+  if (!r.exhausted()) throw SerializeError("PLAN: trailing bytes after plan records");
+  return plan;
+}
+
+compile::CompileReport read_report(ByteReader& r) {
+  compile::CompileReport report;
+  report.arch = r.str();
+  report.lowered_nodes = r.i32();
+  report.final_nodes = r.i32();
+  report.lowered_executed = r.i32();
+  report.final_executed = r.i32();
+  const std::size_t num_passes = r.count(17);
+  report.passes.reserve(num_passes);
+  for (std::size_t i = 0; i < num_passes; ++i) {
+    compile::PassStat p;
+    p.name = r.str();
+    p.changed = r.u8() != 0;
+    p.nodes_before = r.i32();
+    p.nodes_after = r.i32();
+    p.wall_ms = r.f64();
+    report.passes.push_back(std::move(p));
+  }
+  report.arena_bytes = r.i64();
+  report.naive_arena_bytes = r.i64();
+  report.const_bytes = r.i64();
+  report.model_peak_sram_bytes = r.i64();
+  report.arena_to_model_ratio = r.f64();
+  report.predicted_latency_ms = r.f64();
+  report.executed_latency_ms = r.f64();
+  report.memory_plan = r.str();
+  if (!r.exhausted()) throw SerializeError("RPRT: trailing bytes after report");
+  return report;
+}
+
+// ---------------------------------------------------- header / sections
+
+struct RawSection {
+  std::uint32_t tag = 0;
+  std::span<const std::byte> payload;
+};
+
+std::uint64_t checksum_of(std::span<const std::byte> bytes) {
+  return fnv1a64(bytes.data(), bytes.size());
+}
+
+std::size_t align_file(std::size_t offset) {
+  const std::size_t a = kConstAlignment;
+  return (offset + a - 1) / a * a;
+}
+
+/// Parse header + section table; bounds-check and checksum-verify every
+/// section. Shared by load_model_bytes and read_package_info.
+std::vector<RawSection> read_sections(std::span<const std::byte> bytes,
+                                      std::vector<SectionInfo>* info) {
+  ByteReader r(bytes, "header");
+  if (bytes.size() < kHeaderBytes) throw SerializeError("header: file too small");
+  char magic[8];
+  r.raw(magic, sizeof(magic));
+  if (!std::equal(magic, magic + 8, kMagic)) throw SerializeError("header: bad magic");
+  const std::uint32_t version = r.u32();
+  if (version != kFormatVersion) {
+    throw SerializeError("header: unsupported format version " + std::to_string(version) +
+                         " (this reader understands " + std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint32_t endian = r.u32();
+  if (endian != kEndianTag) throw SerializeError("header: endian tag mismatch");
+  const std::uint64_t file_size = r.u64();
+  if (file_size != bytes.size()) {
+    throw SerializeError("header: declared file size " + std::to_string(file_size) +
+                         " != actual " + std::to_string(bytes.size()) + " (truncated?)");
+  }
+  const std::uint32_t section_count = r.u32();
+  if (section_count == 0 || section_count > kMaxSections) {
+    throw SerializeError("header: section count " + std::to_string(section_count) +
+                         " out of range");
+  }
+  r.u32();  // reserved
+  const std::uint64_t declared_checksum = r.u64();
+  if (file_checksum(bytes) != declared_checksum) {
+    throw SerializeError("header: file checksum mismatch (corrupted)");
+  }
+
+  std::vector<RawSection> sections;
+  sections.reserve(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint32_t tag = r.u32();
+    r.u32();  // reserved
+    const std::uint64_t offset = r.u64();
+    const std::uint64_t size = r.u64();
+    const std::uint64_t checksum = r.u64();
+    if (offset > bytes.size() || size > bytes.size() - offset) {
+      throw SerializeError("section " + tag_name(tag) + ": escapes the file");
+    }
+    const auto payload = bytes.subspan(offset, size);
+    if (checksum_of(payload) != checksum) {
+      throw SerializeError("section " + tag_name(tag) + ": checksum mismatch (corrupted)");
+    }
+    sections.push_back(RawSection{tag, payload});
+    if (info) info->push_back(SectionInfo{tag_name(tag), offset, size, checksum});
+  }
+  return sections;
+}
+
+/// The unique section with `tag`; duplicates and absence fail closed.
+std::span<const std::byte> require_section(const std::vector<RawSection>& sections,
+                                           std::uint32_t tag) {
+  const RawSection* found = nullptr;
+  for (const RawSection& s : sections) {
+    if (s.tag != tag) continue;
+    if (found) throw SerializeError("section " + tag_name(tag) + ": duplicated");
+    found = &s;
+  }
+  if (!found) throw SerializeError("section " + tag_name(tag) + ": missing");
+  return found->payload;
+}
+
+}  // namespace
+
+std::vector<std::byte> save_model_bytes(const compile::CompiledModel& model) {
+  model.graph.validate();
+
+  struct Pending {
+    std::uint32_t tag;
+    std::vector<std::byte> payload;
+  };
+  ByteWriter grph;
+  ByteWriter cnst;
+  write_graph(grph, cnst, model.graph);
+  ByteWriter meta;
+  write_meta(meta, model);
+  ByteWriter plan;
+  write_plan(plan, model.plan);
+  ByteWriter rprt;
+  write_report(rprt, model.report);
+
+  std::vector<Pending> sections;
+  sections.push_back(Pending{kTagMeta, meta.take()});
+  sections.push_back(Pending{kTagGraph, grph.take()});
+  sections.push_back(Pending{kTagConst, cnst.take()});
+  sections.push_back(Pending{kTagPlan, plan.take()});
+  sections.push_back(Pending{kTagReport, rprt.take()});
+
+  // Lay out: header, table, then sections each at a 64-byte file
+  // offset (so CNST's internally aligned const blobs stay aligned
+  // relative to the file start — mmap friendly).
+  std::size_t offset = align_file(kHeaderBytes + sections.size() * kTableEntryBytes);
+  std::vector<std::uint64_t> offsets;
+  for (const Pending& s : sections) {
+    offsets.push_back(offset);
+    offset = align_file(offset + s.payload.size());
+  }
+  const std::uint64_t file_size =
+      offsets.back() + sections.back().payload.size();  // no trailing pad
+
+  ByteWriter out;
+  out.raw(kMagic, sizeof(kMagic));
+  out.u32(kFormatVersion);
+  out.u32(kEndianTag);
+  out.u64(file_size);
+  out.u32(static_cast<std::uint32_t>(sections.size()));
+  out.u32(0);
+  out.u64(0);  // file checksum, patched below once the image is complete
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    out.u32(sections[i].tag);
+    out.u32(0);
+    out.u64(offsets[i]);
+    out.u64(sections[i].payload.size());
+    out.u64(checksum_of(sections[i].payload));
+  }
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    while (out.size() < offsets[i]) out.u8(0);
+    out.raw(sections[i].payload.data(), sections[i].payload.size());
+  }
+  std::vector<std::byte> image = out.take();
+  const std::uint64_t checksum = file_checksum(image);
+  for (int i = 0; i < 8; ++i) {
+    image[kChecksumOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((checksum >> (8 * i)) & 0xFF);
+  }
+  return image;
+}
+
+std::uint64_t save_model(const compile::CompiledModel& model, const std::string& path) {
+  const std::vector<std::byte> bytes = save_model_bytes(model);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) throw SerializeError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) throw SerializeError("short write to " + path);
+  return bytes.size();
+}
+
+compile::CompiledModel load_model_bytes(std::span<const std::byte> bytes) {
+  const std::vector<RawSection> sections = read_sections(bytes, nullptr);
+
+  compile::CompiledModel model;
+  {
+    ByteReader r(require_section(sections, kTagGraph), "GRPH");
+    model.graph = read_graph(r, require_section(sections, kTagConst));
+  }
+  {
+    ByteReader r(require_section(sections, kTagPlan), "PLAN");
+    model.plan = read_plan(r);
+  }
+  {
+    ByteReader r(require_section(sections, kTagReport), "RPRT");
+    model.report = read_report(r);
+  }
+
+  // Plan/arena invariants re-derived from the loaded graph: a package
+  // whose plan cannot be proven safe never reaches an Executor.
+  try {
+    rt::check_plan(model.graph, model.plan);
+  } catch (const std::exception& e) {
+    throw SerializeError(std::string("PLAN: ") + e.what());
+  }
+
+  // Cross-section consistency: the report must describe this graph and
+  // this plan, and META's arch must agree with the report's.
+  if (model.report.final_nodes != model.graph.size() ||
+      model.report.final_executed != model.graph.executed_node_count() ||
+      model.report.const_bytes != model.graph.const_bytes() ||
+      model.report.arena_bytes != model.plan.arena_bytes ||
+      model.report.naive_arena_bytes != model.plan.naive_bytes) {
+    throw SerializeError("RPRT: report disagrees with the loaded graph/plan");
+  }
+  {
+    ByteReader r(require_section(sections, kTagMeta), "META");
+    r.str();                             // producer
+    r.u32();                             // format version (repeated for tools)
+    r.str();                             // writer git sha
+    const std::string arch = r.str();
+    if (arch != model.report.arch) throw SerializeError("META: arch disagrees with RPRT");
+  }
+  return model;
+}
+
+namespace {
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) throw SerializeError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in.good()) throw SerializeError("short read from " + path);
+  return bytes;
+}
+
+}  // namespace
+
+compile::CompiledModel load_model(const std::string& path) {
+  const std::vector<std::byte> bytes = read_file(path);
+  return load_model_bytes(bytes);
+}
+
+PackageInfo read_package_info(std::span<const std::byte> bytes) {
+  PackageInfo info;
+  std::vector<RawSection> sections = read_sections(bytes, &info.sections);
+  info.format_version = kFormatVersion;
+  info.file_bytes = bytes.size();
+  ByteReader r(require_section(sections, kTagMeta), "META");
+  info.producer = r.str();
+  r.u32();
+  info.git_sha = r.str();
+  info.arch = r.str();
+  return info;
+}
+
+PackageInfo read_package_info_file(const std::string& path) {
+  const std::vector<std::byte> bytes = read_file(path);
+  return read_package_info(bytes);
+}
+
+std::string logits_hash_hex(const Tensor& logits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    fnv1a64(logits.data().data(), logits.numel() * sizeof(float))));
+  return buf;
+}
+
+std::string read_golden_logits_hash(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw SerializeError("cannot open golden file " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string key, value;
+    if (ss >> key >> value && key == "logits_hash") return value;
+  }
+  throw SerializeError("no logits_hash line in " + path);
+}
+
+std::string PackageInfo::to_string() const {
+  std::ostringstream ss;
+  ss << "mnpkg v" << format_version << ", " << file_bytes << " B, arch " << arch
+     << ", written by " << producer << " @ " << git_sha << "\n";
+  for (const SectionInfo& s : sections) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %s  %8llu B at %8llu  fnv64 %016llx", s.tag.c_str(),
+                  static_cast<unsigned long long>(s.size),
+                  static_cast<unsigned long long>(s.offset),
+                  static_cast<unsigned long long>(s.checksum));
+    ss << line << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace micronas::serialize

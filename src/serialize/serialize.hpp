@@ -1,0 +1,101 @@
+// Versioned binary model package (.mnpkg): persistent CompiledModel.
+//
+// PR 4 closed the search -> executable loop but a compiled model died
+// with the process; this module is the deploy-once/serve-many half
+// (the TFLite-Micro flatbuffer-model idiom, scaled to this repo's IR).
+// save_model() serializes a compile::CompiledModel — IR graph in
+// schedule order, const/weight blobs, quant params, memory plan and
+// compile metadata — and load_model() reconstructs it bit-exactly: the
+// reloaded graph executes to the same logits hash the compile report
+// golden records, and save(load(save(m))) is byte-identical.
+//
+// File layout (all integers little-endian; see bytes.hpp):
+//
+//   header   magic "MNASPKG\0" | u32 format_version | u32 endian tag
+//            0x01020304 | u64 file_size | u32 section_count | u32 pad
+//   table    section_count x { u32 tag | u32 pad | u64 offset
+//            | u64 size | u64 fnv1a64 checksum }
+//   payload  sections, each zero-padded to a 64-byte file offset
+//
+// Sections (unknown tags are ignored for forward compatibility; the
+// format version only bumps on incompatible layout changes):
+//
+//   META  producer, format version, git sha of the writer, arch string
+//   GRPH  node records in schedule order; const payloads point into CNST
+//   CNST  raw constant blobs, each 64-byte aligned relative to the file
+//         start so a flash/mmap deployment can use them in place
+//   PLAN  static arena plan (offsets, lifetimes, schedule)
+//   RPRT  the full CompileReport (pass telemetry, latency, plan text)
+//
+// The loader is fail-closed: every offset/size is bounds-checked,
+// section checksums must match (any single flipped byte is rejected),
+// the graph is re-validated node by node (declared output types must
+// equal re-inferred types), and the memory plan's liveness and overlap
+// invariants are re-derived from the loaded graph before an Executor
+// ever sees the model. A package that loads is a package that runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/compile/compiler.hpp"
+#include "src/serialize/bytes.hpp"
+
+namespace micronas::serialize {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr int kConstAlignment = 64;  // mmap/flash-friendly
+
+/// Section table entry as read back from a package header.
+struct SectionInfo {
+  std::string tag;            // four-character code, e.g. "GRPH"
+  std::uint64_t offset = 0;   // from the start of the file
+  std::uint64_t size = 0;     // payload bytes (before padding)
+  std::uint64_t checksum = 0; // fnv1a64 over the payload
+};
+
+/// Header + section table peek (no graph reconstruction): what a
+/// registry or CLI shows before deciding to load the blob.
+struct PackageInfo {
+  std::uint32_t format_version = 0;
+  std::uint64_t file_bytes = 0;
+  std::string producer;
+  std::string git_sha;   // writer provenance, "unknown" outside git
+  std::string arch;      // canonical genotype string
+  std::vector<SectionInfo> sections;
+
+  std::string to_string() const;
+};
+
+/// Serialize to an in-memory package image.
+std::vector<std::byte> save_model_bytes(const compile::CompiledModel& model);
+
+/// Serialize to `path` (atomically enough for tests: write then flush;
+/// throws SerializeError on I/O failure). Returns the package size.
+std::uint64_t save_model(const compile::CompiledModel& model, const std::string& path);
+
+/// Parse + validate a package image; throws SerializeError on any
+/// corruption. The returned model is self-contained (owns its consts).
+compile::CompiledModel load_model_bytes(std::span<const std::byte> bytes);
+
+/// Load from `path`; throws SerializeError on I/O failure or corruption.
+compile::CompiledModel load_model(const std::string& path);
+
+/// Header/section-table/META inspection without reconstructing the
+/// graph (still checksum-verifies the META section it reads).
+PackageInfo read_package_info(std::span<const std::byte> bytes);
+PackageInfo read_package_info_file(const std::string& path);
+
+/// FNV-1a64 over the raw logits bytes as the 16-hex-digit string the
+/// golden fixtures record (`logits_hash <hex>`). One definition shared
+/// by the goldens' writer (test_compile_e2e), the round-trip tests and
+/// the serve_bench/CI format-drift gate, so they cannot diverge.
+std::string logits_hash_hex(const Tensor& logits);
+
+/// The value of the `logits_hash <hex>` line in a golden fixture;
+/// throws SerializeError when the file or the line is missing.
+std::string read_golden_logits_hash(const std::string& path);
+
+}  // namespace micronas::serialize

@@ -1,0 +1,181 @@
+#include "src/serve/model_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace micronas::serve {
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string ServerStats::to_string() const {
+  std::ostringstream ss;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%lld requests in %lld batches (mean batch %.2f), %.1f req/s, latency p50 "
+                "%.3f ms p90 %.3f ms p99 %.3f ms max %.3f ms",
+                requests, batches, mean_batch, throughput_rps, p50_ms, p90_ms, p99_ms, max_ms);
+  ss << buf;
+  return ss.str();
+}
+
+ModelServer::ModelServer(compile::CompiledModel model, ServerOptions options)
+    : model_(std::move(model)), options_(options) {
+  if (options_.max_batch < 1) throw std::invalid_argument("ModelServer: max_batch must be >= 1");
+  if (options_.max_wait_us < 0) {
+    throw std::invalid_argument("ModelServer: max_wait_us must be >= 0");
+  }
+  // One planned executor (arena) per batch slot: slot i of a batch
+  // always runs on lanes_[i], so concurrent requests are isolated by
+  // construction and results cannot depend on scheduling.
+  lanes_.reserve(static_cast<std::size_t>(options_.max_batch));
+  for (int i = 0; i < options_.max_batch; ++i) {
+    lanes_.push_back(
+        std::make_unique<rt::Executor>(model_.graph, model_.plan, rt::ExecOptions{1}));
+  }
+  if (options_.max_batch > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+ModelServer::~ModelServer() { stop(); }
+
+std::future<Tensor> ModelServer::submit(Tensor input) {
+  Request req;
+  req.input = std::move(input);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> result = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("ModelServer::submit: server is stopped");
+    if (!saw_first_) {
+      saw_first_ = true;
+      first_enqueue_ = req.enqueued;
+    }
+    queue_.push_back(std::move(req));
+  }
+  wake_.notify_all();
+  return result;
+}
+
+void ModelServer::stop() {
+  // Claim the thread under the lock: of two racing stop() calls (e.g.
+  // an explicit stop against the destructor) exactly one gets a
+  // joinable handle; the other joins nothing.
+  std::thread claimed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    claimed = std::move(dispatcher_);
+  }
+  wake_.notify_all();
+  if (claimed.joinable()) claimed.join();
+}
+
+void ModelServer::dispatcher_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with a drained queue
+
+      // Hold the batch open until it is full, the oldest request has
+      // waited max_wait_us, or the server is stopping.
+      const auto deadline =
+          queue_.front().enqueued + std::chrono::microseconds(options_.max_wait_us);
+      while (!stopping_ && static_cast<int>(queue_.size()) < options_.max_batch &&
+             wake_.wait_until(lock, deadline,
+                              [this] {
+                                return stopping_ ||
+                                       static_cast<int>(queue_.size()) >= options_.max_batch;
+                              })) {
+      }
+
+      const std::size_t take =
+          std::min(queue_.size(), static_cast<std::size_t>(options_.max_batch));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    run_batch(batch);
+  }
+}
+
+void ModelServer::run_batch(std::vector<Request>& batch) {
+  std::vector<Tensor> results(batch.size());
+  std::vector<std::exception_ptr> errors(batch.size());
+  const auto run_one = [this, &batch, &results, &errors](std::size_t i) {
+    try {
+      results[i] = lanes_[i]->run(batch[i].input);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+  if (pool_ && batch.size() > 1) {
+    pool_->parallel_for(batch.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) run_one(i);
+  }
+
+  // Telemetry strictly before the promises: a client that observed its
+  // future ready must also observe its request in stats().
+  const auto done = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_;
+    completed_ += static_cast<long long>(batch.size());
+    last_done_ = done;
+    for (const Request& req : batch) {
+      latency_ms_.push_back(
+          std::chrono::duration<double, std::milli>(done - req.enqueued).count());
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (errors[i]) {
+      batch[i].promise.set_exception(errors[i]);
+    } else {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+ServerStats ModelServer::stats() const {
+  std::vector<double> sorted;
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = latency_ms_;
+    s.requests = completed_;
+    s.batches = batches_;
+    if (completed_ > 0) {
+      const double span =
+          std::chrono::duration<double>(last_done_ - first_enqueue_).count();
+      s.throughput_rps = span > 0.0 ? static_cast<double>(completed_) / span : 0.0;
+    }
+  }
+  std::sort(sorted.begin(), sorted.end());
+  s.mean_batch = s.batches > 0 ? static_cast<double>(s.requests) / static_cast<double>(s.batches)
+                               : 0.0;
+  s.p50_ms = percentile(sorted, 0.50);
+  s.p90_ms = percentile(sorted, 0.90);
+  s.p99_ms = percentile(sorted, 0.99);
+  s.max_ms = sorted.empty() ? 0.0 : sorted.back();
+  return s;
+}
+
+}  // namespace micronas::serve

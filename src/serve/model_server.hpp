@@ -1,0 +1,120 @@
+// Batching inference server over the deterministic int8 runtime — the
+// deploy-once/serve-many half of the ROADMAP's "heavy traffic" North
+// star, fed by src/serialize/'s persistent model packages.
+//
+// A ModelServer owns one loaded CompiledModel, a request queue and a
+// dispatcher thread. Clients submit single inputs and get a future;
+// the dispatcher coalesces up to `max_batch` queued requests (waiting
+// at most `max_wait_us` after the first one arrives) into one batched
+// invocation that fans the requests out over the shared ThreadPool.
+// Each of the `max_batch` batch slots owns a pre-built planned
+// Executor with its own arena, so concurrent requests never share
+// mutable state and every request's logits are bit-identical to a
+// serial Executor run of the same input — batching is a pure
+// throughput optimization, never a numerics change (asserted by
+// tests/test_serve.cpp).
+//
+// The server keeps per-request latency samples and batch-size
+// telemetry; stats() aggregates them into the throughput/percentile
+// summary examples/serve_bench and bench/suites/serve.cpp report.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/compile/compiler.hpp"
+#include "src/rt/runtime.hpp"
+
+namespace micronas::serve {
+
+struct ServerOptions {
+  /// Most requests coalesced into one batched invocation (also the
+  /// number of pre-built executors, i.e. resident arenas).
+  int max_batch = 8;
+  /// How long the dispatcher holds an underfull batch open after its
+  /// first request arrived before running it anyway.
+  long long max_wait_us = 200;
+  /// Worker threads the batch fans out over (1 = serial, 0 = one per
+  /// hardware thread). Logits never depend on this.
+  int threads = 0;
+};
+
+struct ServerStats {
+  long long requests = 0;       // completed requests
+  long long batches = 0;        // batched executor invocations
+  double mean_batch = 0.0;      // requests / batches
+  double p50_ms = 0.0;          // request latency: enqueue -> logits ready
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double throughput_rps = 0.0;  // completed / (last completion - first enqueue)
+
+  std::string to_string() const;
+};
+
+class ModelServer {
+ public:
+  /// Takes ownership of the model (typically fresh from
+  /// serialize::load_model) and starts the dispatcher.
+  ModelServer(compile::CompiledModel model, ServerOptions options = {});
+  ~ModelServer();
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  /// Enqueue one input (must match the model's input shape). The
+  /// future yields the logits, or rethrows the executor's error.
+  std::future<Tensor> submit(Tensor input);
+
+  /// Blocking convenience wrapper around submit().
+  Tensor infer(const Tensor& input) { return submit(input).get(); }
+
+  /// Drain the queue, finish in-flight batches and join the
+  /// dispatcher. Idempotent and safe against concurrent calls (the
+  /// dispatcher handle is claimed under the lock); called by the
+  /// destructor. submit() after stop() throws std::runtime_error.
+  void stop();
+
+  ServerStats stats() const;
+
+  const compile::CompiledModel& model() const { return model_; }
+
+ private:
+  struct Request {
+    Tensor input;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatcher_loop();
+  void run_batch(std::vector<Request>& batch);
+
+  compile::CompiledModel model_;
+  ServerOptions options_;
+  std::unique_ptr<ThreadPool> pool_;                     // batch fan-out
+  std::vector<std::unique_ptr<rt::Executor>> lanes_;     // one per batch slot
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  // Telemetry (guarded by mutex_).
+  std::vector<double> latency_ms_;
+  long long batches_ = 0;
+  long long completed_ = 0;
+  bool saw_first_ = false;
+  std::chrono::steady_clock::time_point first_enqueue_;
+  std::chrono::steady_clock::time_point last_done_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace micronas::serve

@@ -22,6 +22,7 @@
 #include "src/data/synthetic.hpp"
 #include "src/hw/latency_estimator.hpp"
 #include "src/rt/runtime.hpp"
+#include "src/serialize/serialize.hpp"
 
 namespace micronas {
 namespace {
@@ -67,11 +68,9 @@ std::string run_fixed_compile() {
 
   std::ostringstream ss;
   ss << model.report.to_string(/*include_timing=*/false);
-  char hash[32];
-  std::snprintf(hash, sizeof(hash), "%016llx",
-                static_cast<unsigned long long>(
-                    fnv1a64(logits.data().data(), logits.numel() * sizeof(float))));
-  ss << "logits_hash " << hash << "\n";
+  // Shared helper so the CI model-package gate and test_serialize
+  // compare against exactly the hash this golden records.
+  ss << "logits_hash " << serialize::logits_hash_hex(logits) << "\n";
   return ss.str();
 }
 

@@ -1,0 +1,267 @@
+// Model package (.mnpkg) round-trip and robustness suite.
+//
+//   * save -> load -> save is byte-identical and the reloaded model
+//     executes to bit-identical logits, across 25 sampled genotypes;
+//   * every truncation and every single-byte corruption of a package
+//     fails closed with SerializeError (never UB — this file also runs
+//     under the ASan/UBSan CI job);
+//   * the fixed golden scenario's reloaded logits hash equals the
+//     logits_hash recorded in tests/golden/compile_report.golden, and
+//     the package layout matches tests/golden/serialize_package.golden
+//     (regenerate intentional changes with scripts/update_golden.sh).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/data/synthetic.hpp"
+#include "src/rt/runtime.hpp"
+#include "src/serialize/serialize.hpp"
+
+namespace micronas {
+namespace {
+
+#ifndef MICRONAS_SOURCE_DIR
+#error "MICRONAS_SOURCE_DIR must point at the repository root"
+#endif
+
+using serialize::SerializeError;
+
+compile::CompiledModel compile_small(const nb201::Genotype& g, int input = 8,
+                                     std::uint64_t seed = 1) {
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = input;
+  options.seed = seed;
+  return compile::compile_genotype(g, options);
+}
+
+Tensor sample_input(int input_size, std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.height = spec.width = input_size;
+  Rng rng(seed);
+  SyntheticDataset data(spec, rng);
+  return data.sample_batch(1, rng).images;
+}
+
+
+TEST(Serialize, RoundTripIsByteIdenticalAndBitExactOn25Genotypes) {
+  Rng rng(42);
+  for (int i = 0; i < 25; ++i) {
+    const auto index = static_cast<int>(
+        rng.index(static_cast<std::size_t>(nb201::kNumArchitectures)));
+    const nb201::Genotype g = nb201::Genotype::from_index(index);
+    const compile::CompiledModel model = compile_small(g);
+
+    const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+    const compile::CompiledModel loaded = serialize::load_model_bytes(bytes);
+
+    // Save-of-load is byte-identical: nothing is lost or reordered.
+    EXPECT_EQ(bytes, serialize::save_model_bytes(loaded)) << "genotype " << index;
+
+    // Structure survived.
+    ASSERT_EQ(loaded.graph.size(), model.graph.size());
+    EXPECT_EQ(loaded.plan.arena_bytes, model.plan.arena_bytes);
+    EXPECT_EQ(loaded.plan.buffers.size(), model.plan.buffers.size());
+    EXPECT_EQ(loaded.report.to_string(), model.report.to_string());
+
+    // Execution is bit-exact: same logits from the reloaded model.
+    const Tensor input = sample_input(8, 7);
+    rt::Executor original(model.graph, model.plan, rt::ExecOptions{1});
+    rt::Executor reloaded(loaded.graph, loaded.plan, rt::ExecOptions{1});
+    const Tensor a = original.run(input);
+    const Tensor b = reloaded.run(input);
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::size_t k = 0; k < a.numel(); ++k) {
+      ASSERT_EQ(a[k], b[k]) << "genotype " << index << " logit " << k;
+    }
+  }
+}
+
+TEST(Serialize, FloatPipelineRoundTrips) {
+  // Unquantized (fold/fuse/quantize off) models serialize too: f32
+  // consts and float ops exercise the non-quant node paths.
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 8;
+  options.fold = options.fuse = options.quantize = false;
+  const compile::CompiledModel model =
+      compile::compile_genotype(nb201::Genotype::from_index(123), options);
+  const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+  const compile::CompiledModel loaded = serialize::load_model_bytes(bytes);
+  EXPECT_EQ(bytes, serialize::save_model_bytes(loaded));
+
+  const Tensor input = sample_input(8, 3);
+  rt::Executor a(model.graph, model.plan, rt::ExecOptions{1});
+  rt::Executor b(loaded.graph, loaded.plan, rt::ExecOptions{1});
+  EXPECT_EQ(serialize::logits_hash_hex(a.run(input)),
+            serialize::logits_hash_hex(b.run(input)));
+}
+
+TEST(Serialize, PackageInfoPeeksWithoutLoading) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(777));
+  const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+  const serialize::PackageInfo info = serialize::read_package_info(bytes);
+  EXPECT_EQ(info.format_version, serialize::kFormatVersion);
+  EXPECT_EQ(info.file_bytes, bytes.size());
+  EXPECT_EQ(info.arch, model.report.arch);
+  ASSERT_EQ(info.sections.size(), 5u);
+  // Const blobs must sit at mmap-friendly offsets.
+  for (const serialize::SectionInfo& s : info.sections) {
+    EXPECT_EQ(s.offset % serialize::kConstAlignment, 0u) << s.tag;
+  }
+}
+
+TEST(Serialize, SaveLoadFileRoundTrip) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(4321));
+  const std::string path = ::testing::TempDir() + "micronas_roundtrip.mnpkg";
+  const std::uint64_t written = serialize::save_model(model, path);
+  EXPECT_GT(written, 0u);
+  const compile::CompiledModel loaded = serialize::load_model(path);
+  EXPECT_EQ(serialize::save_model_bytes(loaded), serialize::save_model_bytes(model));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadIsAtLeastFiveTimesFasterThanRecompile) {
+  // The package format's reason to exist: loading parses bytes while
+  // recompiling re-lowers, re-folds and re-runs calibration inference.
+  // Observed ~30x on the reduced skeleton; 5x is the acceptance bar
+  // (min-of-3 on both sides to shrug off scheduler noise).
+  const nb201::Genotype g = nb201::Genotype::from_index(2024);
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 16;
+  const std::vector<std::byte> bytes =
+      serialize::save_model_bytes(compile::compile_genotype(g, options));
+
+  const auto min_ms = [](auto&& fn) {
+    double best = 1e300;
+    for (int i = 0; i < 3; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return best;
+  };
+  const double compile_ms =
+      min_ms([&] { compile::compile_genotype(g, options); });
+  const double load_ms = min_ms([&] { serialize::load_model_bytes(bytes); });
+  EXPECT_GE(compile_ms / load_ms, 5.0)
+      << "compile " << compile_ms << " ms vs load " << load_ms << " ms";
+}
+
+TEST(Serialize, EveryTruncationFailsClosed) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+  ASSERT_GT(bytes.size(), 0u);
+
+  // Dense near the header/table, strided through the payload.
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < std::min<std::size_t>(bytes.size(), 256); ++n) cuts.push_back(n);
+  const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 211);
+  for (std::size_t n = 256; n < bytes.size(); n += stride) cuts.push_back(n);
+  for (std::size_t n : cuts) {
+    const std::span<const std::byte> prefix(bytes.data(), n);
+    EXPECT_THROW(serialize::load_model_bytes(prefix), SerializeError)
+        << "truncation to " << n << " bytes must fail closed";
+  }
+}
+
+TEST(Serialize, EverySingleByteFlipFailsClosed) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+
+  // Section checksums make any payload flip detectable; header and
+  // table flips trip magic/version/bounds/checksum checks instead.
+  const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 499);
+  for (std::size_t pos = 0; pos < bytes.size(); pos += stride) {
+    std::vector<std::byte> corrupted = bytes;
+    corrupted[pos] ^= std::byte{0xFF};
+    EXPECT_THROW(serialize::load_model_bytes(corrupted), SerializeError)
+        << "flipped byte at " << pos << " must fail closed";
+  }
+}
+
+TEST(Serialize, RejectsGarbageAndEmptyInput) {
+  EXPECT_THROW(serialize::load_model_bytes({}), SerializeError);
+  std::vector<std::byte> junk(4096, std::byte{0x5A});
+  EXPECT_THROW(serialize::load_model_bytes(junk), SerializeError);
+  EXPECT_THROW(serialize::load_model("/nonexistent/path/model.mnpkg"), SerializeError);
+}
+
+// ----------------------------------------------------------- golden ties
+
+/// The fixed golden scenario of tests/test_compile_e2e.cpp.
+compile::CompiledModel golden_model() {
+  const nb201::Genotype genotype = nb201::Genotype::from_string(
+      "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|avg_pool_3x3~0|nor_conv_1x1~1|nor_conv_3x3~2|");
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 16;
+  options.seed = 7;
+  return compile::compile_genotype(genotype, options);
+}
+
+TEST(SerializeGolden, ReloadedLogitsHashMatchesCompileReportGolden) {
+  const std::string want = serialize::read_golden_logits_hash(
+      MICRONAS_SOURCE_DIR "/tests/golden/compile_report.golden");
+
+  const std::vector<std::byte> bytes = serialize::save_model_bytes(golden_model());
+  const compile::CompiledModel loaded = serialize::load_model_bytes(bytes);
+  rt::Executor exec(loaded.graph, loaded.plan, rt::ExecOptions{1});
+  const Tensor logits = exec.run(sample_input(16, 7));
+  EXPECT_EQ(serialize::logits_hash_hex(logits), want)
+      << "save -> load -> execute no longer reproduces the golden compile-report logits";
+}
+
+/// Stable layout summary of the golden scenario's package: section
+/// sizes for all five sections plus content checksums for the
+/// deterministic ones (META carries the writer's git sha and RPRT the
+/// pass wall times, so only their sizes are pinned).
+std::string package_summary() {
+  const compile::CompiledModel model = golden_model();
+  const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+  const serialize::PackageInfo info = serialize::read_package_info(bytes);
+  std::ostringstream ss;
+  ss << "format_version " << info.format_version << "\n";
+  ss << "arch " << info.arch << "\n";
+  for (const serialize::SectionInfo& s : info.sections) {
+    ss << "section " << s.tag << " " << s.size;
+    if (s.tag == "GRPH" || s.tag == "CNST" || s.tag == "PLAN") {
+      char sum[32];
+      std::snprintf(sum, sizeof(sum), "%016llx", static_cast<unsigned long long>(s.checksum));
+      ss << " fnv64 " << sum;
+    }
+    ss << "\n";
+  }
+  ss << "arena_bytes " << model.plan.arena_bytes << "\n";
+  return ss.str();
+}
+
+TEST(SerializeGolden, PackageLayoutMatchesGolden) {
+  const char* path = MICRONAS_SOURCE_DIR "/tests/golden/serialize_package.golden";
+  const std::string actual = package_summary();
+
+  if (std::getenv("MICRONAS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run scripts/update_golden.sh";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "package layout drifted; if intentional, run scripts/update_golden.sh";
+}
+
+}  // namespace
+}  // namespace micronas
