@@ -85,7 +85,10 @@ const BufferPlacement* MemoryPlan::find(int node_id) const {
 
 MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options) {
   graph.validate();
-  if (options.alignment < 1) throw std::invalid_argument("plan_memory: alignment must be >= 1");
+  if (options.alignment < 1 || options.alignment > kMaxPlanAlignment) {
+    throw std::invalid_argument("plan_memory: alignment must be in [1, " +
+                                std::to_string(kMaxPlanAlignment) + "]");
+  }
 
   MemoryPlan plan;
   Liveness live = compute_liveness(graph);
@@ -179,6 +182,17 @@ void check_plan(const ir::Graph& graph, const MemoryPlan& plan) {
     min_naive += want.size;
   }
   if (plan.naive_bytes < min_naive) fail("naive_bytes below the sum of value sizes");
+  // ...and from above: plan_memory aligns each buffer to at most
+  // kMaxPlanAlignment, so a plan whose naive_bytes exceeds the sizes
+  // plus that per-buffer slack is hostile. Together with the
+  // arena_bytes <= naive_bytes check above, this stops a checksum-valid
+  // package from demanding an arbitrarily large Executor arena.
+  const long long max_naive =
+      min_naive + static_cast<long long>(plan.buffers.size()) * (kMaxPlanAlignment - 1);
+  if (plan.naive_bytes > max_naive) {
+    fail("naive_bytes " + std::to_string(plan.naive_bytes) +
+         " exceeds the aligned sum of value sizes (max " + std::to_string(max_naive) + ")");
+  }
 
   for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
     for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {

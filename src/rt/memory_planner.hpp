@@ -23,8 +23,14 @@
 
 namespace micronas::rt {
 
+/// Largest buffer alignment plan_memory accepts. Bounding it lets
+/// check_plan cap a deserialized plan's naive_bytes (sum of value
+/// sizes plus at most this much slack per buffer) so a hostile package
+/// cannot declare an arbitrarily large arena.
+inline constexpr int kMaxPlanAlignment = 64;
+
 struct MemoryPlanOptions {
-  int alignment = 16;
+  int alignment = 16;  // in [1, kMaxPlanAlignment]
 };
 
 /// One value's slot in the arena.

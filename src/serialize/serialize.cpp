@@ -29,21 +29,10 @@ constexpr std::size_t kHeaderBytes = kChecksumOffset + 8;
 constexpr std::size_t kTableEntryBytes = 4 + 4 + 8 + 8 + 8;
 constexpr std::uint32_t kMaxSections = 64;
 
-/// fnv1a64 with an explicit running state, so the file checksum can
-/// skip its own storage field (constants match common/rng.cpp).
-std::uint64_t fnv1a64_chain(std::uint64_t h, const std::byte* data, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(data[i]));
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
+/// Chained fnv1a64 so the file checksum can skip its own storage field.
 std::uint64_t file_checksum(std::span<const std::byte> bytes) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  h = fnv1a64_chain(h, bytes.data(), kChecksumOffset);
-  h = fnv1a64_chain(h, bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
-  return h;
+  const std::uint64_t h = fnv1a64(kFnv1a64Basis, bytes.data(), kChecksumOffset);
+  return fnv1a64(h, bytes.data() + kHeaderBytes, bytes.size() - kHeaderBytes);
 }
 
 // Section four-character codes, little-endian packed.
@@ -240,6 +229,23 @@ ir::Graph read_graph(ByteReader& r, std::span<const std::byte> consts) {
     node.conv.kernel = r.i32();
     node.conv.stride = r.i32();
     node.conv.pad = r.i32();
+    // These attrs feed ops::conv_out_size (`in + 2*pad - kernel`, then
+    // `/ stride`) during Graph::from_nodes type inference, which cannot
+    // defend itself against stride 0 (SIGFPE) or pad near INT_MAX
+    // (signed overflow), and pool ops have no weight shape to cross-
+    // check them against — reject hostile values here, where the
+    // failure is still a catchable SerializeError. Ops that ignore the
+    // attrs keep whatever the writer recorded (nothing computes with
+    // them), preserving bit-exact re-serialization.
+    const bool uses_conv_attrs =
+        node.op == ir::OpKind::kConv2d || node.op == ir::OpKind::kQConv2d ||
+        node.op == ir::OpKind::kAvgPool || node.op == ir::OpKind::kQAvgPool;
+    if (uses_conv_attrs &&
+        (node.conv.kernel < 1 || node.conv.kernel > kMaxDim || node.conv.stride < 1 ||
+         node.conv.stride > kMaxDim || node.conv.pad < 0 || node.conv.pad > kMaxDim)) {
+      throw SerializeError("GRPH: conv kernel/stride/pad out of range on node " +
+                           std::to_string(i));
+    }
     node.conv.fused_relu = r.u8() != 0;
     node.conv.bn_eps = r.f64();
 
@@ -553,6 +559,7 @@ compile::CompiledModel load_model_bytes(std::span<const std::byte> bytes) {
     r.str();                             // writer git sha
     const std::string arch = r.str();
     if (arch != model.report.arch) throw SerializeError("META: arch disagrees with RPRT");
+    if (!r.exhausted()) throw SerializeError("META: trailing bytes after metadata");
   }
   return model;
 }
@@ -587,6 +594,7 @@ PackageInfo read_package_info(std::span<const std::byte> bytes) {
   r.u32();
   info.git_sha = r.str();
   info.arch = r.str();
+  if (!r.exhausted()) throw SerializeError("META: trailing bytes after metadata");
   return info;
 }
 

@@ -71,9 +71,14 @@ std::future<Tensor> ModelServer::submit(Tensor input) {
 }
 
 void ModelServer::stop() {
-  // Claim the thread under the lock: of two racing stop() calls (e.g.
-  // an explicit stop against the destructor) exactly one gets a
-  // joinable handle; the other joins nothing.
+  // Claim the thread under the lock: of racing stop() calls (e.g. an
+  // explicit stop against the destructor) exactly one gets a joinable
+  // handle and joins it. Losers must NOT return early — the dispatcher
+  // may still be draining queue_ and touching lanes_/pool_, and the
+  // losing caller could be the destructor — so they block on
+  // dispatcher_done_, which the winner flags after its join. Every
+  // stop() therefore returns only once the queue is drained and the
+  // dispatcher has exited.
   std::thread claimed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -81,7 +86,17 @@ void ModelServer::stop() {
     claimed = std::move(dispatcher_);
   }
   wake_.notify_all();
-  if (claimed.joinable()) claimed.join();
+  if (claimed.joinable()) {
+    claimed.join();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dispatcher_done_ = true;
+    }
+    wake_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait(lock, [this] { return dispatcher_done_; });
+  }
 }
 
 void ModelServer::dispatcher_loop() {
@@ -141,8 +156,13 @@ void ModelServer::run_batch(std::vector<Request>& batch) {
     completed_ += static_cast<long long>(batch.size());
     last_done_ = done;
     for (const Request& req : batch) {
-      latency_ms_.push_back(
-          std::chrono::duration<double, std::milli>(done - req.enqueued).count());
+      const double ms = std::chrono::duration<double, std::milli>(done - req.enqueued).count();
+      if (latency_ms_.size() < kLatencySampleCap) {
+        latency_ms_.push_back(ms);
+      } else {
+        latency_ms_[latency_next_] = ms;
+        latency_next_ = (latency_next_ + 1) % kLatencySampleCap;
+      }
     }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -14,9 +14,10 @@
 // throughput optimization, never a numerics change (asserted by
 // tests/test_serve.cpp).
 //
-// The server keeps per-request latency samples and batch-size
-// telemetry; stats() aggregates them into the throughput/percentile
-// summary examples/serve_bench and bench/suites/serve.cpp report.
+// The server keeps a bounded ring of recent per-request latency
+// samples and exact batch-size counters; stats() aggregates them into
+// the throughput/percentile summary examples/serve_bench and
+// bench/suites/serve.cpp report.
 #pragma once
 
 #include <chrono>
@@ -50,8 +51,8 @@ struct ServerStats {
   long long requests = 0;       // completed requests
   long long batches = 0;        // batched executor invocations
   double mean_batch = 0.0;      // requests / batches
-  double p50_ms = 0.0;          // request latency: enqueue -> logits ready
-  double p90_ms = 0.0;
+  double p50_ms = 0.0;          // request latency: enqueue -> logits ready,
+  double p90_ms = 0.0;          // over the most recent samples (bounded ring)
   double p99_ms = 0.0;
   double max_ms = 0.0;
   double throughput_rps = 0.0;  // completed / (last completion - first enqueue)
@@ -77,9 +78,12 @@ class ModelServer {
   Tensor infer(const Tensor& input) { return submit(input).get(); }
 
   /// Drain the queue, finish in-flight batches and join the
-  /// dispatcher. Idempotent and safe against concurrent calls (the
-  /// dispatcher handle is claimed under the lock); called by the
-  /// destructor. submit() after stop() throws std::runtime_error.
+  /// dispatcher. Idempotent and safe against concurrent calls: every
+  /// call (not just the one that wins the join) blocks until the
+  /// dispatcher has exited, so the queue-drained postcondition holds
+  /// for all callers and the destructor can never destroy state the
+  /// dispatcher still uses. submit() after stop() throws
+  /// std::runtime_error.
   void stop();
 
   ServerStats stats() const;
@@ -105,9 +109,15 @@ class ModelServer {
   std::condition_variable wake_;
   std::deque<Request> queue_;
   bool stopping_ = false;
+  bool dispatcher_done_ = false;  // set by the stop() that joined
 
-  // Telemetry (guarded by mutex_).
-  std::vector<double> latency_ms_;
+  // Telemetry (guarded by mutex_). Latency percentiles are computed
+  // over a bounded ring of the most recent samples so a long-running
+  // server's memory and stats() cost stay O(1) in request count; the
+  // request/batch/throughput counters are exact.
+  static constexpr std::size_t kLatencySampleCap = 16384;
+  std::vector<double> latency_ms_;  // ring once kLatencySampleCap is reached
+  std::size_t latency_next_ = 0;    // ring write cursor
   long long batches_ = 0;
   long long completed_ = 0;
   bool saw_first_ = false;

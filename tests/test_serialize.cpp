@@ -18,7 +18,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/rng.hpp"
 #include "src/data/synthetic.hpp"
+#include "src/ir/graph.hpp"
 #include "src/rt/runtime.hpp"
 #include "src/serialize/serialize.hpp"
 
@@ -194,6 +196,179 @@ TEST(Serialize, RejectsGarbageAndEmptyInput) {
   EXPECT_THROW(serialize::load_model("/nonexistent/path/model.mnpkg"), SerializeError);
 }
 
+// ------------------------------------------------------ forged packages
+//
+// The truncation/byte-flip corpus above is caught by checksums, but
+// fnv1a64 is unkeyed: a real attacker patches a field and recomputes
+// every checksum. These tests mount exactly that attack — the forged
+// package passes all integrity gates, so hostile values must fail
+// closed on semantic validation (SerializeError), never reach UB
+// (SIGFPE in conv_out_size, signed overflow, unbounded allocation).
+
+void poke_le(std::vector<std::byte>& bytes, std::size_t at, std::uint64_t value, int width) {
+  for (int i = 0; i < width; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] = static_cast<std::byte>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Recompute all section checksums and the file checksum (which skips
+/// its own u64 at byte 32; table of 32-byte entries starts at 40 — the
+/// header layout documented in serialize.hpp).
+void reforge_checksums(std::vector<std::byte>& bytes) {
+  constexpr std::size_t kChecksumAt = 32;
+  constexpr std::size_t kTableAt = 40;
+  constexpr std::size_t kEntryBytes = 32;
+  serialize::ByteReader header(bytes, "header");
+  header.skip(24);
+  const std::uint32_t section_count = header.u32();
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::size_t entry_at = kTableAt + i * kEntryBytes;
+    const std::span<const std::byte> entry_bytes(bytes.data() + entry_at, kEntryBytes);
+    serialize::ByteReader entry(entry_bytes, "entry");
+    entry.skip(8);  // tag, reserved
+    const std::uint64_t offset = entry.u64();
+    const std::uint64_t size = entry.u64();
+    poke_le(bytes, entry_at + 24, fnv1a64(bytes.data() + offset, size), 8);
+  }
+  std::uint64_t h = fnv1a64(kFnv1a64Basis, bytes.data(), kChecksumAt);
+  h = fnv1a64(h, bytes.data() + kChecksumAt + 8, bytes.size() - (kChecksumAt + 8));
+  poke_le(bytes, kChecksumAt, h, 8);
+}
+
+serialize::SectionInfo section_named(const std::vector<std::byte>& bytes,
+                                     const std::string& tag) {
+  for (const serialize::SectionInfo& s : serialize::read_package_info(bytes).sections) {
+    if (s.tag == tag) return s;
+  }
+  throw std::logic_error("package has no " + tag + " section");
+}
+
+/// Walk GRPH node records (mirroring the schema; op bytes follow
+/// ir::OpKind declaration order) to the first op that consumes conv
+/// attrs; returns the offset of its kernel field within the payload.
+std::size_t conv_attrs_offset(std::span<const std::byte> grph) {
+  serialize::ByteReader r(grph, "GRPH");
+  const std::uint32_t node_count = r.u32();
+  r.i32();  // input
+  r.i32();  // output
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    r.i32();  // id
+    const int op = r.u8();
+    r.str();  // name
+    const std::uint32_t num_inputs = r.u32();
+    for (std::uint32_t k = 0; k < num_inputs; ++k) r.i32();
+    const int rank = r.u8();
+    for (int d = 0; d < rank; ++d) r.i32();
+    r.u8();  // dtype
+    if (op == static_cast<int>(ir::OpKind::kConv2d) ||
+        op == static_cast<int>(ir::OpKind::kAvgPool) ||
+        op == static_cast<int>(ir::OpKind::kQConv2d) ||
+        op == static_cast<int>(ir::OpKind::kQAvgPool)) {
+      return r.pos();
+    }
+    r.i32();  // kernel
+    r.i32();  // stride
+    r.i32();  // pad
+    r.u8();   // fused_relu
+    r.f64();  // bn_eps
+    for (int a = 0; a < 3; ++a) {  // in_q, in2_q, out_q
+      r.f64();
+      r.i32();
+    }
+    const std::uint32_t num_mantissa = r.u32();
+    for (std::uint32_t k = 0; k < num_mantissa; ++k) r.i32();
+    const std::uint32_t num_shift = r.u32();
+    for (std::uint32_t k = 0; k < num_shift; ++k) r.i32();
+    r.i32();  // mantissa2
+    r.i32();  // shift2
+    if (r.u8() != 0) {  // const payload ref
+      r.u64();
+      r.u64();
+    }
+  }
+  throw std::logic_error("GRPH has no conv/pool node");
+}
+
+/// Offset of arena_bytes within the RPRT payload (arch string, four
+/// node counts, pass stats, then the byte totals).
+std::size_t report_arena_offset(std::span<const std::byte> rprt) {
+  serialize::ByteReader r(rprt, "RPRT");
+  r.str();  // arch
+  for (int i = 0; i < 4; ++i) r.i32();
+  const std::uint32_t num_passes = r.u32();
+  for (std::uint32_t i = 0; i < num_passes; ++i) {
+    r.str();
+    r.u8();
+    r.i32();
+    r.i32();
+    r.f64();
+  }
+  return r.pos();
+}
+
+TEST(SerializeForged, HostileConvAttrsFailClosed) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> baseline = serialize::save_model_bytes(model);
+  const serialize::SectionInfo grph = section_named(baseline, "GRPH");
+  const std::size_t attrs_at =
+      grph.offset + conv_attrs_offset(std::span(baseline).subspan(grph.offset, grph.size));
+
+  // The reforge helper must be a faithful writer: recomputing the
+  // checksums of an unmodified package reproduces it byte-for-byte.
+  {
+    std::vector<std::byte> intact = baseline;
+    reforge_checksums(intact);
+    EXPECT_EQ(intact, baseline);
+  }
+
+  // Keep the genuine kernel for the stride/pad attacks so the
+  // kernel/weight-shape cross-check cannot mask them: stride 0 used to
+  // reach conv_out_size's division (SIGFPE), pad near INT_MAX its
+  // `in + 2*pad` (signed overflow).
+  const std::span<const std::byte> attr_bytes(baseline.data() + attrs_at, 12);
+  serialize::ByteReader attrs(attr_bytes, "attrs");
+  const std::int32_t kernel0 = attrs.i32();
+  const std::int32_t stride0 = attrs.i32();
+  const std::int32_t pad0 = attrs.i32();
+  const struct {
+    std::int32_t kernel, stride, pad;
+  } hostile[] = {
+      {kernel0, 0, pad0},          {kernel0, 1, INT32_MAX}, {kernel0, -1, pad0},
+      {kernel0, stride0, -1},      {0, stride0, pad0},      {INT32_MAX, stride0, pad0},
+  };
+  for (const auto& h : hostile) {
+    std::vector<std::byte> forged = baseline;
+    poke_le(forged, attrs_at + 0, static_cast<std::uint32_t>(h.kernel), 4);
+    poke_le(forged, attrs_at + 4, static_cast<std::uint32_t>(h.stride), 4);
+    poke_le(forged, attrs_at + 8, static_cast<std::uint32_t>(h.pad), 4);
+    reforge_checksums(forged);
+    EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError)
+        << "kernel=" << h.kernel << " stride=" << h.stride << " pad=" << h.pad;
+  }
+}
+
+TEST(SerializeForged, HostileArenaDemandFailsClosed) {
+  // A forged plan declaring naive_bytes == arena_bytes == 2^62 (report
+  // patched to agree, all checksums valid) passes every structural
+  // check; the loader must reject it before an Executor would try to
+  // allocate a 4-exabyte arena.
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> baseline = serialize::save_model_bytes(model);
+  const serialize::SectionInfo plan = section_named(baseline, "PLAN");
+  const serialize::SectionInfo rprt = section_named(baseline, "RPRT");
+  const std::size_t report_at =
+      rprt.offset + report_arena_offset(std::span(baseline).subspan(rprt.offset, rprt.size));
+
+  std::vector<std::byte> forged = baseline;
+  const std::uint64_t huge = 1ULL << 62;
+  poke_le(forged, plan.offset + 0, huge, 8);  // plan.arena_bytes
+  poke_le(forged, plan.offset + 8, huge, 8);  // plan.naive_bytes
+  poke_le(forged, report_at + 0, huge, 8);    // report.arena_bytes
+  poke_le(forged, report_at + 8, huge, 8);    // report.naive_arena_bytes
+  reforge_checksums(forged);
+  EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError);
+}
+
 // ----------------------------------------------------------- golden ties
 
 /// The fixed golden scenario of tests/test_compile_e2e.cpp.
@@ -220,9 +395,10 @@ TEST(SerializeGolden, ReloadedLogitsHashMatchesCompileReportGolden) {
 }
 
 /// Stable layout summary of the golden scenario's package: section
-/// sizes for all five sections plus content checksums for the
-/// deterministic ones (META carries the writer's git sha and RPRT the
-/// pass wall times, so only their sizes are pinned).
+/// sizes plus content checksums for the deterministic sections. META
+/// embeds the writer's variable-length git sha, so only its presence
+/// is pinned (neither size nor checksum); RPRT carries pass wall
+/// times, so only its size is.
 std::string package_summary() {
   const compile::CompiledModel model = golden_model();
   const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
@@ -231,7 +407,8 @@ std::string package_summary() {
   ss << "format_version " << info.format_version << "\n";
   ss << "arch " << info.arch << "\n";
   for (const serialize::SectionInfo& s : info.sections) {
-    ss << "section " << s.tag << " " << s.size;
+    ss << "section " << s.tag;
+    if (s.tag != "META") ss << " " << s.size;
     if (s.tag == "GRPH" || s.tag == "CNST" || s.tag == "PLAN") {
       char sum[32];
       std::snprintf(sum, sizeof(sum), "%016llx", static_cast<unsigned long long>(s.checksum));

@@ -122,6 +122,36 @@ TEST(ModelServer, RejectsWrongInputShape) {
   EXPECT_THROW(bad.get(), std::invalid_argument);
 }
 
+TEST(ModelServer, EveryConcurrentStopWaitsForTheDrain) {
+  // Racing stop() calls: only one wins the dispatcher join, but every
+  // caller must block until the dispatcher has exited — a loser that
+  // returned early would observe incomplete stats(), and a stop()
+  // racing the destructor would leave the dispatcher touching freed
+  // state. Each thread therefore checks the postcondition right after
+  // its own stop() returns.
+  serve::ServerOptions options;
+  options.max_batch = 2;
+  options.max_wait_us = 1'000'000;  // stop() must cut the wait short
+  serve::ModelServer server(compiled_small(), options);
+  const std::vector<Tensor> inputs = sample_inputs(6, 23);
+  std::vector<std::future<Tensor>> futures;
+  for (const Tensor& in : inputs) futures.push_back(server.submit(in));
+
+  std::vector<long long> seen(4, -1);
+  std::vector<std::thread> stoppers;
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    stoppers.emplace_back([&server, &seen, t] {
+      server.stop();
+      seen[t] = server.stats().requests;
+    });
+  }
+  for (std::thread& th : stoppers) th.join();
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    EXPECT_EQ(seen[t], 6) << "stop() caller " << t << " returned before the queue drained";
+  }
+  for (std::future<Tensor>& f : futures) EXPECT_GT(f.get().numel(), 0u);
+}
+
 TEST(ModelServer, StopDrainsPendingRequests) {
   serve::ServerOptions options;
   options.max_batch = 4;
