@@ -21,10 +21,10 @@ nb201::Genotype serve_genotype() {
       "|avg_pool_3x3~0|nor_conv_1x1~1|nor_conv_3x3~2|");
 }
 
-compile::CompilerOptions serve_options(bench::State& state) {
+compile::CompilerOptions serve_options(bench::State& state, int default_input = 16) {
   compile::CompilerOptions options;
   options.macro.cells_per_stage = state.param_int("cells", 1);
-  options.macro.input_size = state.param_int("input", 16);
+  options.macro.input_size = state.param_int("input", default_input);
   return options;
 }
 
@@ -73,28 +73,46 @@ BENCH_CASE_OPTS(serve, save_load,
   state.set_bytes_processed(static_cast<double>(bytes.size()));
 }
 
+std::vector<Tensor> serve_inputs(int requests, int input_size) {
+  DatasetSpec spec;
+  spec.height = spec.width = input_size;
+  Rng rng(7);
+  SyntheticDataset data(spec, rng);
+  std::vector<Tensor> inputs;
+  inputs.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) inputs.push_back(data.sample_batch(1, rng).images);
+  return inputs;
+}
+
+/// One burst: submit every input, then drain every future. Returns the
+/// min wall ms over `reps` bursts.
+double burst_ms(serve::ModelServer& server, const std::vector<Tensor>& inputs, int reps) {
+  return min_ms_of(reps, [&] {
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(inputs.size());
+    for (const Tensor& in : inputs) futures.push_back(server.submit(in));
+    for (std::future<Tensor>& f : futures) bench::do_not_optimize(f.get().numel());
+  });
+}
+
 // Batched server vs a serial request loop, same loaded model and
 // inputs; wall time of the case tracks the batched pass
-// (items_processed counts its requests). The batched logits are
-// asserted bit-identical to serial in tests/test_serve.cpp; here only
+// (items_processed counts its requests). The server runs the default
+// one-invocation path (one BatchedExecutor::run_batch per coalesced
+// batch); pass fanout=1 to bench the legacy per-slot fan-out instead.
+// The batched logits are asserted bit-identical to serial in
+// tests/test_serve.cpp and tests/test_batched_executor.cpp; here only
 // the throughput race is measured.
 BENCH_CASE_OPTS(serve, batched_vs_serial,
                 bench::CaseOptions{.warmup = 1, .min_reps = 3, .max_reps = 8, .tier = 1}) {
   const compile::CompilerOptions options = serve_options(state);
   const int requests = state.param_int("requests", 32);
   const int max_batch = state.param_int("max_batch", 8);
-  const int threads = state.param_int("threads", 4);
+  const int threads = state.param_int("threads", 0);
 
   const std::vector<std::byte> bytes =
       serialize::save_model_bytes(compile::compile_genotype(serve_genotype(), options));
-
-  DatasetSpec spec;
-  spec.height = spec.width = options.macro.input_size;
-  Rng rng(7);
-  SyntheticDataset data(spec, rng);
-  std::vector<Tensor> inputs;
-  inputs.reserve(static_cast<std::size_t>(requests));
-  for (int i = 0; i < requests; ++i) inputs.push_back(data.sample_batch(1, rng).images);
+  const std::vector<Tensor> inputs = serve_inputs(requests, options.macro.input_size);
 
   compile::CompiledModel serial_model = serialize::load_model_bytes(bytes);
   rt::Executor serial(serial_model.graph, serial_model.plan, rt::ExecOptions{1});
@@ -107,24 +125,124 @@ BENCH_CASE_OPTS(serve, batched_vs_serial,
   sopts.max_batch = max_batch;
   sopts.max_wait_us = 2000;
   sopts.threads = threads;
+  sopts.per_slot_fanout = state.param_int("fanout", 0) != 0;
   serve::ModelServer server(serialize::load_model_bytes(bytes), sopts);
 
   double batched_ms = 1e300;
   for (auto _ : state) {
-    const auto t0 = std::chrono::steady_clock::now();
-    std::vector<std::future<Tensor>> futures;
-    futures.reserve(inputs.size());
-    for (const Tensor& in : inputs) futures.push_back(server.submit(in));
-    for (std::future<Tensor>& f : futures) bench::do_not_optimize(f.get().numel());
-    const auto t1 = std::chrono::steady_clock::now();
-    batched_ms =
-        std::min(batched_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    batched_ms = std::min(batched_ms, burst_ms(server, inputs, 1));
   }
   const serve::ServerStats stats = server.stats();
   state.counter("serial_rps", 1000.0 * requests / serial_ms);
   state.counter("batched_rps", 1000.0 * requests / batched_ms);
   state.counter("batch_speedup", serial_ms / batched_ms);
   state.counter("mean_batch", stats.mean_batch);
+  state.set_items_processed(requests);
+}
+
+// The tentpole head-to-head: one-invocation batching (a coalesced
+// batch = ONE BatchedExecutor::run_batch, int8-GEMM M widened to the
+// whole batch) vs the legacy per-slot fan-out (one Executor per slot
+// over the shared pool) on the same model, inputs and thread budget.
+// batch_speedup = fanout wall / one-invocation wall; > 1 means one
+// widened invocation beats running the graph max_batch times. The
+// default model is deliberately small (input=8): what one-invocation
+// removes is the per-invocation cost (graph walks, kernel launches,
+// pool dispatches), so the case measures the overhead-bound serving
+// regime; on multi-core hosts the margin additionally includes the
+// widened GEMM's better parallel scaling. Wall time of the case
+// tracks the one-invocation pass.
+BENCH_CASE_OPTS(serve, batched_one_invocation,
+                bench::CaseOptions{.warmup = 1, .min_reps = 6, .max_reps = 12, .tier = 1}) {
+  const compile::CompilerOptions options = serve_options(state, /*default_input=*/8);
+  const int requests = state.param_int("requests", 128);
+  const int max_batch = state.param_int("max_batch", 8);
+  const int threads = state.param_int("threads", 0);
+
+  const std::vector<std::byte> bytes =
+      serialize::save_model_bytes(compile::compile_genotype(serve_genotype(), options));
+  const std::vector<Tensor> inputs = serve_inputs(requests, options.macro.input_size);
+
+  serve::ServerOptions sopts;
+  sopts.max_batch = max_batch;
+  sopts.max_wait_us = 2000;
+  sopts.threads = threads;
+
+  serve::ServerOptions fanout_opts = sopts;
+  fanout_opts.per_slot_fanout = true;
+  serve::ModelServer fanout(serialize::load_model_bytes(bytes), fanout_opts);
+  serve::ModelServer batched(serialize::load_model_bytes(bytes), sopts);
+  burst_ms(fanout, inputs, 1);  // warm
+  burst_ms(batched, inputs, 1);
+
+  // Interleave the contestants inside each rep (min-of-pairs): both
+  // sides see the same share of ambient machine noise, so slow drift
+  // between two separate measurement phases cannot fake a winner
+  // either way.
+  double fanout_ms = 1e300;
+  double batched_ms = 1e300;
+  for (auto _ : state) {
+    fanout_ms = std::min(fanout_ms, burst_ms(fanout, inputs, 1));
+    batched_ms = std::min(batched_ms, burst_ms(batched, inputs, 1));
+  }
+
+  state.counter("fanout_rps", 1000.0 * requests / fanout_ms);
+  state.counter("one_invocation_rps", 1000.0 * requests / batched_ms);
+  state.counter("batch_speedup", fanout_ms / batched_ms);
+  state.counter("mean_batch", batched.stats().mean_batch);
+  state.set_items_processed(requests);
+}
+
+// Overload behavior: a burst far past the bounded queue against a
+// server with tight deadlines. Wall time tracks one overload burst
+// (submit everything, drain every future — logits or admission
+// error); the counters expose how the load split. The admission
+// ledger itself (accepted == completed + dropped, submitted ==
+// accepted + rejected) is asserted in tests/test_serve_overload.cpp;
+// here the cost of saying no is measured: rejection is synchronous
+// and must stay cheap.
+BENCH_CASE_OPTS(serve, serve_overload,
+                bench::CaseOptions{.warmup = 1, .min_reps = 3, .max_reps = 8, .tier = 1}) {
+  const compile::CompilerOptions options = serve_options(state);
+  const int requests = state.param_int("requests", 256);
+  const int max_batch = state.param_int("max_batch", 8);
+
+  serve::ServerOptions sopts;
+  sopts.max_batch = max_batch;
+  sopts.max_wait_us = 200;
+  sopts.threads = state.param_int("threads", 0);
+  sopts.max_queue = static_cast<std::size_t>(state.param_int("max_queue", 16));
+  serve::ModelServer server(
+      compile::compile_genotype(serve_genotype(), options), sopts);
+  const std::vector<Tensor> inputs = serve_inputs(requests, options.macro.input_size);
+
+  long long rejected = 0;
+  long long served = 0;
+  for (auto _ : state) {
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(inputs.size());
+    for (const Tensor& in : inputs) {
+      try {
+        futures.push_back(server.submit(in));
+      } catch (const serve::QueueFullError&) {
+        ++rejected;
+      }
+    }
+    for (std::future<Tensor>& f : futures) {
+      try {
+        bench::do_not_optimize(f.get().numel());
+        ++served;
+      } catch (const serve::DeadlineExpiredError&) {
+      }
+    }
+  }
+  const serve::ServerStats stats = server.stats();
+  const long long offered = served + rejected + (stats.dropped);
+  state.counter("served", static_cast<double>(served));
+  state.counter("rejected", static_cast<double>(rejected));
+  state.counter("dropped", static_cast<double>(stats.dropped));
+  state.counter("rejected_fraction",
+                offered > 0 ? static_cast<double>(rejected) / static_cast<double>(offered) : 0.0);
   state.set_items_processed(requests);
 }
 

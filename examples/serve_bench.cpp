@@ -15,10 +15,13 @@
 //   ./serve_bench --mode load --package model.mnpkg
 //       --golden tests/golden/compile_report.golden  (consumer half, CI job)
 //   ./serve_bench --clients 8 --requests 64 --max-batch 8 --threads 4
+//   ./serve_bench --mode overload --max-queue 16 --deadline-us 500
+//       (admission control under a burst: accepted/rejected/dropped ledger)
 //
 // Defaults reproduce the fixed scenario of tests/golden/
 // compile_report.golden (genotype, seed 7, reduced skeleton), so the
 // reloaded hash is directly comparable against that fixture.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -61,10 +64,12 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
                        {"mode", "arch", "cells", "input", "seed", "out", "package", "golden",
-                        "clients", "requests", "max-batch", "max-wait-us", "threads"});
+                        "clients", "requests", "max-batch", "max-wait-us", "threads",
+                        "max-queue", "deadline-us"});
     const std::string mode = args.get_string("mode", "all");
-    if (mode != "all" && mode != "save" && mode != "load" && mode != "serve") {
-      throw std::runtime_error("--mode must be all|save|load|serve");
+    if (mode != "all" && mode != "save" && mode != "load" && mode != "serve" &&
+        mode != "overload") {
+      throw std::runtime_error("--mode must be all|save|load|serve|overload");
     }
     const int input_size = args.get_int("input", 16);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
@@ -72,8 +77,9 @@ int main(int argc, char** argv) {
     const std::string package = args.get_string("package", out_path);
     const std::string golden = args.get_string("golden", "");
     const bool do_save = mode == "all" || mode == "save";
-    const bool do_load = mode == "all" || mode == "load" || mode == "serve";
+    const bool do_load = mode != "save";
     const bool do_serve = mode == "all" || mode == "serve";
+    const bool do_overload = mode == "overload";
 
     double compile_ms = 0.0;
     if (do_save) {
@@ -127,6 +133,86 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("golden hash check OK (%s)\n", golden.c_str());
+    }
+    // --mode overload: hammer a deliberately small admission window
+    // (bounded queue + per-request deadlines) with burst clients and
+    // print where the offered load went. Every submit must end in
+    // exactly one of completed / rejected / dropped, and the server's
+    // ledger must agree with the clients' own counts — the same
+    // invariant tests/test_serve_overload.cpp asserts, observable here
+    // on real overload traffic.
+    if (do_overload) {
+      const int clients = args.get_int("clients", 4);
+      const int requests = args.get_int("requests", 64);
+      serve::ServerOptions sopts;
+      sopts.max_batch = args.get_int("max-batch", 8);
+      sopts.max_wait_us = args.get_int("max-wait-us", 200);
+      sopts.threads = args.get_int("threads", 0);
+      sopts.max_queue = static_cast<std::size_t>(args.get_int("max-queue", 16));
+      sopts.deadline_us = args.get_int("deadline-us", 0);
+      serve::ModelServer server(std::move(loaded), sopts);
+
+      std::atomic<long long> accepted{0}, rejected{0}, completed{0}, dropped{0};
+      std::vector<std::thread> workers;
+      const auto burst0 = std::chrono::steady_clock::now();
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          Rng rng(hash_combine(seed, static_cast<std::uint64_t>(c) + 101));
+          DatasetSpec spec;
+          spec.height = spec.width = loaded_input;
+          SyntheticDataset data(spec, rng);
+          std::vector<std::future<Tensor>> mine;
+          for (int r = 0; r < requests; ++r) {
+            try {
+              mine.push_back(server.submit(data.sample_batch(1, rng).images));
+              ++accepted;
+            } catch (const serve::QueueFullError&) {
+              ++rejected;
+            }
+          }
+          for (std::future<Tensor>& f : mine) {
+            try {
+              if (f.get().numel() > 0) ++completed;
+            } catch (const serve::DeadlineExpiredError&) {
+              ++dropped;
+            }
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      const double burst_s = ms_since(burst0) / 1000.0;
+      server.stop();
+
+      const serve::ServerStats stats = server.stats();
+      const long long offered = static_cast<long long>(clients) * requests;
+      const bool balanced = accepted + rejected == offered &&
+                            accepted == completed + dropped &&
+                            stats.accepted == accepted && stats.rejected == rejected &&
+                            stats.requests == completed && stats.dropped == dropped;
+      TablePrinter table({"Metric", "Value"});
+      table.add_row({"offered (clients x requests)",
+                     std::to_string(clients) + " x " + std::to_string(requests)});
+      table.add_row({"queue bound / deadline",
+                     std::to_string(sopts.max_queue) + " / " +
+                         (sopts.deadline_us > 0 ? std::to_string(sopts.deadline_us) + " us"
+                                                : std::string("none"))});
+      table.add_row({"accepted", std::to_string(accepted.load())});
+      table.add_row({"rejected (queue full)", std::to_string(rejected.load())});
+      table.add_row({"dropped (deadline)", std::to_string(dropped.load())});
+      table.add_row({"completed", std::to_string(completed.load())});
+      table.add_row({"rejected fraction",
+                     TablePrinter::fmt(static_cast<double>(rejected.load()) /
+                                           static_cast<double>(offered), 3)});
+      table.add_row({"served throughput",
+                     TablePrinter::fmt(static_cast<double>(completed.load()) / burst_s, 1) +
+                         " req/s"});
+      table.add_row({"latency p50 / p90 / p99",
+                     TablePrinter::fmt(stats.p50_ms, 2) + " / " +
+                         TablePrinter::fmt(stats.p90_ms, 2) + " / " +
+                         TablePrinter::fmt(stats.p99_ms, 2) + " ms"});
+      table.add_row({"ledger balanced", balanced ? "yes" : "NO"});
+      std::cout << table.render();
+      return balanced ? 0 : 1;
     }
     if (!do_serve) return 0;
 

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verify + example smoke test, in one command.
 #
-#   scripts/check.sh              # configure, build, ctest, smoke tests
-#   scripts/check.sh --sanitize   # same under ASan+UBSan (build-asan/)
-#   scripts/check.sh --werror     # warnings are errors (CI default)
-#   JOBS=4 scripts/check.sh       # cap build/test parallelism
+#   scripts/check.sh                    # configure, build, ctest, smoke tests
+#   scripts/check.sh --sanitize         # same under ASan+UBSan (build-asan/)
+#   scripts/check.sh --sanitize=thread  # same under TSan (build-tsan/)
+#   scripts/check.sh --werror           # warnings are errors (CI default)
+#   JOBS=4 scripts/check.sh             # cap build/test parallelism
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,16 +15,21 @@ BUILD_DIR=build
 CMAKE_FLAGS=""
 for arg in "$@"; do
   case "$arg" in
-    --sanitize)
+    --sanitize|--sanitize=address)
       BUILD_DIR=build-asan
-      CMAKE_FLAGS="$CMAKE_FLAGS -DMICRONAS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo"
+      CMAKE_FLAGS="$CMAKE_FLAGS -DMICRONAS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo"
       export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+      ;;
+    --sanitize=thread)
+      BUILD_DIR=build-tsan
+      CMAKE_FLAGS="$CMAKE_FLAGS -DMICRONAS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo"
+      export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
       ;;
     --werror)
       CMAKE_FLAGS="$CMAKE_FLAGS -DMICRONAS_WERROR=ON"
       ;;
     *)
-      echo "usage: $0 [--sanitize] [--werror]" >&2
+      echo "usage: $0 [--sanitize[=address|thread]] [--werror]" >&2
       exit 2
       ;;
   esac

@@ -30,6 +30,12 @@ std::vector<Tensor> make_calibration_batches(const CompilerOptions& options) {
 
 }  // namespace
 
+rt::MemoryPlan CompiledModel::plan_for_batch(int batch_capacity,
+                                             rt::MemoryPlanOptions options) const {
+  options.batch = batch_capacity;
+  return rt::plan_memory(graph, options);
+}
+
 CompiledModel compile_genotype(const nb201::Genotype& genotype, const CompilerOptions& options) {
   if (options.quantize && !(options.fold && options.fuse)) {
     throw std::invalid_argument(

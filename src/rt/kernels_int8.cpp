@@ -43,38 +43,62 @@ void qconv2d(const QConv2dArgs& a, ThreadPool* pool) {
   const int npix = a.out_h * a.out_w;
   const int relu_lo = a.fused_relu ? std::max(kInt8Min, a.out_zp) : kInt8Min;
 
+  // All samples' pixels into one column matrix: the GEMM M dimension is
+  // batch * npix, so a coalesced batch is one channel-partitioned GEMM
+  // (one pool dispatch per conv, not one per sample) and a channel's
+  // weight row is reused across the whole batch.
   for (int n = 0; n < a.batch; ++n) {
     const std::int8_t* in =
         a.input + static_cast<std::ptrdiff_t>(n) * a.cin * a.h * a.w;
-    std::int8_t* out = a.output + static_cast<std::ptrdiff_t>(n) * a.cout * npix;
     im2col_i8(in, a.cin, a.h, a.w, a.kernel, a.stride, a.pad, a.out_h, a.out_w,
-              static_cast<std::int8_t>(a.in_zp), a.columns);
+              static_cast<std::int8_t>(a.in_zp),
+              a.columns + static_cast<std::ptrdiff_t>(n) * npix * patch);
+  }
 
-    auto channel = [&](std::size_t ci) {
-      const int c = static_cast<int>(ci);
-      const std::int8_t* wrow = a.weight + static_cast<std::ptrdiff_t>(c) * patch;
-      // acc = Σ_k w*q - zp*Σ_k w (+ bias): padding cells hold q == zp,
-      // so the correction term works uniformly across the border.
-      const std::int32_t base =
-          (a.bias ? a.bias[c] : 0) - a.in_zp * a.weight_sum[c];
-      std::int8_t* orow = out + static_cast<std::ptrdiff_t>(c) * npix;
-      for (int j = 0; j < npix; ++j) {
-        const std::int8_t* col = a.columns + static_cast<std::ptrdiff_t>(j) * patch;
-        std::int32_t acc = base;
-        for (int k = 0; k < patch; ++k) {
-          acc += static_cast<std::int32_t>(wrow[k]) * static_cast<std::int32_t>(col[k]);
+  // Channel-blocked GEMM, samples outermost within a block: one
+  // sample's columns (npix * patch bytes) stay cache-hot while the
+  // block's channels sweep them, so the batched nest keeps the batch-1
+  // path's locality instead of re-streaming the whole batch's columns
+  // on every output channel. The per-output accumulation order is
+  // exactly the batch-1 order, so results stay bit-identical across
+  // batch sizes, block counts and thread counts.
+  auto block = [&](int c_begin, int c_end) {
+    for (int n = 0; n < a.batch; ++n) {
+      const std::int8_t* cols = a.columns + static_cast<std::ptrdiff_t>(n) * npix * patch;
+      for (int c = c_begin; c < c_end; ++c) {
+        const std::int8_t* wrow = a.weight + static_cast<std::ptrdiff_t>(c) * patch;
+        // acc = Σ_k w*q - zp*Σ_k w (+ bias): padding cells hold q == zp,
+        // so the correction term works uniformly across the border.
+        const std::int32_t base =
+            (a.bias ? a.bias[c] : 0) - a.in_zp * a.weight_sum[c];
+        std::int8_t* orow =
+            a.output + (static_cast<std::ptrdiff_t>(n) * a.cout + c) * npix;
+        for (int j = 0; j < npix; ++j) {
+          const std::int8_t* col = cols + static_cast<std::ptrdiff_t>(j) * patch;
+          std::int32_t acc = base;
+          for (int k = 0; k < patch; ++k) {
+            acc += static_cast<std::int32_t>(wrow[k]) * static_cast<std::int32_t>(col[k]);
+          }
+          const std::int32_t q =
+              multiply_by_quantized_multiplier(acc, a.mantissa[c], a.shift[c]) + a.out_zp;
+          orow[j] = clamp_i8(q, relu_lo);
         }
-        const std::int32_t q =
-            multiply_by_quantized_multiplier(acc, a.mantissa[c], a.shift[c]) + a.out_zp;
-        orow[j] = clamp_i8(q, relu_lo);
       }
-    };
-
-    if (pool && pool->size() > 1 && a.cout > 1) {
-      pool->parallel_for(static_cast<std::size_t>(a.cout), channel);
-    } else {
-      for (int c = 0; c < a.cout; ++c) channel(static_cast<std::size_t>(c));
     }
+  };
+
+  if (pool && pool->size() > 1 && a.cout > 1) {
+    // Two blocks per worker: channels cost the same, so this is enough
+    // slack to rebalance around external load without paying dispatch
+    // overhead for a long tail of tiny tasks.
+    const int nblocks = std::min(a.cout, pool->size() * 2);
+    pool->parallel_for(static_cast<std::size_t>(nblocks), [&](std::size_t b) {
+      const int c_begin = a.cout * static_cast<int>(b) / nblocks;
+      const int c_end = a.cout * (static_cast<int>(b) + 1) / nblocks;
+      block(c_begin, c_end);
+    });
+  } else {
+    block(0, a.cout);
   }
 }
 

@@ -9,6 +9,13 @@
 // channels are fully independent, so the partition cannot change the
 // result.
 //
+// Batching widens the GEMM M dimension instead of looping the kernel:
+// qconv2d im2cols every sample into one column matrix of batch * Ho*Wo
+// rows and runs a single channel-partitioned GEMM over all of them —
+// so a batch of N is one kernel invocation, and per-(sample, channel,
+// pixel) accumulation order is unchanged from the batch-1 path (bit
+// identity of batched vs serial execution rests on this).
+//
 // Zero-point convention (TFLite): real = scale * (q - zero_point).
 // Padding contributes real 0.0, i.e. q == zero_point, so padded cells
 // drop out of (q - zp) sums and the kernels simply skip them.
@@ -39,7 +46,7 @@ struct QConv2dArgs {
   const std::int32_t* weight_sum = nullptr;  // [Cout]: Σ_k w[c,k] (precomputed)
   const std::int32_t* mantissa = nullptr;    // [Cout] per-channel requant
   const int* shift = nullptr;                // [Cout]
-  std::int8_t* columns = nullptr;        // scratch, out_h*out_w*cin*k*k
+  std::int8_t* columns = nullptr;        // scratch, batch*out_h*out_w*cin*k*k
   std::int8_t* output = nullptr;         // [N, Cout, Ho, Wo]
 };
 

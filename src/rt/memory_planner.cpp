@@ -90,10 +90,19 @@ MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options)
                                 std::to_string(kMaxPlanAlignment) + "]");
   }
 
+  if (options.batch < 1) {
+    throw std::invalid_argument("plan_memory: batch must be >= 1");
+  }
+
   MemoryPlan plan;
   Liveness live = compute_liveness(graph);
   plan.schedule = std::move(live.schedule);
   std::vector<BufferPlacement> buffers = std::move(live.buffers);
+  // Batch capacity scales every value, not the schedule: lifetimes are
+  // the batch-1 lifetimes, sizes are batch * the per-sample bytes.
+  if (options.batch > 1) {
+    for (BufferPlacement& b : buffers) b.size *= options.batch;
+  }
 
   // Greedy by size, largest first (ties broken by def step then id so
   // the plan is deterministic): lowest aligned offset whose span is

@@ -10,6 +10,52 @@
 
 namespace micronas::rt {
 
+namespace {
+
+/// Per-node Σ_k w[c,k] for kQConv2d / kQLinear (shared by Executor and
+/// BatchedExecutor; the kernels' zero-point correction term).
+std::vector<std::vector<std::int32_t>> compute_weight_sums(const ir::Graph& graph) {
+  std::vector<std::vector<std::int32_t>> sums_by_node(static_cast<std::size_t>(graph.size()));
+  for (const auto& node : graph.nodes()) {
+    if (node.op != ir::OpKind::kQConv2d && node.op != ir::OpKind::kQLinear) continue;
+    const ir::Node& w = graph.node(node.inputs[1]);
+    const int cout = w.type.shape[0];
+    const auto patch = w.type.shape.numel() / static_cast<std::size_t>(cout);
+    std::vector<std::int32_t> sums(static_cast<std::size_t>(cout), 0);
+    for (int c = 0; c < cout; ++c) {
+      std::int32_t s = 0;
+      for (std::size_t k = 0; k < patch; ++k) {
+        s += w.i8_data[static_cast<std::size_t>(c) * patch + k];
+      }
+      sums[static_cast<std::size_t>(c)] = s;
+    }
+    sums_by_node[static_cast<std::size_t>(node.id)] = std::move(sums);
+  }
+  return sums_by_node;
+}
+
+/// im2col scratch high-water across the graph's kQConv2d nodes.
+/// qconv2d's widened-M GEMM im2cols the whole batch at once, so the
+/// scratch scales with each node's own batch dimension times
+/// `batch_mult` (the BatchedExecutor's capacity; 1 for Executor).
+std::size_t max_qconv_columns(const ir::Graph& graph, int batch_mult) {
+  std::size_t max_columns = 0;
+  for (const auto& node : graph.nodes()) {
+    if (node.op != ir::OpKind::kQConv2d) continue;
+    const ir::Node& x = graph.node(node.inputs[0]);
+    const std::size_t cols = static_cast<std::size_t>(batch_mult) *
+                             static_cast<std::size_t>(node.type.shape[0]) *
+                             static_cast<std::size_t>(node.type.shape[2]) *
+                             static_cast<std::size_t>(node.type.shape[3]) *
+                             static_cast<std::size_t>(x.type.shape[1]) *
+                             static_cast<std::size_t>(node.conv.kernel * node.conv.kernel);
+    max_columns = std::max(max_columns, cols);
+  }
+  return max_columns;
+}
+
+}  // namespace
+
 Executor::Executor(const ir::Graph& graph, const MemoryPlan& plan, ExecOptions options)
     : graph_(graph), plan_(plan), planned_(true), options_(options) {
   prepare();
@@ -42,34 +88,8 @@ void Executor::prepare() {
     }
   }
 
-  // Precompute per-channel weight sums and the im2col scratch high-water.
-  weight_sums_.resize(static_cast<std::size_t>(graph_.size()));
-  std::size_t max_columns = 0;
-  for (const auto& node : graph_.nodes()) {
-    if (node.op == ir::OpKind::kQConv2d || node.op == ir::OpKind::kQLinear) {
-      const ir::Node& w = graph_.node(node.inputs[1]);
-      const int cout = w.type.shape[0];
-      const auto patch = w.type.shape.numel() / static_cast<std::size_t>(cout);
-      std::vector<std::int32_t> sums(static_cast<std::size_t>(cout), 0);
-      for (int c = 0; c < cout; ++c) {
-        std::int32_t s = 0;
-        for (std::size_t k = 0; k < patch; ++k) {
-          s += w.i8_data[static_cast<std::size_t>(c) * patch + k];
-        }
-        sums[static_cast<std::size_t>(c)] = s;
-      }
-      weight_sums_[static_cast<std::size_t>(node.id)] = std::move(sums);
-    }
-    if (node.op == ir::OpKind::kQConv2d) {
-      const ir::Node& x = graph_.node(node.inputs[0]);
-      const std::size_t cols = static_cast<std::size_t>(node.type.shape[2]) *
-                               static_cast<std::size_t>(node.type.shape[3]) *
-                               static_cast<std::size_t>(x.type.shape[1]) *
-                               static_cast<std::size_t>(node.conv.kernel * node.conv.kernel);
-      max_columns = std::max(max_columns, cols);
-    }
-  }
-  columns_.resize(max_columns);
+  weight_sums_ = compute_weight_sums(graph_);
+  columns_.resize(max_qconv_columns(graph_, 1));
 }
 
 std::byte* Executor::buffer(int node_id) {
@@ -271,6 +291,362 @@ void Executor::dispatch(const ir::Node& node) {
       return;  // handled by the caller
   }
   throw std::logic_error("Executor::dispatch: unhandled op kind");
+}
+
+// ------------------------------------------------------------- batched
+
+BatchedExecutor::BatchedExecutor(const ir::Graph& graph, int batch_capacity,
+                                 ExecOptions options, MemoryPlanOptions plan_options)
+    : graph_(graph), capacity_(batch_capacity), options_(options) {
+  if (capacity_ < 1) {
+    throw std::invalid_argument("BatchedExecutor: batch capacity must be >= 1");
+  }
+  plan_options.batch = capacity_;
+  plan_ = plan_memory(graph_, plan_options);
+  prepare();
+}
+
+BatchedExecutor::BatchedExecutor(const ir::Graph& graph, MemoryPlan plan, int batch_capacity,
+                                 ExecOptions options)
+    : graph_(graph), plan_(std::move(plan)), capacity_(batch_capacity), options_(options) {
+  if (capacity_ < 1) {
+    throw std::invalid_argument("BatchedExecutor: batch capacity must be >= 1");
+  }
+  // The plan must be a batch-capacity plan of this graph: every
+  // placement holds capacity_ samples of its value.
+  for (const BufferPlacement& b : plan_.buffers) {
+    const long long want = graph_.node(b.node_id).type.bytes() * capacity_;
+    if (b.size != want) {
+      throw std::invalid_argument("BatchedExecutor: plan holds " + std::to_string(b.size) +
+                                  " B for node %" + std::to_string(b.node_id) + ", want " +
+                                  std::to_string(want) + " B at batch capacity " +
+                                  std::to_string(capacity_));
+    }
+  }
+  prepare();
+}
+
+void BatchedExecutor::prepare() {
+  graph_.validate();
+  const ir::Node& in = graph_.node(graph_.input());
+  const ir::Node& out = graph_.node(graph_.output());
+  if (in.type.dtype != ir::DType::kF32 || out.type.dtype != ir::DType::kF32) {
+    throw std::invalid_argument("BatchedExecutor: graph must start and end in f32 nodes");
+  }
+  if (in.type.shape[0] != 1) {
+    throw std::invalid_argument(
+        "BatchedExecutor: graph must be compiled at batch 1 — the input batch dim is the "
+        "sample axis the executor widens; got input " +
+        in.type.shape.to_string());
+  }
+  if (options_.threads != 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  arena_.resize(static_cast<std::size_t>(plan_.arena_bytes));
+  weight_sums_ = compute_weight_sums(graph_);
+  columns_.resize(max_qconv_columns(graph_, capacity_));
+}
+
+std::byte* BatchedExecutor::buffer(int node_id) {
+  return const_cast<std::byte*>(read_buffer(node_id));
+}
+
+const std::byte* BatchedExecutor::read_buffer(int node_id) const {
+  const ir::Node& node = graph_.node(node_id);
+  if (node.is_const()) {
+    switch (node.type.dtype) {
+      case ir::DType::kF32:
+        return reinterpret_cast<const std::byte*>(node.f32_data.data().data());
+      case ir::DType::kI8:
+        return reinterpret_cast<const std::byte*>(node.i8_data.data());
+      case ir::DType::kI32:
+        return reinterpret_cast<const std::byte*>(node.i32_data.data());
+    }
+  }
+  const BufferPlacement* b = plan_.find(node_id);
+  if (!b) throw std::logic_error("BatchedExecutor: node has no arena placement");
+  return arena_.data() + b->offset;
+}
+
+void BatchedExecutor::each_sample(int n, std::size_t sample_bytes,
+                                  const std::function<void(int)>& fn) {
+  // A pool dispatch costs on the order of a context switch; for a
+  // memory-bound broadcast op that only pays off once a sample touches
+  // tens of KB. Below that the serial loop is strictly faster, and the
+  // results are identical either way (samples are independent).
+  constexpr std::size_t kMinParallelSampleBytes = 32u * 1024u;
+  if (pool_ && pool_->size() > 1 && n > 1 && sample_bytes >= kMinParallelSampleBytes) {
+    pool_->parallel_for(static_cast<std::size_t>(n),
+                        [&fn](std::size_t i) { fn(static_cast<int>(i)); });
+  } else {
+    for (int i = 0; i < n; ++i) fn(i);
+  }
+}
+
+std::vector<Tensor> BatchedExecutor::run_batch(std::span<const Tensor* const> inputs) {
+  const int n = static_cast<int>(inputs.size());
+  if (n < 1 || n > capacity_) {
+    throw std::invalid_argument("BatchedExecutor::run_batch: batch of " + std::to_string(n) +
+                                " outside [1, capacity " + std::to_string(capacity_) + "]");
+  }
+  const ir::Node& in_node = graph_.node(graph_.input());
+  for (int i = 0; i < n; ++i) {
+    if (!(inputs[static_cast<std::size_t>(i)]->shape() == in_node.type.shape)) {
+      throw std::invalid_argument(
+          "BatchedExecutor::run_batch: input " + std::to_string(i) + " shape " +
+          inputs[static_cast<std::size_t>(i)]->shape().to_string() + " != graph input " +
+          in_node.type.shape.to_string());
+    }
+  }
+
+  const std::size_t in_per = in_node.type.shape.numel();
+  float* in_buf = reinterpret_cast<float*>(buffer(in_node.id));
+  for (int i = 0; i < n; ++i) {
+    std::memcpy(in_buf + static_cast<std::ptrdiff_t>(i) * in_per,
+                inputs[static_cast<std::size_t>(i)]->data().data(), in_per * sizeof(float));
+  }
+
+  for (const auto& node : graph_.nodes()) {
+    if (node.is_const() || node.op == ir::OpKind::kInput) continue;
+    dispatch(node, n);
+  }
+
+  const ir::Node& out = graph_.node(graph_.output());
+  const std::size_t out_per = out.type.shape.numel();
+  const float* out_buf = reinterpret_cast<const float*>(read_buffer(out.id));
+  std::vector<Tensor> results;
+  results.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Tensor r(out.type.shape);
+    // A fully folded graph ends in a constant: every sample's logits
+    // are that constant (no per-sample slot to read).
+    const float* src =
+        out.is_const() ? out_buf : out_buf + static_cast<std::ptrdiff_t>(i) * out_per;
+    std::memcpy(r.data().data(), src, out_per * sizeof(float));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::vector<Tensor> BatchedExecutor::run_batch(std::span<const Tensor> inputs) {
+  std::vector<const Tensor*> ptrs;
+  ptrs.reserve(inputs.size());
+  for (const Tensor& t : inputs) ptrs.push_back(&t);
+  return run_batch(std::span<const Tensor* const>(ptrs.data(), ptrs.size()));
+}
+
+Tensor BatchedExecutor::run(const Tensor& input) {
+  const Tensor* p = &input;
+  return std::move(run_batch(std::span<const Tensor* const>(&p, 1)).front());
+}
+
+void BatchedExecutor::dispatch(const ir::Node& node, int n) {
+  const auto& shape = node.type.shape;
+  const std::size_t per_out = shape.numel();  // per-sample elements: graph batch is 1
+  const auto in_shape = [&](std::size_t i) -> const Shape& {
+    return graph_.node(node.inputs[i]).type.shape;
+  };
+  // Per-sample operand pointer: constants (weights, quant params) are
+  // shared across samples, activations hold capacity_ sample slots.
+  const auto f32_s = [&](int id, int s) -> const float* {
+    const ir::Node& nd = graph_.node(id);
+    const float* p = reinterpret_cast<const float*>(read_buffer(id));
+    return nd.is_const() ? p : p + static_cast<std::ptrdiff_t>(s) * nd.type.shape.numel();
+  };
+  const auto i8_s = [&](int id, int s) -> const std::int8_t* {
+    const ir::Node& nd = graph_.node(id);
+    const std::int8_t* p = reinterpret_cast<const std::int8_t*>(read_buffer(id));
+    return nd.is_const() ? p : p + static_cast<std::ptrdiff_t>(s) * nd.type.shape.numel();
+  };
+
+  switch (node.op) {
+    case ir::OpKind::kConv2d: {
+      const Shape& x = in_shape(0);
+      float* out = reinterpret_cast<float*>(buffer(node.id));
+      each_sample(n, kHeavySample, [&](int s) {
+        const float* bias = node.inputs.size() == 3 ? f32_s(node.inputs[2], s) : nullptr;
+        conv2d_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s), bias,
+                   out + static_cast<std::ptrdiff_t>(s) * per_out, 1, x[1], x[2], x[3], shape[1],
+                   node.conv.kernel, node.conv.stride, node.conv.pad, shape[2], shape[3],
+                   node.conv.fused_relu, nullptr);
+      });
+      return;
+    }
+    case ir::OpKind::kBatchNorm: {
+      const Shape& x = in_shape(0);
+      float* out = reinterpret_cast<float*>(buffer(node.id));
+      each_sample(n, per_out * sizeof(float), [&](int s) {
+        batch_norm_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s),
+                       f32_s(node.inputs[2], s), f32_s(node.inputs[3], s),
+                       f32_s(node.inputs[4], s), out + static_cast<std::ptrdiff_t>(s) * per_out,
+                       1, x[1], x[2] * x[3], node.conv.bn_eps);
+      });
+      return;
+    }
+    case ir::OpKind::kChannelAffine: {
+      const Shape& x = in_shape(0);
+      float* out = reinterpret_cast<float*>(buffer(node.id));
+      each_sample(n, per_out * sizeof(float), [&](int s) {
+        channel_affine_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s),
+                           f32_s(node.inputs[2], s),
+                           out + static_cast<std::ptrdiff_t>(s) * per_out, 1, x[1], x[2] * x[3]);
+      });
+      return;
+    }
+    case ir::OpKind::kRelu: {
+      float* out = reinterpret_cast<float*>(buffer(node.id));
+      each_sample(n, per_out * sizeof(float), [&](int s) {
+        relu_f32(f32_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out,
+                 per_out);
+      });
+      return;
+    }
+    case ir::OpKind::kAvgPool: {
+      const Shape& x = in_shape(0);
+      float* out = reinterpret_cast<float*>(buffer(node.id));
+      each_sample(n, in_shape(0).numel() * sizeof(float), [&](int s) {
+        avg_pool_f32(f32_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out, 1,
+                     x[1], x[2], x[3], node.conv.kernel, node.conv.stride, node.conv.pad,
+                     shape[2], shape[3]);
+      });
+      return;
+    }
+    case ir::OpKind::kAdd: {
+      float* out = reinterpret_cast<float*>(buffer(node.id));
+      each_sample(n, per_out * sizeof(float), [&](int s) {
+        add_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s),
+                out + static_cast<std::ptrdiff_t>(s) * per_out, per_out);
+      });
+      return;
+    }
+    case ir::OpKind::kGlobalAvgPool: {
+      const Shape& x = in_shape(0);
+      float* out = reinterpret_cast<float*>(buffer(node.id));
+      each_sample(n, in_shape(0).numel() * sizeof(float), [&](int s) {
+        global_avg_pool_f32(f32_s(node.inputs[0], s),
+                            out + static_cast<std::ptrdiff_t>(s) * per_out, 1, x[1], x[2] * x[3]);
+      });
+      return;
+    }
+    case ir::OpKind::kLinear: {
+      const Shape& x = in_shape(0);
+      float* out = reinterpret_cast<float*>(buffer(node.id));
+      each_sample(n, in_shape(0).numel() * per_out * sizeof(float), [&](int s) {
+        const float* bias = node.inputs.size() == 3 ? f32_s(node.inputs[2], s) : nullptr;
+        linear_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s), bias,
+                   out + static_cast<std::ptrdiff_t>(s) * per_out, 1, x[1], shape[1]);
+      });
+      return;
+    }
+    case ir::OpKind::kQuantize: {
+      std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
+      each_sample(n, per_out * sizeof(float), [&](int s) {
+        quantize_buffer(f32_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out,
+                        per_out, node.quant.out_q.scale, node.quant.out_q.zero_point);
+      });
+      return;
+    }
+    case ir::OpKind::kDequantize: {
+      float* out = reinterpret_cast<float*>(buffer(node.id));
+      each_sample(n, per_out * sizeof(float), [&](int s) {
+        dequantize_buffer(i8_s(node.inputs[0], s),
+                          out + static_cast<std::ptrdiff_t>(s) * per_out, per_out,
+                          node.quant.in_q.scale, node.quant.in_q.zero_point);
+      });
+      return;
+    }
+    case ir::OpKind::kQConv2d: {
+      // The widened-M path: n samples, ONE im2col GEMM invocation with
+      // M = n * out_h * out_w, partitioned over output channels.
+      const Shape& x = in_shape(0);
+      QConv2dArgs a;
+      a.batch = n;
+      a.cin = x[1];
+      a.h = x[2];
+      a.w = x[3];
+      a.cout = shape[1];
+      a.kernel = node.conv.kernel;
+      a.stride = node.conv.stride;
+      a.pad = node.conv.pad;
+      a.out_h = shape[2];
+      a.out_w = shape[3];
+      a.in_zp = node.quant.in_q.zero_point;
+      a.out_zp = node.quant.out_q.zero_point;
+      a.fused_relu = node.conv.fused_relu;
+      a.input = i8_s(node.inputs[0], 0);
+      a.weight = i8_s(node.inputs[1], 0);
+      a.bias = reinterpret_cast<const std::int32_t*>(read_buffer(node.inputs[2]));
+      a.weight_sum = weight_sums_[static_cast<std::size_t>(node.id)].data();
+      a.mantissa = node.quant.mantissa.data();
+      a.shift = node.quant.shift.data();
+      a.columns = columns_.data();
+      a.output = reinterpret_cast<std::int8_t*>(buffer(node.id));
+      qconv2d(a, pool_.get());
+      return;
+    }
+    case ir::OpKind::kQAvgPool: {
+      const Shape& x = in_shape(0);
+      std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
+      each_sample(n, in_shape(0).numel(), [&](int s) {
+        qavg_pool(i8_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out, 1,
+                  x[1], x[2], x[3], node.conv.kernel, node.conv.stride, node.conv.pad, shape[2],
+                  shape[3], node.quant.in_q.zero_point, node.quant.mantissa[0],
+                  node.quant.shift[0], node.quant.out_q.zero_point);
+      });
+      return;
+    }
+    case ir::OpKind::kQAdd: {
+      std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
+      each_sample(n, per_out, [&](int s) {
+        qadd(i8_s(node.inputs[0], s), i8_s(node.inputs[1], s),
+             out + static_cast<std::ptrdiff_t>(s) * per_out, per_out,
+             node.quant.in_q.zero_point, node.quant.mantissa[0], node.quant.shift[0],
+             node.quant.in2_q.zero_point, node.quant.mantissa2, node.quant.shift2,
+             node.quant.out_q.zero_point);
+      });
+      return;
+    }
+    case ir::OpKind::kQGlobalAvgPool: {
+      const Shape& x = in_shape(0);
+      std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
+      each_sample(n, in_shape(0).numel(), [&](int s) {
+        qglobal_avg_pool(i8_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out,
+                         1, x[1], x[2], x[3], node.quant.in_q.zero_point,
+                         node.quant.mantissa[0], node.quant.shift[0],
+                         node.quant.out_q.zero_point);
+      });
+      return;
+    }
+    case ir::OpKind::kQLinear: {
+      // qlinear is already an M-widened GEMM: batch rows, one call.
+      const Shape& x = in_shape(0);
+      QLinearArgs a;
+      a.batch = n;
+      a.in_features = x[1];
+      a.out_features = shape[1];
+      a.in_zp = node.quant.in_q.zero_point;
+      a.out_zp = node.quant.out_q.zero_point;
+      a.input = i8_s(node.inputs[0], 0);
+      a.weight = i8_s(node.inputs[1], 0);
+      a.bias = reinterpret_cast<const std::int32_t*>(read_buffer(node.inputs[2]));
+      a.weight_sum = weight_sums_[static_cast<std::size_t>(node.id)].data();
+      a.mantissa = node.quant.mantissa.data();
+      a.shift = node.quant.shift.data();
+      a.output = reinterpret_cast<std::int8_t*>(buffer(node.id));
+      qlinear(a);
+      return;
+    }
+    case ir::OpKind::kQRelu: {
+      std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
+      each_sample(n, per_out, [&](int s) {
+        qrelu(i8_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out, per_out,
+              node.quant.out_q.zero_point);
+      });
+      return;
+    }
+    case ir::OpKind::kInput:
+    case ir::OpKind::kConst:
+      return;  // handled by the caller
+  }
+  throw std::logic_error("BatchedExecutor::dispatch: unhandled op kind");
 }
 
 }  // namespace micronas::rt

@@ -79,4 +79,66 @@ class Executor {
   std::vector<std::vector<std::int32_t>> weight_sums_;
 };
 
+/// One coalesced batch = ONE executor invocation.
+///
+/// Compiles a batch-1 graph at batch capacity N: every activation
+/// buffer (and the arena, planned with MemoryPlanOptions::batch) holds
+/// N samples, batched qconv/qlinear widen the int8-GEMM M dimension
+/// instead of looping the graph, and every other kernel broadcasts
+/// over the batch axis (independent samples, partitioned over the
+/// thread pool). A partial batch of n < N runs the same plan with a
+/// smaller effective M — each buffer simply uses its first n sample
+/// slots.
+///
+/// Bit-identity guarantee: sample i of run_batch({x0.., xi, ..}) is
+/// bit-identical to Executor::run(xi) for every batch size, thread
+/// count and slot position, because every per-sample accumulation
+/// order is unchanged from the batch-1 path (asserted by
+/// tests/test_batched_executor.cpp).
+class BatchedExecutor {
+ public:
+  /// Plans its own arena at `batch_capacity` (batch-scaled liveness).
+  BatchedExecutor(const ir::Graph& graph, int batch_capacity, ExecOptions options = {},
+                  MemoryPlanOptions plan_options = {});
+  /// Uses a caller-provided batch-capacity plan (typically
+  /// compile::CompiledModel::plan_for_batch). Throws
+  /// std::invalid_argument if any placement is not batch_capacity
+  /// times its per-sample value size.
+  BatchedExecutor(const ir::Graph& graph, MemoryPlan plan, int batch_capacity,
+                  ExecOptions options = {});
+
+  /// Execute 1..batch_capacity() inputs (each of the graph's input
+  /// shape) in one graph walk; result i is the logits of input i.
+  std::vector<Tensor> run_batch(std::span<const Tensor* const> inputs);
+  std::vector<Tensor> run_batch(std::span<const Tensor> inputs);
+  /// Single-sample convenience (a batch of one).
+  Tensor run(const Tensor& input);
+
+  int batch_capacity() const { return capacity_; }
+  long long arena_bytes() const { return static_cast<long long>(arena_.size()); }
+
+ private:
+  void prepare();
+  std::byte* buffer(int node_id);
+  const std::byte* read_buffer(int node_id) const;
+  void dispatch(const ir::Node& node, int n);
+  /// Run fn(sample) for samples [0, n): over the pool when each
+  /// sample's work (`sample_bytes` touched per sample) is large enough
+  /// to amortize a pool dispatch, else a plain loop — samples are
+  /// independent, so the split cannot change results. Pass
+  /// kHeavySample for ops whose per-element cost dwarfs the memory
+  /// traffic (f32 conv).
+  static constexpr std::size_t kHeavySample = ~std::size_t{0};
+  void each_sample(int n, std::size_t sample_bytes, const std::function<void(int)>& fn);
+
+  const ir::Graph& graph_;
+  MemoryPlan plan_;
+  int capacity_;
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::byte> arena_;
+  std::vector<std::int8_t> columns_;  // im2col scratch at batch capacity
+  std::vector<std::vector<std::int32_t>> weight_sums_;
+};
+
 }  // namespace micronas::rt

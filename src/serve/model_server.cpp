@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
@@ -23,11 +24,13 @@ double percentile(const std::vector<double>& sorted, double q) {
 
 std::string ServerStats::to_string() const {
   std::ostringstream ss;
-  char buf[192];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "%lld requests in %lld batches (mean batch %.2f), %.1f req/s, latency p50 "
-                "%.3f ms p90 %.3f ms p99 %.3f ms max %.3f ms",
-                requests, batches, mean_batch, throughput_rps, p50_ms, p90_ms, p99_ms, max_ms);
+                "%lld requests in %lld batches (mean batch %.2f; accepted %lld, rejected %lld, "
+                "dropped %lld), %.1f req/s, latency p50 %.3f ms p90 %.3f ms p99 %.3f ms max "
+                "%.3f ms",
+                requests, batches, mean_batch, accepted, rejected, dropped, throughput_rps,
+                p50_ms, p90_ms, p99_ms, max_ms);
   ss << buf;
   return ss.str();
 }
@@ -38,28 +41,54 @@ ModelServer::ModelServer(compile::CompiledModel model, ServerOptions options)
   if (options_.max_wait_us < 0) {
     throw std::invalid_argument("ModelServer: max_wait_us must be >= 0");
   }
-  // One planned executor (arena) per batch slot: slot i of a batch
-  // always runs on lanes_[i], so concurrent requests are isolated by
-  // construction and results cannot depend on scheduling.
-  lanes_.reserve(static_cast<std::size_t>(options_.max_batch));
-  for (int i = 0; i < options_.max_batch; ++i) {
-    lanes_.push_back(
-        std::make_unique<rt::Executor>(model_.graph, model_.plan, rt::ExecOptions{1}));
+  if (options_.per_slot_fanout) {
+    // Legacy path: one planned executor (arena) per batch slot; slot i
+    // of a batch always runs on lanes_[i], so concurrent requests are
+    // isolated by construction.
+    lanes_.reserve(static_cast<std::size_t>(options_.max_batch));
+    for (int i = 0; i < options_.max_batch; ++i) {
+      lanes_.push_back(
+          std::make_unique<rt::Executor>(model_.graph, model_.plan, rt::ExecOptions{1}));
+    }
+    if (options_.max_batch > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  } else {
+    // One-invocation path: compile the planned graph at batch capacity
+    // max_batch — the arena holds max_batch samples of every value and
+    // a coalesced batch is a single run_batch call.
+    batched_ = std::make_unique<rt::BatchedExecutor>(
+        model_.graph, model_.plan_for_batch(options_.max_batch), options_.max_batch,
+        rt::ExecOptions{options_.threads});
   }
-  if (options_.max_batch > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
 ModelServer::~ModelServer() { stop(); }
 
 std::future<Tensor> ModelServer::submit(Tensor input) {
+  return submit_internal(std::move(input), options_.deadline_us > 0, options_.deadline_us);
+}
+
+std::future<Tensor> ModelServer::submit(Tensor input, long long deadline_us) {
+  return submit_internal(std::move(input), true, deadline_us);
+}
+
+std::future<Tensor> ModelServer::submit_internal(Tensor input, bool has_deadline,
+                                                 long long deadline_us) {
   Request req;
   req.input = std::move(input);
   req.enqueued = std::chrono::steady_clock::now();
+  req.deadline = has_deadline ? req.enqueued + std::chrono::microseconds(deadline_us)
+                              : std::chrono::steady_clock::time_point::max();
   std::future<Tensor> result = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) throw std::runtime_error("ModelServer::submit: server is stopped");
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      ++rejected_;
+      throw QueueFullError("ModelServer::submit: queue full (" +
+                           std::to_string(options_.max_queue) + " requests pending)");
+    }
+    ++accepted_;
     if (!saw_first_) {
       saw_first_ = true;
       first_enqueue_ = req.enqueued;
@@ -74,8 +103,8 @@ void ModelServer::stop() {
   // Claim the thread under the lock: of racing stop() calls (e.g. an
   // explicit stop against the destructor) exactly one gets a joinable
   // handle and joins it. Losers must NOT return early — the dispatcher
-  // may still be draining queue_ and touching lanes_/pool_, and the
-  // losing caller could be the destructor — so they block on
+  // may still be draining queue_ and touching batched_/lanes_/pool_,
+  // and the losing caller could be the destructor — so they block on
   // dispatcher_done_, which the winner flags after its join. Every
   // stop() therefore returns only once the queue is drained and the
   // dispatcher has exited.
@@ -99,52 +128,114 @@ void ModelServer::stop() {
   }
 }
 
+void ModelServer::drop_expired_locked(std::vector<Request>& dropped) {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline <= now) {
+      ++dropped_;
+      dropped.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void ModelServer::dispatcher_loop() {
   for (;;) {
     std::vector<Request> batch;
+    std::vector<Request> dropped;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping with a drained queue
 
-      // Hold the batch open until it is full, the oldest request has
-      // waited max_wait_us, or the server is stopping.
-      const auto deadline =
-          queue_.front().enqueued + std::chrono::microseconds(options_.max_wait_us);
-      while (!stopping_ && static_cast<int>(queue_.size()) < options_.max_batch &&
-             wake_.wait_until(lock, deadline,
-                              [this] {
-                                return stopping_ ||
-                                       static_cast<int>(queue_.size()) >= options_.max_batch;
-                              })) {
-      }
+      // Admission control first: requests already past their deadline
+      // never enter a batch (and never block one open).
+      drop_expired_locked(dropped);
+      if (!queue_.empty()) {
+        // Hold the batch open until it is full, the oldest request has
+        // waited max_wait_us, or the server is stopping.
+        const auto deadline =
+            queue_.front().enqueued + std::chrono::microseconds(options_.max_wait_us);
+        while (!stopping_ && static_cast<int>(queue_.size()) < options_.max_batch &&
+               wake_.wait_until(lock, deadline,
+                                [this] {
+                                  return stopping_ ||
+                                         static_cast<int>(queue_.size()) >= options_.max_batch;
+                                })) {
+        }
+        // ...and requests that expired during the hold are dropped,
+        // not served late.
+        drop_expired_locked(dropped);
 
-      const std::size_t take =
-          std::min(queue_.size(), static_cast<std::size_t>(options_.max_batch));
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        const std::size_t take =
+            std::min(queue_.size(), static_cast<std::size_t>(options_.max_batch));
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
       }
     }
-    run_batch(batch);
+    // Promises resolve outside the lock; dropped_ was already counted,
+    // so a client that observed the error also observes the counter.
+    for (Request& req : dropped) {
+      req.promise.set_exception(std::make_exception_ptr(DeadlineExpiredError(
+          "ModelServer: request deadline expired before a batch picked it up")));
+    }
+    if (!batch.empty()) run_batch(batch);
   }
 }
 
 void ModelServer::run_batch(std::vector<Request>& batch) {
   std::vector<Tensor> results(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
-  const auto run_one = [this, &batch, &results, &errors](std::size_t i) {
-    try {
-      results[i] = lanes_[i]->run(batch[i].input);
-    } catch (...) {
-      errors[i] = std::current_exception();
+  if (batched_) {
+    // ONE executor invocation for the whole coalesced batch. Requests
+    // with a bad input shape fail individually (their future rethrows)
+    // without poisoning the batch for everyone else.
+    const ir::Node& in_node = model_.graph.node(model_.graph.input());
+    std::vector<const Tensor*> good;
+    std::vector<std::size_t> slot;  // good index -> batch index
+    good.reserve(batch.size());
+    slot.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].input.shape() == in_node.type.shape) {
+        good.push_back(&batch[i].input);
+        slot.push_back(i);
+      } else {
+        errors[i] = std::make_exception_ptr(std::invalid_argument(
+            "ModelServer: input shape " + batch[i].input.shape().to_string() +
+            " != model input " + in_node.type.shape.to_string()));
+      }
     }
-  };
-  if (pool_ && batch.size() > 1) {
-    pool_->parallel_for(batch.size(), run_one);
+    if (!good.empty()) {
+      try {
+        std::vector<Tensor> logits =
+            batched_->run_batch(std::span<const Tensor* const>(good.data(), good.size()));
+        for (std::size_t g = 0; g < logits.size(); ++g) {
+          results[slot[g]] = std::move(logits[g]);
+        }
+      } catch (...) {
+        for (std::size_t g = 0; g < slot.size(); ++g) {
+          errors[slot[g]] = std::current_exception();
+        }
+      }
+    }
   } else {
-    for (std::size_t i = 0; i < batch.size(); ++i) run_one(i);
+    const auto run_one = [this, &batch, &results, &errors](std::size_t i) {
+      try {
+        results[i] = lanes_[i]->run(batch[i].input);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    };
+    if (pool_ && batch.size() > 1) {
+      pool_->parallel_for(batch.size(), run_one);
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) run_one(i);
+    }
   }
 
   // Telemetry strictly before the promises: a client that observed its
@@ -181,6 +272,9 @@ ServerStats ModelServer::stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     sorted = latency_ms_;
     s.requests = completed_;
+    s.accepted = accepted_;
+    s.rejected = rejected_;
+    s.dropped = dropped_;
     s.batches = batches_;
     if (completed_ > 0) {
       const double span =

@@ -5,14 +5,32 @@
 // A ModelServer owns one loaded CompiledModel, a request queue and a
 // dispatcher thread. Clients submit single inputs and get a future;
 // the dispatcher coalesces up to `max_batch` queued requests (waiting
-// at most `max_wait_us` after the first one arrives) into one batched
-// invocation that fans the requests out over the shared ThreadPool.
-// Each of the `max_batch` batch slots owns a pre-built planned
-// Executor with its own arena, so concurrent requests never share
-// mutable state and every request's logits are bit-identical to a
+// at most `max_wait_us` after the first one arrived) and dispatches
+// the whole batch as ONE rt::BatchedExecutor::run_batch invocation —
+// the graph is compiled at batch capacity `max_batch`, so a coalesced
+// batch widens the int8-GEMM M dimension instead of fanning out one
+// Executor per request. Every request's logits are bit-identical to a
 // serial Executor run of the same input — batching is a pure
 // throughput optimization, never a numerics change (asserted by
-// tests/test_serve.cpp).
+// tests/test_serve.cpp and tests/test_batched_executor.cpp). The
+// legacy per-slot fan-out (one pre-built Executor per batch slot, run
+// over the shared ThreadPool) stays available behind
+// ServerOptions::per_slot_fanout so the one-invocation speedup remains
+// measurable (bench/suites/serve.cpp `batched_one_invocation`).
+//
+// Admission control bounds the server under overload:
+//
+//   * a bounded queue (`max_queue`): submit() on a full queue throws
+//     QueueFullError synchronously — offered load past capacity is
+//     turned away at the door, not buffered without bound;
+//   * per-request deadlines (`deadline_us`, or the submit() overload):
+//     a request still queued when its deadline passes is dropped by
+//     the dispatcher and its future rethrows DeadlineExpiredError;
+//   * exact accepted/rejected/dropped counters in ServerStats — every
+//     submit() call ends in exactly one of rejected (throw), dropped
+//     (deadline error) or requests (logits delivered), so the
+//     counters balance offered load (asserted by
+//     tests/test_serve_overload.cpp).
 //
 // The server keeps a bounded ring of recent per-request latency
 // samples and exact batch-size counters; stats() aggregates them into
@@ -26,6 +44,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -35,20 +54,53 @@
 
 namespace micronas::serve {
 
+/// submit() refused the request because the bounded queue
+/// (ServerOptions::max_queue) is at capacity. Thrown synchronously —
+/// the caller never got a future, and the request counts as rejected.
+class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The request's deadline expired before the dispatcher placed it in a
+/// batch. The request's future rethrows this, and the request counts
+/// as dropped.
+class DeadlineExpiredError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct ServerOptions {
-  /// Most requests coalesced into one batched invocation (also the
-  /// number of pre-built executors, i.e. resident arenas).
+  /// Most requests coalesced into one batched executor invocation
+  /// (the BatchedExecutor's compiled batch capacity — also its arena
+  /// scale; or, under per_slot_fanout, the number of per-slot arenas).
   int max_batch = 8;
   /// How long the dispatcher holds an underfull batch open after its
   /// first request arrived before running it anyway.
   long long max_wait_us = 200;
-  /// Worker threads the batch fans out over (1 = serial, 0 = one per
-  /// hardware thread). Logits never depend on this.
+  /// Worker threads for the batched kernels' channel/sample partition
+  /// (1 = serial, 0 = one per hardware thread). Logits never depend on
+  /// this.
   int threads = 0;
+  /// Bound on queued (admitted, not yet batched) requests; submit()
+  /// past it throws QueueFullError. 0 = unbounded.
+  std::size_t max_queue = 1024;
+  /// Default per-request deadline, measured from submit(); <= 0 means
+  /// none. The submit() overload sets a per-request value.
+  long long deadline_us = 0;
+  /// Legacy batching mode: fan each coalesced batch out over one
+  /// pre-built Executor per slot instead of one BatchedExecutor
+  /// invocation. Kept benchable so the one-invocation speedup claim
+  /// stays measurable; numerics are identical either way.
+  bool per_slot_fanout = false;
 };
 
 struct ServerStats {
-  long long requests = 0;       // completed requests
+  long long requests = 0;       // completed: future resolved by a batch
+                                // (logits, or a per-request executor error)
+  long long accepted = 0;       // admitted by submit() (got a future)
+  long long rejected = 0;       // refused by submit() (queue full)
+  long long dropped = 0;        // deadline expired while queued
   long long batches = 0;        // batched executor invocations
   double mean_batch = 0.0;      // requests / batches
   double p50_ms = 0.0;          // request latency: enqueue -> logits ready,
@@ -71,19 +123,28 @@ class ModelServer {
   ModelServer& operator=(const ModelServer&) = delete;
 
   /// Enqueue one input (must match the model's input shape). The
-  /// future yields the logits, or rethrows the executor's error.
+  /// future yields the logits, or rethrows the executor's error (or
+  /// DeadlineExpiredError). Throws QueueFullError when the bounded
+  /// queue is full and std::runtime_error after stop().
   std::future<Tensor> submit(Tensor input);
+
+  /// submit() with an explicit per-request deadline of now +
+  /// deadline_us (overriding ServerOptions::deadline_us; zero or
+  /// negative values are already expired — a guaranteed drop, which
+  /// tests use for deterministic drop coverage).
+  std::future<Tensor> submit(Tensor input, long long deadline_us);
 
   /// Blocking convenience wrapper around submit().
   Tensor infer(const Tensor& input) { return submit(input).get(); }
 
   /// Drain the queue, finish in-flight batches and join the
-  /// dispatcher. Idempotent and safe against concurrent calls: every
-  /// call (not just the one that wins the join) blocks until the
-  /// dispatcher has exited, so the queue-drained postcondition holds
-  /// for all callers and the destructor can never destroy state the
-  /// dispatcher still uses. submit() after stop() throws
-  /// std::runtime_error.
+  /// dispatcher; queued requests whose deadline has passed are dropped
+  /// (DeadlineExpiredError), everything else completes. Idempotent and
+  /// safe against concurrent calls: every call (not just the one that
+  /// wins the join) blocks until the dispatcher has exited, so the
+  /// queue-drained postcondition holds for all callers and the
+  /// destructor can never destroy state the dispatcher still uses.
+  /// submit() after stop() throws std::runtime_error.
   void stop();
 
   ServerStats stats() const;
@@ -95,15 +156,27 @@ class ModelServer {
     Tensor input;
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueued;
+    // time_point::max() = no deadline.
+    std::chrono::steady_clock::time_point deadline;
   };
 
+  std::future<Tensor> submit_internal(Tensor input, bool has_deadline, long long deadline_us);
   void dispatcher_loop();
   void run_batch(std::vector<Request>& batch);
+  /// Move deadline-expired requests out of queue_ into `dropped`,
+  /// bumping dropped_. Caller must hold mutex_ and resolve the
+  /// promises after unlocking.
+  void drop_expired_locked(std::vector<Request>& dropped);
 
   compile::CompiledModel model_;
   ServerOptions options_;
-  std::unique_ptr<ThreadPool> pool_;                     // batch fan-out
-  std::vector<std::unique_ptr<rt::Executor>> lanes_;     // one per batch slot
+  /// One-invocation path: the graph compiled at batch capacity
+  /// max_batch (arena planned via CompiledModel::plan_for_batch).
+  std::unique_ptr<rt::BatchedExecutor> batched_;
+  /// Legacy fan-out path (per_slot_fanout): slot i of a batch always
+  /// runs on lanes_[i], isolated by construction.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<rt::Executor>> lanes_;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
@@ -114,12 +187,15 @@ class ModelServer {
   // Telemetry (guarded by mutex_). Latency percentiles are computed
   // over a bounded ring of the most recent samples so a long-running
   // server's memory and stats() cost stay O(1) in request count; the
-  // request/batch/throughput counters are exact.
+  // request/batch/admission counters are exact.
   static constexpr std::size_t kLatencySampleCap = 16384;
   std::vector<double> latency_ms_;  // ring once kLatencySampleCap is reached
   std::size_t latency_next_ = 0;    // ring write cursor
   long long batches_ = 0;
   long long completed_ = 0;
+  long long accepted_ = 0;
+  long long rejected_ = 0;
+  long long dropped_ = 0;
   bool saw_first_ = false;
   std::chrono::steady_clock::time_point first_enqueue_;
   std::chrono::steady_clock::time_point last_done_;
