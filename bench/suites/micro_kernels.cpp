@@ -2,12 +2,19 @@
 // proxy-cost-vs-batch-size curve that motivates the paper's batch = 32
 // choice (§II.A.1: "Increasing beyond 32 to 128 ... significantly
 // escalates search costs").
+#include <cstdint>
+#include <random>
+#include <vector>
+
 #include "bench/harness.hpp"
 #include "src/data/synthetic.hpp"
 #include "src/hw/latency_estimator.hpp"
+#include "src/hw/quant.hpp"
 #include "src/mcusim/profiler.hpp"
 #include "src/proxies/linear_regions.hpp"
 #include "src/proxies/ntk.hpp"
+#include "src/rt/kernels_int8.hpp"
+#include "src/rt/kernels_int8_gemm.hpp"
 #include "src/tensor/ops.hpp"
 
 namespace micronas {
@@ -172,6 +179,170 @@ BENCH_CASE(micro_kernels, synthetic_batch) {
     bench::do_not_optimize(ds.sample_batch_resized(32, 16, rng).images.numel());
   }
   state.set_bytes_processed(32.0 * 3 * 16 * 16 * sizeof(float));
+}
+
+// ------------------------------------------------- int8 deployment path
+//
+// The packed/blocked int8 kernels behind qconv2d_auto / qlinear_auto,
+// on the channel/plane shapes of the deployed CIFAR stages (c channels
+// on a 256/c-pixel-wide plane). items = MACs (the suite convention, so
+// items_per_second reads as MAC/s), bytes = the real per-call traffic
+// (activations in/out + packed weights), so bytes_per_second is GB/s.
+
+/// Deterministic int8 conv operands shared by the int8 micro cases.
+struct Int8ConvBench {
+  int cin, hw, cout, kernel, stride, pad, out_hw;
+  std::vector<std::int8_t> input, weight, output, scratch;
+  std::vector<std::int32_t> bias, weight_sum, mantissa;
+  std::vector<int> shift;
+  rt::PackedWeights packed;
+
+  Int8ConvBench(int cin_, int hw_, int cout_, int kernel_, int stride_, int pad_)
+      : cin(cin_), hw(hw_), cout(cout_), kernel(kernel_), stride(stride_), pad(pad_) {
+    out_hw = (hw + 2 * pad - kernel) / stride + 1;
+    const int patch = cin * kernel * kernel;
+    std::mt19937 rng(1234);
+    input.resize(static_cast<std::size_t>(cin) * hw * hw);
+    weight.resize(static_cast<std::size_t>(cout) * patch);
+    for (auto& v : input) v = static_cast<std::int8_t>(rng());
+    for (auto& v : weight) v = static_cast<std::int8_t>(rng());
+    bias.resize(cout);
+    weight_sum.assign(cout, 0);
+    mantissa.resize(cout);
+    shift.resize(cout);
+    for (int c = 0; c < cout; ++c) {
+      bias[c] = static_cast<std::int32_t>(rng() % 512) - 256;
+      for (int k = 0; k < patch; ++k) weight_sum[c] += weight[c * patch + k];
+      quantize_multiplier(0.0037, &mantissa[c], &shift[c]);
+    }
+    output.resize(static_cast<std::size_t>(cout) * out_hw * out_hw);
+    scratch.resize(std::max<std::size_t>(
+        static_cast<std::size_t>(out_hw) * out_hw * patch,
+        rt::qconv_gemm_scratch_bytes(cin, hw, hw, kernel, pad, out_hw, out_hw)));
+    packed = rt::pack_weights_dot16(weight.data(), cout, patch);
+  }
+
+  rt::QConv2dArgs args() {
+    rt::QConv2dArgs a{};
+    a.batch = 1;
+    a.cin = cin;
+    a.h = a.w = hw;
+    a.cout = cout;
+    a.kernel = kernel;
+    a.stride = stride;
+    a.pad = pad;
+    a.out_h = a.out_w = out_hw;
+    a.in_zp = -3;
+    a.out_zp = 5;
+    a.fused_relu = true;
+    a.input = input.data();
+    a.weight = weight.data();
+    a.bias = bias.data();
+    a.weight_sum = weight_sum.data();
+    a.mantissa = mantissa.data();
+    a.shift = shift.data();
+    a.columns = scratch.data();
+    a.output = output.data();
+    return a;
+  }
+
+  double macs() const {
+    return 1.0 * cout * out_hw * out_hw * cin * kernel * kernel;
+  }
+  double traffic_bytes() const {
+    return static_cast<double>(input.size()) + static_cast<double>(output.size()) +
+           static_cast<double>(packed.data.size() * sizeof(std::int16_t));
+  }
+};
+
+/// 3x3 im2col-GEMM conv on the model's (c, 256/c-pixel) stages.
+BENCH_CASE_ARGS(micro_kernels, qconv2d_int8_gemm, {16, 32, 64}) {
+  const int c = static_cast<int>(state.arg());
+  Int8ConvBench b(c, 256 / c, c, 3, 1, 1);
+  const rt::QConv2dArgs a = b.args();
+  constexpr int kInner = 8;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      rt::qconv2d_auto(a, &b.packed, nullptr);
+      bench::do_not_optimize(b.output.data());
+    }
+  }
+  state.set_items_processed(b.macs() * kInner);
+  state.set_bytes_processed(b.traffic_bytes() * kInner);
+}
+
+/// 1x1 direct conv (no im2col) on a 256-pixel plane.
+BENCH_CASE_ARGS(micro_kernels, qconv2d_int8_direct, {16, 32}) {
+  const int c = static_cast<int>(state.arg());
+  Int8ConvBench b(c, 256 / c, c, 1, 1, 0);
+  const rt::QConv2dArgs a = b.args();
+  constexpr int kInner = 16;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      rt::qconv2d_auto(a, &b.packed, nullptr);
+      bench::do_not_optimize(b.output.data());
+    }
+  }
+  state.set_items_processed(b.macs() * kInner);
+  state.set_bytes_processed(b.traffic_bytes() * kInner);
+}
+
+/// Scalar reference on the first 3x3 stage: the floor the blocked
+/// kernels are measured against (and the only path portable builds
+/// run).
+BENCH_CASE(micro_kernels, qconv2d_int8_scalar) {
+  Int8ConvBench b(16, 16, 16, 3, 1, 1);
+  const rt::QConv2dArgs a = b.args();
+  constexpr int kInner = 4;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      rt::qconv2d(a, nullptr);
+      bench::do_not_optimize(b.output.data());
+    }
+  }
+  state.set_items_processed(b.macs() * kInner);
+  state.set_bytes_processed(b.traffic_bytes() * kInner);
+}
+
+/// Classifier-head GEMM: 64 features -> 10 logits.
+BENCH_CASE(micro_kernels, qlinear_int8_gemm) {
+  const int in_f = 64, out_f = 10;
+  std::mt19937 rng(77);
+  std::vector<std::int8_t> input(in_f), weight(static_cast<std::size_t>(out_f) * in_f),
+      output(out_f);
+  for (auto& v : input) v = static_cast<std::int8_t>(rng());
+  for (auto& v : weight) v = static_cast<std::int8_t>(rng());
+  std::vector<std::int32_t> bias(out_f), wsum(out_f, 0), mant(out_f);
+  std::vector<int> shift(out_f);
+  for (int o = 0; o < out_f; ++o) {
+    bias[o] = static_cast<std::int32_t>(rng() % 128) - 64;
+    for (int k = 0; k < in_f; ++k) wsum[o] += weight[o * in_f + k];
+    quantize_multiplier(0.0021, &mant[o], &shift[o]);
+  }
+  const rt::PackedWeights packed = rt::pack_weights_dot16(weight.data(), out_f, in_f);
+  rt::QLinearArgs a{};
+  a.batch = 1;
+  a.in_features = in_f;
+  a.out_features = out_f;
+  a.in_zp = 2;
+  a.out_zp = -7;
+  a.input = input.data();
+  a.weight = weight.data();
+  a.bias = bias.data();
+  a.weight_sum = wsum.data();
+  a.mantissa = mant.data();
+  a.shift = shift.data();
+  a.output = output.data();
+  constexpr int kInner = 256;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      rt::qlinear_auto(a, &packed, nullptr);
+      bench::do_not_optimize(output.data());
+    }
+  }
+  state.set_items_processed(1.0 * out_f * in_f * kInner);
+  state.set_bytes_processed(
+      (static_cast<double>(input.size()) + output.size() + packed.data.size() * 2.0) * kInner);
 }
 
 }  // namespace

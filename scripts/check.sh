@@ -5,6 +5,7 @@
 #   scripts/check.sh --sanitize         # same under ASan+UBSan (build-asan/)
 #   scripts/check.sh --sanitize=thread  # same under TSan (build-tsan/)
 #   scripts/check.sh --werror           # warnings are errors (CI default)
+#   scripts/check.sh --portable         # scalar-reference kernels only (build-portable/)
 #   JOBS=4 scripts/check.sh             # cap build/test parallelism
 set -euo pipefail
 
@@ -28,8 +29,12 @@ for arg in "$@"; do
     --werror)
       CMAKE_FLAGS="$CMAKE_FLAGS -DMICRONAS_WERROR=ON"
       ;;
+    --portable)
+      BUILD_DIR=build-portable
+      CMAKE_FLAGS="$CMAKE_FLAGS -DMICRONAS_PORTABLE=ON"
+      ;;
     *)
-      echo "usage: $0 [--sanitize[=address|thread]] [--werror]" >&2
+      echo "usage: $0 [--sanitize[=address|thread]] [--werror] [--portable]" >&2
       exit 2
       ;;
   esac

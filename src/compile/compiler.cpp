@@ -1,5 +1,6 @@
 #include "src/compile/compiler.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -69,6 +70,26 @@ CompiledModel compile_genotype(const nb201::Genotype& genotype, const CompilerOp
   report.final_nodes = model.graph.size();
   report.final_executed = model.graph.executed_node_count();
   report.const_bytes = model.graph.const_bytes();
+
+  // Pack-weights pass: choose the int8 GEMM weight layout now, at
+  // package-build time, so executors (and every server that loads the
+  // serialized package) skip the repack. Runs outside the PassManager
+  // because it produces sidecar data rather than rewriting the graph —
+  // the padded panels must not widen the IR consts the quantized graph
+  // type-checks against — but is reported like any other pass.
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    model.packed = rt::pack_graph_weights(model.graph);
+    PassStat stat;
+    stat.name = "pack-weights";
+    stat.changed = false;  // graph untouched; layout sidecar only
+    stat.nodes_before = model.graph.size();
+    stat.nodes_after = model.graph.size();
+    stat.wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    report.passes.push_back(std::move(stat));
+  }
 
   model.plan = rt::plan_memory(model.graph, options.plan);
   report.arena_bytes = model.plan.arena_bytes;

@@ -25,6 +25,7 @@
 #include "src/compile/pass_manager.hpp"
 #include "src/hw/quant.hpp"
 #include "src/ir/lower.hpp"
+#include "src/rt/kernels_int8_gemm.hpp"
 #include "src/rt/memory_planner.hpp"
 
 namespace micronas::compile {
@@ -76,6 +77,11 @@ struct CompiledModel {
   ir::Graph graph;
   rt::MemoryPlan plan;
   CompileReport report;
+  /// Kernel-layout weights for the int8 GEMM (pack-weights pass):
+  /// chosen at package-build time, serialized into the .mnpkg PACK
+  /// section so the server never repacks on load. Hand to executors
+  /// via ExecOptions::packed; empty when the model is not quantized.
+  rt::PackedWeightSet packed;
 
   /// Re-plan the activation arena at `batch_capacity`: the same graph
   /// and schedule with every buffer scaled to hold batch_capacity

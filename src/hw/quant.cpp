@@ -82,39 +82,6 @@ void quantize_multiplier(double m, std::int32_t* mantissa, int* shift) {
   *shift = exponent;
 }
 
-std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a, std::int32_t b) {
-  const bool overflow = a == b && a == std::numeric_limits<std::int32_t>::min();
-  if (overflow) return std::numeric_limits<std::int32_t>::max();
-  const std::int64_t ab = static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
-  const std::int32_t nudge = ab >= 0 ? (1 << 30) : (1 - (1 << 30));
-  return static_cast<std::int32_t>((ab + nudge) / (1LL << 31));
-}
-
-std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent) {
-  if (exponent < 0 || exponent > 31) {
-    throw std::invalid_argument("rounding_divide_by_pot: exponent out of [0, 31]");
-  }
-  if (exponent == 0) return x;
-  const std::int32_t mask = static_cast<std::int32_t>((1LL << exponent) - 1);
-  const std::int32_t remainder = x & mask;
-  std::int32_t threshold = mask >> 1;
-  if (x < 0) threshold += 1;
-  std::int32_t result = x >> exponent;
-  if (remainder > threshold) result += 1;
-  return result;
-}
-
-std::int32_t multiply_by_quantized_multiplier(std::int32_t x, std::int32_t mantissa, int shift) {
-  // x * mantissa * 2^(shift - 31): the high mul supplies 2^-31; the
-  // remaining power of two is applied as a shift on either side.
-  const int left_shift = shift > 0 ? shift : 0;
-  const int right_shift = shift > 0 ? 0 : -shift;
-  const std::int32_t shifted = static_cast<std::int32_t>(
-      static_cast<std::uint32_t>(x) << left_shift);
-  return rounding_divide_by_pot(saturating_rounding_doubling_high_mul(shifted, mantissa),
-                                right_shift);
-}
-
 std::int8_t quantize_one(float v, const AffineParams& p) {
   const long q = std::lround(static_cast<double>(v) / p.scale) + p.zero_point;
   return static_cast<std::int8_t>(std::clamp<long>(q, kInt8Min, kInt8Max));

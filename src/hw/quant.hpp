@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
 
 #include "src/hw/memory_model.hpp"
 #include "src/net/macro_net.hpp"
@@ -74,13 +76,46 @@ void quantize_multiplier(double m, std::int32_t* mantissa, int* shift);
 
 /// (a * b) rounded to the high 32 bits of the doubled 64-bit product.
 /// Saturates the single overflow case a == b == INT32_MIN.
-std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a, std::int32_t b);
+///
+/// This and the two helpers below are defined inline: every int8
+/// kernel calls them once per OUTPUT element, so a function call here
+/// is a measurable fraction of conv/add/pool wall time and blocks the
+/// compiler from vectorizing the requant tail of the kernels.
+inline std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a, std::int32_t b) {
+  const bool overflow = a == b && a == std::numeric_limits<std::int32_t>::min();
+  if (overflow) return std::numeric_limits<std::int32_t>::max();
+  const std::int64_t ab = static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
+  const std::int32_t nudge = ab >= 0 ? (1 << 30) : (1 - (1 << 30));
+  return static_cast<std::int32_t>((ab + nudge) / (1LL << 31));
+}
 
 /// x / 2^exponent with round-to-nearest, ties away from zero.
-std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent);
+inline std::int32_t rounding_divide_by_pot(std::int32_t x, int exponent) {
+  if (exponent < 0 || exponent > 31) [[unlikely]] {
+    throw std::invalid_argument("rounding_divide_by_pot: exponent out of [0, 31]");
+  }
+  if (exponent == 0) return x;
+  const std::int32_t mask = static_cast<std::int32_t>((1LL << exponent) - 1);
+  const std::int32_t remainder = x & mask;
+  std::int32_t threshold = mask >> 1;
+  if (x < 0) threshold += 1;
+  std::int32_t result = x >> exponent;
+  if (remainder > threshold) result += 1;
+  return result;
+}
 
 /// Apply a quantized multiplier produced by quantize_multiplier.
-std::int32_t multiply_by_quantized_multiplier(std::int32_t x, std::int32_t mantissa, int shift);
+inline std::int32_t multiply_by_quantized_multiplier(std::int32_t x, std::int32_t mantissa,
+                                                     int shift) {
+  // x * mantissa * 2^(shift - 31): the high mul supplies 2^-31; the
+  // remaining power of two is applied as a shift on either side.
+  const int left_shift = shift > 0 ? shift : 0;
+  const int right_shift = shift > 0 ? 0 : -shift;
+  const std::int32_t shifted =
+      static_cast<std::int32_t>(static_cast<std::uint32_t>(x) << left_shift);
+  return rounding_divide_by_pot(saturating_rounding_doubling_high_mul(shifted, mantissa),
+                                right_shift);
+}
 
 /// Round-to-nearest quantization with saturation to [-128, 127].
 std::int8_t quantize_one(float v, const AffineParams& p);

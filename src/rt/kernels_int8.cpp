@@ -55,58 +55,46 @@ void qconv2d(const QConv2dArgs& a, ThreadPool* pool) {
               a.columns + static_cast<std::ptrdiff_t>(n) * npix * patch);
   }
 
-  // Channel-blocked GEMM, samples outermost within a block: one
-  // sample's columns (npix * patch bytes) stay cache-hot while the
-  // block's channels sweep them, so the batched nest keeps the batch-1
-  // path's locality instead of re-streaming the whole batch's columns
-  // on every output channel. The per-output accumulation order is
-  // exactly the batch-1 order, so results stay bit-identical across
-  // batch sizes, block counts and thread counts.
-  auto block = [&](int c_begin, int c_end) {
-    for (int n = 0; n < a.batch; ++n) {
-      const std::int8_t* cols = a.columns + static_cast<std::ptrdiff_t>(n) * npix * patch;
-      for (int c = c_begin; c < c_end; ++c) {
-        const std::int8_t* wrow = a.weight + static_cast<std::ptrdiff_t>(c) * patch;
-        // acc = Σ_k w*q - zp*Σ_k w (+ bias): padding cells hold q == zp,
-        // so the correction term works uniformly across the border.
-        const std::int32_t base =
-            (a.bias ? a.bias[c] : 0) - a.in_zp * a.weight_sum[c];
-        std::int8_t* orow =
-            a.output + (static_cast<std::ptrdiff_t>(n) * a.cout + c) * npix;
-        for (int j = 0; j < npix; ++j) {
-          const std::int8_t* col = cols + static_cast<std::ptrdiff_t>(j) * patch;
-          std::int32_t acc = base;
-          for (int k = 0; k < patch; ++k) {
-            acc += static_cast<std::int32_t>(wrow[k]) * static_cast<std::int32_t>(col[k]);
-          }
-          const std::int32_t q =
-              multiply_by_quantized_multiplier(acc, a.mantissa[c], a.shift[c]) + a.out_zp;
-          orow[j] = clamp_i8(q, relu_lo);
+  // Channel-blocked GEMM over the flat (sample, channel) grid —
+  // folding batch into the grain keeps every worker busy even when
+  // cout alone is smaller than the pool (the stem conv at batch N).
+  // Blocks are sample-major, so one sample's columns (npix * patch
+  // bytes) stay cache-hot while a block's channels sweep them. The
+  // per-output accumulation order is exactly the batch-1 order, so
+  // results stay bit-identical across batch sizes, block counts and
+  // thread counts.
+  for_sample_units(a.batch, a.cout, pool, [&](int n, int c_begin, int c_end) {
+    const std::int8_t* cols = a.columns + static_cast<std::ptrdiff_t>(n) * npix * patch;
+    for (int c = c_begin; c < c_end; ++c) {
+      const std::int8_t* wrow = a.weight + static_cast<std::ptrdiff_t>(c) * patch;
+      // acc = Σ_k w*q - zp*Σ_k w (+ bias): padding cells hold q == zp,
+      // so the correction term works uniformly across the border.
+      const std::int32_t base =
+          (a.bias ? a.bias[c] : 0) - a.in_zp * a.weight_sum[c];
+      std::int8_t* orow =
+          a.output + (static_cast<std::ptrdiff_t>(n) * a.cout + c) * npix;
+      for (int j = 0; j < npix; ++j) {
+        const std::int8_t* col = cols + static_cast<std::ptrdiff_t>(j) * patch;
+        std::int32_t acc = base;
+        for (int k = 0; k < patch; ++k) {
+          acc += static_cast<std::int32_t>(wrow[k]) * static_cast<std::int32_t>(col[k]);
         }
+        const std::int32_t q =
+            multiply_by_quantized_multiplier(acc, a.mantissa[c], a.shift[c]) + a.out_zp;
+        orow[j] = clamp_i8(q, relu_lo);
       }
     }
-  };
-
-  if (pool && pool->size() > 1 && a.cout > 1) {
-    // Two blocks per worker: channels cost the same, so this is enough
-    // slack to rebalance around external load without paying dispatch
-    // overhead for a long tail of tiny tasks.
-    const int nblocks = std::min(a.cout, pool->size() * 2);
-    pool->parallel_for(static_cast<std::size_t>(nblocks), [&](std::size_t b) {
-      const int c_begin = a.cout * static_cast<int>(b) / nblocks;
-      const int c_end = a.cout * (static_cast<int>(b) + 1) / nblocks;
-      block(c_begin, c_end);
-    });
-  } else {
-    block(0, a.cout);
-  }
+  });
 }
 
-void qlinear(const QLinearArgs& a) {
-  for (int n = 0; n < a.batch; ++n) {
+void qlinear(const QLinearArgs& a, ThreadPool* pool) {
+  // Same flat (sample, out_feature) partition as qconv2d: at batch N
+  // the final-layer GEMM is N * out_features independent dot products,
+  // so the batched path parallelizes instead of running serial.
+  for_sample_units(a.batch, a.out_features, pool, [&](int n, int c_begin, int c_end) {
     const std::int8_t* in = a.input + static_cast<std::ptrdiff_t>(n) * a.in_features;
     std::int8_t* out = a.output + static_cast<std::ptrdiff_t>(n) * a.out_features;
-    for (int c = 0; c < a.out_features; ++c) {
+    for (int c = c_begin; c < c_end; ++c) {
       const std::int8_t* wrow = a.weight + static_cast<std::ptrdiff_t>(c) * a.in_features;
       std::int32_t acc = (a.bias ? a.bias[c] : 0) - a.in_zp * a.weight_sum[c];
       for (int k = 0; k < a.in_features; ++k) {
@@ -116,12 +104,31 @@ void qlinear(const QLinearArgs& a) {
           multiply_by_quantized_multiplier(acc, a.mantissa[c], a.shift[c]) + a.out_zp;
       out[c] = clamp_i8(q, kInt8Min);
     }
-  }
+  });
 }
 
 void qadd(const std::int8_t* a, const std::int8_t* b, std::int8_t* out, std::size_t n,
           int zp_a, std::int32_t mant_a, int shift_a, int zp_b, std::int32_t mant_b, int shift_b,
           int zp_out) {
+  // Each operand's rescale depends only on its own int8 value, so for
+  // long tensors precompute both 256-entry requant tables with the
+  // exact per-element function and reduce the loop to two loads, an
+  // add and a clamp. Results are bit-identical to the direct loop by
+  // construction; the 512 table builds amortize once n clears them.
+  if (n >= 2 * 256) {
+    std::int32_t lut_a[256];
+    std::int32_t lut_b[256];
+    for (int q = 0; q < 256; ++q) {
+      lut_a[q] = multiply_by_quantized_multiplier(q - 128 - zp_a, mant_a, shift_a);
+      lut_b[q] = multiply_by_quantized_multiplier(q - 128 - zp_b, mant_b, shift_b);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t ta = lut_a[static_cast<std::int32_t>(a[i]) + 128];
+      const std::int32_t tb = lut_b[static_cast<std::int32_t>(b[i]) + 128];
+      out[i] = clamp_i8(ta + tb + zp_out, kInt8Min);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const std::int32_t ta =
         multiply_by_quantized_multiplier(static_cast<std::int32_t>(a[i]) - zp_a, mant_a, shift_a);

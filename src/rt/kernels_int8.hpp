@@ -21,11 +21,53 @@
 // drop out of (q - zp) sums and the kernels simply skip them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "src/common/thread_pool.hpp"
 
 namespace micronas::rt {
+
+/// Partition the flat (sample-major, unit-minor) grid of `batch *
+/// units` independent work items over the pool, calling fn(n, u_begin,
+/// u_end) for each sample-contiguous unit range of a block. Folding
+/// batch into the grain keeps all workers busy even when one dimension
+/// is small (e.g. a stem conv's 16 channels at batch 32, or a batched
+/// final linear layer). Blocks never split a (sample, unit) item and
+/// each item's accumulation order is untouched, so the partition cannot
+/// change results. Serial (one call per sample) when the pool is absent
+/// or single-lane.
+template <typename Fn>
+void for_sample_units(int batch, int units, ThreadPool* pool, Fn&& fn) {
+  const long long total = static_cast<long long>(batch) * units;
+  if (total <= 0) return;
+  // Two blocks per worker: units cost roughly the same, so this is
+  // enough slack to rebalance around external load without paying
+  // dispatch overhead for a long tail of tiny tasks.
+  const long long nblocks =
+      (pool && pool->size() > 1 && total > 1)
+          ? std::min<long long>(total, static_cast<long long>(pool->size()) * 2)
+          : 1;
+  auto run_block = [&](long long b) {
+    const long long lo = total * b / nblocks;
+    const long long hi = total * (b + 1) / nblocks;
+    long long t = lo;
+    while (t < hi) {
+      const int n = static_cast<int>(t / units);
+      const int u_begin = static_cast<int>(t % units);
+      const long long sample_end = static_cast<long long>(n + 1) * units;
+      const long long stop = std::min(hi, sample_end);
+      fn(n, u_begin, static_cast<int>(stop - static_cast<long long>(n) * units));
+      t = stop;
+    }
+  };
+  if (nblocks == 1) {
+    run_block(0);
+    return;
+  }
+  pool->parallel_for(static_cast<std::size_t>(nblocks),
+                     [&](std::size_t b) { run_block(static_cast<long long>(b)); });
+}
 
 /// im2col for int8 NCHW input, one sample: columns[pixel][cin*k*k],
 /// row-contiguous per output pixel, padding filled with `pad_value`
@@ -65,7 +107,10 @@ struct QLinearArgs {
   std::int8_t* output = nullptr;         // [N, Out]
 };
 
-void qlinear(const QLinearArgs& args);
+/// Partitioned over the flat (batch, out_features) grid when a pool is
+/// provided — outputs are independent, so results are bit-identical
+/// for every thread count.
+void qlinear(const QLinearArgs& args, ThreadPool* pool = nullptr);
 
 /// out = clamp(zp_out + M_a(a - zp_a) + M_b(b - zp_b)).
 void qadd(const std::int8_t* a, const std::int8_t* b, std::int8_t* out, std::size_t n,

@@ -7,6 +7,7 @@
 
 #include "src/rt/kernels_f32.hpp"
 #include "src/rt/kernels_int8.hpp"
+#include "src/rt/kernels_int8_gemm.hpp"
 
 namespace micronas::rt {
 
@@ -34,24 +35,30 @@ std::vector<std::vector<std::int32_t>> compute_weight_sums(const ir::Graph& grap
   return sums_by_node;
 }
 
-/// im2col scratch high-water across the graph's kQConv2d nodes.
-/// qconv2d's widened-M GEMM im2cols the whole batch at once, so the
-/// scratch scales with each node's own batch dimension times
-/// `batch_mult` (the BatchedExecutor's capacity; 1 for Executor).
-std::size_t max_qconv_columns(const ir::Graph& graph, int batch_mult) {
-  std::size_t max_columns = 0;
+/// Conv scratch high-water in BYTES across the graph's kQConv2d nodes:
+/// whichever of the scalar kernel's int8 im2col and the dot16 GEMM's
+/// int16 image + operand (qconv_gemm_scratch_bytes) is larger, since
+/// kernel selection happens per dispatch. Scales with each node's own
+/// batch dimension times `batch_mult` (the BatchedExecutor's capacity;
+/// 1 for Executor).
+std::size_t max_qconv_scratch_bytes(const ir::Graph& graph, int batch_mult) {
+  std::size_t max_bytes = 0;
   for (const auto& node : graph.nodes()) {
     if (node.op != ir::OpKind::kQConv2d) continue;
     const ir::Node& x = graph.node(node.inputs[0]);
-    const std::size_t cols = static_cast<std::size_t>(batch_mult) *
-                             static_cast<std::size_t>(node.type.shape[0]) *
-                             static_cast<std::size_t>(node.type.shape[2]) *
-                             static_cast<std::size_t>(node.type.shape[3]) *
-                             static_cast<std::size_t>(x.type.shape[1]) *
-                             static_cast<std::size_t>(node.conv.kernel * node.conv.kernel);
-    max_columns = std::max(max_columns, cols);
+    const std::size_t batch = static_cast<std::size_t>(batch_mult) *
+                              static_cast<std::size_t>(node.type.shape[0]);
+    const std::size_t scalar_bytes = batch * static_cast<std::size_t>(node.type.shape[2]) *
+                                     static_cast<std::size_t>(node.type.shape[3]) *
+                                     static_cast<std::size_t>(x.type.shape[1]) *
+                                     static_cast<std::size_t>(node.conv.kernel * node.conv.kernel);
+    const std::size_t gemm_bytes =
+        batch * qconv_gemm_scratch_bytes(x.type.shape[1], x.type.shape[2], x.type.shape[3],
+                                         node.conv.kernel, node.conv.pad, node.type.shape[2],
+                                         node.type.shape[3]);
+    max_bytes = std::max({max_bytes, scalar_bytes, gemm_bytes});
   }
-  return max_columns;
+  return max_bytes;
 }
 
 }  // namespace
@@ -89,7 +96,13 @@ void Executor::prepare() {
   }
 
   weight_sums_ = compute_weight_sums(graph_);
-  columns_.resize(max_qconv_columns(graph_, 1));
+  columns_.resize(max_qconv_scratch_bytes(graph_, 1));
+  if (options_.packed != nullptr) {
+    packed_ = options_.packed;
+  } else if (fast_kernels_enabled()) {
+    owned_packed_ = pack_graph_weights(graph_);
+    packed_ = &owned_packed_;
+  }
 }
 
 std::byte* Executor::buffer(int node_id) {
@@ -238,7 +251,7 @@ void Executor::dispatch(const ir::Node& node) {
       a.shift = node.quant.shift.data();
       a.columns = columns_.data();
       a.output = reinterpret_cast<std::int8_t*>(buffer(node.id));
-      qconv2d(a, pool_.get());
+      qconv2d_auto(a, packed_ ? packed_->find(node.id) : nullptr, pool_.get());
       return;
     }
     case ir::OpKind::kQAvgPool: {
@@ -279,7 +292,7 @@ void Executor::dispatch(const ir::Node& node) {
       a.mantissa = node.quant.mantissa.data();
       a.shift = node.quant.shift.data();
       a.output = reinterpret_cast<std::int8_t*>(buffer(node.id));
-      qlinear(a);
+      qlinear_auto(a, packed_ ? packed_->find(node.id) : nullptr, pool_.get());
       return;
     }
     case ir::OpKind::kQRelu:
@@ -342,7 +355,26 @@ void BatchedExecutor::prepare() {
   if (options_.threads != 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
   arena_.resize(static_cast<std::size_t>(plan_.arena_bytes));
   weight_sums_ = compute_weight_sums(graph_);
-  columns_.resize(max_qconv_columns(graph_, capacity_));
+  columns_.resize(max_qconv_scratch_bytes(graph_, capacity_));
+  if (options_.packed != nullptr) {
+    packed_ = options_.packed;
+  } else if (fast_kernels_enabled()) {
+    owned_packed_ = pack_graph_weights(graph_);
+    packed_ = &owned_packed_;
+  }
+}
+
+std::size_t BatchedExecutor::sample_io_bytes(const ir::Graph& graph, const ir::Node& node) {
+  // f32 conv/linear cost is dominated by per-element arithmetic, not
+  // the bytes moved — always worth a pool dispatch.
+  if (node.op == ir::OpKind::kConv2d || node.op == ir::OpKind::kLinear) return kHeavySample;
+  std::size_t bytes = static_cast<std::size_t>(node.type.bytes());
+  for (const int id : node.inputs) {
+    const ir::Node& in = graph.node(id);
+    if (in.is_const()) continue;  // weights/params are shared, not per-sample
+    bytes += static_cast<std::size_t>(in.type.bytes());
+  }
+  return bytes;
 }
 
 std::byte* BatchedExecutor::buffer(int node_id) {
@@ -370,9 +402,10 @@ void BatchedExecutor::each_sample(int n, std::size_t sample_bytes,
                                   const std::function<void(int)>& fn) {
   // A pool dispatch costs on the order of a context switch; for a
   // memory-bound broadcast op that only pays off once a sample touches
-  // tens of KB. Below that the serial loop is strictly faster, and the
-  // results are identical either way (samples are independent).
-  constexpr std::size_t kMinParallelSampleBytes = 32u * 1024u;
+  // tens of KB (kMinParallelSampleBytes, compared against
+  // sample_io_bytes so every op is measured in the same unit). Below
+  // that the serial loop is strictly faster, and the results are
+  // identical either way (samples are independent).
   if (pool_ && pool_->size() > 1 && n > 1 && sample_bytes >= kMinParallelSampleBytes) {
     pool_->parallel_for(static_cast<std::size_t>(n),
                         [&fn](std::size_t i) { fn(static_cast<int>(i)); });
@@ -441,6 +474,9 @@ Tensor BatchedExecutor::run(const Tensor& input) {
 void BatchedExecutor::dispatch(const ir::Node& node, int n) {
   const auto& shape = node.type.shape;
   const std::size_t per_out = shape.numel();  // per-sample elements: graph batch is 1
+  // Every each_sample site gates on the same unit: actual bytes
+  // touched per sample (sample_io_bytes), never raw element counts.
+  const std::size_t io_bytes = sample_io_bytes(graph_, node);
   const auto in_shape = [&](std::size_t i) -> const Shape& {
     return graph_.node(node.inputs[i]).type.shape;
   };
@@ -461,7 +497,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     case ir::OpKind::kConv2d: {
       const Shape& x = in_shape(0);
       float* out = reinterpret_cast<float*>(buffer(node.id));
-      each_sample(n, kHeavySample, [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         const float* bias = node.inputs.size() == 3 ? f32_s(node.inputs[2], s) : nullptr;
         conv2d_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s), bias,
                    out + static_cast<std::ptrdiff_t>(s) * per_out, 1, x[1], x[2], x[3], shape[1],
@@ -473,7 +509,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     case ir::OpKind::kBatchNorm: {
       const Shape& x = in_shape(0);
       float* out = reinterpret_cast<float*>(buffer(node.id));
-      each_sample(n, per_out * sizeof(float), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         batch_norm_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s),
                        f32_s(node.inputs[2], s), f32_s(node.inputs[3], s),
                        f32_s(node.inputs[4], s), out + static_cast<std::ptrdiff_t>(s) * per_out,
@@ -484,7 +520,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     case ir::OpKind::kChannelAffine: {
       const Shape& x = in_shape(0);
       float* out = reinterpret_cast<float*>(buffer(node.id));
-      each_sample(n, per_out * sizeof(float), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         channel_affine_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s),
                            f32_s(node.inputs[2], s),
                            out + static_cast<std::ptrdiff_t>(s) * per_out, 1, x[1], x[2] * x[3]);
@@ -493,7 +529,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     }
     case ir::OpKind::kRelu: {
       float* out = reinterpret_cast<float*>(buffer(node.id));
-      each_sample(n, per_out * sizeof(float), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         relu_f32(f32_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out,
                  per_out);
       });
@@ -502,7 +538,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     case ir::OpKind::kAvgPool: {
       const Shape& x = in_shape(0);
       float* out = reinterpret_cast<float*>(buffer(node.id));
-      each_sample(n, in_shape(0).numel() * sizeof(float), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         avg_pool_f32(f32_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out, 1,
                      x[1], x[2], x[3], node.conv.kernel, node.conv.stride, node.conv.pad,
                      shape[2], shape[3]);
@@ -511,7 +547,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     }
     case ir::OpKind::kAdd: {
       float* out = reinterpret_cast<float*>(buffer(node.id));
-      each_sample(n, per_out * sizeof(float), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         add_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s),
                 out + static_cast<std::ptrdiff_t>(s) * per_out, per_out);
       });
@@ -520,7 +556,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     case ir::OpKind::kGlobalAvgPool: {
       const Shape& x = in_shape(0);
       float* out = reinterpret_cast<float*>(buffer(node.id));
-      each_sample(n, in_shape(0).numel() * sizeof(float), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         global_avg_pool_f32(f32_s(node.inputs[0], s),
                             out + static_cast<std::ptrdiff_t>(s) * per_out, 1, x[1], x[2] * x[3]);
       });
@@ -529,7 +565,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     case ir::OpKind::kLinear: {
       const Shape& x = in_shape(0);
       float* out = reinterpret_cast<float*>(buffer(node.id));
-      each_sample(n, in_shape(0).numel() * per_out * sizeof(float), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         const float* bias = node.inputs.size() == 3 ? f32_s(node.inputs[2], s) : nullptr;
         linear_f32(f32_s(node.inputs[0], s), f32_s(node.inputs[1], s), bias,
                    out + static_cast<std::ptrdiff_t>(s) * per_out, 1, x[1], shape[1]);
@@ -538,7 +574,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     }
     case ir::OpKind::kQuantize: {
       std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
-      each_sample(n, per_out * sizeof(float), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         quantize_buffer(f32_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out,
                         per_out, node.quant.out_q.scale, node.quant.out_q.zero_point);
       });
@@ -546,7 +582,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     }
     case ir::OpKind::kDequantize: {
       float* out = reinterpret_cast<float*>(buffer(node.id));
-      each_sample(n, per_out * sizeof(float), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         dequantize_buffer(i8_s(node.inputs[0], s),
                           out + static_cast<std::ptrdiff_t>(s) * per_out, per_out,
                           node.quant.in_q.scale, node.quant.in_q.zero_point);
@@ -579,13 +615,13 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
       a.shift = node.quant.shift.data();
       a.columns = columns_.data();
       a.output = reinterpret_cast<std::int8_t*>(buffer(node.id));
-      qconv2d(a, pool_.get());
+      qconv2d_auto(a, packed_ ? packed_->find(node.id) : nullptr, pool_.get());
       return;
     }
     case ir::OpKind::kQAvgPool: {
       const Shape& x = in_shape(0);
       std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
-      each_sample(n, in_shape(0).numel(), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         qavg_pool(i8_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out, 1,
                   x[1], x[2], x[3], node.conv.kernel, node.conv.stride, node.conv.pad, shape[2],
                   shape[3], node.quant.in_q.zero_point, node.quant.mantissa[0],
@@ -595,7 +631,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     }
     case ir::OpKind::kQAdd: {
       std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
-      each_sample(n, per_out, [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         qadd(i8_s(node.inputs[0], s), i8_s(node.inputs[1], s),
              out + static_cast<std::ptrdiff_t>(s) * per_out, per_out,
              node.quant.in_q.zero_point, node.quant.mantissa[0], node.quant.shift[0],
@@ -607,7 +643,7 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     case ir::OpKind::kQGlobalAvgPool: {
       const Shape& x = in_shape(0);
       std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
-      each_sample(n, in_shape(0).numel(), [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         qglobal_avg_pool(i8_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out,
                          1, x[1], x[2], x[3], node.quant.in_q.zero_point,
                          node.quant.mantissa[0], node.quant.shift[0],
@@ -631,12 +667,12 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
       a.mantissa = node.quant.mantissa.data();
       a.shift = node.quant.shift.data();
       a.output = reinterpret_cast<std::int8_t*>(buffer(node.id));
-      qlinear(a);
+      qlinear_auto(a, packed_ ? packed_->find(node.id) : nullptr, pool_.get());
       return;
     }
     case ir::OpKind::kQRelu: {
       std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
-      each_sample(n, per_out, [&](int s) {
+      each_sample(n, io_bytes, [&](int s) {
         qrelu(i8_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out, per_out,
               node.quant.out_q.zero_point);
       });

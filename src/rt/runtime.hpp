@@ -26,6 +26,7 @@
 
 #include "src/common/thread_pool.hpp"
 #include "src/ir/graph.hpp"
+#include "src/rt/kernels_int8_gemm.hpp"
 #include "src/rt/memory_planner.hpp"
 
 namespace micronas::rt {
@@ -35,6 +36,12 @@ struct ExecOptions {
   /// (1 = serial, 0 = one per hardware thread). Results are
   /// bit-identical for every setting.
   int threads = 1;
+  /// Pre-packed qconv/qlinear weights keyed by this graph's node ids
+  /// (compile::CompiledModel::packed, or a package's PACK section) —
+  /// must outlive the executor, like the graph. nullptr: the executor
+  /// packs on the fly at construction (skipped under MICRONAS_PORTABLE,
+  /// where the kernel selector only ever picks the scalar reference).
+  const PackedWeightSet* packed = nullptr;
 };
 
 class Executor {
@@ -77,6 +84,10 @@ class Executor {
   std::vector<std::int8_t> columns_;                     // im2col scratch
   // Per-node Σ_k w[c,k] for kQConv2d / kQLinear, computed once.
   std::vector<std::vector<std::int32_t>> weight_sums_;
+  // Packed weights the kernel selector dispatches on: the caller's set
+  // (options.packed) or `owned_packed_` built at construction.
+  PackedWeightSet owned_packed_;
+  const PackedWeightSet* packed_ = nullptr;
 };
 
 /// One coalesced batch = ONE executor invocation.
@@ -117,18 +128,30 @@ class BatchedExecutor {
   int batch_capacity() const { return capacity_; }
   long long arena_bytes() const { return static_cast<long long>(arena_.size()); }
 
+  /// Bytes a broadcast op's dispatch actually touches per sample:
+  /// output bytes plus every non-const input's bytes, in the op's real
+  /// dtype (an int8 op of N elements is N bytes, a f32 op 4N) — the
+  /// unit each_sample's gate compares against kMinParallelSampleBytes.
+  /// Compute-bound ops (f32 conv / linear) report kHeavySample: their
+  /// per-element cost dwarfs the memory traffic, so they always cross
+  /// the gate.
+  static std::size_t sample_io_bytes(const ir::Graph& graph, const ir::Node& node);
+  /// each_sample's pool-dispatch threshold: below this many bytes
+  /// touched per sample the serial loop is strictly faster.
+  static constexpr std::size_t kMinParallelSampleBytes = 32u * 1024u;
+  /// sample_io_bytes result for compute-bound ops: always parallelize.
+  static constexpr std::size_t kHeavySample = ~std::size_t{0};
+
  private:
   void prepare();
   std::byte* buffer(int node_id);
   const std::byte* read_buffer(int node_id) const;
   void dispatch(const ir::Node& node, int n);
   /// Run fn(sample) for samples [0, n): over the pool when each
-  /// sample's work (`sample_bytes` touched per sample) is large enough
-  /// to amortize a pool dispatch, else a plain loop — samples are
-  /// independent, so the split cannot change results. Pass
-  /// kHeavySample for ops whose per-element cost dwarfs the memory
-  /// traffic (f32 conv).
-  static constexpr std::size_t kHeavySample = ~std::size_t{0};
+  /// sample's work (`sample_bytes` touched per sample, from
+  /// sample_io_bytes) is large enough to amortize a pool dispatch, else
+  /// a plain loop — samples are independent, so the split cannot change
+  /// results.
   void each_sample(int n, std::size_t sample_bytes, const std::function<void(int)>& fn);
 
   const ir::Graph& graph_;
@@ -139,6 +162,8 @@ class BatchedExecutor {
   std::vector<std::byte> arena_;
   std::vector<std::int8_t> columns_;  // im2col scratch at batch capacity
   std::vector<std::vector<std::int32_t>> weight_sums_;
+  PackedWeightSet owned_packed_;
+  const PackedWeightSet* packed_ = nullptr;
 };
 
 }  // namespace micronas::rt

@@ -47,6 +47,7 @@ constexpr std::uint32_t kTagGraph = fourcc("GRPH");
 constexpr std::uint32_t kTagConst = fourcc("CNST");
 constexpr std::uint32_t kTagPlan = fourcc("PLAN");
 constexpr std::uint32_t kTagReport = fourcc("RPRT");
+constexpr std::uint32_t kTagPack = fourcc("PACK");
 
 std::string tag_name(std::uint32_t tag) {
   std::string s(4, '?');
@@ -165,6 +166,39 @@ void write_report(ByteWriter& w, const compile::CompileReport& report) {
   w.f64(report.predicted_latency_ms);
   w.f64(report.executed_latency_ms);
   w.str(report.memory_plan);
+}
+
+/// PACK: the kernel weight-layout table. Each entry names a qconv /
+/// qlinear node, its layout tag and geometry, and where its packed
+/// blob lives — the blobs themselves are appended to CNST (64-byte
+/// aligned like every const) so a flash/mmap deployment can run the
+/// blocked GEMM straight off the file image with zero repacking.
+/// Entries are written in node-id order, so re-saving a loaded model
+/// reproduces the section byte-identically. Returns false (emit no
+/// section) when the model carries no packed weights — a float-only
+/// model's package is unchanged. The section is additive: readers that
+/// don't know the PACK tag ignore it, so the format version stays put.
+bool write_pack(ByteWriter& w, ByteWriter& consts, const rt::PackedWeightSet& packed) {
+  std::uint32_t count = 0;
+  for (const rt::PackedWeights& pw : packed.by_node) {
+    if (!pw.empty()) ++count;
+  }
+  if (count == 0) return false;
+  w.u32(count);
+  for (std::size_t id = 0; id < packed.by_node.size(); ++id) {
+    const rt::PackedWeights& pw = packed.by_node[id];
+    if (pw.empty()) continue;
+    consts.align(kConstAlignment);
+    const std::uint64_t offset = consts.size();
+    consts.raw(pw.data.data(), pw.data.size() * sizeof(std::int16_t));
+    w.i32(static_cast<std::int32_t>(id));
+    w.u8(static_cast<std::uint8_t>(pw.layout));
+    w.i32(pw.cout);
+    w.i32(pw.patch);
+    w.u64(offset);
+    w.u64(consts.size() - offset);
+  }
+  return true;
 }
 
 void write_meta(ByteWriter& w, const compile::CompiledModel& model) {
@@ -359,6 +393,75 @@ compile::CompileReport read_report(ByteReader& r) {
   return report;
 }
 
+/// Geometry of a node's weight tensor (input 1) — what PACK entries
+/// and the load-time repack fallback validate/pack against.
+void weight_geometry(const ir::Graph& graph, const ir::Node& node, int* cout, int* patch) {
+  const ir::Node& w = graph.node(node.inputs[1]);
+  *cout = w.type.shape[0];
+  *patch = static_cast<int>(w.type.shape.numel()) / *cout;
+}
+
+/// Structural validation only: layout byte known, geometry agrees with
+/// the weight node, blob sized and in bounds. The blob *contents* are
+/// covered by the CNST checksum like every const; verifying the
+/// permutation against the canonical weights would cost exactly a
+/// repack, which is the cost this section exists to avoid. An entry
+/// with an unknown layout tag is skipped (a newer writer's layout),
+/// and the caller repacks that node from the canonical weights.
+rt::PackedWeightSet read_pack(ByteReader& r, std::span<const std::byte> consts,
+                              const ir::Graph& graph) {
+  rt::PackedWeightSet set;
+  set.by_node.resize(static_cast<std::size_t>(graph.size()));
+  const std::size_t count = r.count(29);  // i32 + u8 + 2*i32 + 2*u64 per entry
+  for (std::size_t i = 0; i < count; ++i) {
+    const int node_id = r.i32();
+    const int layout = r.u8();
+    const int cout = r.i32();
+    const int patch = r.i32();
+    const std::uint64_t offset = r.u64();
+    const std::uint64_t size = r.u64();
+    if (node_id < 0 || node_id >= graph.size()) {
+      throw SerializeError("PACK: entry " + std::to_string(i) + " node id out of range");
+    }
+    const ir::Node& node = graph.node(node_id);
+    if (node.op != ir::OpKind::kQConv2d && node.op != ir::OpKind::kQLinear) {
+      throw SerializeError("PACK: entry " + std::to_string(i) + " targets node %" +
+                           std::to_string(node_id) + ", which is not a qconv/qlinear");
+    }
+    if (layout != static_cast<int>(rt::WeightLayout::kPackedDot16)) continue;
+    int want_cout = 0;
+    int want_patch = 0;
+    weight_geometry(graph, node, &want_cout, &want_patch);
+    if (cout != want_cout || patch != want_patch) {
+      throw SerializeError("PACK: entry " + std::to_string(i) +
+                           " geometry disagrees with the weight of node %" +
+                           std::to_string(node_id));
+    }
+    rt::PackedWeights pw;
+    pw.layout = rt::WeightLayout::kPackedDot16;
+    pw.cout = cout;
+    pw.patch = patch;
+    if (size != static_cast<std::uint64_t>(pw.padded_patch()) * static_cast<std::uint64_t>(cout) *
+                    sizeof(std::int16_t)) {
+      throw SerializeError("PACK: entry " + std::to_string(i) + " blob size disagrees with " +
+                           "its layout/geometry");
+    }
+    if (offset > consts.size() || size > consts.size() - offset) {
+      throw SerializeError("PACK: blob of entry " + std::to_string(i) +
+                           " escapes the CNST section");
+    }
+    if (!set.by_node[static_cast<std::size_t>(node_id)].empty()) {
+      throw SerializeError("PACK: duplicate entry for node %" + std::to_string(node_id));
+    }
+    ByteReader payload(consts.subspan(offset, size), "CNST");
+    pw.data.resize(static_cast<std::size_t>(size) / sizeof(std::int16_t));
+    payload.raw(pw.data.data(), static_cast<std::size_t>(size));
+    set.by_node[static_cast<std::size_t>(node_id)] = std::move(pw);
+  }
+  if (!r.exhausted()) throw SerializeError("PACK: trailing bytes after entries");
+  return set;
+}
+
 // ---------------------------------------------------- header / sections
 
 struct RawSection {
@@ -428,15 +531,22 @@ std::vector<RawSection> read_sections(std::span<const std::byte> bytes,
   return sections;
 }
 
-/// The unique section with `tag`; duplicates and absence fail closed.
-std::span<const std::byte> require_section(const std::vector<RawSection>& sections,
-                                           std::uint32_t tag) {
+/// The unique section with `tag`, or nullptr when absent (optional
+/// sections like PACK); duplicates fail closed.
+const RawSection* find_section(const std::vector<RawSection>& sections, std::uint32_t tag) {
   const RawSection* found = nullptr;
   for (const RawSection& s : sections) {
     if (s.tag != tag) continue;
     if (found) throw SerializeError("section " + tag_name(tag) + ": duplicated");
     found = &s;
   }
+  return found;
+}
+
+/// The unique section with `tag`; duplicates and absence fail closed.
+std::span<const std::byte> require_section(const std::vector<RawSection>& sections,
+                                           std::uint32_t tag) {
+  const RawSection* found = find_section(sections, tag);
   if (!found) throw SerializeError("section " + tag_name(tag) + ": missing");
   return found->payload;
 }
@@ -453,6 +563,8 @@ std::vector<std::byte> save_model_bytes(const compile::CompiledModel& model) {
   ByteWriter grph;
   ByteWriter cnst;
   write_graph(grph, cnst, model.graph);
+  ByteWriter pack;
+  const bool has_pack = write_pack(pack, cnst, model.packed);  // appends blobs to CNST
   ByteWriter meta;
   write_meta(meta, model);
   ByteWriter plan;
@@ -466,6 +578,7 @@ std::vector<std::byte> save_model_bytes(const compile::CompiledModel& model) {
   sections.push_back(Pending{kTagConst, cnst.take()});
   sections.push_back(Pending{kTagPlan, plan.take()});
   sections.push_back(Pending{kTagReport, rprt.take()});
+  if (has_pack) sections.push_back(Pending{kTagPack, pack.take()});
 
   // Lay out: header, table, then sections each at a 64-byte file
   // offset (so CNST's internally aligned const blobs stay aligned
@@ -560,6 +673,30 @@ compile::CompiledModel load_model_bytes(std::span<const std::byte> bytes) {
     const std::string arch = r.str();
     if (arch != model.report.arch) throw SerializeError("META: arch disagrees with RPRT");
     if (!r.exhausted()) throw SerializeError("META: trailing bytes after metadata");
+  }
+
+  // PACK: packed kernel weight layouts. Optional — packages written
+  // before the section existed (or by a writer with layouts this
+  // reader doesn't know) simply lack usable entries.
+  if (const RawSection* pack = find_section(sections, kTagPack)) {
+    ByteReader r(pack->payload, "PACK");
+    model.packed = read_pack(r, require_section(sections, kTagConst), model.graph);
+  } else {
+    model.packed.by_node.resize(static_cast<std::size_t>(model.graph.size()));
+  }
+  // Legacy fallback: repack any packable node the package didn't
+  // cover, so old packages still run the blocked kernels (they just
+  // pay the one-time repack the PACK section exists to avoid). Gated
+  // on the same predicate the pack-weights step uses, so a loaded
+  // model re-saves byte-identically.
+  for (const ir::Node& node : model.graph.nodes()) {
+    if (!rt::node_wants_packed_weights(model.graph, node)) continue;
+    rt::PackedWeights& slot = model.packed.by_node[static_cast<std::size_t>(node.id)];
+    if (!slot.empty()) continue;
+    int cout = 0;
+    int patch = 0;
+    weight_geometry(model.graph, node, &cout, &patch);
+    slot = rt::pack_weights_dot16(model.graph.node(node.inputs[1]).i8_data.data(), cout, patch);
   }
   return model;
 }

@@ -26,6 +26,12 @@
 //         start so a flash/mmap deployment can use them in place
 //   PLAN  static arena plan (offsets, lifetimes, schedule)
 //   RPRT  the full CompileReport (pass telemetry, latency, plan text)
+//   PACK  kernel weight-layout table (optional, additive): per qconv /
+//         qlinear node, a rt::WeightLayout tag plus the CNST location
+//         of the packed GEMM panels, so a server runs the blocked int8
+//         kernels straight off the loaded image with zero repacking.
+//         Packages without it (or with layout tags this reader doesn't
+//         know) load fine and repack from the canonical weights.
 //
 // The loader is fail-closed: every offset/size is bounds-checked,
 // section checksums must match (any single flipped byte is rejected),

@@ -47,8 +47,10 @@ ModelServer::ModelServer(compile::CompiledModel model, ServerOptions options)
     // isolated by construction.
     lanes_.reserve(static_cast<std::size_t>(options_.max_batch));
     for (int i = 0; i < options_.max_batch; ++i) {
-      lanes_.push_back(
-          std::make_unique<rt::Executor>(model_.graph, model_.plan, rt::ExecOptions{1}));
+      // The model's package-built packed weights flow into every lane:
+      // the server never repacks, no matter how many executors it runs.
+      lanes_.push_back(std::make_unique<rt::Executor>(model_.graph, model_.plan,
+                                                      rt::ExecOptions{1, &model_.packed}));
     }
     if (options_.max_batch > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
   } else {
@@ -57,7 +59,7 @@ ModelServer::ModelServer(compile::CompiledModel model, ServerOptions options)
     // a coalesced batch is a single run_batch call.
     batched_ = std::make_unique<rt::BatchedExecutor>(
         model_.graph, model_.plan_for_batch(options_.max_batch), options_.max_batch,
-        rt::ExecOptions{options_.threads});
+        rt::ExecOptions{options_.threads, &model_.packed});
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }

@@ -111,7 +111,7 @@ TEST(Serialize, PackageInfoPeeksWithoutLoading) {
   EXPECT_EQ(info.format_version, serialize::kFormatVersion);
   EXPECT_EQ(info.file_bytes, bytes.size());
   EXPECT_EQ(info.arch, model.report.arch);
-  ASSERT_EQ(info.sections.size(), 5u);
+  ASSERT_EQ(info.sections.size(), 6u);  // META GRPH CNST PLAN RPRT PACK
   // Const blobs must sit at mmap-friendly offsets.
   for (const serialize::SectionInfo& s : info.sections) {
     EXPECT_EQ(s.offset % serialize::kConstAlignment, 0u) << s.tag;
@@ -367,6 +367,121 @@ TEST(SerializeForged, HostileArenaDemandFailsClosed) {
   poke_le(forged, report_at + 8, huge, 8);    // report.naive_arena_bytes
   reforge_checksums(forged);
   EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError);
+}
+
+// ------------------------------------------------------- PACK section
+//
+// The kernel weight-layout table is an *optional* section with a
+// forward/backward-compat contract: old readers skip the unknown tag,
+// old packages (no PACK) load and get repacked, and unknown layout
+// bytes inside PACK degrade to the repack fallback — while forged
+// geometry still fails closed like every other hostile field.
+
+/// Byte offsets inside the PACK payload, mirroring read_pack: u32
+/// entry count, then 29-byte entries {i32 node_id, u8 layout,
+/// i32 cout, i32 patch, u64 cnst_offset, u64 size}.
+constexpr std::size_t kPackFirstEntryAt = 4;
+constexpr std::size_t kPackLayoutAt = kPackFirstEntryAt + 4;
+constexpr std::size_t kPackCoutAt = kPackFirstEntryAt + 5;
+
+/// The loaded set must be indistinguishable from packing the loaded
+/// graph from scratch — the invariant that makes serialized panels,
+/// the loader's repack fallback, and runtime-owned packing
+/// interchangeable.
+void expect_packed_equals_fresh_pack(const compile::CompiledModel& loaded) {
+  const rt::PackedWeightSet fresh = rt::pack_graph_weights(loaded.graph);
+  ASSERT_EQ(loaded.packed.by_node.size(), fresh.by_node.size());
+  std::size_t packed_nodes = 0;
+  for (std::size_t i = 0; i < fresh.by_node.size(); ++i) {
+    const rt::PackedWeights& got = loaded.packed.by_node[i];
+    const rt::PackedWeights& want = fresh.by_node[i];
+    ASSERT_EQ(got.empty(), want.empty()) << "node " << i;
+    if (want.empty()) continue;
+    ++packed_nodes;
+    EXPECT_EQ(static_cast<int>(got.layout), static_cast<int>(want.layout)) << "node " << i;
+    EXPECT_EQ(got.cout, want.cout) << "node " << i;
+    EXPECT_EQ(got.patch, want.patch) << "node " << i;
+    EXPECT_EQ(got.data, want.data) << "node " << i;
+  }
+  EXPECT_GT(packed_nodes, 0u) << "no packed-weight nodes — the check is vacuous";
+}
+
+TEST(SerializePack, RoundTripsPackedWeightsVerbatim) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+  ASSERT_GE(section_named(bytes, "PACK").size, kPackFirstEntryAt + 29);
+  const compile::CompiledModel loaded = serialize::load_model_bytes(bytes);
+  expect_packed_equals_fresh_pack(loaded);
+}
+
+TEST(SerializePack, LegacyPackageWithoutPackIsRepackedOnLoad) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> baseline = serialize::save_model_bytes(model);
+
+  // Rename PACK's tag in the section table to a fourcc this reader has
+  // never heard of. That simulates both compat directions at once: a
+  // future writer's extra section (unknown tags are stored and
+  // ignored) and a pre-PACK legacy package (find_section comes back
+  // empty, so the loader must repack from the graph weights).
+  const serialize::PackageInfo info = serialize::read_package_info(baseline);
+  std::size_t pack_index = info.sections.size();
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    if (info.sections[i].tag == "PACK") pack_index = i;
+  }
+  ASSERT_LT(pack_index, info.sections.size());
+  constexpr std::size_t kTableAt = 40;
+  constexpr std::size_t kEntryBytes = 32;
+  std::vector<std::byte> legacy = baseline;
+  poke_le(legacy, kTableAt + pack_index * kEntryBytes, 0x5A5A5A5Au, 4);  // "ZZZZ"
+  reforge_checksums(legacy);
+
+  const compile::CompiledModel loaded = serialize::load_model_bytes(legacy);
+  expect_packed_equals_fresh_pack(loaded);
+
+  const Tensor input = sample_input(8, 7);
+  rt::Executor want(model.graph, model.plan, rt::ExecOptions{1});
+  rt::Executor got(loaded.graph, loaded.plan, rt::ExecOptions{1});
+  EXPECT_EQ(serialize::logits_hash_hex(got.run(input)),
+            serialize::logits_hash_hex(want.run(input)))
+      << "repack fallback changed the numerics";
+}
+
+TEST(SerializePack, ForgedEntryGeometryFailsClosed) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> baseline = serialize::save_model_bytes(model);
+  const serialize::SectionInfo pack = section_named(baseline, "PACK");
+  ASSERT_GE(pack.size, kPackFirstEntryAt + 29);
+
+  // cout that disagrees with the node's weight tensor: a forged value
+  // with valid checksums must die on the geometry cross-check, never
+  // reach the blob copy.
+  std::vector<std::byte> forged = baseline;
+  poke_le(forged, pack.offset + kPackCoutAt, 0x7FFFFFFFu, 4);
+  reforge_checksums(forged);
+  EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError);
+}
+
+TEST(SerializePack, UnknownLayoutTagIsSkippedAndRepacked) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> baseline = serialize::save_model_bytes(model);
+  const serialize::SectionInfo pack = section_named(baseline, "PACK");
+  ASSERT_GE(pack.size, kPackFirstEntryAt + 29);
+
+  // A layout byte from the future: the entry is skipped (its geometry
+  // is opaque to this reader), the node falls through to the repack
+  // fallback, and execution stays bit-identical.
+  std::vector<std::byte> forged = baseline;
+  poke_le(forged, pack.offset + kPackLayoutAt, 42, 1);
+  reforge_checksums(forged);
+
+  const compile::CompiledModel loaded = serialize::load_model_bytes(forged);
+  expect_packed_equals_fresh_pack(loaded);
+
+  const Tensor input = sample_input(8, 7);
+  rt::Executor want(model.graph, model.plan, rt::ExecOptions{1});
+  rt::Executor got(loaded.graph, loaded.plan, rt::ExecOptions{1});
+  EXPECT_EQ(serialize::logits_hash_hex(got.run(input)),
+            serialize::logits_hash_hex(want.run(input)));
 }
 
 // ----------------------------------------------------------- golden ties
