@@ -1,6 +1,7 @@
 #include "bench/compare.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "src/core/report.hpp"
@@ -61,6 +62,23 @@ CompareResult compare_reports(const Report& baseline, const Report& current,
       cmp.verdict = Verdict::kImprovement;
       ++result.improvements;
     }
+    if (opts.counter_threshold > 0.0) {
+      for (const auto& [name, base_value] : base.counters) {
+        CounterDrift drift;
+        drift.name = name;
+        drift.baseline = base_value;
+        const auto it = cur->counters.find(name);
+        if (it == cur->counters.end()) {
+          drift.missing = true;
+        } else {
+          drift.current = it->second;
+          drift.rel = std::abs(it->second - base_value) / std::max(std::abs(base_value), 1e-12);
+          if (drift.rel <= opts.counter_threshold) continue;
+        }
+        cmp.counter_drifts.push_back(std::move(drift));
+      }
+      if (!cmp.counter_drifts.empty()) ++result.counter_regressions;
+    }
     result.cases.push_back(cmp);
   }
 
@@ -83,14 +101,20 @@ std::string render_comparison(const CompareResult& result, const CompareOptions&
     table.add_row({c.full_name, ms(c.baseline_median_ms), ms(c.current_median_ms),
                    c.ratio > 0.0 ? TablePrinter::fmt(c.ratio, 2) + "x" : "-",
                    verdict_name(c.verdict)});
+    for (const CounterDrift& d : c.counter_drifts) {
+      table.add_row({"  counter " + d.name, TablePrinter::fmt(d.baseline, 4),
+                     d.missing ? "-" : TablePrinter::fmt(d.current, 4),
+                     d.missing ? "-" : TablePrinter::fmt(100.0 * d.rel, 2) + "%",
+                     d.missing ? "MISSING" : "DRIFT"});
+    }
   }
 
-  char summary[256];
+  char summary[320];
   std::snprintf(summary, sizeof(summary),
                 "\nthreshold +/-%.0f%%: %d regression(s), %d improvement(s), %d missing, "
-                "%d new — %s\n",
+                "%d new, %d counter drift(s) — %s\n",
                 opts.threshold * 100.0, result.regressions, result.improvements, result.missing,
-                result.added, result.failed(opts) ? "FAIL" : "PASS");
+                result.added, result.counter_regressions, result.failed(opts) ? "FAIL" : "PASS");
   return table.render() + summary;
 }
 

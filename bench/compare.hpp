@@ -19,6 +19,19 @@ enum class Verdict { kOk, kRegression, kImprovement, kMissing, kNew };
 
 const char* verdict_name(Verdict v);
 
+/// One gated counter that moved (or vanished) beyond the counter
+/// threshold. Counters are scientific results (arena bytes, reuse
+/// factors, speedups) — unlike wall time they are near-deterministic,
+/// so the memory CI lane gates them far tighter than medians.
+struct CounterDrift {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// |current - baseline| / max(|baseline|, 1e-12); infinity-free.
+  double rel = 0.0;
+  bool missing = false;  // counter present in baseline, absent now
+};
+
 struct CaseComparison {
   std::string full_name;
   Verdict verdict = Verdict::kOk;
@@ -26,11 +39,18 @@ struct CaseComparison {
   double current_median_ms = 0.0;
   /// current/baseline median; 0 when either side is absent.
   double ratio = 0.0;
+  /// Gated counters that drifted beyond counter_threshold (empty when
+  /// counter gating is off or everything held).
+  std::vector<CounterDrift> counter_drifts;
 };
 
 struct CompareOptions {
   /// Allowed fractional median growth (0.25 == +25 %).
   double threshold = 0.25;
+  /// Allowed relative drift for per-case counters; <= 0 disables
+  /// counter gating. Counters present in the baseline but absent from
+  /// the current report count as drift (lost coverage).
+  double counter_threshold = 0.0;
   /// When true, baseline cases missing from the current report are
   /// reported but do not fail the comparison.
   bool allow_missing = false;
@@ -42,9 +62,10 @@ struct CompareResult {
   int improvements = 0;
   int missing = 0;
   int added = 0;
+  int counter_regressions = 0;  // cases with at least one counter drift
 
   bool failed(const CompareOptions& opts) const {
-    return regressions > 0 || (!opts.allow_missing && missing > 0);
+    return regressions > 0 || counter_regressions > 0 || (!opts.allow_missing && missing > 0);
   }
 };
 

@@ -1,7 +1,7 @@
 // bench_compare — perf-regression gate over two BENCH_*.json documents.
 //
 //   bench_compare <baseline.json> <current.json> [--threshold 0.25]
-//                 [--allow-missing]
+//                 [--counter-threshold 0.001] [--allow-missing]
 //
 // Exit status: 0 when no case regressed (and none missing unless
 // --allow-missing), 1 on regression/missing, 2 on usage errors.
@@ -15,15 +15,20 @@ using namespace micronas::bench;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {"threshold", "allow-missing"});
+    const CliArgs args(argc, argv, {"threshold", "counter-threshold", "allow-missing"});
     if (args.positional().size() != 2) {
       std::cerr << "usage: " << args.program()
-                << " <baseline.json> <current.json> [--threshold 0.25] [--allow-missing]\n";
+                << " <baseline.json> <current.json> [--threshold 0.25] "
+                   "[--counter-threshold 0.001] [--allow-missing]\n";
       return 2;
     }
 
     CompareOptions opts;
     opts.threshold = args.get_double("threshold", opts.threshold);
+    // Counters are near-deterministic scientific results (arena bytes,
+    // reuse factors); the memory lane gates them ~250x tighter than
+    // wall-time medians. 0 keeps counter gating off.
+    opts.counter_threshold = args.get_double("counter-threshold", opts.counter_threshold);
     opts.allow_missing = args.get_bool("allow-missing", false);
     if (opts.threshold <= 0.0) {
       std::cerr << "error: --threshold must be > 0\n";

@@ -69,6 +69,54 @@ BENCH_CASE(compile, memory_plan) {
   state.counter("arena_kb", static_cast<double>(m.plan.arena_bytes) / 1024.0);
   state.counter("reuse_factor", m.plan.reuse_factor());
   state.counter("arena_to_model_ratio", m.report.arena_to_model_ratio);
+  long long aliased = 0;
+  for (const rt::BufferPlacement& b : m.plan.buffers) {
+    if (b.alias_of >= 0) ++aliased;
+  }
+  state.counter("aliased_placements", static_cast<double>(aliased));
+  state.set_items_processed(1);
+}
+
+// Row-strip streaming at the planner's floor: bisect the smallest
+// reachable arena_budget (feasibility is monotone — a tighter budget
+// only makes the planner stream more), then time planning at exactly
+// that floor. Every counter here is deterministic (pure planner
+// arithmetic), so the CI memory lane gates them at a near-zero counter
+// threshold: any drift in planner quality fails the lane even when
+// wall time is fine.
+BENCH_CASE(compile, memory_plan_streamed) {
+  const compile::CompiledModel m = compile::compile_genotype(bench_genotype(), bench_options(state));
+  auto fits = [&](long long budget) {
+    rt::MemoryPlanOptions o;
+    o.arena_budget = budget;
+    try {
+      rt::plan_memory(m.graph, o);
+      return true;
+    } catch (const std::runtime_error&) {
+      return false;
+    }
+  };
+  long long lo = 1, hi = m.plan.arena_bytes;
+  while (lo < hi) {
+    const long long mid = lo + (hi - lo) / 2;
+    if (fits(mid)) hi = mid;
+    else lo = mid + 1;
+  }
+
+  rt::MemoryPlanOptions budgeted;
+  budgeted.arena_budget = lo;
+  long long arena = 0;
+  for (auto _ : state) {
+    const rt::MemoryPlan plan = rt::plan_memory(m.graph, budgeted);
+    arena = plan.arena_bytes;
+    bench::do_not_optimize(arena);
+  }
+  const rt::MemoryPlan plan = rt::plan_memory(m.graph, budgeted);
+  state.counter("min_arena_kb", static_cast<double>(plan.arena_bytes) / 1024.0);
+  state.counter("streamed_nodes", static_cast<double>(plan.strips.size()));
+  state.counter("stream_scratch_kb", static_cast<double>(plan.stream_scratch_bytes) / 1024.0);
+  state.counter("arena_shrink",
+                static_cast<double>(m.plan.arena_bytes) / static_cast<double>(plan.arena_bytes));
   state.set_items_processed(1);
 }
 

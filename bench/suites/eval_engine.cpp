@@ -28,7 +28,7 @@ namespace {
 bool bitwise_equal(const IndicatorValues& a, const IndicatorValues& b) {
   return a.ntk_condition == b.ntk_condition && a.linear_regions == b.linear_regions &&
          a.flops_m == b.flops_m && a.params_m == b.params_m && a.latency_ms == b.latency_ms &&
-         a.peak_sram_kb == b.peak_sram_kb;
+         a.peak_sram_kb == b.peak_sram_kb && a.streamed_sram_kb == b.streamed_sram_kb;
 }
 
 std::vector<nb201::Genotype> sample_batch(std::uint64_t seed, int samples) {

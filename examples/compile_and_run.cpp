@@ -42,7 +42,8 @@ double time_run_ms(rt::Executor& exec, const Tensor& input) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
-                       {"arch", "cells", "input", "seed", "runs", "threads", "mcu"});
+                       {"arch", "cells", "input", "seed", "runs", "threads", "mcu",
+                        "arena-budget"});
     const std::string arch = args.get_string("arch", "");
     const int runs = args.get_int("runs", 3);
     const int threads = args.get_int("threads", 4);
@@ -60,6 +61,11 @@ int main(int argc, char** argv) {
     options.macro.cells_per_stage = args.get_int("cells", 5);
     options.macro.input_size = args.get_int("input", 32);
     options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    // --arena-budget <KB>: hard activation-arena ceiling. The planner
+    // row-strip-streams conv/pool nodes until the plan fits (or fails
+    // loudly), without changing a single logit bit.
+    options.plan.arena_budget =
+        static_cast<long long>(args.get_int("arena-budget", 0)) * 1024;
 
     std::cout << "Step 1+2: lowering " << genotype.to_string()
               << " and running the pass pipeline\n";
@@ -114,6 +120,9 @@ int main(int argc, char** argv) {
     std::cout << "Step 5: naive float interpreter comparison\n";
     compile::CompilerOptions naive = options;
     naive.fold = naive.fuse = naive.quantize = false;
+    // The float interpreter is the numeric reference, not a deployment:
+    // an int8-sized arena budget would be unreachable for f32 buffers.
+    naive.plan.arena_budget = 0;
     compile::CompiledModel float_model = compile::compile_genotype(genotype, naive);
     rt::Executor float_exec(float_model.graph, rt::ExecOptions{1});
     const Tensor float_logits = float_exec.run(input);
@@ -133,6 +142,11 @@ int main(int argc, char** argv) {
                  std::to_string(float_model.graph.executed_node_count()) + " -> " +
                      std::to_string(model.graph.executed_node_count())});
     out.add_row({"planned arena", TablePrinter::fmt(model.plan.arena_bytes / 1024.0, 1) + " KB"});
+    if (!model.plan.strips.empty()) {
+      out.add_row({"row-strip streamed nodes", std::to_string(model.plan.strips.size())});
+      out.add_row({"stream scratch",
+                   TablePrinter::fmt(model.plan.stream_scratch_bytes / 1024.0, 1) + " KB"});
+    }
     out.add_row({"arena / model-predicted peak",
                  TablePrinter::fmt(model.report.arena_to_model_ratio, 3)});
     out.add_row({"predicted latency (LUT)",

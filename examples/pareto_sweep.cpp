@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
                        {"mcus", "pop", "gens", "rows", "seed", "threads", "cache", "dataset",
-                        "quality", "csv"});
+                        "quality", "csv", "constrain-sram", "stream-sram", "sram-kb"});
     const std::string quality = args.get_string("quality", "proxy");
     if (quality != "proxy" && quality != "oracle") {
       throw std::invalid_argument("--quality must be 'proxy' or 'oracle'");
@@ -44,10 +44,26 @@ int main(int argc, char** argv) {
     sweep.nsga2.dataset = cfg.dataset;
     sweep.nsga2.population_size = args.get_int("pop", 24);
     sweep.nsga2.generations = args.get_int("gens", 8);
+    // SRAM bounds: --sram-kb sets one explicit bound for every target,
+    // --constrain-sram derives a per-target bound from each MCU's own
+    // capacity (overriding --sram-kb), and --stream-sram counts the
+    // row-strip-streamed peak (what an arena_budget-constrained compile
+    // achieves) instead of the plain peak. Note the analytic memory
+    // model prices fp32 activations — MCU-scale budgets only admit
+    // cells here once quantization enters the costing.
+    const int sram_kb = args.get_int("sram-kb", 0);
+    if (sram_kb > 0) sweep.nsga2.constraints.max_sram_kb = static_cast<double>(sram_kb);
+    sweep.constrain_sram_to_mcu = args.get_bool("constrain-sram", false);
+    sweep.sram_streaming = args.get_bool("stream-sram", false);
 
     std::cout << "NSGA-II scenario sweep over " << sweep.mcu_presets.size()
               << " MCU targets (pop " << sweep.nsga2.population_size << ", "
-              << sweep.nsga2.generations << " generations, quality = " << quality << ")\n";
+              << sweep.nsga2.generations << " generations, quality = " << quality
+              << (sweep.constrain_sram_to_mcu
+                      ? std::string(", SRAM bound = per-MCU budget") +
+                            (sweep.sram_streaming ? " on streamed peak" : "")
+                      : "")
+              << ")\n";
 
     const ParetoSweepResult result = nas.pareto_sweep(sweep);
 
@@ -62,7 +78,8 @@ int main(int argc, char** argv) {
                 << "Pareto archive: " << s.search.archive.size() << " non-dominated cells ("
                 << s.search.evaluations << " scoring requests)\n\n";
 
-      TablePrinter table({"Latency(ms)", "SRAM(KB)", "ACC(%)", "NTK k", "LR", "Cell"});
+      TablePrinter table(
+          {"Latency(ms)", "SRAM(KB)", "Streamed(KB)", "ACC(%)", "NTK k", "LR", "Cell"});
       const std::vector<ParetoEntry> front = s.search.archive.snapshot();
       const std::size_t stride =
           std::max<std::size_t>(1, front.size() / static_cast<std::size_t>(std::max(max_rows, 1)));
@@ -70,6 +87,7 @@ int main(int argc, char** argv) {
         const ParetoEntry& e = front[i];
         table.add_row({TablePrinter::fmt(e.indicators.latency_ms, 1),
                        TablePrinter::fmt(e.indicators.peak_sram_kb, 0),
+                       TablePrinter::fmt(e.indicators.streamed_sram_kb, 0),
                        TablePrinter::fmt(e.accuracy, 2),
                        TablePrinter::fmt(e.indicators.ntk_condition, 1),
                        TablePrinter::fmt(e.indicators.linear_regions, 0),

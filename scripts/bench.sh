@@ -6,6 +6,8 @@
 #   scripts/bench.sh                # tier-1 suites -> BENCH_tier1.json
 #   scripts/bench.sh --all          # every suite   -> BENCH_all.json
 #   scripts/bench.sh --compare      # also gate vs bench/baselines/ (25 %)
+#   BENCH_COUNTER_THRESHOLD=0.001 scripts/bench.sh --compare   # gate counters too
+#   BENCH_FILTER=compile.memory_plan scripts/bench.sh --compare # scoped lane
 #   BENCH_ARGS="--set samples=16,sweep=500" scripts/bench.sh   # extra runner flags
 #   JOBS=4 scripts/bench.sh         # cap build parallelism
 set -euo pipefail
@@ -13,6 +15,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 THRESHOLD="${BENCH_THRESHOLD:-0.25}"
+# Counter gating (arena bytes, reuse factors, ...): deterministic
+# planner arithmetic, so the memory CI lane pins it near zero. 0 = off.
+COUNTER_THRESHOLD="${BENCH_COUNTER_THRESHOLD:-0}"
+# BENCH_FILTER runs a case-name subset (bench_runner --filter). The
+# compare step then allows baseline cases to be missing — a scoped run
+# is a subset of the tier-1 baseline by construction.
+FILTER="${BENCH_FILTER:-}"
 
 TIER_FLAGS=(--tier 1)
 OUT=BENCH_tier1.json
@@ -50,11 +59,22 @@ BEST_OF_FLAGS=()
 if [[ ${#TIER_FLAGS[@]} -gt 0 ]]; then
   BEST_OF_FLAGS=(--best-of 2)
 fi
+FILTER_FLAGS=()
+if [[ -n "$FILTER" ]]; then
+  FILTER_FLAGS=(--filter "$FILTER")
+fi
 # shellcheck disable=SC2086
 ./build/bench_runner ${TIER_FLAGS[@]+"${TIER_FLAGS[@]}"} \
+  ${FILTER_FLAGS[@]+"${FILTER_FLAGS[@]}"} \
   ${BEST_OF_FLAGS[@]+"${BEST_OF_FLAGS[@]}"} --out "$OUT" ${BENCH_ARGS:-}
 
 if [[ "$COMPARE" == 1 ]]; then
-  echo "== compare vs bench/baselines/$OUT (threshold ${THRESHOLD}) =="
-  ./build/bench_compare "bench/baselines/$OUT" "$OUT" --threshold "$THRESHOLD"
+  echo "== compare vs bench/baselines/$OUT (threshold ${THRESHOLD}, counters ${COUNTER_THRESHOLD}) =="
+  MISSING_FLAGS=()
+  if [[ -n "$FILTER" ]]; then
+    MISSING_FLAGS=(--allow-missing)
+  fi
+  ./build/bench_compare "bench/baselines/$OUT" "$OUT" --threshold "$THRESHOLD" \
+    --counter-threshold "$COUNTER_THRESHOLD" \
+    ${MISSING_FLAGS[@]+"${MISSING_FLAGS[@]}"}
 fi

@@ -66,6 +66,9 @@ CompiledModel compile_genotype(const nb201::Genotype& genotype, const CompilerOp
     pm.add(std::make_unique<QuantizePass>(make_calibration_batches(options), qopts));
     pm.add(std::make_unique<DeadCodeElimPass>());
   }
+  // Last graph rewrite: reordering renumbers node ids, so it must run
+  // before anything keyed by them (weight packing, the memory plan).
+  if (options.reorder) pm.add(std::make_unique<ScheduleReorderPass>(options.plan));
   report.passes = pm.run(model.graph);
   report.final_nodes = model.graph.size();
   report.final_executed = model.graph.executed_node_count();

@@ -37,6 +37,9 @@ struct CompilerOptions {
   bool fold = true;
   bool fuse = true;
   bool quantize = true;         // requires fold && fuse
+  /// Schedule-reorder pass: permute the node list when list scheduling
+  /// finds an order the planner proves strictly arena-smaller.
+  bool reorder = true;
   int calibration_batches = 2;  // each of shape [batch, C, H, W]
   QuantSpec quant;
   rt::MemoryPlanOptions plan;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <stdexcept>
 
 #include "src/rt/kernels_f32.hpp"
 
@@ -279,5 +280,112 @@ bool FuseConvBnReluPass::run(ir::Graph& graph) {
 }
 
 bool DeadCodeElimPass::run(ir::Graph& graph) { return graph.compact() > 0; }
+
+bool ScheduleReorderPass::run(ir::Graph& graph) {
+  // Executed nodes other than the input are the reorderable set; the
+  // input always runs at step 0 and constants take no step at all.
+  std::vector<int> executed;
+  for (const auto& node : graph.nodes()) {
+    if (node.is_const() || node.op == ir::OpKind::kInput) continue;
+    executed.push_back(node.id);
+  }
+  if (executed.size() < 2) return false;
+
+  const long long before = rt::plan_memory(graph, plan_options_).arena_bytes;
+
+  // List scheduling: at each step pick the ready node with the lowest
+  // memory pressure — bytes its output allocates minus bytes it frees
+  // (non-const inputs for which it is the last unscheduled consumer;
+  // the graph output never frees, it stays live to the end). Ties go to
+  // the lowest node id, keeping the pass deterministic.
+  std::vector<int> pending(static_cast<std::size_t>(graph.size()), 0);   // unscheduled deps
+  std::vector<int> consumers(static_cast<std::size_t>(graph.size()), 0);  // unscheduled readers
+  for (const int id : executed) {
+    for (const int in : graph.node(id).inputs) {
+      if (graph.node(in).is_const()) continue;
+      consumers[static_cast<std::size_t>(in)]++;
+      if (graph.node(in).op != ir::OpKind::kInput) pending[static_cast<std::size_t>(id)]++;
+    }
+  }
+  std::vector<int> ready;
+  for (const int id : executed) {
+    if (pending[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+  }
+  std::vector<int> order;
+  order.reserve(executed.size());
+  while (!ready.empty()) {
+    std::size_t best = 0;
+    long long best_cost = 0;
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      const ir::Node& node = graph.node(ready[i]);
+      long long cost = node.type.bytes();
+      for (const int in : node.inputs) {
+        const ir::Node& src = graph.node(in);
+        if (src.is_const() || in == graph.output()) continue;
+        if (consumers[static_cast<std::size_t>(in)] == 1) cost -= src.type.bytes();
+      }
+      if (i == 0 || cost < best_cost ||
+          (cost == best_cost && ready[i] < ready[best])) {
+        best = i;
+        best_cost = cost;
+      }
+    }
+    const int id = ready[best];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    order.push_back(id);
+    for (const int in : graph.node(id).inputs) {
+      if (!graph.node(in).is_const()) consumers[static_cast<std::size_t>(in)]--;
+    }
+    for (const int other : executed) {
+      int uses = 0;  // an op may read the same value twice (add(x, x))
+      for (const int in : graph.node(other).inputs) uses += in == id ? 1 : 0;
+      if (uses == 0) continue;
+      if ((pending[static_cast<std::size_t>(other)] -= uses) == 0) ready.push_back(other);
+    }
+  }
+  if (order.size() != executed.size()) {
+    throw std::logic_error("schedule-reorder: list scheduling did not cover the graph");
+  }
+  if (order == executed) return false;
+
+  // Rebuild the node list in the new order: input first, each node's
+  // const operands right before their first consumer, stragglers (a
+  // const output of a fully folded graph, say) in original order last.
+  std::vector<int> remap(static_cast<std::size_t>(graph.size()), -1);
+  std::vector<int> new_order;
+  new_order.reserve(static_cast<std::size_t>(graph.size()));
+  const auto emit = [&](int id) {
+    if (remap[static_cast<std::size_t>(id)] >= 0) return;
+    remap[static_cast<std::size_t>(id)] = static_cast<int>(new_order.size());
+    new_order.push_back(id);
+  };
+  emit(graph.input());
+  for (const int id : order) {
+    for (const int in : graph.node(id).inputs) {
+      if (graph.node(in).is_const()) emit(in);
+    }
+    emit(id);
+  }
+  for (const auto& node : graph.nodes()) emit(node.id);
+
+  std::vector<ir::Node> nodes;
+  nodes.reserve(new_order.size());
+  for (const int id : new_order) {
+    ir::Node node = graph.node(id);
+    node.id = remap[static_cast<std::size_t>(id)];
+    for (int& in : node.inputs) in = remap[static_cast<std::size_t>(in)];
+    nodes.push_back(std::move(node));
+  }
+  ir::Graph reordered =
+      ir::Graph::from_nodes(std::move(nodes), remap[static_cast<std::size_t>(graph.input())],
+                            remap[static_cast<std::size_t>(graph.output())]);
+
+  // Keep the permutation only when the planner proves it smaller —
+  // anything else would churn node ids (and package bytes) for nothing.
+  const long long after = rt::plan_memory(reordered, plan_options_).arena_bytes;
+  if (after >= before) return false;
+  graph = std::move(reordered);
+  return true;
+}
 
 }  // namespace micronas::compile

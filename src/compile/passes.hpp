@@ -11,6 +11,14 @@
 //                    activation, the classic deployment fusion.
 //   dce            — drops nodes unreachable from the output (orphaned
 //                    weights, BN parameters, replaced ops).
+//   schedule-reorder — permutes the (topological) node list to shrink
+//                    the planned arena: list scheduling with a
+//                    memory-pressure cost over the liveness intervals
+//                    the planner derives. Runs last (after quantize,
+//                    before weight packing — packed weights are keyed
+//                    by node id) and keeps the new order only when the
+//                    planner proves it strictly smaller, so graphs
+//                    where reordering cannot help are byte-stable.
 //
 // Passes rewrite via a replacement map and leave dead nodes behind;
 // run dce afterwards to reclaim them (the canonical pipeline in
@@ -18,6 +26,7 @@
 #pragma once
 
 #include "src/compile/pass_manager.hpp"
+#include "src/rt/memory_planner.hpp"
 
 namespace micronas::compile {
 
@@ -37,6 +46,23 @@ class DeadCodeElimPass final : public Pass {
  public:
   std::string name() const override { return "dce"; }
   bool run(ir::Graph& graph) override;
+};
+
+class ScheduleReorderPass final : public Pass {
+ public:
+  /// `plan_options` are the deployment plan's options, so the
+  /// before/after arena comparison measures exactly what the compiler
+  /// will plan — except arena_budget, which is ignored here (the guard
+  /// plans must never throw or stream).
+  explicit ScheduleReorderPass(rt::MemoryPlanOptions plan_options = {})
+      : plan_options_(plan_options) {
+    plan_options_.arena_budget = 0;
+  }
+  std::string name() const override { return "schedule-reorder"; }
+  bool run(ir::Graph& graph) override;
+
+ private:
+  rt::MemoryPlanOptions plan_options_;
 };
 
 }  // namespace micronas::compile

@@ -178,11 +178,17 @@ ParetoSweepResult MicroNas::pareto_sweep(const ParetoSweepConfig& sweep) {
     const EvalEngineStats shared_before = engine_->stats();
     Rng search_rng(hash_combine(tag, 0x5EA2C8ULL));
 
+    Nsga2Config search_cfg = sweep.nsga2;
+    if (sweep.constrain_sram_to_mcu) {
+      search_cfg.constraints.max_sram_kb = static_cast<double>(spec.sram_budget_bytes) / 1024.0;
+    }
+    search_cfg.constraints.sram_streaming = sweep.sram_streaming;
+
     ScenarioResult scenario;
     scenario.mcu_name = name;
     scenario.mcu = spec;
     scenario.search = nsga2_search(hw_engine, sweep.proxy_quality ? engine_.get() : nullptr,
-                                   &oracle_, sweep.nsga2, search_rng);
+                                   &oracle_, search_cfg, search_rng);
     scenario.hw_stats = hw_engine.stats();
     scenario.shared_delta = engine_->stats() - shared_before;
     if (t > 0) {

@@ -79,6 +79,16 @@ struct ParetoSweepConfig {
   /// from the cache on every further target. false: surrogate-oracle
   /// accuracy drives the search instead (cheap; no cross-target reuse).
   bool proxy_quality = true;
+  /// Bound every scenario's search by its own MCU's SRAM capacity:
+  /// constraints.max_sram_kb = McuSpec::sram_budget_bytes / 1024,
+  /// overriding whatever nsga2.constraints carries. This is what makes
+  /// the per-target archives trade latency for SRAM instead of drifting
+  /// toward cells no target could hold.
+  bool constrain_sram_to_mcu = false;
+  /// Count the row-strip-streamed peak against the SRAM bound
+  /// (Constraints::sram_streaming): cells the deployment compiler can
+  /// fit via plan_memory's arena_budget stay feasible.
+  bool sram_streaming = false;
 };
 
 /// One target's slice of a sweep.

@@ -17,22 +17,27 @@ long long layer_live_bytes(const LayerSpec& spec, int bpa) {
   return (spec.in_elems() + spec.out_elems()) * bpa;
 }
 
-}  // namespace
+/// True when the deployment compiler's row-strip streaming applies:
+/// stride-1, resolution-preserving conv/pool geometry (the same test
+/// rt::strip_streamable makes on the lowered graph), letting output
+/// storage overlay the dying input.
+bool layer_streamable(const LayerSpec& spec) {
+  if (spec.kind != LayerKind::kConv && spec.kind != LayerKind::kAvgPool) return false;
+  return spec.stride == 1 && spec.out_h == spec.h && spec.out_w == spec.w;
+}
 
-long long peak_activation_bytes(const MacroModel& model, int bytes_per_activation) {
-  long long peak = 0;
-  std::size_t i = 0;
-  for (const auto& spec : model.layers) {
-    long long live = layer_live_bytes(spec, bytes_per_activation);
-    (void)i;
-    peak = std::max(peak, live);
-    ++i;
-  }
+long long layer_streamed_live_bytes(const LayerSpec& spec, int bpa) {
+  if (!layer_streamable(spec)) return layer_live_bytes(spec, bpa);
+  return std::max(spec.in_elems(), spec.out_elems()) * bpa;
+}
 
-  // Cell-schedule term: while computing the cell output, the input
-  // buffer, every *live* intermediate node buffer (a node is live when
-  // some signal-carrying edge feeds it), the accumulating output and
-  // one edge temporary are simultaneously resident.
+/// Cell-schedule term: while computing the cell output, the input
+/// buffer, every *live* intermediate node buffer (a node is live when
+/// some signal-carrying edge feeds it), the accumulating output and
+/// one edge temporary are simultaneously resident. Streaming does not
+/// shrink this term — it bounds the many-buffer interior of a cell,
+/// not one layer's in/out pair.
+long long cell_schedule_bytes(const MacroModel& model, int bytes_per_activation) {
   int live_nodes = 0;
   for (int node = 1; node < nb201::kNumNodes; ++node) {
     for (int from = 0; from < node; ++from) {
@@ -43,6 +48,7 @@ long long peak_activation_bytes(const MacroModel& model, int bytes_per_activatio
     }
   }
   const long long live_buffers = 2 + live_nodes;  // input + temp + live nodes
+  long long peak = 0;
   for (std::size_t start : model.cell_starts) {
     if (start >= model.layers.size()) continue;
     const auto& first = model.layers[start];
@@ -53,19 +59,33 @@ long long peak_activation_bytes(const MacroModel& model, int bytes_per_activatio
   return peak;
 }
 
+}  // namespace
+
+long long peak_activation_bytes(const MacroModel& model, int bytes_per_activation) {
+  long long peak = 0;
+  for (const auto& spec : model.layers) {
+    peak = std::max(peak, layer_live_bytes(spec, bytes_per_activation));
+  }
+  return std::max(peak, cell_schedule_bytes(model, bytes_per_activation));
+}
+
 MemoryReport analyze_memory(const MacroModel& model, const MemoryModelSpec& spec) {
   MemoryReport r;
   long long peak = 0;
+  long long streamed_peak = 0;
   std::size_t peak_idx = 0;
   for (std::size_t i = 0; i < model.layers.size(); ++i) {
     const long long live = layer_live_bytes(model.layers[i], spec.bytes_per_activation);
+    streamed_peak = std::max(streamed_peak,
+                             layer_streamed_live_bytes(model.layers[i], spec.bytes_per_activation));
     if (live > peak) {
       peak = live;
       peak_idx = i;
     }
   }
-  const long long sched = peak_activation_bytes(model, spec.bytes_per_activation);
+  const long long sched = cell_schedule_bytes(model, spec.bytes_per_activation);
   r.peak_sram_bytes = std::max(peak, sched) + spec.runtime_arena_bytes;
+  r.streamed_peak_sram_bytes = std::max(streamed_peak, sched) + spec.runtime_arena_bytes;
   r.peak_layer_index = peak_idx;
 
   const ParamsBreakdown params = count_params(model);

@@ -22,9 +22,19 @@ struct MemoryModelSpec {
 struct MemoryReport {
   long long peak_sram_bytes = 0;
   long long flash_bytes = 0;
+  /// Peak SRAM when the deployment compiler may row-strip-stream: a
+  /// stride-1 resolution-preserving conv/pool can overlay its output on
+  /// its dying input (rt::plan_memory rung 3), so that layer costs
+  /// max(in, out) instead of in + out. This is the analytic floor the
+  /// search compares against an `arena_budget`-constrained compile;
+  /// always <= peak_sram_bytes.
+  long long streamed_peak_sram_bytes = 0;
   /// Index into MacroModel::layers where the SRAM peak occurs.
   std::size_t peak_layer_index = 0;
   double peak_sram_kb() const { return static_cast<double>(peak_sram_bytes) / 1024.0; }
+  double streamed_peak_sram_kb() const {
+    return static_cast<double>(streamed_peak_sram_bytes) / 1024.0;
+  }
   double flash_kb() const { return static_cast<double>(flash_bytes) / 1024.0; }
 };
 

@@ -27,7 +27,9 @@ IndicatorValues ProxySuite::evaluate(const nb201::Genotype& genotype, Rng& rng) 
   const MacroModel model = build_macro_model(genotype, config_.deploy_net);
   v.flops_m = count_flops(model).total_m();
   v.params_m = count_params(model).total_m();
-  v.peak_sram_kb = analyze_memory(model).peak_sram_kb();
+  const MemoryReport mem = analyze_memory(model);
+  v.peak_sram_kb = mem.peak_sram_kb();
+  v.streamed_sram_kb = mem.streamed_peak_sram_kb();
   v.latency_ms = estimator_ != nullptr ? estimator_->estimate_ms(model) : 0.0;
   return v;
 }

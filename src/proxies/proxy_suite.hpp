@@ -23,6 +23,10 @@ struct IndicatorValues {
   double params_m = 0.0;        // deployment weights, millions
   double latency_ms = 0.0;      // LUT-estimated MCU inference latency
   double peak_sram_kb = 0.0;    // live-activation high-water mark
+  /// High-water mark when the deployment compiler may row-strip-stream
+  /// stride-1 conv/pool layers (MemoryReport::streamed_peak_sram_kb);
+  /// what Constraints::max_sram_kb bounds under `sram_streaming`.
+  double streamed_sram_kb = 0.0;
 };
 
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
@@ -74,6 +75,188 @@ Liveness compute_liveness(const ir::Graph& graph) {
   return live;
 }
 
+/// Index into a node-id-sorted placement vector; -1 if absent.
+int index_of(const std::vector<BufferPlacement>& buffers, int node_id) {
+  auto it = std::lower_bound(buffers.begin(), buffers.end(), node_id,
+                             [](const BufferPlacement& p, int id) { return p.node_id < id; });
+  if (it == buffers.end() || it->node_id != node_id) return -1;
+  return static_cast<int>(it - buffers.begin());
+}
+
+/// Union-find over buffer indices: one set per storage group (values
+/// that share arena bytes through alias_of chains or strip streams).
+struct StorageGroups {
+  std::vector<int> parent;
+
+  explicit StorageGroups(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int i) {
+    while (parent[static_cast<std::size_t>(i)] != i) {
+      parent[static_cast<std::size_t>(i)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(i)])];
+      i = parent[static_cast<std::size_t>(i)];
+    }
+    return i;
+  }
+  void unite(int a, int b) { parent[static_cast<std::size_t>(find(a))] = find(b); }
+};
+
+/// Groups from a placement vector's alias_of fields plus strip entries.
+StorageGroups build_groups(const std::vector<BufferPlacement>& buffers,
+                           const std::vector<StripStream>& strips, const ir::Graph& graph) {
+  StorageGroups groups(buffers.size());
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    if (buffers[i].alias_of < 0) continue;
+    const int t = index_of(buffers, buffers[i].alias_of);
+    if (t >= 0) groups.unite(static_cast<int>(i), t);
+  }
+  for (const StripStream& s : strips) {
+    const int y = index_of(buffers, s.node_id);
+    if (y < 0) continue;
+    const int x = index_of(buffers, graph.node(s.node_id).inputs[0]);
+    if (x >= 0) groups.unite(y, x);
+  }
+  return groups;
+}
+
+/// Greedy placement over storage groups: each group's members share one
+/// offset, the group occupies the extent of its largest member, and
+/// groups are placed largest first at the lowest aligned offset free
+/// across every already-placed conflicting group.
+///
+/// Conflict granularity:
+///  - hull (default): two groups conflict over their full sizes when
+///    their lifetime hulls overlap. Stable and anomaly-free — a buffer
+///    never snuggles into a gap that a later, larger buffer needed.
+///  - member: conflicts are detected member-pair by member-pair, and
+///    each side only reserves the largest member that is genuinely
+///    co-live with the other group. Tighter: the classifier tail (a
+///    few dozen bytes) can nest inside a streaming group's extent while
+///    only its pooled vector is still live. Used by the arena_budget
+///    search when hull placement cannot meet the budget.
+void place_groups(std::vector<BufferPlacement>& buffers, StorageGroups& groups, int alignment,
+                  bool member_granular, long long* arena_bytes) {
+  struct Group {
+    int root;
+    int min_node_id;
+    long long size = 0;
+    long long offset = 0;
+    int def_step;
+    int last_use_step;
+    std::vector<int> members;  // buffer indices
+  };
+  std::vector<int> group_index(buffers.size(), -1);
+  std::vector<Group> group_list;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const int root = groups.find(static_cast<int>(i));
+    if (group_index[static_cast<std::size_t>(root)] < 0) {
+      group_index[static_cast<std::size_t>(root)] = static_cast<int>(group_list.size());
+      Group g;
+      g.root = root;
+      g.min_node_id = buffers[i].node_id;
+      g.def_step = buffers[i].def_step;
+      g.last_use_step = buffers[i].last_use_step;
+      group_list.push_back(g);
+    }
+    Group& g = group_list[static_cast<std::size_t>(group_index[static_cast<std::size_t>(root)])];
+    g.min_node_id = std::min(g.min_node_id, buffers[i].node_id);
+    g.size = std::max(g.size, buffers[i].size);
+    g.def_step = std::min(g.def_step, buffers[i].def_step);
+    g.last_use_step = std::max(g.last_use_step, buffers[i].last_use_step);
+    g.members.push_back(static_cast<int>(i));
+  }
+
+  std::vector<std::size_t> order(group_list.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (group_list[a].size != group_list[b].size) return group_list[a].size > group_list[b].size;
+    if (group_list[a].def_step != group_list[b].def_step)
+      return group_list[a].def_step < group_list[b].def_step;
+    return group_list[a].min_node_id < group_list[b].min_node_id;
+  });
+
+  std::vector<std::size_t> placed;
+  *arena_bytes = 0;
+  for (std::size_t idx : order) {
+    Group& g = group_list[idx];
+    // Per conflict: where the other group sits, how many bytes of it
+    // are actually in the way (`theirs`), and how many of ours can
+    // collide with it (`ours`). At hull granularity both are the full
+    // group sizes.
+    struct Conflict {
+      long long offset;
+      long long theirs;
+      long long ours;
+    };
+    std::vector<Conflict> conflicts;
+    for (std::size_t p : placed) {
+      const Group& o = group_list[p];
+      long long theirs = 0;
+      long long ours = 0;
+      if (member_granular) {
+        for (const int mg : g.members) {
+          for (const int mo : o.members) {
+            if (!lifetimes_overlap(buffers[static_cast<std::size_t>(mg)],
+                                   buffers[static_cast<std::size_t>(mo)]))
+              continue;
+            ours = std::max(ours, buffers[static_cast<std::size_t>(mg)].size);
+            theirs = std::max(theirs, buffers[static_cast<std::size_t>(mo)].size);
+          }
+        }
+      } else if (g.def_step <= o.last_use_step && o.def_step <= g.last_use_step) {
+        theirs = o.size;
+        ours = g.size;
+      }
+      if (theirs > 0) conflicts.push_back({o.offset, theirs, ours});
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const Conflict& a, const Conflict& b) { return a.offset < b.offset; });
+    // Scan to a fixpoint: with per-conflict extents a bump past one
+    // conflict can land inside another that an earlier check cleared
+    // on the "fits before it" side, so one pass is not enough. Each
+    // bump strictly raises `offset`, so this terminates in at most
+    // |conflicts| rounds.
+    long long offset = 0;
+    for (bool bumped = true; bumped;) {
+      bumped = false;
+      for (const Conflict& c : conflicts) {
+        const bool disjoint = offset + c.ours <= c.offset || c.offset + c.theirs <= offset;
+        if (!disjoint) {
+          offset = std::max(offset, align_up(c.offset + c.theirs, alignment));
+          bumped = true;
+        }
+      }
+    }
+    g.offset = offset;
+    placed.push_back(idx);
+    *arena_bytes = std::max(*arena_bytes, offset + g.size);
+  }
+
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const int root = groups.find(static_cast<int>(i));
+    buffers[i].offset =
+        group_list[static_cast<std::size_t>(group_index[static_cast<std::size_t>(root)])].offset;
+  }
+}
+
+void verify_no_live_overlap(const std::vector<BufferPlacement>& buffers, StorageGroups& groups,
+                            const char* who) {
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    for (std::size_t j = i + 1; j < buffers.size(); ++j) {
+      const auto& a = buffers[i];
+      const auto& b = buffers[j];
+      if (!lifetimes_overlap(a, b)) continue;
+      if (groups.find(static_cast<int>(i)) == groups.find(static_cast<int>(j))) continue;
+      const bool disjoint = a.offset + a.size <= b.offset || b.offset + b.size <= a.offset;
+      if (!disjoint) {
+        throw std::logic_error(std::string(who) + ": overlapping live buffers %" +
+                               std::to_string(a.node_id) + " and %" + std::to_string(b.node_id));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const BufferPlacement* MemoryPlan::find(int node_id) const {
@@ -83,74 +266,209 @@ const BufferPlacement* MemoryPlan::find(int node_id) const {
   return &*it;
 }
 
+const StripStream* MemoryPlan::find_strip(int node_id) const {
+  auto it = std::lower_bound(strips.begin(), strips.end(), node_id,
+                             [](const StripStream& s, int id) { return s.node_id < id; });
+  if (it == strips.end() || it->node_id != node_id) return nullptr;
+  return &*it;
+}
+
+bool inplace_alias_op(ir::OpKind op) {
+  switch (op) {
+    case ir::OpKind::kRelu:
+    case ir::OpKind::kAdd:
+    case ir::OpKind::kQRelu:
+    case ir::OpKind::kQAdd:
+    case ir::OpKind::kQGlobalAvgPool:
+    case ir::OpKind::kGlobalAvgPool:
+    // Quantize shrinks f32 -> i8 with a forward loop: the byte written
+    // for element i precedes every byte later elements still read, so
+    // the output may overlay the input's storage. (Dequantize is the
+    // widening direction and is NOT safe: out[0] spans in[1..3].)
+    case ir::OpKind::kQuantize:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool strip_streamable(const ir::Graph& graph, const ir::Node& node) {
+  if (node.op != ir::OpKind::kQConv2d && node.op != ir::OpKind::kQAvgPool) return false;
+  if (node.conv.stride != 1) return false;
+  const ir::Node& x = graph.node(node.inputs[0]);
+  if (x.is_const()) return false;
+  const Shape& ys = node.type.shape;
+  const Shape& xs = x.type.shape;
+  if (ys.rank() != 4 || xs.rank() != 4) return false;
+  if (ys[0] != xs[0]) return false;
+  // Same spatial dims (with stride 1 this forces kernel == 2*pad + 1,
+  // so the halo is exactly `pad` rows on each side).
+  if (ys[2] != xs[2] || ys[3] != xs[3]) return false;
+  if (ys[2] < 2) return false;  // nothing to strip
+  // The output overlays the input byte-for-byte per plane. With a graph
+  // batch dim > 1 the per-sample bases only coincide when the channel
+  // counts match.
+  if (xs[0] > 1 && ys[1] != xs[1]) return false;
+  return node.conv.kernel == 2 * node.conv.pad + 1;
+}
+
+long long strip_scratch_bytes(const ir::Graph& graph, int node_id, int strip_h) {
+  const ir::Node& node = graph.node(node_id);
+  const ir::Node& x = graph.node(node.inputs[0]);
+  const long long cin = x.type.shape[1];
+  const long long w = x.type.shape[3];
+  const long long cout = node.type.shape[1];
+  const long long wo = node.type.shape[3];
+  const long long k = node.conv.kernel;
+  const long long p = node.conv.pad;
+  const long long in_rows = strip_h - 1 + k;
+  const long long gather = cin * in_rows * (w + 2 * p);          // zp-padded input rows
+  const long long stage = cout * strip_h * wo;                   // staged output rows
+  return align_up(gather, kMaxPlanAlignment) + stage;
+}
+
 MemoryPlan plan_memory(const ir::Graph& graph, const MemoryPlanOptions& options) {
   graph.validate();
   if (options.alignment < 1 || options.alignment > kMaxPlanAlignment) {
     throw std::invalid_argument("plan_memory: alignment must be in [1, " +
                                 std::to_string(kMaxPlanAlignment) + "]");
   }
-
   if (options.batch < 1) {
     throw std::invalid_argument("plan_memory: batch must be >= 1");
   }
+  if (options.arena_budget < 0) {
+    throw std::invalid_argument("plan_memory: arena_budget must be >= 0");
+  }
 
-  MemoryPlan plan;
   Liveness live = compute_liveness(graph);
-  plan.schedule = std::move(live.schedule);
-  std::vector<BufferPlacement> buffers = std::move(live.buffers);
-  // Batch capacity scales every value, not the schedule: lifetimes are
-  // the batch-1 lifetimes, sizes are batch * the per-sample bytes.
-  if (options.batch > 1) {
-    for (BufferPlacement& b : buffers) b.size *= options.batch;
-  }
 
-  // Greedy by size, largest first (ties broken by def step then id so
-  // the plan is deterministic): lowest aligned offset whose span is
-  // free across every already-placed, lifetime-overlapping buffer.
-  std::vector<std::size_t> order(buffers.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (buffers[a].size != buffers[b].size) return buffers[a].size > buffers[b].size;
-    if (buffers[a].def_step != buffers[b].def_step)
-      return buffers[a].def_step < buffers[b].def_step;
-    return buffers[a].node_id < buffers[b].node_id;
-  });
-
-  std::vector<std::size_t> placed;
-  for (std::size_t idx : order) {
-    BufferPlacement& buf = buffers[idx];
-    std::vector<const BufferPlacement*> conflicts;
-    for (std::size_t p : placed) {
-      if (lifetimes_overlap(buffers[p], buf)) conflicts.push_back(&buffers[p]);
-    }
-    std::sort(conflicts.begin(), conflicts.end(),
-              [](const BufferPlacement* a, const BufferPlacement* b) {
-                return a->offset < b->offset;
-              });
-    long long offset = 0;
-    for (const BufferPlacement* c : conflicts) {
-      if (offset + buf.size <= c->offset) break;  // fits in the gap before c
-      offset = std::max(offset, align_up(c->offset + c->size, options.alignment));
-    }
-    buf.offset = offset;
-    placed.push_back(idx);
-    plan.arena_bytes = std::max(plan.arena_bytes, offset + buf.size);
-  }
-
-  for (const auto& b : buffers) plan.naive_bytes += align_up(b.size, options.alignment);
-  plan.buffers = std::move(buffers);
-
-  // Invariant: no two simultaneously live buffers may overlap.
-  for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
-    for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
-      const auto& a = plan.buffers[i];
-      const auto& b = plan.buffers[j];
-      if (!lifetimes_overlap(a, b)) continue;
-      const bool disjoint = a.offset + a.size <= b.offset || b.offset + b.size <= a.offset;
-      if (!disjoint) {
-        throw std::logic_error("plan_memory: overlapping live buffers %" +
-                               std::to_string(a.node_id) + " and %" + std::to_string(b.node_id));
+  // Rung 2: in-place aliasing. An op whose kernel is in-place safe may
+  // overwrite an input that dies at the op, as long as the output fits
+  // inside the input's storage (and, at batch capacity > 1, the sizes
+  // match exactly so the per-sample slot layouts coincide).
+  std::vector<BufferPlacement> proto = std::move(live.buffers);
+  if (options.alias_inplace) {
+    for (const int id : live.schedule) {
+      const ir::Node& node = graph.node(id);
+      if (!inplace_alias_op(node.op)) continue;
+      const int self = index_of(proto, id);
+      for (const int in : node.inputs) {
+        if (graph.node(in).is_const()) continue;
+        const int src = index_of(proto, in);
+        if (src < 0) continue;
+        if (proto[static_cast<std::size_t>(src)].last_use_step !=
+            proto[static_cast<std::size_t>(self)].def_step)
+          continue;  // input must die at this op
+        if (proto[static_cast<std::size_t>(self)].size >
+            proto[static_cast<std::size_t>(src)].size)
+          continue;  // output must fit over the input
+        if (options.batch > 1 && proto[static_cast<std::size_t>(self)].size !=
+                                     proto[static_cast<std::size_t>(src)].size)
+          continue;  // batched sample slots must line up
+        proto[static_cast<std::size_t>(self)].alias_of = in;
+        break;
       }
+    }
+  }
+
+  // Assemble a full plan for a given strip set (used once without
+  // strips, then iteratively while searching for a budget-fitting set).
+  const auto build = [&](const std::vector<StripStream>& strips, bool member_granular) {
+    MemoryPlan plan;
+    plan.schedule = live.schedule;
+    plan.strips = strips;
+    std::sort(plan.strips.begin(), plan.strips.end(),
+              [](const StripStream& a, const StripStream& b) { return a.node_id < b.node_id; });
+    plan.buffers = proto;
+    if (options.batch > 1) {
+      for (BufferPlacement& b : plan.buffers) b.size *= options.batch;
+    }
+    StorageGroups groups = build_groups(plan.buffers, plan.strips, graph);
+    place_groups(plan.buffers, groups, options.alignment, member_granular, &plan.arena_bytes);
+    for (const auto& b : plan.buffers) plan.naive_bytes += align_up(b.size, options.alignment);
+    for (const StripStream& s : plan.strips) {
+      plan.stream_scratch_bytes =
+          std::max(plan.stream_scratch_bytes, strip_scratch_bytes(graph, s.node_id, s.strip_h));
+    }
+    verify_no_live_overlap(plan.buffers, groups, "plan_memory");
+    return plan;
+  };
+
+  MemoryPlan plan = build({}, false);
+
+  // Rung 3: row-strip streaming under an arena budget. Greedily stream
+  // the eligible node with the largest mergeable pair until the plan
+  // fits. A strip is kept when it does not WORSEN the arena: on a conv
+  // chain each single strip is arena-neutral (the merged pair still
+  // coexists with the neighbouring conv) and the saving only appears
+  // once the whole chain shares one storage group, so strictly-
+  // improving acceptance would reject every link and never converge.
+  // Strips that turn out not to be needed are pruned afterwards, and
+  // an accepted plan never exceeds the unstreamed one. Each strip set
+  // is placed at hull granularity first, then at member granularity
+  // (see place_groups) before the budget is declared unreachable.
+  if (options.arena_budget > 0 && plan.arena_bytes > options.arena_budget) {
+    std::vector<StripStream> strips;
+    bool member = false;
+    for (const bool granularity : {false, true}) {
+      member = granularity;
+      MemoryPlan cur = build(strips, member);
+      std::vector<char> tried(static_cast<std::size_t>(graph.size()), 0);
+      for (const StripStream& s : strips) tried[static_cast<std::size_t>(s.node_id)] = 1;
+      while (cur.arena_bytes > options.arena_budget) {
+        int best = -1;
+        long long best_saving = -1;
+        for (const int id : live.schedule) {
+          if (tried[static_cast<std::size_t>(id)]) continue;
+          const ir::Node& node = graph.node(id);
+          if (!strip_streamable(graph, node)) continue;
+          const int self = index_of(proto, id);
+          const int src = index_of(proto, node.inputs[0]);
+          if (self < 0 || src < 0) continue;
+          const BufferPlacement& y = proto[static_cast<std::size_t>(self)];
+          const BufferPlacement& x = proto[static_cast<std::size_t>(src)];
+          if (x.last_use_step != y.def_step) continue;  // input must die at the op
+          if (y.alias_of >= 0) continue;                // one mechanism per node
+          if (options.batch > 1 && x.size != y.size) continue;
+          const long long saving = std::min(x.size, y.size);
+          if (saving > best_saving || (saving == best_saving && id < best)) {
+            best = id;
+            best_saving = saving;
+          }
+        }
+        if (best < 0) break;  // candidates exhausted at this granularity
+        tried[static_cast<std::size_t>(best)] = 1;
+        const int out_h = graph.node(best).type.shape[2];
+        StripStream s;
+        s.node_id = best;
+        // ~8 strips amortize the gather/scatter copies; the halo makes a
+        // strip of fewer than `pad` + 1 rows mostly overlap.
+        s.strip_h = std::min(out_h, std::max(graph.node(best).conv.pad + 1, (out_h + 7) / 8));
+        strips.push_back(s);
+        MemoryPlan next = build(strips, member);
+        if (next.arena_bytes <= cur.arena_bytes) {
+          cur = std::move(next);
+        } else {
+          strips.pop_back();
+        }
+      }
+      if (cur.arena_bytes < plan.arena_bytes) plan = std::move(cur);
+      if (plan.arena_bytes <= options.arena_budget) break;
+    }
+    if (plan.arena_bytes > options.arena_budget) {
+      throw std::runtime_error("plan_memory: arena_budget " +
+                               std::to_string(options.arena_budget) +
+                               " B unreachable (best achievable " +
+                               std::to_string(plan.arena_bytes) + " B)");
+    }
+    // Drop strips the final placement does not need: neutral links
+    // accepted on the way to a chain merge, then obsoleted by later
+    // strips, cost gather/scatter copies at run time for nothing.
+    for (std::size_t i = plan.strips.size(); i-- > 0;) {
+      std::vector<StripStream> trimmed = plan.strips;
+      trimmed.erase(trimmed.begin() + static_cast<std::ptrdiff_t>(i));
+      MemoryPlan t = build(trimmed, member);
+      if (t.arena_bytes <= options.arena_budget) plan = std::move(t);
     }
   }
   return plan;
@@ -203,11 +521,84 @@ void check_plan(const ir::Graph& graph, const MemoryPlan& plan) {
          " exceeds the aligned sum of value sizes (max " + std::to_string(max_naive) + ")");
   }
 
+  // Alias entries: in-place-safe op, the target is a non-const input
+  // that dies at the op, the output fits inside it, and both share an
+  // offset. Anything else in a deserialized plan is hostile.
+  for (const BufferPlacement& got : plan.buffers) {
+    if (got.alias_of < 0) continue;
+    if (got.alias_of >= graph.size()) fail("alias target id out of range");
+    const ir::Node& node = graph.node(got.node_id);
+    if (!inplace_alias_op(node.op)) {
+      fail("alias on %" + std::to_string(got.node_id) + ": op is not in-place safe");
+    }
+    if (std::find(node.inputs.begin(), node.inputs.end(), got.alias_of) == node.inputs.end()) {
+      fail("alias on %" + std::to_string(got.node_id) + ": target is not an input");
+    }
+    const BufferPlacement* target = plan.find(got.alias_of);
+    if (target == nullptr) {
+      fail("alias on %" + std::to_string(got.node_id) + ": target has no placement");
+    }
+    if (target->last_use_step != got.def_step) {
+      fail("alias on %" + std::to_string(got.node_id) + ": target does not die at the op");
+    }
+    if (got.size > target->size) {
+      fail("alias on %" + std::to_string(got.node_id) + ": output larger than the target");
+    }
+    if (got.offset != target->offset) {
+      fail("alias on %" + std::to_string(got.node_id) + ": offsets differ from the target");
+    }
+  }
+
+  // Strip entries: streamable geometry, a dying input, a shared offset,
+  // strip_h in range and scratch accounting that matches a re-derivation.
+  long long want_scratch = 0;
+  for (std::size_t i = 0; i < plan.strips.size(); ++i) {
+    const StripStream& s = plan.strips[i];
+    if (i > 0 && plan.strips[i - 1].node_id >= s.node_id) {
+      fail("strip entries not strictly sorted by node id");
+    }
+    if (s.node_id < 0 || s.node_id >= graph.size()) fail("strip entry id out of range");
+    const ir::Node& node = graph.node(s.node_id);
+    if (!strip_streamable(graph, node)) {
+      fail("strip on %" + std::to_string(s.node_id) + ": node is not streamable");
+    }
+    const BufferPlacement* y = plan.find(s.node_id);
+    const BufferPlacement* x = plan.find(node.inputs[0]);
+    if (y == nullptr || x == nullptr) {
+      fail("strip on %" + std::to_string(s.node_id) + ": missing placement");
+    }
+    if (x->last_use_step != y->def_step) {
+      fail("strip on %" + std::to_string(s.node_id) + ": input does not die at the op");
+    }
+    if (y->alias_of >= 0) {
+      fail("strip on %" + std::to_string(s.node_id) + ": node is also aliased");
+    }
+    if (y->offset != x->offset) {
+      fail("strip on %" + std::to_string(s.node_id) + ": output does not overlay the input");
+    }
+    // The bottom-up strip driver scatters strip i+1 after gathering
+    // strip i; that ordering is only halo-safe when every full strip
+    // covers at least `pad` rows.
+    if (s.strip_h < std::max(1, node.conv.pad) || s.strip_h > node.type.shape[2]) {
+      fail("strip on %" + std::to_string(s.node_id) + ": strip_h outside [max(1, pad), out_h]");
+    }
+    want_scratch = std::max(want_scratch, strip_scratch_bytes(graph, s.node_id, s.strip_h));
+  }
+  if (plan.stream_scratch_bytes != want_scratch) {
+    fail("stream_scratch_bytes " + std::to_string(plan.stream_scratch_bytes) +
+         " does not match the strips (want " + std::to_string(want_scratch) + ")");
+  }
+
+  // No-overlap-while-live, with members of one storage group (alias
+  // chains, strip pairs) exempt — their byte sharing is the point, and
+  // its safety was established entry-by-entry above.
+  StorageGroups groups = build_groups(plan.buffers, plan.strips, graph);
   for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
     for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
       const auto& a = plan.buffers[i];
       const auto& b = plan.buffers[j];
       if (!lifetimes_overlap(a, b)) continue;
+      if (groups.find(static_cast<int>(i)) == groups.find(static_cast<int>(j))) continue;
       const bool disjoint = a.offset + a.size <= b.offset || b.offset + b.size <= a.offset;
       if (!disjoint) {
         fail("overlapping live buffers %" + std::to_string(a.node_id) + " and %" +
@@ -222,7 +613,11 @@ std::string MemoryPlan::to_string(const ir::Graph& graph) const {
   ss << "arena " << arena_bytes << " B (naive " << naive_bytes << " B, reuse x";
   char reuse[32];
   std::snprintf(reuse, sizeof(reuse), "%.2f", reuse_factor());
-  ss << reuse << ")\n";
+  ss << reuse << ")";
+  if (!strips.empty()) {
+    ss << ", stream scratch " << stream_scratch_bytes << " B";
+  }
+  ss << "\n";
   ss << "step  node  op              bytes     offset  live\n";
   for (int id : schedule) {
     const BufferPlacement* b = find(id);
@@ -231,7 +626,10 @@ std::string MemoryPlan::to_string(const ir::Graph& graph) const {
     std::snprintf(line, sizeof(line), "%4d  %%%-4d %-15s %7lld  %9lld  [%d, %d]", b->def_step,
                   id, op_kind_name(node.op).c_str(), b->size, b->offset, b->def_step,
                   b->last_use_step);
-    ss << line << "\n";
+    ss << line;
+    if (b->alias_of >= 0) ss << "  inplace %" << b->alias_of;
+    if (const StripStream* s = find_strip(id)) ss << "  stream h=" << s->strip_h;
+    ss << "\n";
   }
   return ss.str();
 }

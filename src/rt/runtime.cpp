@@ -61,6 +61,110 @@ std::size_t max_qconv_scratch_bytes(const ir::Graph& graph, int batch_mult) {
   return max_bytes;
 }
 
+/// Row-strip streamed qconv2d / qavg_pool over ONE sample whose output
+/// plane overlays its input plane (the planner placed both at one
+/// offset). Strips of `strip_h` output rows run bottom-up; each
+/// iteration first gathers strip si's input rows (halo included, with
+/// padding materialized as the input zero point — bit-identical to the
+/// padded kernel, whose pad cells contribute zero after the zero-point
+/// correction), then scatters the previously computed strip from the
+/// staging area, then computes strip si into staging. Scattered rows
+/// start at least `strip_h >= pad` rows below anything a future gather
+/// still reads, so the overlay never clobbers live input. The partial
+/// strip, if any, is strip 0 (the top), keeping every in-loop scatter
+/// at full strip height.
+void run_strip_streamed(const ir::Node& node, const Shape& xs, int strip_h,
+                        const std::int8_t* x, std::int8_t* y, std::int8_t* scratch,
+                        std::int8_t* columns, const std::int32_t* weight_sum,
+                        const std::int8_t* weight, const std::int32_t* bias,
+                        const PackedWeights* packed, ThreadPool* pool) {
+  const int cin = xs[1];
+  const int in_h = xs[2];
+  const int in_w = xs[3];
+  const int cout = node.type.shape[1];
+  const int out_h = node.type.shape[2];
+  const int out_w = node.type.shape[3];
+  const int k = node.conv.kernel;
+  const int pad = node.conv.pad;
+  const int wp = in_w + 2 * pad;
+  const int in_zp = node.quant.in_q.zero_point;
+  // Same split as strip_scratch_bytes: gather block (aligned), then stage.
+  const long long gather_cap = static_cast<long long>(cin) * (strip_h - 1 + k) * wp;
+  std::int8_t* gather = scratch;
+  std::int8_t* stage =
+      scratch + (gather_cap + kMaxPlanAlignment - 1) / kMaxPlanAlignment * kMaxPlanAlignment;
+  const int zp_byte = static_cast<int>(static_cast<std::int8_t>(in_zp));
+
+  const int strips = (out_h + strip_h - 1) / strip_h;
+  int prev_a = -1;
+  int prev_h = 0;
+  for (int si = strips - 1; si >= 0; --si) {
+    const int end = out_h - (strips - 1 - si) * strip_h;
+    const int a = std::max(0, end - strip_h);
+    const int h = end - a;
+    const int in_rows = h - 1 + k;  // h + 2*pad: the strip plus its halo
+    for (int c = 0; c < cin; ++c) {
+      std::int8_t* plane = gather + static_cast<std::ptrdiff_t>(c) * in_rows * wp;
+      for (int r = 0; r < in_rows; ++r) {
+        const int iy = a - pad + r;
+        std::int8_t* row = plane + static_cast<std::ptrdiff_t>(r) * wp;
+        if (iy < 0 || iy >= in_h) {
+          std::memset(row, zp_byte, static_cast<std::size_t>(wp));
+          continue;
+        }
+        if (pad > 0) {
+          std::memset(row, zp_byte, static_cast<std::size_t>(pad));
+          std::memset(row + pad + in_w, zp_byte, static_cast<std::size_t>(pad));
+        }
+        std::memcpy(row + pad, x + (static_cast<std::ptrdiff_t>(c) * in_h + iy) * in_w,
+                    static_cast<std::size_t>(in_w));
+      }
+    }
+    if (prev_a >= 0) {
+      for (int c = 0; c < cout; ++c) {
+        std::memcpy(y + (static_cast<std::ptrdiff_t>(c) * out_h + prev_a) * out_w,
+                    stage + static_cast<std::ptrdiff_t>(c) * prev_h * out_w,
+                    static_cast<std::size_t>(prev_h) * static_cast<std::size_t>(out_w));
+      }
+    }
+    if (node.op == ir::OpKind::kQConv2d) {
+      QConv2dArgs ar;
+      ar.batch = 1;
+      ar.cin = cin;
+      ar.h = in_rows;
+      ar.w = wp;
+      ar.cout = cout;
+      ar.kernel = k;
+      ar.stride = 1;
+      ar.pad = 0;  // padding is already materialized in the gather
+      ar.out_h = h;
+      ar.out_w = out_w;
+      ar.in_zp = in_zp;
+      ar.out_zp = node.quant.out_q.zero_point;
+      ar.fused_relu = node.conv.fused_relu;
+      ar.input = gather;
+      ar.weight = weight;
+      ar.bias = bias;
+      ar.weight_sum = weight_sum;
+      ar.mantissa = node.quant.mantissa.data();
+      ar.shift = node.quant.shift.data();
+      ar.columns = columns;
+      ar.output = stage;
+      qconv2d_auto(ar, packed, pool);
+    } else {
+      qavg_pool(gather, stage, 1, cin, in_rows, wp, k, 1, 0, h, out_w, in_zp,
+                node.quant.mantissa[0], node.quant.shift[0], node.quant.out_q.zero_point);
+    }
+    prev_a = a;
+    prev_h = h;
+  }
+  for (int c = 0; c < cout; ++c) {
+    std::memcpy(y + (static_cast<std::ptrdiff_t>(c) * out_h + prev_a) * out_w,
+                stage + static_cast<std::ptrdiff_t>(c) * prev_h * out_w,
+                static_cast<std::size_t>(prev_h) * static_cast<std::size_t>(out_w));
+  }
+}
+
 }  // namespace
 
 Executor::Executor(const ir::Graph& graph, const MemoryPlan& plan, ExecOptions options)
@@ -97,6 +201,7 @@ void Executor::prepare() {
 
   weight_sums_ = compute_weight_sums(graph_);
   columns_.resize(max_qconv_scratch_bytes(graph_, 1));
+  stream_scratch_.resize(static_cast<std::size_t>(plan_.stream_scratch_bytes));
   if (options_.packed != nullptr) {
     packed_ = options_.packed;
   } else if (fast_kernels_enabled()) {
@@ -229,6 +334,24 @@ void Executor::dispatch(const ir::Node& node) {
       return;
     case ir::OpKind::kQConv2d: {
       const Shape& x = in_shape(0);
+      if (const StripStream* strip = plan_.find_strip(node.id)) {
+        // Output overlays input: stream each sample in row strips. The
+        // planner only streams nodes whose per-sample input and output
+        // bases coincide (batch 1, or cin == cout).
+        const std::int8_t* xb = i8_in(node.inputs[0]);
+        std::int8_t* yb = reinterpret_cast<std::int8_t*>(buffer(node.id));
+        const std::ptrdiff_t per_in = static_cast<std::ptrdiff_t>(x[1]) * x[2] * x[3];
+        const std::ptrdiff_t per_out = static_cast<std::ptrdiff_t>(shape[1]) * shape[2] * shape[3];
+        for (int s = 0; s < x[0]; ++s) {
+          run_strip_streamed(node, x, strip->strip_h, xb + s * per_in, yb + s * per_out,
+                             stream_scratch_.data(), columns_.data(),
+                             weight_sums_[static_cast<std::size_t>(node.id)].data(),
+                             i8_in(node.inputs[1]),
+                             reinterpret_cast<const std::int32_t*>(read_buffer(node.inputs[2])),
+                             packed_ ? packed_->find(node.id) : nullptr, pool_.get());
+        }
+        return;
+      }
       QConv2dArgs a;
       a.batch = x[0];
       a.cin = x[1];
@@ -256,6 +379,17 @@ void Executor::dispatch(const ir::Node& node) {
     }
     case ir::OpKind::kQAvgPool: {
       const Shape& x = in_shape(0);
+      if (const StripStream* strip = plan_.find_strip(node.id)) {
+        const std::int8_t* xb = i8_in(node.inputs[0]);
+        std::int8_t* yb = reinterpret_cast<std::int8_t*>(buffer(node.id));
+        const std::ptrdiff_t per = static_cast<std::ptrdiff_t>(x[1]) * x[2] * x[3];
+        for (int s = 0; s < x[0]; ++s) {
+          run_strip_streamed(node, x, strip->strip_h, xb + s * per, yb + s * per,
+                             stream_scratch_.data(), columns_.data(), nullptr, nullptr, nullptr,
+                             nullptr, nullptr);
+        }
+        return;
+      }
       qavg_pool(i8_in(node.inputs[0]), reinterpret_cast<std::int8_t*>(buffer(node.id)), x[0],
                 x[1], x[2], x[3], node.conv.kernel, node.conv.stride, node.conv.pad, shape[2],
                 shape[3], node.quant.in_q.zero_point, node.quant.mantissa[0],
@@ -335,6 +469,26 @@ BatchedExecutor::BatchedExecutor(const ir::Graph& graph, MemoryPlan plan, int ba
                                   std::to_string(want) + " B at batch capacity " +
                                   std::to_string(capacity_));
     }
+    // At capacity > 1 the per-sample slot strides of an in-place pair
+    // only line up when the two buffers are the same size (plan_memory
+    // enforces this; a hand-built plan must not bypass it).
+    if (capacity_ > 1 && b.alias_of >= 0) {
+      const BufferPlacement* target = plan_.find(b.alias_of);
+      if (target == nullptr || target->size != b.size) {
+        throw std::invalid_argument(
+            "BatchedExecutor: aliased placement %" + std::to_string(b.node_id) +
+            " must match its target's size at batch capacity > 1");
+      }
+    }
+  }
+  for (const StripStream& s : plan_.strips) {
+    const BufferPlacement* y = plan_.find(s.node_id);
+    const BufferPlacement* x = plan_.find(graph_.node(s.node_id).inputs[0]);
+    if (capacity_ > 1 && (y == nullptr || x == nullptr || y->size != x->size)) {
+      throw std::invalid_argument(
+          "BatchedExecutor: streamed placement %" + std::to_string(s.node_id) +
+          " must match its input's size at batch capacity > 1");
+    }
   }
   prepare();
 }
@@ -356,6 +510,7 @@ void BatchedExecutor::prepare() {
   arena_.resize(static_cast<std::size_t>(plan_.arena_bytes));
   weight_sums_ = compute_weight_sums(graph_);
   columns_.resize(max_qconv_scratch_bytes(graph_, capacity_));
+  stream_scratch_.resize(static_cast<std::size_t>(plan_.stream_scratch_bytes));
   if (options_.packed != nullptr) {
     packed_ = options_.packed;
   } else if (fast_kernels_enabled()) {
@@ -590,9 +745,25 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
       return;
     }
     case ir::OpKind::kQConv2d: {
+      const Shape& x = in_shape(0);
+      if (const StripStream* strip = plan_.find_strip(node.id)) {
+        // Streamed: one shared strip scratch, so samples run serially.
+        // The ctor guaranteed |x| == |y| at capacity > 1, so the
+        // per-sample overlay bases coincide.
+        std::int8_t* yb = reinterpret_cast<std::int8_t*>(buffer(node.id));
+        for (int s = 0; s < n; ++s) {
+          run_strip_streamed(node, x, strip->strip_h, i8_s(node.inputs[0], s),
+                             yb + static_cast<std::ptrdiff_t>(s) * per_out,
+                             stream_scratch_.data(), columns_.data(),
+                             weight_sums_[static_cast<std::size_t>(node.id)].data(),
+                             i8_s(node.inputs[1], 0),
+                             reinterpret_cast<const std::int32_t*>(read_buffer(node.inputs[2])),
+                             packed_ ? packed_->find(node.id) : nullptr, pool_.get());
+        }
+        return;
+      }
       // The widened-M path: n samples, ONE im2col GEMM invocation with
       // M = n * out_h * out_w, partitioned over output channels.
-      const Shape& x = in_shape(0);
       QConv2dArgs a;
       a.batch = n;
       a.cin = x[1];
@@ -620,6 +791,16 @@ void BatchedExecutor::dispatch(const ir::Node& node, int n) {
     }
     case ir::OpKind::kQAvgPool: {
       const Shape& x = in_shape(0);
+      if (const StripStream* strip = plan_.find_strip(node.id)) {
+        std::int8_t* yb = reinterpret_cast<std::int8_t*>(buffer(node.id));
+        for (int s = 0; s < n; ++s) {
+          run_strip_streamed(node, x, strip->strip_h, i8_s(node.inputs[0], s),
+                             yb + static_cast<std::ptrdiff_t>(s) * per_out,
+                             stream_scratch_.data(), columns_.data(), nullptr, nullptr, nullptr,
+                             nullptr, nullptr);
+        }
+        return;
+      }
       std::int8_t* out = reinterpret_cast<std::int8_t*>(buffer(node.id));
       each_sample(n, io_bytes, [&](int s) {
         qavg_pool(i8_s(node.inputs[0], s), out + static_cast<std::ptrdiff_t>(s) * per_out, 1,

@@ -82,6 +82,7 @@ class Executor {
   std::vector<std::byte> arena_;
   std::vector<std::vector<std::byte>> private_buffers_;  // unplanned mode
   std::vector<std::int8_t> columns_;                     // im2col scratch
+  std::vector<std::int8_t> stream_scratch_;              // row-strip gather + stage
   // Per-node Σ_k w[c,k] for kQConv2d / kQLinear, computed once.
   std::vector<std::vector<std::int32_t>> weight_sums_;
   // Packed weights the kernel selector dispatches on: the caller's set
@@ -161,6 +162,7 @@ class BatchedExecutor {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::byte> arena_;
   std::vector<std::int8_t> columns_;  // im2col scratch at batch capacity
+  std::vector<std::int8_t> stream_scratch_;  // row-strip gather + stage (one sample)
   std::vector<std::vector<std::int32_t>> weight_sums_;
   PackedWeightSet owned_packed_;
   const PackedWeightSet* packed_ = nullptr;

@@ -82,7 +82,9 @@ IndicatorValues ProxyEvalEngine::compute_hardware(const nb201::Genotype& genotyp
   IndicatorValues v;
   v.flops_m = count_flops(model).total_m();
   v.params_m = count_params(model).total_m();
-  v.peak_sram_kb = analyze_memory(model).peak_sram_kb();
+  const MemoryReport mem = analyze_memory(model);
+  v.peak_sram_kb = mem.peak_sram_kb();
+  v.streamed_sram_kb = mem.streamed_peak_sram_kb();
   v.latency_ms = estimator_ != nullptr ? estimator_->estimate_ms(model) : 0.0;
   return v;
 }

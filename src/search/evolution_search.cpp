@@ -16,7 +16,9 @@ bool feasible(const nb201::Genotype& g, const Constraints& constraints,
   IndicatorValues v;
   v.flops_m = count_flops(model).total_m();
   v.params_m = count_params(model).total_m();
-  v.peak_sram_kb = analyze_memory(model).peak_sram_kb();
+  const MemoryReport mem = analyze_memory(model);
+  v.peak_sram_kb = mem.peak_sram_kb();
+  v.streamed_sram_kb = mem.streamed_peak_sram_kb();
   v.latency_ms = estimator != nullptr ? estimator->estimate_ms(model) : 0.0;
   if (constraints.max_latency_ms && estimator == nullptr) {
     throw std::invalid_argument("feasible: latency constraint requires an estimator");

@@ -18,6 +18,7 @@ std::vector<ArchRecord> exhaustive_records(const nb201::SurrogateOracle& oracle,
     r.flops_m = v.flops_m;
     r.params_m = v.params_m;
     r.peak_sram_kb = v.peak_sram_kb;
+    r.streamed_sram_kb = v.streamed_sram_kb;
     r.latency_ms = v.latency_ms;
   });
   return records;
@@ -41,6 +42,7 @@ const ArchRecord& best_by_accuracy(const std::vector<ArchRecord>& records,
     v.params_m = r.params_m;
     v.latency_ms = r.latency_ms;
     v.peak_sram_kb = r.peak_sram_kb;
+    v.streamed_sram_kb = r.streamed_sram_kb;
     if (!constraints.satisfied_by(v)) continue;
     if (best == nullptr || r.accuracy > best->accuracy) best = &r;
   }
@@ -67,6 +69,7 @@ std::vector<ArchRecord> pareto_front(std::vector<ArchRecord> records) {
     e.indicators.params_m = r.params_m;
     e.indicators.latency_ms = r.latency_ms;
     e.indicators.peak_sram_kb = r.peak_sram_kb;
+    e.indicators.streamed_sram_kb = r.streamed_sram_kb;
     archive.insert(std::move(e));
   }
 
@@ -80,6 +83,7 @@ std::vector<ArchRecord> pareto_front(std::vector<ArchRecord> records) {
     r.params_m = e.indicators.params_m;
     r.latency_ms = e.indicators.latency_ms;
     r.peak_sram_kb = e.indicators.peak_sram_kb;
+    r.streamed_sram_kb = e.indicators.streamed_sram_kb;
     front.push_back(r);
   }
   return front;

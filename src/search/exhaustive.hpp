@@ -21,6 +21,7 @@ struct ArchRecord {
   double params_m = 0.0;
   double latency_ms = 0.0;   // 0 when no estimator given
   double peak_sram_kb = 0.0;
+  double streamed_sram_kb = 0.0;  // row-strip-streamed peak (<= peak_sram_kb)
 };
 
 /// Evaluate every architecture analytically, fanning the 15 625 cells

@@ -34,7 +34,7 @@ double constraint_violation(const IndicatorValues& v, const Constraints& c) {
   if (c.max_latency_ms) total += relative_excess(v.latency_ms, *c.max_latency_ms);
   if (c.max_flops_m) total += relative_excess(v.flops_m, *c.max_flops_m);
   if (c.max_params_m) total += relative_excess(v.params_m, *c.max_params_m);
-  if (c.max_sram_kb) total += relative_excess(v.peak_sram_kb, *c.max_sram_kb);
+  if (c.max_sram_kb) total += relative_excess(c.bound_sram_kb(v), *c.max_sram_kb);
   return total;
 }
 

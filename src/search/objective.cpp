@@ -11,7 +11,7 @@ bool Constraints::satisfied_by(const IndicatorValues& v) const {
   if (max_latency_ms && v.latency_ms > *max_latency_ms) return false;
   if (max_flops_m && v.flops_m > *max_flops_m) return false;
   if (max_params_m && v.params_m > *max_params_m) return false;
-  if (max_sram_kb && v.peak_sram_kb > *max_sram_kb) return false;
+  if (max_sram_kb && bound_sram_kb(v) > *max_sram_kb) return false;
   return true;
 }
 

@@ -42,6 +42,19 @@ struct Constraints {
   std::optional<double> max_flops_m;     // compute budget (millions)
   std::optional<double> max_params_m;    // flash budget (millions of weights)
   std::optional<double> max_sram_kb;     // peak live-activation budget
+  /// When true, max_sram_kb bounds the row-strip-streamed peak
+  /// (IndicatorValues::streamed_sram_kb) instead of the plain peak —
+  /// admitting cells the deployment compiler can fit into the budget
+  /// via rung-3 streaming (plan_memory's arena_budget). Candidates
+  /// that never computed the streamed figure (streamed_sram_kb == 0,
+  /// e.g. records reconstructed from older caches) fall back to the
+  /// plain peak, which is always an upper bound.
+  bool sram_streaming = false;
+
+  /// The SRAM figure max_sram_kb applies to for candidate `v`.
+  double bound_sram_kb(const IndicatorValues& v) const {
+    return sram_streaming && v.streamed_sram_kb > 0.0 ? v.streamed_sram_kb : v.peak_sram_kb;
+  }
 
   /// True when `v` violates no set bound.
   bool satisfied_by(const IndicatorValues& v) const;

@@ -142,6 +142,24 @@ void write_plan(ByteWriter& w, const rt::MemoryPlan& plan) {
   }
   w.u32(static_cast<std::uint32_t>(plan.schedule.size()));
   for (int id : plan.schedule) w.i32(id);
+  // In-place alias and row-strip records, appended after the legacy
+  // layout so pre-alias readers (which stop at the schedule) would
+  // reject only the trailing bytes, and new readers accept old
+  // packages by treating the absent tail as "no aliases, no strips".
+  std::uint32_t alias_count = 0;
+  for (const rt::BufferPlacement& b : plan.buffers) alias_count += b.alias_of >= 0 ? 1 : 0;
+  w.u32(alias_count);
+  for (const rt::BufferPlacement& b : plan.buffers) {
+    if (b.alias_of < 0) continue;
+    w.i32(b.node_id);
+    w.i32(b.alias_of);
+  }
+  w.u32(static_cast<std::uint32_t>(plan.strips.size()));
+  for (const rt::StripStream& s : plan.strips) {
+    w.i32(s.node_id);
+    w.i32(s.strip_h);
+  }
+  w.i64(plan.stream_scratch_bytes);
 }
 
 void write_report(ByteWriter& w, const compile::CompileReport& report) {
@@ -359,6 +377,34 @@ rt::MemoryPlan read_plan(ByteReader& r) {
   const std::size_t num_schedule = r.count(4);
   plan.schedule.reserve(num_schedule);
   for (std::size_t i = 0; i < num_schedule; ++i) plan.schedule.push_back(r.i32());
+  // Legacy packages end here: no aliases, no strips, no stream scratch.
+  // Anything check_plan-relevant about the tail (alias eligibility,
+  // strip geometry, scratch accounting) is validated by the loader's
+  // check_plan call, not trusted from the file.
+  if (!r.exhausted()) {
+    const std::size_t num_aliases = r.count(8);
+    for (std::size_t i = 0; i < num_aliases; ++i) {
+      const int node_id = r.i32();
+      const int alias_of = r.i32();
+      bool found = false;
+      for (rt::BufferPlacement& b : plan.buffers) {
+        if (b.node_id != node_id) continue;
+        b.alias_of = alias_of;
+        found = true;
+        break;
+      }
+      if (!found) throw SerializeError("PLAN: alias record for unplaced node");
+    }
+    const std::size_t num_strips = r.count(8);
+    plan.strips.reserve(num_strips);
+    for (std::size_t i = 0; i < num_strips; ++i) {
+      rt::StripStream s;
+      s.node_id = r.i32();
+      s.strip_h = r.i32();
+      plan.strips.push_back(s);
+    }
+    plan.stream_scratch_bytes = r.i64();
+  }
   if (!r.exhausted()) throw SerializeError("PLAN: trailing bytes after plan records");
   return plan;
 }

@@ -233,6 +233,46 @@ TEST(BenchCompare, ZeroMeasurementCurrentCountsAsMissing) {
   EXPECT_EQ(result.regressions, 0);
 }
 
+TEST(BenchCompare, CounterGatingOffByDefault) {
+  const Report base = make_report();
+  Report current = make_report();
+  current.cases[0].counters["kendall_tau"] = 9.0;  // wild drift
+  const CompareOptions opts{.threshold = 0.25};
+  const CompareResult result = compare_reports(base, current, opts);
+  EXPECT_FALSE(result.failed(opts));
+  EXPECT_EQ(result.counter_regressions, 0);
+  for (const CaseComparison& c : result.cases) EXPECT_TRUE(c.counter_drifts.empty());
+}
+
+TEST(BenchCompare, CounterDriftBeyondThresholdFails) {
+  const Report base = make_report();
+  Report current = make_report();
+  current.cases[0].counters["kendall_tau"] = 0.42 * 1.01;  // +1 %
+  const CompareOptions opts{.threshold = 0.25, .counter_threshold = 0.001};
+  const CompareResult result = compare_reports(base, current, opts);
+  EXPECT_TRUE(result.failed(opts));
+  EXPECT_EQ(result.counter_regressions, 1);
+  ASSERT_EQ(result.cases[0].counter_drifts.size(), 1U);
+  EXPECT_EQ(result.cases[0].counter_drifts[0].name, "kendall_tau");
+  EXPECT_NEAR(result.cases[0].counter_drifts[0].rel, 0.01, 1e-9);
+
+  // Within the threshold: same comparison passes.
+  const CompareOptions loose{.threshold = 0.25, .counter_threshold = 0.05};
+  EXPECT_FALSE(compare_reports(base, current, loose).failed(loose));
+}
+
+TEST(BenchCompare, VanishedCounterCountsAsDrift) {
+  const Report base = make_report();
+  Report current = make_report();
+  current.cases[1].counters.clear();  // lost coverage, values unchanged
+  const CompareOptions opts{.threshold = 0.25, .counter_threshold = 0.001};
+  const CompareResult result = compare_reports(base, current, opts);
+  EXPECT_TRUE(result.failed(opts));
+  EXPECT_EQ(result.counter_regressions, 1);
+  ASSERT_EQ(result.cases[1].counter_drifts.size(), 1U);
+  EXPECT_TRUE(result.cases[1].counter_drifts[0].missing);
+}
+
 TEST(BenchCompare, NewCaseIsInformationalOnly) {
   const Report base = make_report();
   Report current = make_report();

@@ -65,6 +65,28 @@ TEST(MemoryModel, SkipOnlyCellUsesLessSramThanConvCell) {
   EXPECT_GE(conv.peak_sram_bytes, skip.peak_sram_bytes);
 }
 
+TEST(MemoryModel, StreamedPeakNeverExceedsPlainPeak) {
+  // Row-strip streaming collapses a stride-1 conv/pool layer's in+out
+  // pair to max(in, out); every other layer is unchanged, so the
+  // streamed figure is a true lower bound on the plain peak.
+  for (const auto op : {nb201::Op::kConv3x3, nb201::Op::kAvgPool3x3, nb201::Op::kSkipConnect}) {
+    const MemoryReport r = analyze_memory(build_macro_model(all_op(op)));
+    EXPECT_GT(r.streamed_peak_sram_bytes, 0);
+    EXPECT_LE(r.streamed_peak_sram_bytes, r.peak_sram_bytes);
+  }
+}
+
+TEST(MemoryModel, StreamingShrinksWhenLayerPeakDominatesSchedule) {
+  // Make the per-layer term dominate the cell-schedule term: with empty
+  // (all-none) cells and base_channels 2, the stem conv's in+out pair
+  // ((3 + 2) * H * W) tops the schedule bound (2 * 2 * H * W), and
+  // streaming the stem to max(3, 2) * H * W drops the peak below it.
+  MacroNetConfig cfg;
+  cfg.base_channels = 2;
+  const MemoryReport r = analyze_memory(build_macro_model(nb201::Genotype{}, cfg));
+  EXPECT_LT(r.streamed_peak_sram_bytes, r.peak_sram_bytes);
+}
+
 TEST(MemoryModel, StandaloneSkeletonFitsTypicalMcu) {
   // The empty skeleton must fit the F746's 320 KB SRAM comfortably.
   const MemoryReport r = analyze_memory(build_macro_model(nb201::Genotype{}));

@@ -79,6 +79,30 @@ TEST(Constraints, SatisfiedBy) {
   EXPECT_FALSE(c.satisfied_by(fat));
 }
 
+TEST(Constraints, StreamedSramBoundAdmitsStreamableCells) {
+  // A cell whose plain peak busts the budget but whose row-strip
+  // streamed peak fits is infeasible under the plain bound and feasible
+  // under sram_streaming — the knob that lets the search keep cells the
+  // deployment compiler can fit via arena_budget.
+  Constraints c;
+  c.max_sram_kb = 100.0;
+
+  IndicatorValues v;
+  v.peak_sram_kb = 150.0;
+  v.streamed_sram_kb = 80.0;
+  EXPECT_FALSE(c.satisfied_by(v));
+  c.sram_streaming = true;
+  EXPECT_TRUE(c.satisfied_by(v));
+  EXPECT_DOUBLE_EQ(c.bound_sram_kb(v), 80.0);
+
+  // Records that never computed the streamed figure (e.g. rebuilt from
+  // an older cache) fall back to the plain peak — never admit blindly.
+  IndicatorValues legacy;
+  legacy.peak_sram_kb = 150.0;
+  EXPECT_FALSE(c.satisfied_by(legacy));
+  EXPECT_DOUBLE_EQ(c.bound_sram_kb(legacy), 150.0);
+}
+
 TEST(SelectBest, FeasibleBeatsInfeasible) {
   const std::vector<IndicatorValues> c = {
       make_values(1.0, 900.0, 10.0, 900.0),   // best score, violates latency

@@ -311,7 +311,7 @@ TEST(SerializeForged, HostileConvAttrsFailClosed) {
   const std::vector<std::byte> baseline = serialize::save_model_bytes(model);
   const serialize::SectionInfo grph = section_named(baseline, "GRPH");
   const std::size_t attrs_at =
-      grph.offset + conv_attrs_offset(std::span(baseline).subspan(grph.offset, grph.size));
+      grph.offset + conv_attrs_offset(std::span<const std::byte>(baseline).subspan(grph.offset, grph.size));
 
   // The reforge helper must be a faithful writer: recomputing the
   // checksums of an unmodified package reproduces it byte-for-byte.
@@ -357,7 +357,7 @@ TEST(SerializeForged, HostileArenaDemandFailsClosed) {
   const serialize::SectionInfo plan = section_named(baseline, "PLAN");
   const serialize::SectionInfo rprt = section_named(baseline, "RPRT");
   const std::size_t report_at =
-      rprt.offset + report_arena_offset(std::span(baseline).subspan(rprt.offset, rprt.size));
+      rprt.offset + report_arena_offset(std::span<const std::byte>(baseline).subspan(rprt.offset, rprt.size));
 
   std::vector<std::byte> forged = baseline;
   const std::uint64_t huge = 1ULL << 62;
@@ -367,6 +367,167 @@ TEST(SerializeForged, HostileArenaDemandFailsClosed) {
   poke_le(forged, report_at + 8, huge, 8);    // report.naive_arena_bytes
   reforge_checksums(forged);
   EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError);
+}
+
+// --------------------------------------------- PLAN alias / strip tail
+//
+// The in-place-alias and row-strip records ride after the legacy PLAN
+// layout. Both tell the executor to write one value over another's
+// bytes, so a forged record is a memory-safety attack and must die in
+// the loader's check_plan gate — while a package saved by a pre-tail
+// writer (no records at all) still loads.
+
+/// Byte offset, within the PLAN payload, of the appended tail (the u32
+/// alias count): skips the legacy arena totals, placements, schedule.
+std::size_t plan_tail_offset(std::span<const std::byte> plan) {
+  serialize::ByteReader r(plan, "PLAN");
+  r.i64();  // arena_bytes
+  r.i64();  // naive_bytes
+  r.skip(r.count(28) * 28);  // placements
+  r.skip(r.count(4) * 4);    // schedule
+  return r.pos();
+}
+
+/// A genotype whose plan actually streams: three stacked 3x3 convs at
+/// one resolution, recompiled under half the arena their unstreamed
+/// plan needs.
+compile::CompiledModel compile_streamed() {
+  const nb201::Genotype g = nb201::Genotype::from_string(
+      "|nor_conv_3x3~0|+|none~0|nor_conv_3x3~1|+|none~0|none~1|nor_conv_3x3~2|");
+  compile::CompilerOptions options;
+  options.macro.num_stages = 1;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 32;
+  const compile::CompiledModel base = compile::compile_genotype(g, options);
+  options.plan.arena_budget = base.plan.arena_bytes / 2;
+  compile::CompiledModel model = compile::compile_genotype(g, options);
+  if (model.plan.strips.empty()) throw std::logic_error("expected a streamed plan");
+  return model;
+}
+
+TEST(SerializeForged, ForgedAliasEntriesFailClosed) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> baseline = serialize::save_model_bytes(model);
+  const serialize::SectionInfo plan = section_named(baseline, "PLAN");
+  const std::size_t tail_at =
+      plan.offset + plan_tail_offset(std::span<const std::byte>(baseline).subspan(plan.offset, plan.size));
+  serialize::ByteReader tail(
+      std::span<const std::byte>(baseline).subspan(tail_at, plan.offset + plan.size - tail_at), "tail");
+  const std::uint32_t alias_count = tail.u32();
+  ASSERT_GT(alias_count, 0u) << "default compile carries no alias record to forge";
+  const std::size_t rec_at = tail_at + 4;  // first {node_id, alias_of} record
+  serialize::ByteReader rec(std::span<const std::byte>(baseline).subspan(rec_at, 8), "alias record");
+  const std::int32_t node_id = rec.i32();
+
+  // Out-of-range target, self-alias (never one of the node's inputs),
+  // and a "no alias" -1 that would orphan the shared offset the entry
+  // came with: each must fail closed, the last via the overlap check
+  // losing its storage-group exemption.
+  const std::int32_t hostile_alias[] = {INT32_MAX, node_id, -1};
+  for (const std::int32_t a : hostile_alias) {
+    std::vector<std::byte> forged = baseline;
+    poke_le(forged, rec_at + 4, static_cast<std::uint32_t>(a), 4);
+    reforge_checksums(forged);
+    EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError) << "alias_of=" << a;
+  }
+  // A record naming a node with no placement dies in the reader itself.
+  std::vector<std::byte> forged = baseline;
+  poke_le(forged, rec_at + 0, static_cast<std::uint32_t>(INT32_MAX), 4);
+  reforge_checksums(forged);
+  EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError);
+}
+
+TEST(SerializeForged, ForgedStripGeometryFailsClosed) {
+  const compile::CompiledModel model = compile_streamed();
+  const std::vector<std::byte> baseline = serialize::save_model_bytes(model);
+  const serialize::SectionInfo plan = section_named(baseline, "PLAN");
+  const std::size_t tail_at =
+      plan.offset + plan_tail_offset(std::span<const std::byte>(baseline).subspan(plan.offset, plan.size));
+  serialize::ByteReader tail(
+      std::span<const std::byte>(baseline).subspan(tail_at, plan.offset + plan.size - tail_at), "tail");
+  const std::size_t alias_count = tail.u32();
+  const std::size_t strips_at = tail_at + 4 + alias_count * 8;
+  serialize::ByteReader strips(
+      std::span<const std::byte>(baseline).subspan(strips_at, plan.offset + plan.size - strips_at), "strips");
+  const std::uint32_t strip_count = strips.u32();
+  ASSERT_GT(strip_count, 0u) << "streamed compile carries no strip record to forge";
+  const std::size_t rec_at = strips_at + 4;  // first {node_id, strip_h} record
+  const std::size_t scratch_at = strips_at + 4 + strip_count * 8;
+  serialize::ByteReader rec(std::span<const std::byte>(baseline).subspan(rec_at, 8), "strip record");
+  rec.i32();  // node_id
+  const std::int32_t strip_h = rec.i32();
+  const std::int32_t out_h = 32;
+  ASSERT_GT(strip_h, 1);
+  ASSERT_LT(strip_h, out_h);
+
+  // strip_h = 0 breaks the halo-safety floor (a full strip must cover
+  // at least `pad` rows or the bottom-up scatter clobbers unread
+  // input); a huge strip_h escapes the output; and even a legal-range
+  // strip_h that differs from the planner's choice must re-derive to a
+  // different scratch requirement than the serialized one.
+  const std::int32_t hostile_h[] = {0, 1 << 20, out_h};
+  for (const std::int32_t h : hostile_h) {
+    std::vector<std::byte> forged = baseline;
+    poke_le(forged, rec_at + 4, static_cast<std::uint32_t>(h), 4);
+    reforge_checksums(forged);
+    EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError) << "strip_h=" << h;
+  }
+  // A strip on a node that cannot stream, and a scratch demand the
+  // strips do not account for (an executor allocates this much).
+  std::vector<std::byte> forged = baseline;
+  poke_le(forged, rec_at + 0, static_cast<std::uint32_t>(INT32_MAX), 4);
+  reforge_checksums(forged);
+  EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError);
+  forged = baseline;
+  poke_le(forged, scratch_at, 1ULL << 62, 8);
+  reforge_checksums(forged);
+  EXPECT_THROW(serialize::load_model_bytes(forged), SerializeError);
+}
+
+TEST(Serialize, LegacyPlanWithoutTailLoads) {
+  // A package written before the alias/strip tail existed carries the
+  // bare PLAN layout. Reproduce one by compiling with aliasing off (the
+  // tail is then 16 zero bytes) and shrinking the declared PLAN size to
+  // cut it; the orphaned bytes stay in the file, which the section
+  // table permits.
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 8;
+  options.plan.alias_inplace = false;
+  const compile::CompiledModel model =
+      compile::compile_genotype(nb201::Genotype::from_index(888), options);
+  for (const rt::BufferPlacement& b : model.plan.buffers) ASSERT_LT(b.alias_of, 0);
+  ASSERT_TRUE(model.plan.strips.empty());
+
+  std::vector<std::byte> legacy = serialize::save_model_bytes(model);
+  const serialize::SectionInfo plan = section_named(legacy, "PLAN");
+  const std::size_t tail =
+      plan_tail_offset(std::span<const std::byte>(legacy).subspan(plan.offset, plan.size));
+  ASSERT_EQ(plan.size - tail, 16u);  // empty tail: two zero counts + zero scratch
+
+  constexpr std::size_t kTableAt = 40;
+  constexpr std::size_t kEntryBytes = 32;
+  const std::vector<serialize::SectionInfo> sections =
+      serialize::read_package_info(legacy).sections;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    if (sections[i].tag != "PLAN") continue;
+    poke_le(legacy, kTableAt + i * kEntryBytes + 16, tail, 8);  // entry size field
+  }
+  reforge_checksums(legacy);
+
+  const compile::CompiledModel loaded = serialize::load_model_bytes(legacy);
+  EXPECT_EQ(loaded.plan.arena_bytes, model.plan.arena_bytes);
+  EXPECT_TRUE(loaded.plan.strips.empty());
+  EXPECT_EQ(loaded.plan.stream_scratch_bytes, 0);
+  for (const rt::BufferPlacement& b : loaded.plan.buffers) EXPECT_LT(b.alias_of, 0);
+
+  const Tensor input = sample_input(8, 11);
+  rt::Executor a(model.graph, model.plan, rt::ExecOptions{1});
+  rt::Executor b(loaded.graph, loaded.plan, rt::ExecOptions{1});
+  const Tensor want = a.run(input);
+  const Tensor got = b.run(input);
+  ASSERT_EQ(want.numel(), got.numel());
+  for (std::size_t k = 0; k < want.numel(); ++k) ASSERT_EQ(want[k], got[k]);
 }
 
 // ------------------------------------------------------- PACK section
