@@ -50,9 +50,18 @@
 #include <string>
 #include <vector>
 
-#include "bench/json.hpp"
+#include "src/common/json.hpp"
 
 namespace micronas::bench {
+
+// The strict JSON value moved into the library (src/common/json.hpp)
+// so src/obs could share it; bench code keeps its historical
+// unqualified spelling via these aliases.
+using json::Json;
+using json::JsonArray;
+using json::JsonObject;
+using json::load_json_file;
+using json::save_json_file;
 
 // ------------------------------------------------------------ statistics
 

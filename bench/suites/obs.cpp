@@ -1,0 +1,119 @@
+// Observability bench suite (tier 1): proves the instrumentation
+// budget the ISSUE promises — a *disabled* span is one relaxed atomic
+// load plus a predicted branch, so tracing compiled into every
+// executor dispatch must cost nothing measurable when it is off.
+//
+//   obs.trace_overhead   end-to-end executor wall with tracing
+//                        disabled (the production default). Gated by
+//                        the CI perf job like every tier-1 case; the
+//                        `overhead_pct_estimate` counter bounds what
+//                        the compiled-in spans *could* cost this run
+//                        (spans/run x ns/disabled-span vs measured
+//                        wall) and stays deep under 1%.
+//   obs.span_record      throughput of *enabled* recording into the
+//                        per-thread ring (tag-free spans), i.e. the
+//                        price a traced run pays per event.
+//   obs.metrics_hot_path counter add + histogram observe cost — the
+//                        per-request price ModelServer pays for the
+//                        registry mirrors.
+#include <chrono>
+
+#include "bench/suites/common.hpp"
+#include "src/compile/compiler.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/rt/runtime.hpp"
+
+namespace micronas {
+namespace {
+
+nb201::Genotype obs_genotype() {
+  return nb201::Genotype::from_string(
+      "|nor_conv_3x3~0|+|skip_connect~0|nor_conv_3x3~1|+"
+      "|avg_pool_3x3~0|nor_conv_1x1~1|nor_conv_3x3~2|");
+}
+
+BENCH_CASE_OPTS(obs, trace_overhead,
+                bench::CaseOptions{.warmup = 1, .min_reps = 3, .max_reps = 8, .tier = 1}) {
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = state.param_int("cells", 1);
+  options.macro.input_size = state.param_int("input", 16);
+  const compile::CompiledModel model = compile::compile_genotype(obs_genotype(), options);
+
+  DatasetSpec spec;
+  spec.height = spec.width = options.macro.input_size;
+  Rng rng(7);
+  SyntheticDataset data(spec, rng);
+  const Tensor input = data.sample_batch(1, rng).images;
+
+  obs::disable_tracing();  // the production default this case defends
+  rt::Executor exec(model.graph, model.plan, rt::ExecOptions{1, &model.packed});
+  exec.run(input);  // warm outside the timed loop
+
+  double run_ms = 1e300;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    bench::do_not_optimize(exec.run(input));
+    const auto t1 = std::chrono::steady_clock::now();
+    run_ms = std::min(run_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+
+  // Price of one disabled span, measured directly: a tight loop of
+  // constructions that each take the not-tracing branch.
+  constexpr int kSpans = 1'000'000;
+  const auto s0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSpans; ++i) {
+    OBS_SPAN("obs.disabled");
+  }
+  const auto s1 = std::chrono::steady_clock::now();
+  const double ns_per_span =
+      std::chrono::duration<double, std::nano>(s1 - s0).count() / kSpans;
+
+  // Upper bound on what the compiled-in instrumentation can add to one
+  // executor run: one span per dispatched node plus the run span.
+  const double spans_per_run = static_cast<double>(model.graph.executed_node_count()) + 1.0;
+  const double overhead_pct = run_ms > 0.0
+                                  ? 100.0 * (spans_per_run * ns_per_span * 1e-6) / run_ms
+                                  : 0.0;
+  state.counter("run_ms", run_ms);
+  state.counter("ns_per_disabled_span", ns_per_span);
+  state.counter("spans_per_run", spans_per_run);
+  state.counter("overhead_pct_estimate", overhead_pct);
+  state.set_items_processed(1);
+}
+
+BENCH_CASE(obs, span_record) {
+  obs::reset_trace();  // fresh rings; capacity default (1 << 16 slots)
+  obs::enable_tracing();
+  constexpr int kInner = 100'000;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      OBS_SPAN("obs.enabled");
+    }
+  }
+  obs::disable_tracing();
+  const std::vector<obs::TraceEvent> events = obs::snapshot_trace();
+  state.counter("ring_events_kept", static_cast<double>(events.size()));
+  obs::reset_trace();  // leave no ring residue for later cases
+  state.set_items_processed(kInner);
+}
+
+BENCH_CASE(obs, metrics_hot_path) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  obs::Counter& counter = registry.counter("obs.bench_counter");
+  obs::Histogram& hist = registry.latency_histogram("obs.bench_latency_ms");
+  constexpr int kInner = 100'000;
+  for (auto _ : state) {
+    for (int i = 0; i < kInner; ++i) {
+      counter.add();
+      hist.observe(0.5 + static_cast<double>(i & 1023) * 0.01);
+    }
+  }
+  state.counter("observations", static_cast<double>(hist.count()));
+  counter.reset();
+  hist.reset();
+  state.set_items_processed(2.0 * kInner);  // one add + one observe per i
+}
+
+}  // namespace
+}  // namespace micronas

@@ -11,13 +11,22 @@
 //      wall time) and against the LUT estimator's predicted latency
 //      (predicted vs executed on the simulated MCU).
 //
+//   6. print the per-op runtime profile: the hottest scheduled ops
+//      with kernel attribution, measured host latency, and the
+//      mcusim-predicted per-layer latency side by side — the
+//      estimator-calibration ground truth.
+//
 //   ./compile_and_run --arch 7777 --cells 5 --runs 3 --threads 4
 //   ./compile_and_run --arch "|nor_conv_3x3~0|+|none~0|skip_connect~1|+|avg_pool_3x3~0|none~1|nor_conv_1x1~2|"
+//   ./compile_and_run --trace-out trace.json --metrics-out metrics.json
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
+#include "examples/obs_cli.hpp"
 #include "src/common/cli.hpp"
 #include "src/compile/compiler.hpp"
 #include "src/core/report.hpp"
@@ -43,7 +52,9 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
                        {"arch", "cells", "input", "seed", "runs", "threads", "mcu",
-                        "arena-budget"});
+                        "arena-budget", "top", examples::kTraceOutFlag,
+                        examples::kMetricsOutFlag});
+    examples::maybe_enable_tracing(args);
     const std::string arch = args.get_string("arch", "");
     const int runs = args.get_int("runs", 3);
     const int threads = args.get_int("threads", 4);
@@ -95,9 +106,16 @@ int main(int argc, char** argv) {
     SyntheticDataset dataset(spec, data_rng);
     const Tensor input = dataset.sample_batch(1, data_rng).images;
 
-    rt::Executor int8_serial(model.graph, model.plan, rt::ExecOptions{1});
+    // The serial executor profiles per-node wall time (ExecOptions::
+    // profile) so step 6 can print measured vs predicted per-op cost.
+    rt::Executor int8_serial(model.graph, model.plan, rt::ExecOptions{1, nullptr, true});
     rt::Executor int8_threaded(model.graph, model.plan, rt::ExecOptions{threads});
+    double serial_wall_ms = 0.0;
+    auto ref_t0 = std::chrono::steady_clock::now();
     const Tensor reference = int8_serial.run(input);
+    serial_wall_ms += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - ref_t0)
+                          .count();
     const std::uint64_t hash =
         fnv1a64(reference.data().data(), reference.numel() * sizeof(float));
     bool identical = true;
@@ -107,7 +125,9 @@ int main(int argc, char** argv) {
         const auto t0 = std::chrono::steady_clock::now();
         const Tensor y = exec->run(input);
         const auto t1 = std::chrono::steady_clock::now();
-        int8_ms = std::min(int8_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+        const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        int8_ms = std::min(int8_ms, ms);
+        if (exec == &int8_serial) serial_wall_ms += ms;
         for (std::size_t i = 0; i < y.numel(); ++i) {
           if (y[i] != reference[i]) identical = false;
         }
@@ -158,6 +178,52 @@ int main(int argc, char** argv) {
     out.add_row({"host speedup", TablePrinter::fmt(float_ms / int8_ms, 2) + "x"});
     out.add_row({"top-1 agreement (int8 vs float)", argmax_q == argmax_f ? "yes" : "no"});
     std::cout << out.render();
+
+    // Step 6: per-op runtime profile — the serial executor's measured
+    // per-node wall time (kernel attribution from the selection table)
+    // against the mcusim simulator's predicted per-layer latency on
+    // the same schedule (plan.schedule index i <-> per_layer_cycles[i]).
+    std::cout << "Step 6: per-op runtime profile (host-measured vs mcusim-predicted)\n";
+    const SimulatedRun sim = simulate_compiled(model, mcu);
+    std::vector<double> predicted_ms_by_node(static_cast<std::size_t>(model.graph.size()), 0.0);
+    for (std::size_t i = 0; i < model.plan.schedule.size(); ++i) {
+      if (i < sim.per_layer_cycles.size()) {
+        predicted_ms_by_node[static_cast<std::size_t>(model.plan.schedule[i])] =
+            sim.per_layer_cycles[i] / mcu.clock_hz * 1000.0;
+      }
+    }
+    std::vector<const rt::OpProfileEntry*> hot;
+    double profiled_total_ms = 0.0;
+    for (const rt::OpProfileEntry& e : int8_serial.op_profile()) {
+      if (e.node_id < 0 || e.calls == 0) continue;
+      hot.push_back(&e);
+      profiled_total_ms += e.total_ms;
+    }
+    std::sort(hot.begin(), hot.end(), [](const rt::OpProfileEntry* a,
+                                         const rt::OpProfileEntry* b) {
+      return a->total_ms > b->total_ms;
+    });
+    const std::size_t top_n =
+        std::min(hot.size(), static_cast<std::size_t>(std::max(args.get_int("top", 10), 1)));
+    TablePrinter ops({"Op", "Node", "Kernel", "Calls", "Host mean(ms)", "Predicted(ms)"});
+    for (std::size_t i = 0; i < top_n; ++i) {
+      const rt::OpProfileEntry& e = *hot[i];
+      std::string node_label = "%";
+      node_label += std::to_string(e.node_id);
+      ops.add_row({e.op, node_label,
+                   e.kernel[0] != '\0' ? e.kernel : "-", std::to_string(e.calls),
+                   TablePrinter::fmt(e.total_ms / static_cast<double>(e.calls), 4),
+                   TablePrinter::fmt(predicted_ms_by_node[static_cast<std::size_t>(e.node_id)],
+                                     4)});
+    }
+    std::cout << ops.render();
+    const double coverage =
+        serial_wall_ms > 0.0 ? 100.0 * profiled_total_ms / serial_wall_ms : 0.0;
+    std::printf("  %zu of %zu executed ops shown; per-op spans cover %.1f%% of the serial "
+                "executor wall (%.2f of %.2f ms)\n",
+                top_n, hot.size(), coverage, profiled_total_ms, serial_wall_ms);
+
+    examples::write_observability_outputs(args);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,44 @@
+// Strict-parse one or more JSON files and fail loudly on the first
+// malformed one — the CI observability job's gate that every trace /
+// metrics / bench document this repo writes re-parses byte for byte.
+//
+//   ./json_validate trace.json metrics.json
+//   ./json_validate --require-key traceEvents trace.json
+//
+// Exit 0: every file parsed (and carried the required key, if any).
+// Exit 1: parse error (with character offset) or missing key.
+#include <iostream>
+#include <string>
+
+#include "src/common/cli.hpp"
+#include "src/common/json.hpp"
+
+using namespace micronas;
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv, {"require-key"});
+    const std::string require_key = args.get_string("require-key", "");
+    if (args.positional().empty()) {
+      std::cerr << "usage: json_validate [--require-key <key>] <file.json>...\n";
+      return 1;
+    }
+    for (const std::string& path : args.positional()) {
+      const json::Json doc = json::load_json_file(path);  // strict parse
+      if (!require_key.empty()) {
+        if (!doc.is_object() || doc.find(require_key) == nullptr) {
+          std::cerr << path << ": missing required key \"" << require_key << "\"\n";
+          return 1;
+        }
+      }
+      // Round-trip check: our own serializer must reproduce a document
+      // the strict parser accepts (dump -> parse is lossless).
+      json::Json::parse(doc.dump());
+      std::cout << path << ": OK\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+// Shared --trace-out / --metrics-out wiring for the example CLIs.
+//
+// Every example that does real work accepts:
+//
+//   --trace-out <file>    enable obs tracing for the whole run and
+//                         write a Chrome trace-event JSON at exit
+//                         (load it at https://ui.perfetto.dev)
+//   --metrics-out <file>  dump the process metrics registry as JSON
+//
+// Both files are produced by the strict serializer in
+// src/common/json.hpp, so `json_validate <file>` (and the CI
+// observability job) can re-parse them byte for byte. Header-only so
+// examples/*.cpp stays the complete list of example executables.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "src/common/cli.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
+namespace micronas::examples {
+
+/// Flag names to append to every example's known-flags list.
+inline const char* kTraceOutFlag = "trace-out";
+inline const char* kMetricsOutFlag = "metrics-out";
+
+/// Call before the work: turns tracing on when --trace-out was passed.
+/// Returns true when tracing is live.
+inline bool maybe_enable_tracing(const CliArgs& args) {
+  if (!args.has(kTraceOutFlag)) return false;
+  obs::enable_tracing();
+  return true;
+}
+
+/// Call after the work: writes whichever of --trace-out /
+/// --metrics-out was requested and says where they went (on stderr,
+/// keeping stdout's result tables parseable).
+inline void write_observability_outputs(const CliArgs& args) {
+  if (args.has(kTraceOutFlag)) {
+    const std::string path = args.get_string(kTraceOutFlag, "trace.json");
+    obs::write_chrome_trace(path);
+    std::cerr << "trace written to " << path
+              << " (" << obs::dropped_events() << " events dropped to ring wraparound;"
+              << " load in https://ui.perfetto.dev or chrome://tracing)\n";
+  }
+  if (args.has(kMetricsOutFlag)) {
+    const std::string path = args.get_string(kMetricsOutFlag, "metrics.json");
+    obs::MetricsRegistry::instance().write_json(path);
+    std::cerr << "metrics written to " << path << "\n";
+  }
+}
+
+/// The one shared print path for registry telemetry: every example
+/// that reports metrics on stdout renders the same table format.
+inline void print_metrics_section(const std::string& title, const std::string& prefix) {
+  const std::string table = obs::MetricsRegistry::instance().render_table(prefix);
+  if (table.empty()) return;
+  std::cout << title << "\n" << table;
+}
+
+}  // namespace micronas::examples

@@ -8,8 +8,10 @@
 //   ./pareto_sweep --mcus m4,m7hp --pop 24 --gens 8
 //   ./pareto_sweep --threads 0 --csv sweep          # sweep.<target>.csv per target
 //   ./pareto_sweep --quality oracle                 # accuracy/latency/memory surface
+//   ./pareto_sweep --trace-out trace.json --metrics-out metrics.json
 #include <iostream>
 
+#include "examples/obs_cli.hpp"
 #include "src/common/cli.hpp"
 #include "src/core/micronas.hpp"
 #include "src/core/report.hpp"
@@ -20,7 +22,9 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
                        {"mcus", "pop", "gens", "rows", "seed", "threads", "cache", "dataset",
-                        "quality", "csv", "constrain-sram", "stream-sram", "sram-kb"});
+                        "quality", "csv", "constrain-sram", "stream-sram", "sram-kb",
+                        examples::kTraceOutFlag, examples::kMetricsOutFlag});
+    examples::maybe_enable_tracing(args);
     const std::string quality = args.get_string("quality", "proxy");
     if (quality != "proxy" && quality != "oracle") {
       throw std::invalid_argument("--quality must be 'proxy' or 'oracle'");
@@ -108,6 +112,11 @@ int main(int argc, char** argv) {
               << "Cross-target reuse (targets 2+): "
               << TablePrinter::fmt(100.0 * result.cross_target_hit_rate, 1)
               << " % of quality scorings replayed instead of recomputed.\n";
+    // Same registry code path serve_bench prints from: the shared
+    // engine mirrored its request/hit counters live and published the
+    // hit-rate gauges when pareto_sweep snapshotted its stats.
+    examples::print_metrics_section("Registry metrics:", "eval.");
+    examples::write_observability_outputs(args);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -17,6 +17,8 @@
 //   ./serve_bench --clients 8 --requests 64 --max-batch 8 --threads 4
 //   ./serve_bench --mode overload --max-queue 16 --deadline-us 500
 //       (admission control under a burst: accepted/rejected/dropped ledger)
+//   ./serve_bench --trace-out trace.json --metrics-out metrics.json
+//       (Chrome trace of compile+serve spans; registry metrics dump)
 //
 // Defaults reproduce the fixed scenario of tests/golden/
 // compile_report.golden (genotype, seed 7, reduced skeleton), so the
@@ -28,6 +30,7 @@
 #include <iostream>
 #include <thread>
 
+#include "examples/obs_cli.hpp"
 #include "src/common/cli.hpp"
 #include "src/compile/compiler.hpp"
 #include "src/core/report.hpp"
@@ -65,7 +68,9 @@ int main(int argc, char** argv) {
     const CliArgs args(argc, argv,
                        {"mode", "arch", "cells", "input", "seed", "out", "package", "golden",
                         "clients", "requests", "max-batch", "max-wait-us", "threads",
-                        "max-queue", "deadline-us"});
+                        "max-queue", "deadline-us", examples::kTraceOutFlag,
+                        examples::kMetricsOutFlag});
+    examples::maybe_enable_tracing(args);
     const std::string mode = args.get_string("mode", "all");
     if (mode != "all" && mode != "save" && mode != "load" && mode != "serve" &&
         mode != "overload") {
@@ -104,7 +109,10 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(bytes), out_path.c_str(), save_ms);
       std::cout << serialize::read_package_info_file(out_path).to_string();
     }
-    if (!do_load) return 0;
+    if (!do_load) {
+      examples::write_observability_outputs(args);
+      return 0;
+    }
 
     auto t0 = std::chrono::steady_clock::now();
     compile::CompiledModel loaded = serialize::load_model(package);
@@ -212,9 +220,16 @@ int main(int argc, char** argv) {
                          TablePrinter::fmt(stats.p99_ms, 2) + " ms"});
       table.add_row({"ledger balanced", balanced ? "yes" : "NO"});
       std::cout << table.render();
+      // Same registry code path pareto_sweep prints from: the server
+      // mirrored its admission ledger + latency histogram live.
+      examples::print_metrics_section("Registry metrics:", "serve.");
+      examples::write_observability_outputs(args);
       return balanced ? 0 : 1;
     }
-    if (!do_serve) return 0;
+    if (!do_serve) {
+      examples::write_observability_outputs(args);
+      return 0;
+    }
 
     const int clients = args.get_int("clients", 4);
     const int requests = args.get_int("requests", 32);
@@ -288,6 +303,8 @@ int main(int argc, char** argv) {
                        " / " + TablePrinter::fmt(stats.p99_ms, 2) + " ms"});
     table.add_row({"batched logits == serial", mismatches == 0 ? "yes" : "NO"});
     std::cout << table.render();
+    examples::print_metrics_section("Registry metrics:", "serve.");
+    examples::write_observability_outputs(args);
     return mismatches == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

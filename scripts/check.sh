@@ -77,4 +77,12 @@ echo "== smoke: serve_bench (compile -> save -> load -> golden hash -> batched s
   --out "$BUILD_DIR/smoke.mnpkg" --golden tests/golden/compile_report.golden >/dev/null
 echo "serve_bench OK"
 
+echo "== smoke: observability (trace + metrics written, strict re-parse) =="
+"./$BUILD_DIR/compile_and_run" --cells 1 --input 16 --runs 1 --threads 1 \
+  --trace-out "$BUILD_DIR/smoke_trace.json" \
+  --metrics-out "$BUILD_DIR/smoke_metrics.json" >/dev/null 2>&1
+"./$BUILD_DIR/json_validate" --require-key traceEvents "$BUILD_DIR/smoke_trace.json" >/dev/null
+"./$BUILD_DIR/json_validate" --require-key histograms "$BUILD_DIR/smoke_metrics.json" >/dev/null
+echo "observability OK"
+
 echo "ALL CHECKS PASSED"

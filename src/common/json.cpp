@@ -1,4 +1,4 @@
-#include "bench/json.hpp"
+#include "src/common/json.hpp"
 
 #include <cctype>
 #include <cerrno>
@@ -9,7 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
-namespace micronas::bench {
+namespace micronas::json {
 
 Json::Json(JsonArray a) : type_(Type::kArray), array_(std::make_shared<JsonArray>(std::move(a))) {}
 Json::Json(JsonObject o)
@@ -362,4 +362,4 @@ void save_json_file(const Json& value, const std::string& path) {
   if (!out) throw std::runtime_error("short write to " + path);
 }
 
-}  // namespace micronas::bench
+}  // namespace micronas::json

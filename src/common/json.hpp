@@ -1,10 +1,11 @@
 // Minimal JSON value — just enough for the benchmark telemetry schema
-// (objects, arrays, strings, numbers, bools, null) with a strict
-// parser and a deterministic serializer.
+// and the observability exports (objects, arrays, strings, numbers,
+// bools, null) with a strict parser and a deterministic serializer.
 //
-// Lives in bench/ rather than src/common because the library proper
-// has no JSON needs; the harness, the compare tool and the tests share
-// this one implementation.
+// Started life in bench/ when only the harness needed JSON; it moved
+// into the library once src/obs's Chrome-trace and metrics exports
+// needed the same strict round-trip guarantees. bench/ re-exports it
+// into micronas::bench (see bench/harness.hpp).
 #pragma once
 
 #include <cstddef>
@@ -13,7 +14,7 @@
 #include <string>
 #include <vector>
 
-namespace micronas::bench {
+namespace micronas::json {
 
 class Json;
 using JsonArray = std::vector<Json>;
@@ -79,4 +80,4 @@ class Json {
 Json load_json_file(const std::string& path);
 void save_json_file(const Json& value, const std::string& path);
 
-}  // namespace micronas::bench
+}  // namespace micronas::json

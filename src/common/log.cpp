@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
-#include <iostream>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace micronas {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,10 +21,35 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Startup level: MICRONAS_LOG_LEVEL env var when set and valid
+/// (silently falls back on garbage — the logger cannot log about
+/// itself before it is configured), else kInfo.
+LogLevel initial_level() {
+  if (const char* env = std::getenv("MICRONAS_LOG_LEVEL")) {
+    try {
+      return parse_log_level(env);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_flag() {
+  static std::atomic<LogLevel> g_level{initial_level()};
+  return g_level;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) { level_flag().store(level); }
+LogLevel log_level() { return level_flag().load(); }
+
+LogLevel init_log_level_from_env() {
+  const LogLevel level = initial_level();
+  set_log_level(level);
+  return level;
+}
 
 LogLevel parse_log_level(const std::string& name) {
   std::string s = name;
@@ -40,9 +65,19 @@ LogLevel parse_log_level(const std::string& name) {
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) < static_cast<int>(level_flag().load())) return;
   if (level == LogLevel::kOff) return;
-  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  // One buffered fwrite per record: concurrent loggers (server worker,
+  // pool threads) each land a whole line, never interleaved fragments
+  // the way `std::cerr << a << b << c` chains could tear.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[";
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace detail
 

@@ -2,6 +2,10 @@
 //
 // Benches and examples print their tabular *results* to stdout; all
 // diagnostics go through this logger so result streams stay parseable.
+// Each record is emitted with a single buffered fwrite, so lines from
+// concurrent threads (server worker, thread pool) never interleave
+// mid-record. The startup level honors the MICRONAS_LOG_LEVEL
+// environment variable ("debug"/"info"/"warn"/"error"/"off").
 #pragma once
 
 #include <sstream>
@@ -14,6 +18,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global minimum level; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Re-apply the MICRONAS_LOG_LEVEL environment variable (already
+/// applied automatically at startup); returns the resulting level.
+/// Exposed so tests can exercise the env parsing after setenv().
+LogLevel init_log_level_from_env();
 
 /// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
 LogLevel parse_log_level(const std::string& name);

@@ -8,6 +8,7 @@
 #include "src/compile/passes.hpp"
 #include "src/compile/quantize.hpp"
 #include "src/data/synthetic.hpp"
+#include "src/obs/trace.hpp"
 
 namespace micronas::compile {
 
@@ -51,7 +52,10 @@ CompiledModel compile_genotype(const nb201::Genotype& genotype, const CompilerOp
   lower.macro = options.macro;
   lower.batch = options.batch;
   lower.seed = options.seed;
-  model.graph = ir::lower_genotype(genotype, lower);
+  {
+    OBS_SPAN("compile.lower");
+    model.graph = ir::lower_genotype(genotype, lower);
+  }
   report.lowered_nodes = model.graph.size();
   report.lowered_executed = model.graph.executed_node_count();
 
@@ -69,7 +73,10 @@ CompiledModel compile_genotype(const nb201::Genotype& genotype, const CompilerOp
   // Last graph rewrite: reordering renumbers node ids, so it must run
   // before anything keyed by them (weight packing, the memory plan).
   if (options.reorder) pm.add(std::make_unique<ScheduleReorderPass>(options.plan));
-  report.passes = pm.run(model.graph);
+  {
+    OBS_SPAN("compile.passes");
+    report.passes = pm.run(model.graph);
+  }
   report.final_nodes = model.graph.size();
   report.final_executed = model.graph.executed_node_count();
   report.const_bytes = model.graph.const_bytes();
@@ -81,6 +88,7 @@ CompiledModel compile_genotype(const nb201::Genotype& genotype, const CompilerOp
   // the padded panels must not widen the IR consts the quantized graph
   // type-checks against — but is reported like any other pass.
   {
+    OBS_SPAN("compile.pack_weights");
     const auto t0 = std::chrono::steady_clock::now();
     model.packed = rt::pack_graph_weights(model.graph);
     PassStat stat;
@@ -94,7 +102,10 @@ CompiledModel compile_genotype(const nb201::Genotype& genotype, const CompilerOp
     report.passes.push_back(std::move(stat));
   }
 
-  model.plan = rt::plan_memory(model.graph, options.plan);
+  {
+    OBS_SPAN("compile.plan_memory");
+    model.plan = rt::plan_memory(model.graph, options.plan);
+  }
   report.arena_bytes = model.plan.arena_bytes;
   report.naive_arena_bytes = model.plan.naive_bytes;
   report.memory_plan = model.plan.to_string(model.graph);

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace micronas::compile {
 
 PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
@@ -12,15 +15,28 @@ PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
 std::vector<PassStat> PassManager::run(ir::Graph& graph) const {
   std::vector<PassStat> stats;
   stats.reserve(passes_.size());
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  obs::Counter& passes_run = registry.counter("compile.passes_run");
+  obs::Counter& passes_changed = registry.counter("compile.passes_changed");
+  obs::Histogram& pass_ms = registry.latency_histogram("compile.pass_ms");
   for (const auto& pass : passes_) {
     PassStat s;
     s.name = pass->name();
     s.nodes_before = graph.size();
+    obs::Span span("compile.pass");
+    span.tag("pass", s.name);
     const auto t0 = std::chrono::steady_clock::now();
     s.changed = pass->run(graph);
     const auto t1 = std::chrono::steady_clock::now();
     s.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     s.nodes_after = graph.size();
+    if (span.active()) {
+      span.tag("changed", static_cast<long long>(s.changed ? 1 : 0));
+      span.tag("nodes_after", static_cast<long long>(s.nodes_after));
+    }
+    passes_run.add();
+    if (s.changed) passes_changed.add();
+    pass_ms.observe(s.wall_ms);
     graph.validate();
     stats.push_back(std::move(s));
   }

@@ -1,0 +1,231 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace micronas::obs {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Single-writer event ring. The owning thread is the only writer;
+/// snapshot readers synchronize through `writing` + `head` (see the
+/// header's design notes). Slots are written plainly between the two
+/// seq_cst `writing` stores, so a reader that observed writing == false
+/// after disabling tracing reads fully retired slots only.
+struct ThreadRing {
+  explicit ThreadRing(int tid_, std::size_t capacity)
+      : tid(tid_), mask(capacity - 1), slots(capacity) {}
+
+  const int tid;
+  const std::size_t mask;  // capacity - 1, capacity is a power of two
+  std::vector<TraceEvent> slots;
+  std::atomic<std::uint64_t> head{0};  // total events ever recorded
+  std::atomic<bool> writing{false};
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<bool> epoch_set{false};
+  SteadyClock::time_point epoch{};
+  std::atomic<std::size_t> ring_capacity{std::size_t{1} << 16};
+
+  // Registration only; recording never takes this.
+  std::mutex registry_mutex;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: outlives exiting threads
+  return *s;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+ThreadRing& my_ring() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.registry_mutex);
+    s.rings.push_back(std::make_unique<ThreadRing>(
+        static_cast<int>(s.rings.size()),
+        round_up_pow2(std::max<std::size_t>(2, s.ring_capacity.load()))));
+    ring = s.rings.back().get();
+  }
+  return *ring;
+}
+
+/// Wait until `ring`'s in-flight record (if any) retires. Correct only
+/// after tracing has been disabled: new records abort under the
+/// writing flag once they observe enabled == false.
+void quiesce(const ThreadRing& ring) {
+  while (ring.writing.load(std::memory_order_seq_cst)) {
+    // Records are tens of nanoseconds; spinning is cheaper than parking.
+  }
+}
+
+/// Pin the process-wide epoch on first use (first enable_tracing or
+/// first now_us call — executor profiling reads the clock without
+/// tracing ever being enabled).
+void ensure_epoch(TraceState& s) {
+  if (s.epoch_set.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(s.registry_mutex);
+  if (!s.epoch_set.load(std::memory_order_relaxed)) {
+    s.epoch = SteadyClock::now();
+    s.epoch_set.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+void enable_tracing() {
+  TraceState& s = state();
+  ensure_epoch(s);
+  s.enabled.store(true, std::memory_order_seq_cst);
+}
+
+void disable_tracing() { state().enabled.store(false, std::memory_order_seq_cst); }
+
+bool tracing_enabled() { return state().enabled.load(std::memory_order_relaxed); }
+
+void set_ring_capacity(std::size_t events) {
+  state().ring_capacity.store(round_up_pow2(std::max<std::size_t>(2, events)));
+}
+
+double now_us() {
+  TraceState& s = state();
+  ensure_epoch(s);
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() - s.epoch).count();
+}
+
+void reset_trace() {
+  TraceState& s = state();
+  const bool was_enabled = tracing_enabled();
+  disable_tracing();
+  std::lock_guard<std::mutex> lock(s.registry_mutex);
+  for (auto& ring : s.rings) {
+    quiesce(*ring);
+    ring->head.store(0, std::memory_order_seq_cst);
+    for (TraceEvent& e : ring->slots) e = TraceEvent{};
+  }
+  if (was_enabled) s.enabled.store(true, std::memory_order_seq_cst);
+}
+
+namespace detail {
+
+int thread_id() { return my_ring().tid; }
+
+void record(TraceEvent&& event) {
+  ThreadRing& ring = my_ring();
+  ring.writing.store(true, std::memory_order_seq_cst);
+  // Re-check under the flag: a snapshot that disabled tracing and saw
+  // writing == false must never have this record land afterwards.
+  if (!state().enabled.load(std::memory_order_seq_cst)) {
+    ring.writing.store(false, std::memory_order_seq_cst);
+    return;
+  }
+  const std::uint64_t i = ring.head.load(std::memory_order_relaxed);
+  event.tid = ring.tid;
+  event.seq = i;
+  ring.slots[static_cast<std::size_t>(i) & ring.mask] = std::move(event);
+  ring.head.store(i + 1, std::memory_order_release);
+  ring.writing.store(false, std::memory_order_seq_cst);
+}
+
+}  // namespace detail
+
+void Span::finish() {
+  const double end = now_us();
+  TraceEvent e;
+  e.name = name_;
+  e.start_us = start_us_;
+  e.dur_us = end - start_us_;
+  e.tags = std::move(tags_);
+  detail::record(std::move(e));
+}
+
+std::vector<TraceEvent> snapshot_trace() {
+  TraceState& s = state();
+  disable_tracing();
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(s.registry_mutex);
+  for (const auto& ring : s.rings) {
+    quiesce(*ring);
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = ring->mask + 1;
+    const std::uint64_t first = head > capacity ? head - capacity : 0;
+    for (std::uint64_t i = first; i < head; ++i) {
+      out.push_back(ring->slots[static_cast<std::size_t>(i) & ring->mask]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.tid != b.tid ? a.tid < b.tid : a.seq < b.seq;
+  });
+  return out;
+}
+
+std::uint64_t dropped_events() {
+  TraceState& s = state();
+  const bool was_enabled = tracing_enabled();
+  disable_tracing();
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.registry_mutex);
+    for (const auto& ring : s.rings) {
+      quiesce(*ring);
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      const std::uint64_t capacity = ring->mask + 1;
+      if (head > capacity) dropped += head - capacity;
+    }
+  }
+  if (was_enabled) enable_tracing();
+  return dropped;
+}
+
+json::Json chrome_trace_json() {
+  const std::vector<TraceEvent> events = snapshot_trace();
+  json::JsonArray trace_events;
+  // Thread-name metadata so Perfetto labels tracks by our stable tids.
+  int max_tid = -1;
+  for (const TraceEvent& e : events) max_tid = std::max(max_tid, e.tid);
+  for (int tid = 0; tid <= max_tid; ++tid) {
+    json::JsonObject meta;
+    meta["ph"] = "M";
+    meta["name"] = "thread_name";
+    meta["pid"] = 1;
+    meta["tid"] = tid;
+    meta["args"] = json::JsonObject{{"name", "micronas-" + std::to_string(tid)}};
+    trace_events.emplace_back(std::move(meta));
+  }
+  for (const TraceEvent& e : events) {
+    json::JsonObject obj;
+    obj["ph"] = "X";  // complete event: ts + dur in microseconds
+    obj["name"] = std::string(e.name);
+    obj["ts"] = e.start_us;
+    obj["dur"] = e.dur_us;
+    obj["pid"] = 1;
+    obj["tid"] = e.tid;
+    json::JsonObject args;
+    args["seq"] = static_cast<std::size_t>(e.seq);
+    for (const auto& [key, value] : e.tags) args[key] = value;
+    obj["args"] = std::move(args);
+    trace_events.emplace_back(std::move(obj));
+  }
+  json::JsonObject doc;
+  doc["displayTimeUnit"] = "ms";
+  doc["traceEvents"] = std::move(trace_events);
+  return json::Json(std::move(doc));
+}
+
+void write_chrome_trace(const std::string& path) {
+  json::save_json_file(chrome_trace_json(), path);
+}
+
+}  // namespace micronas::obs

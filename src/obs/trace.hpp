@@ -1,0 +1,154 @@
+// Low-overhead scoped tracing: RAII spans recorded into per-thread
+// lock-free ring buffers, exported as Chrome trace-event JSON.
+//
+// Design constraints, in priority order:
+//
+//   1. Disabled tracing must cost ONE predicted branch per span site
+//      (a relaxed atomic load + compare). No clock reads, no
+//      allocation, no stores. The `obs.trace_overhead` bench case
+//      measures this and CI gates it, because spans sit inside the
+//      int8 executor's per-node loop — the hottest serving path.
+//   2. Enabled tracing must never block the traced thread. Each thread
+//      owns a single-writer ring buffer: recording is two atomic
+//      flag/cursor stores around plain writes, and when the ring is
+//      full the oldest events are overwritten (drop count reported).
+//      The only lock is taken once per thread, at ring registration.
+//   3. Export must be race-free without slowing recording down. A
+//      snapshot first disables tracing (spans finishing afterwards see
+//      the flag and skip recording), then waits for each ring's
+//      in-flight record to retire via its `writing` flag — the classic
+//      store-buffering handshake, seq_cst on both sides — and only
+//      then reads the slots. tests/test_obs.cpp runs this concurrently
+//      under TSan.
+//
+// Span attribution: every event carries the recording thread's stable
+// small integer tid (assigned at ring registration, not the OS id) and
+// a per-thread monotone sequence number, so nesting and ordering can
+// be reconstructed per thread even after ring wraparound.
+//
+// The export format is the Chrome trace-event JSON "X" (complete)
+// event flavor — loadable in chrome://tracing and Perfetto — built on
+// the strict serializer in src/common/json.hpp, so a written trace
+// always re-parses (round-trip asserted by tests/test_obs.cpp and the
+// CI observability job).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/json.hpp"
+
+namespace micronas::obs {
+
+/// One completed span. `name` and tag keys must be string literals (or
+/// otherwise outlive the trace) — recording never copies them.
+struct TraceEvent {
+  const char* name = "";
+  double start_us = 0.0;  // since the trace epoch (first enable)
+  double dur_us = 0.0;
+  int tid = 0;            // stable per-thread id, 0-based registration order
+  std::uint64_t seq = 0;  // per-thread monotone sequence number
+  std::vector<std::pair<const char*, std::string>> tags;
+};
+
+/// Global recording switch. Spans constructed while disabled are
+/// permanent no-ops; spans that straddle a disable skip recording.
+void enable_tracing();
+void disable_tracing();
+bool tracing_enabled();
+
+/// Drop every recorded event (rings stay registered, tids are stable).
+void reset_trace();
+
+/// Per-thread ring capacity for rings registered *after* the call
+/// (existing rings keep theirs). Rounded up to a power of two;
+/// default 1 << 16 events.
+void set_ring_capacity(std::size_t events);
+
+/// Microseconds since the trace epoch (steady clock). The epoch is
+/// pinned at first use — first enable_tracing() or first now_us()
+/// call (executor profiling reads the clock with tracing disabled).
+double now_us();
+
+/// Events dropped to ring wraparound since the last reset, summed over
+/// all rings (quiesces writers like snapshot_trace).
+std::uint64_t dropped_events();
+
+/// Stop-the-world snapshot: disables tracing, quiesces every ring's
+/// writer, and returns all retained events sorted by (tid, seq).
+/// Recording can be re-enabled afterwards; the epoch is preserved.
+std::vector<TraceEvent> snapshot_trace();
+
+/// snapshot_trace() rendered as a Chrome trace-event document:
+/// {"displayTimeUnit": "ms", "traceEvents": [{"ph": "X", ...}, ...]}
+/// with thread-name metadata ("M") events for each registered ring.
+json::Json chrome_trace_json();
+
+/// chrome_trace_json() written via the strict serializer; throws
+/// std::runtime_error on I/O failure.
+void write_chrome_trace(const std::string& path);
+
+namespace detail {
+/// Record a completed span into the calling thread's ring. Callers
+/// must have checked tracing_enabled() (the Span does); the function
+/// re-checks under the writing flag so exports never tear.
+void record(TraceEvent&& event);
+/// The calling thread's stable tid (registers a ring on first use).
+int thread_id();
+}  // namespace detail
+
+/// RAII scoped span. Construction samples the clock only when tracing
+/// is enabled; destruction records the completed event. Tags attach
+/// op-level attribution (kernel variant, bytes, strip count, ...) and
+/// are ignored — at zero cost beyond the call — on inactive spans.
+///
+///   obs::Span span("rt.node");
+///   if (span.active()) span.tag("kernel", "im2col_gemm");
+class Span {
+ public:
+  explicit Span(const char* name) : active_(tracing_enabled()) {
+    if (active_) {
+      name_ = name;
+      start_us_ = now_us();
+    }
+  }
+  ~Span() {
+    if (active_) finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is recording (tracing was enabled at
+  /// construction). Guard tag computation on this so disabled spans
+  /// stay a single branch.
+  bool active() const { return active_; }
+
+  /// Attach "key": value attribution. `key` must be a string literal.
+  void tag(const char* key, std::string value) {
+    if (active_) tags_.emplace_back(key, std::move(value));
+  }
+  void tag(const char* key, long long value) {
+    if (active_) tags_.emplace_back(key, std::to_string(value));
+  }
+
+ private:
+  void finish();
+
+  bool active_;
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+  std::vector<std::pair<const char*, std::string>> tags_;
+};
+
+}  // namespace micronas::obs
+
+#define MICRONAS_OBS_CONCAT_(a, b) a##b
+#define MICRONAS_OBS_CONCAT(a, b) MICRONAS_OBS_CONCAT_(a, b)
+
+/// Anonymous scoped span: OBS_SPAN("compile.lower"); — for scopes that
+/// need timing but no tags.
+#define OBS_SPAN(name) \
+  ::micronas::obs::Span MICRONAS_OBS_CONCAT(obs_span_, __LINE__)(name)

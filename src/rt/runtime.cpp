@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/obs/trace.hpp"
 #include "src/rt/kernels_f32.hpp"
 #include "src/rt/kernels_int8.hpp"
 #include "src/rt/kernels_int8_gemm.hpp"
@@ -165,6 +166,83 @@ void run_strip_streamed(const ir::Node& node, const Shape& xs, int strip_h,
   }
 }
 
+/// Static per-node attribution (op name, selected kernel variant,
+/// bytes touched, strip height) resolved once at executor
+/// construction. The same facts feed obs span tags and the profile
+/// accumulator, so the hot loop only reads this table.
+std::vector<OpProfileEntry> build_profile_table(const ir::Graph& graph, const MemoryPlan& plan,
+                                                const PackedWeightSet* packed) {
+  std::vector<OpProfileEntry> table(static_cast<std::size_t>(graph.size()));
+  for (const auto& node : graph.nodes()) {
+    if (node.is_const() || node.op == ir::OpKind::kInput) continue;
+    OpProfileEntry& e = table[static_cast<std::size_t>(node.id)];
+    e.node_id = node.id;
+    e.op = op_kind_name(node.op).c_str();  // static storage in op_kind_name
+    e.bytes = node.type.bytes();
+    for (const int id : node.inputs) {
+      const ir::Node& in = graph.node(id);
+      if (!in.is_const()) e.bytes += in.type.bytes();
+    }
+    if (const StripStream* strip = plan.find_strip(node.id)) e.strip_h = strip->strip_h;
+    if (node.op == ir::OpKind::kQConv2d) {
+      const Shape& x = graph.node(node.inputs[0]).type.shape;
+      QConv2dArgs a{};
+      a.batch = x[0];
+      a.cin = x[1];
+      a.h = x[2];
+      a.w = x[3];
+      a.cout = node.type.shape[1];
+      a.kernel = node.conv.kernel;
+      a.stride = node.conv.stride;
+      a.pad = node.conv.pad;
+      a.out_h = node.type.shape[2];
+      a.out_w = node.type.shape[3];
+      e.kernel = qconv_kernel_name(
+          select_qconv_kernel(a, packed ? packed->find(node.id) : nullptr));
+    } else if (node.op == ir::OpKind::kQLinear) {
+      const Shape& x = graph.node(node.inputs[0]).type.shape;
+      QLinearArgs a{};
+      a.batch = x[0];
+      a.in_features = x[1];
+      a.out_features = node.type.shape[1];
+      e.kernel = qlinear_kernel_name(
+          select_qlinear_kernel(a, packed ? packed->find(node.id) : nullptr));
+    }
+  }
+  return table;
+}
+
+/// Span + optional timing around one node dispatch; shared by both
+/// executors' walk loops. Disabled tracing and profiling cost one
+/// predicted branch each.
+class NodeScope {
+ public:
+  NodeScope(OpProfileEntry& entry, bool profile)
+      : entry_(entry), span_(entry.op), profile_(profile) {
+    if (span_.active()) {
+      span_.tag("node", static_cast<long long>(entry_.node_id));
+      if (entry_.kernel[0] != '\0') span_.tag("kernel", entry_.kernel);
+      span_.tag("bytes", entry_.bytes);
+      if (entry_.strip_h > 0) span_.tag("strip_h", static_cast<long long>(entry_.strip_h));
+    }
+    if (profile_) start_us_ = obs::now_us();
+  }
+  ~NodeScope() {
+    if (profile_) {
+      entry_.calls += 1;
+      entry_.total_ms += (obs::now_us() - start_us_) / 1000.0;
+    }
+  }
+  NodeScope(const NodeScope&) = delete;
+  NodeScope& operator=(const NodeScope&) = delete;
+
+ private:
+  OpProfileEntry& entry_;
+  obs::Span span_;
+  bool profile_;
+  double start_us_ = 0.0;
+};
+
 }  // namespace
 
 Executor::Executor(const ir::Graph& graph, const MemoryPlan& plan, ExecOptions options)
@@ -208,6 +286,7 @@ void Executor::prepare() {
     owned_packed_ = pack_graph_weights(graph_);
     packed_ = &owned_packed_;
   }
+  profile_ = build_profile_table(graph_, plan_, packed_);
 }
 
 std::byte* Executor::buffer(int node_id) {
@@ -251,9 +330,13 @@ Tensor Executor::run(const Tensor& input) {
   std::memcpy(buffer(in_node.id), input.data().data(), input.numel() * sizeof(float));
   if (observer_) observer_(in_node.id, input.data());
 
+  OBS_SPAN("rt.run");
   for (const auto& node : graph_.nodes()) {
     if (node.is_const() || node.op == ir::OpKind::kInput) continue;
-    dispatch(node);
+    {
+      NodeScope scope(profile_[static_cast<std::size_t>(node.id)], options_.profile);
+      dispatch(node);
+    }
     if (observer_ && node.type.dtype == ir::DType::kF32) {
       observer_(node.id, std::span<const float>(f32_in(node.id), node.type.shape.numel()));
     }
@@ -517,6 +600,7 @@ void BatchedExecutor::prepare() {
     owned_packed_ = pack_graph_weights(graph_);
     packed_ = &owned_packed_;
   }
+  profile_ = build_profile_table(graph_, plan_, packed_);
 }
 
 std::size_t BatchedExecutor::sample_io_bytes(const ir::Graph& graph, const ir::Node& node) {
@@ -592,8 +676,11 @@ std::vector<Tensor> BatchedExecutor::run_batch(std::span<const Tensor* const> in
                 inputs[static_cast<std::size_t>(i)]->data().data(), in_per * sizeof(float));
   }
 
+  obs::Span batch_span("rt.run_batch");
+  batch_span.tag("batch", static_cast<long long>(n));
   for (const auto& node : graph_.nodes()) {
     if (node.is_const() || node.op == ir::OpKind::kInput) continue;
+    NodeScope scope(profile_[static_cast<std::size_t>(node.id)], options_.profile);
     dispatch(node, n);
   }
 

@@ -42,6 +42,25 @@ struct ExecOptions {
   /// packs on the fly at construction (skipped under MICRONAS_PORTABLE,
   /// where the kernel selector only ever picks the scalar reference).
   const PackedWeightSet* packed = nullptr;
+  /// Accumulate per-node wall time into op_profile(). Off by default:
+  /// profiling adds two clock reads per node dispatch. Independent of
+  /// obs tracing — spans fire whenever tracing is enabled, profiling
+  /// only when this is set.
+  bool profile = false;
+};
+
+/// Per-node runtime attribution. The static facts (op, kernel variant,
+/// bytes, strip height) are resolved once at executor construction and
+/// double as obs span tags; calls/total_ms accumulate across run()s
+/// when ExecOptions::profile is set.
+struct OpProfileEntry {
+  int node_id = -1;        // -1: node not executed (const/input)
+  const char* op = "";     // op_kind_name, static storage
+  const char* kernel = ""; // selected kernel variant ("" = fixed-function op)
+  long long bytes = 0;     // per-run output + non-const input bytes (batch 1)
+  int strip_h = 0;         // row-strip height when stream-scheduled, else 0
+  std::uint64_t calls = 0;
+  double total_ms = 0.0;
 };
 
 class Executor {
@@ -63,6 +82,11 @@ class Executor {
   /// Arena bytes actually allocated (0 in unplanned mode — buffers are
   /// per-value; see MemoryPlan::naive_bytes for that total).
   long long arena_bytes() const { return static_cast<long long>(arena_.size()); }
+
+  /// Per-node attribution + accumulated times, indexed by node id
+  /// (entries with node_id == -1 were not executed). Times are only
+  /// accumulated when ExecOptions::profile is set.
+  const std::vector<OpProfileEntry>& op_profile() const { return profile_; }
 
  private:
   void prepare();
@@ -89,6 +113,7 @@ class Executor {
   // (options.packed) or `owned_packed_` built at construction.
   PackedWeightSet owned_packed_;
   const PackedWeightSet* packed_ = nullptr;
+  std::vector<OpProfileEntry> profile_;  // indexed by node id
 };
 
 /// One coalesced batch = ONE executor invocation.
@@ -129,6 +154,10 @@ class BatchedExecutor {
   int batch_capacity() const { return capacity_; }
   long long arena_bytes() const { return static_cast<long long>(arena_.size()); }
 
+  /// Per-node attribution + accumulated times across run_batch calls
+  /// (see Executor::op_profile; bytes are per sample).
+  const std::vector<OpProfileEntry>& op_profile() const { return profile_; }
+
   /// Bytes a broadcast op's dispatch actually touches per sample:
   /// output bytes plus every non-const input's bytes, in the op's real
   /// dtype (an int8 op of N elements is N bytes, a f32 op 4N) — the
@@ -166,6 +195,7 @@ class BatchedExecutor {
   std::vector<std::vector<std::int32_t>> weight_sums_;
   PackedWeightSet owned_packed_;
   const PackedWeightSet* packed_ = nullptr;
+  std::vector<OpProfileEntry> profile_;  // indexed by node id
 };
 
 }  // namespace micronas::rt

@@ -3,11 +3,33 @@
 #include <stdexcept>
 
 #include "src/hw/memory_model.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/proxies/flops.hpp"
 
 namespace micronas {
 
 namespace {
+
+/// Registry mirrors of the engine's atomic counters, bumped at the
+/// same sites so metrics exports see live engine traffic (summed over
+/// every engine in the process). Handles interned once, lazily.
+struct EngineMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  obs::Counter& requests = reg.counter("eval.requests");
+  obs::Counter& cache_hits = reg.counter("eval.cache_hits");
+  obs::Counter& evaluations = reg.counter("eval.evaluations");
+  obs::Counter& hw_requests = reg.counter("eval.hw_requests");
+  obs::Counter& hw_cache_hits = reg.counter("eval.hw_cache_hits");
+  obs::Counter& supernet_requests = reg.counter("eval.supernet_requests");
+  obs::Counter& supernet_hits = reg.counter("eval.supernet_hits");
+  obs::Counter& supernet_evals = reg.counter("eval.supernet_evals");
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics* m = new EngineMetrics();  // leaked: process lifetime
+  return *m;
+}
 
 int resolve_threads(int requested) {
   if (requested > 0) return requested;
@@ -74,6 +96,7 @@ IndicatorValues ProxyEvalEngine::compute(const nb201::Genotype& canonical) const
   // independent of evaluation order, thread placement and cache state.
   Rng rng(hash_combine(config_.seed, canonical.stable_hash()));
   evaluations_.fetch_add(1, std::memory_order_relaxed);
+  engine_metrics().evaluations.add();
   return suite_->evaluate(canonical, rng);
 }
 
@@ -91,6 +114,7 @@ IndicatorValues ProxyEvalEngine::compute_hardware(const nb201::Genotype& genotyp
 
 IndicatorValues ProxyEvalEngine::evaluate(const nb201::Genotype& genotype) const {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  engine_metrics().requests.add();
   const nb201::Genotype canonical = nb201::canonicalize(genotype);
   if (!config_.cache) return compute(canonical);
 
@@ -100,6 +124,7 @@ IndicatorValues ProxyEvalEngine::evaluate(const nb201::Genotype& genotype) const
     const auto it = cache_.find(key);
     if (it != cache_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      engine_metrics().cache_hits.add();
       return it->second;
     }
   }
@@ -115,6 +140,8 @@ IndicatorValues ProxyEvalEngine::evaluate(const nb201::Genotype& genotype) const
 
 std::vector<IndicatorValues> ProxyEvalEngine::evaluate_batch(
     std::span<const nb201::Genotype> genotypes) const {
+  obs::Span span("eval.evaluate_batch");
+  span.tag("candidates", static_cast<long long>(genotypes.size()));
   std::vector<IndicatorValues> out(genotypes.size());
   parallel_for(genotypes.size(), [&](std::size_t i) { out[i] = evaluate(genotypes[i]); });
   return out;
@@ -122,6 +149,7 @@ std::vector<IndicatorValues> ProxyEvalEngine::evaluate_batch(
 
 IndicatorValues ProxyEvalEngine::hardware_indicators(const nb201::Genotype& genotype) const {
   hw_requests_.fetch_add(1, std::memory_order_relaxed);
+  engine_metrics().hw_requests.add();
   if (!config_.cache) return compute_hardware(genotype);
 
   const int key = genotype.index();
@@ -130,6 +158,7 @@ IndicatorValues ProxyEvalEngine::hardware_indicators(const nb201::Genotype& geno
     const auto it = hw_cache_.find(key);
     if (it != hw_cache_.end()) {
       hw_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      engine_metrics().hw_cache_hits.add();
       return it->second;
     }
   }
@@ -147,9 +176,13 @@ std::vector<IndicatorValues> ProxyEvalEngine::evaluate_supernets(
   if (suite_ == nullptr) {
     throw std::logic_error("ProxyEvalEngine: analytic-only engine cannot score supernets");
   }
+  obs::Span span("eval.evaluate_supernets");
+  span.tag("candidates", static_cast<long long>(candidates.size()));
+  span.tag("repeats", static_cast<long long>(repeats));
   std::vector<IndicatorValues> out(candidates.size());
   parallel_for(candidates.size(), [&](std::size_t i) {
     supernet_requests_.fetch_add(1, std::memory_order_relaxed);
+    engine_metrics().supernet_requests.add();
     const std::uint64_t content = edge_ops_hash(candidates[i]);
     const std::uint64_t key = hash_combine(content, static_cast<std::uint64_t>(repeats));
     if (config_.cache) {
@@ -157,6 +190,7 @@ std::vector<IndicatorValues> ProxyEvalEngine::evaluate_supernets(
       const auto it = supernet_cache_.find(key);
       if (it != supernet_cache_.end()) {
         supernet_hits_.fetch_add(1, std::memory_order_relaxed);
+        engine_metrics().supernet_hits.add();
         out[i] = it->second;
         return;
       }
@@ -172,6 +206,7 @@ std::vector<IndicatorValues> ProxyEvalEngine::evaluate_supernets(
     out[i].ntk_condition = ntk_acc / repeats;
     out[i].linear_regions = lr_acc / repeats;
     supernet_evals_.fetch_add(repeats, std::memory_order_relaxed);
+    engine_metrics().supernet_evals.add(static_cast<std::uint64_t>(repeats));
     if (config_.cache) {
       std::lock_guard<std::mutex> lock(cache_mutex_);
       supernet_cache_.emplace(key, out[i]);
@@ -197,6 +232,13 @@ EvalEngineStats ProxyEvalEngine::stats() const {
   s.supernet_requests = supernet_requests_.load(std::memory_order_relaxed);
   s.supernet_hits = supernet_hits_.load(std::memory_order_relaxed);
   s.supernet_evals = supernet_evals_.load(std::memory_order_relaxed);
+  // Publish derived hit rates as gauges whenever anyone snapshots the
+  // stats, so a metrics export after a search reports current rates.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.gauge("eval.hit_rate").set(s.hit_rate());
+  reg.gauge("eval.hw_hit_rate").set(s.hw_hit_rate());
+  reg.gauge("eval.supernet_hit_rate").set(s.supernet_hit_rate());
+  reg.gauge("eval.overall_hit_rate").set(s.overall_hit_rate());
   return s;
 }
 

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/trace.hpp"
+
 namespace micronas::serve {
 
 namespace {
@@ -37,6 +39,13 @@ std::string ServerStats::to_string() const {
 
 ModelServer::ModelServer(compile::CompiledModel model, ServerOptions options)
     : model_(std::move(model)), options_(options) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  metric_accepted_ = &registry.counter("serve.accepted");
+  metric_rejected_ = &registry.counter("serve.rejected");
+  metric_dropped_ = &registry.counter("serve.dropped");
+  metric_completed_ = &registry.counter("serve.completed");
+  metric_batches_ = &registry.counter("serve.batches");
+  metric_latency_ms_ = &registry.latency_histogram("serve.latency_ms");
   if (options_.max_batch < 1) throw std::invalid_argument("ModelServer: max_batch must be >= 1");
   if (options_.max_wait_us < 0) {
     throw std::invalid_argument("ModelServer: max_wait_us must be >= 0");
@@ -87,10 +96,12 @@ std::future<Tensor> ModelServer::submit_internal(Tensor input, bool has_deadline
     if (stopping_) throw std::runtime_error("ModelServer::submit: server is stopped");
     if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
       ++rejected_;
+      metric_rejected_->add();
       throw QueueFullError("ModelServer::submit: queue full (" +
                            std::to_string(options_.max_queue) + " requests pending)");
     }
     ++accepted_;
+    metric_accepted_->add();
     if (!saw_first_) {
       saw_first_ = true;
       first_enqueue_ = req.enqueued;
@@ -135,6 +146,7 @@ void ModelServer::drop_expired_locked(std::vector<Request>& dropped) {
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->deadline <= now) {
       ++dropped_;
+      metric_dropped_->add();
       dropped.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -191,6 +203,8 @@ void ModelServer::dispatcher_loop() {
 }
 
 void ModelServer::run_batch(std::vector<Request>& batch) {
+  obs::Span span("serve.batch");
+  span.tag("requests", static_cast<long long>(batch.size()));
   std::vector<Tensor> results(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
   if (batched_) {
@@ -246,10 +260,13 @@ void ModelServer::run_batch(std::vector<Request>& batch) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++batches_;
+    metric_batches_->add();
     completed_ += static_cast<long long>(batch.size());
+    metric_completed_->add(batch.size());
     last_done_ = done;
     for (const Request& req : batch) {
       const double ms = std::chrono::duration<double, std::milli>(done - req.enqueued).count();
+      metric_latency_ms_->observe(ms);
       if (latency_ms_.size() < kLatencySampleCap) {
         latency_ms_.push_back(ms);
       } else {

@@ -50,6 +50,7 @@
 
 #include "src/common/thread_pool.hpp"
 #include "src/compile/compiler.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/rt/runtime.hpp"
 
 namespace micronas::serve {
@@ -199,6 +200,17 @@ class ModelServer {
   bool saw_first_ = false;
   std::chrono::steady_clock::time_point first_enqueue_;
   std::chrono::steady_clock::time_point last_done_;
+
+  // Process-wide metrics mirrors of the exact counters above, updated
+  // at the same increment sites so serve_bench / pareto_sweep print
+  // admission + latency telemetry through the one registry code path
+  // (handles resolved once in the ctor; updates are lock-free).
+  obs::Counter* metric_accepted_ = nullptr;
+  obs::Counter* metric_rejected_ = nullptr;
+  obs::Counter* metric_dropped_ = nullptr;
+  obs::Counter* metric_completed_ = nullptr;
+  obs::Counter* metric_batches_ = nullptr;
+  obs::Histogram* metric_latency_ms_ = nullptr;
 
   std::thread dispatcher_;
 };

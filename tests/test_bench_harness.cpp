@@ -9,7 +9,7 @@
 
 #include "bench/compare.hpp"
 #include "bench/harness.hpp"
-#include "bench/json.hpp"
+#include "src/common/json.hpp"
 
 namespace micronas::bench {
 namespace {
