@@ -5,11 +5,13 @@
 // inference), and the batching server's throughput against a serial
 // request loop on the same model and inputs.
 #include <chrono>
+#include <cstdio>
 
 #include "bench/suites/common.hpp"
 #include "src/compile/compiler.hpp"
 #include "src/rt/runtime.hpp"
 #include "src/serialize/serialize.hpp"
+#include "src/serve/model_registry.hpp"
 #include "src/serve/model_server.hpp"
 
 namespace micronas {
@@ -71,6 +73,56 @@ BENCH_CASE_OPTS(serve, save_load,
   state.counter("load_vs_recompile_speedup", compile_ms / load_ms);
   state.set_items_processed(1);
   state.set_bytes_processed(static_cast<double>(bytes.size()));
+}
+
+// Registry loading: the mmap-backed MappedPackage path vs the copying
+// load_model() path, same .mnpkg file (written to a scratch path and
+// removed at the end). Both halves validate every section checksum;
+// what the mapped path removes is reading + copying the weight
+// payload, so mapped_vs_copy is the zero-copy dividend at load time.
+// The shared-weight story is counted, not sampled: resident_weight_kb
+// is what N registry loads of the same package keep resident (one
+// mapping) vs copied_weight_kb for N copy-loads (N arenas) —
+// deterministic byte accounting instead of RSS noise. Wall time of
+// the case tracks one mapped load.
+BENCH_CASE_OPTS(serve, registry_load,
+                bench::CaseOptions{.warmup = 1, .min_reps = 3, .max_reps = 8, .tier = 1}) {
+  const compile::CompilerOptions options = serve_options(state);
+  const int loads = state.param_int("loads", 4);
+  const std::string path = "bench_registry_load.mnpkg";
+  serialize::save_model(compile::compile_genotype(serve_genotype(), options), path);
+
+  const double copy_load_ms = min_ms_of(3, [&] {
+    bench::do_not_optimize(serialize::load_model(path).graph.size());
+  });
+  const double mapped_load_ms = min_ms_of(3, [&] {
+    bench::do_not_optimize(serialize::MappedPackage::map(path)->zero_copy_bytes());
+  });
+
+  // N loads through one registry: first maps, the rest dedupe to the
+  // same mapping (registry_hit_us prices the hit — a map + validate +
+  // table probe, no second copy of anything).
+  serve::ModelRegistry registry;
+  const serve::ModelRegistry::Entry first = registry.load(path);
+  const double hit_ms = min_ms_of(loads - 1 > 0 ? loads - 1 : 1, [&] {
+    bench::do_not_optimize(registry.load(path).model.get());
+  });
+  const double weight_kb = static_cast<double>(first.package->zero_copy_bytes()) / 1024.0;
+
+  for (auto _ : state) {
+    bench::do_not_optimize(serialize::MappedPackage::map(path)->zero_copy_bytes());
+  }
+  std::remove(path.c_str());
+
+  state.counter("copy_load_ms", copy_load_ms);
+  state.counter("mapped_load_ms", mapped_load_ms);
+  state.counter("mapped_vs_copy", copy_load_ms / mapped_load_ms);
+  state.counter("registry_hit_us", hit_ms * 1000.0);
+  state.counter("zero_copy_kb", weight_kb);
+  state.counter("resident_weight_kb", weight_kb);  // N loads, ONE mapping
+  state.counter("copied_weight_kb", weight_kb * loads);
+  state.set_items_processed(1);
+  state.set_bytes_processed(static_cast<double>(first.package->file_bytes()));
 }
 
 std::vector<Tensor> serve_inputs(int requests, int input_size) {

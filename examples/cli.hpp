@@ -1,0 +1,98 @@
+// The one example-CLI front door: declared flags, generated --help,
+// shared observability wiring.
+//
+// Before this header, every example re-listed its known flags by hand
+// (and the list drifted from the printed usage, when there was one).
+// An ExampleCli declares each flag ONCE — name, value hint, default,
+// help line — and derives everything from that single table: the
+// known-flags list handed to CliArgs (typos still fail fast), the
+// generated --help text, and the standard flags every example shares
+// (--trace-out / --metrics-out from obs_cli.hpp, --help itself).
+//
+// Usage shape (see serve_bench.cpp / compile_and_run.cpp /
+// pareto_sweep.cpp):
+//
+//   ExampleCli cli("what this example does");
+//   cli.flag("threads", "N", "1", "worker threads (0 = one per core)");
+//   const CliArgs args = cli.parse(argc, argv);   // exits 0 on --help
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "examples/obs_cli.hpp"
+#include "src/common/cli.hpp"
+
+namespace micronas::examples {
+
+class ExampleCli {
+ public:
+  explicit ExampleCli(std::string description) : description_(std::move(description)) {}
+
+  /// Declare one flag. `value_hint` names the operand in the usage
+  /// line (e.g. "N", "file", "a|b"); `fallback` is shown as the
+  /// default ("" shows none). Returns *this for chaining.
+  ExampleCli& flag(std::string name, std::string value_hint, std::string fallback,
+                   std::string help) {
+    flags_.push_back(Flag{std::move(name), std::move(value_hint), std::move(fallback),
+                          std::move(help)});
+    return *this;
+  }
+
+  /// Parse argv against the declared flags plus the standard ones.
+  /// `--help` prints the generated usage to stdout and exits 0.
+  CliArgs parse(int argc, const char* const* argv) const {
+    std::vector<std::string> known;
+    known.reserve(flags_.size() + 3);
+    for (const Flag& f : flags_) known.push_back(f.name);
+    known.push_back(kTraceOutFlag);
+    known.push_back(kMetricsOutFlag);
+    known.push_back("help");
+    const CliArgs args(argc, argv, known);
+    if (args.has("help")) {
+      std::cout << help_text(args.program());
+      std::exit(0);
+    }
+    return args;
+  }
+
+  /// The generated usage text: one line per declared flag, then the
+  /// standard observability flags.
+  std::string help_text(const std::string& program) const {
+    std::string out = "usage: " + program + " [flags]\n\n" + description_ + "\n\nflags:\n";
+    for (const Flag& f : flags_) {
+      out += render_line("--" + f.name + " <" + f.value_hint + ">", f.help, f.fallback);
+    }
+    out += render_line("--trace-out <file>",
+                       "enable tracing; write Chrome trace-event JSON at exit", "");
+    out += render_line("--metrics-out <file>", "dump the process metrics registry as JSON", "");
+    out += render_line("--help", "print this text and exit", "");
+    return out;
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value_hint;
+    std::string fallback;
+    std::string help;
+  };
+
+  static std::string render_line(const std::string& left, const std::string& help,
+                                 const std::string& fallback) {
+    std::string line = "  " + left;
+    const std::size_t pad = line.size() < 30 ? 30 - line.size() : 1;
+    line.append(pad, ' ');
+    line += help;
+    if (!fallback.empty()) line += " (default " + fallback + ")";
+    line += "\n";
+    return line;
+  }
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace micronas::examples

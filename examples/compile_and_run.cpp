@@ -26,8 +26,7 @@
 #include <iostream>
 #include <vector>
 
-#include "examples/obs_cli.hpp"
-#include "src/common/cli.hpp"
+#include "examples/cli.hpp"
 #include "src/compile/compiler.hpp"
 #include "src/core/report.hpp"
 #include "src/data/synthetic.hpp"
@@ -50,10 +49,20 @@ double time_run_ms(rt::Executor& exec, const Tensor& input) {
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv,
-                       {"arch", "cells", "input", "seed", "runs", "threads", "mcu",
-                        "arena-budget", "top", examples::kTraceOutFlag,
-                        examples::kMetricsOutFlag});
+    examples::ExampleCli cli(
+        "Compile an NB201 genotype to int8 and run it end to end: memory report,\n"
+        "bit-identity across threads, float-interpreter comparison, and the per-op\n"
+        "host-measured vs mcusim-predicted runtime profile.");
+    cli.flag("arch", "genotype|index", "(built-in)", "NB201 genotype to compile")
+        .flag("cells", "N", "5", "cells per stage of the deployment skeleton")
+        .flag("input", "N", "32", "input image size")
+        .flag("seed", "N", "1", "weights + data seed")
+        .flag("runs", "N", "3", "timed repetitions per executor")
+        .flag("threads", "N", "4", "threaded-executor worker count")
+        .flag("mcu", "name", "m7", "MCU preset for the latency estimator/simulator")
+        .flag("arena-budget", "KB", "0", "activation-arena ceiling (0 = unbounded)")
+        .flag("top", "N", "10", "rows in the per-op profile table");
+    const CliArgs args = cli.parse(argc, argv);
     examples::maybe_enable_tracing(args);
     const std::string arch = args.get_string("arch", "");
     const int runs = args.get_int("runs", 3);

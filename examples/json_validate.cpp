@@ -10,14 +10,18 @@
 #include <iostream>
 #include <string>
 
-#include "src/common/cli.hpp"
+#include "examples/cli.hpp"
 #include "src/common/json.hpp"
 
 using namespace micronas;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {"require-key"});
+    examples::ExampleCli cli(
+        "Parse each JSON file with the in-tree parser and fail on malformed input\n"
+        "(positional arguments: one or more .json files).");
+    cli.flag("require-key", "key", "", "additionally require this top-level key");
+    const CliArgs args = cli.parse(argc, argv);
     const std::string require_key = args.get_string("require-key", "");
     if (args.positional().empty()) {
       std::cerr << "usage: json_validate [--require-key <key>] <file.json>...\n";

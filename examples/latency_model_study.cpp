@@ -12,7 +12,7 @@
 //   ./latency_model_study --table-path /tmp/f746_lut.txt --sample 80
 #include <iostream>
 
-#include "src/common/cli.hpp"
+#include "examples/cli.hpp"
 #include "src/compile/compiler.hpp"
 #include "src/core/report.hpp"
 #include "src/data/synthetic.hpp"
@@ -26,7 +26,13 @@ using namespace micronas;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {"table-path", "sample", "seed"});
+    examples::ExampleCli cli(
+        "Profile the simulated MCU into a latency LUT, persist it, and report the\n"
+        "estimator's fidelity (rank correlation, error quantiles) on a random sample.");
+    cli.flag("table-path", "file", "/tmp/micronas_f746_lut.txt", "where the LUT is cached")
+        .flag("sample", "N", "80", "random genotypes in the fidelity sample")
+        .flag("seed", "N", "1", "sampling seed");
+    const CliArgs args = cli.parse(argc, argv);
     const std::string table_path = args.get_string("table-path", "/tmp/micronas_f746_lut.txt");
     const int sample_size = args.get_int("sample", 80);
     Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));

@@ -7,7 +7,7 @@
 //   ./pareto_explore --threads 0        # sweep on all hardware threads
 #include <iostream>
 
-#include "src/common/cli.hpp"
+#include "examples/cli.hpp"
 #include "src/core/micronas.hpp"
 #include "src/core/report.hpp"
 #include "src/search/exhaustive.hpp"
@@ -16,7 +16,14 @@ using namespace micronas;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {"dataset", "rows", "seed", "threads"});
+    examples::ExampleCli cli(
+        "Exhaustively score a slice of the NB201 space and print the proxy-vs-cost\n"
+        "Pareto front.");
+    cli.flag("dataset", "name", "cifar10", "NB201 dataset the quality signal targets")
+        .flag("rows", "N", "12", "max Pareto rows printed")
+        .flag("seed", "N", "1", "scoring seed")
+        .flag("threads", "N", "1", "evaluation threads (0 = one per core)");
+    const CliArgs args = cli.parse(argc, argv);
     const auto dataset = nb201::dataset_from_name(args.get_string("dataset", "cifar10"));
     const int max_rows = args.get_int("rows", 12);
     const int threads = args.get_int("threads", 1);

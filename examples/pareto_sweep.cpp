@@ -11,8 +11,7 @@
 //   ./pareto_sweep --trace-out trace.json --metrics-out metrics.json
 #include <iostream>
 
-#include "examples/obs_cli.hpp"
-#include "src/common/cli.hpp"
+#include "examples/cli.hpp"
 #include "src/core/micronas.hpp"
 #include "src/core/report.hpp"
 
@@ -20,10 +19,23 @@ using namespace micronas;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv,
-                       {"mcus", "pop", "gens", "rows", "seed", "threads", "cache", "dataset",
-                        "quality", "csv", "constrain-sram", "stream-sram", "sram-kb",
-                        examples::kTraceOutFlag, examples::kMetricsOutFlag});
+    examples::ExampleCli cli(
+        "One NSGA-II search per MCU target, all sharing the memoized genotype\n"
+        "indicator cache; prints each target's Pareto front (optionally as CSV).");
+    cli.flag("mcus", "a,b,...", "m4,m7,m33", "comma-separated MCU presets to sweep")
+        .flag("pop", "N", "24", "NSGA-II population size")
+        .flag("gens", "N", "8", "NSGA-II generations")
+        .flag("rows", "N", "10", "max Pareto rows printed per target")
+        .flag("seed", "N", "1", "search seed")
+        .flag("threads", "N", "1", "evaluation threads (0 = one per core)")
+        .flag("cache", "0|1", "1", "memoize genotype indicators across targets")
+        .flag("dataset", "name", "cifar10", "NB201 dataset the quality signal targets")
+        .flag("quality", "proxy|oracle", "proxy", "quality signal source")
+        .flag("csv", "prefix", "", "write <prefix>.<target>.csv per target")
+        .flag("constrain-sram", "0|1", "0", "derive a per-target SRAM bound from each MCU")
+        .flag("stream-sram", "0|1", "0", "bound the row-strip-streamed peak instead")
+        .flag("sram-kb", "KB", "0", "one explicit SRAM bound for every target");
+    const CliArgs args = cli.parse(argc, argv);
     examples::maybe_enable_tracing(args);
     const std::string quality = args.get_string("quality", "proxy");
     if (quality != "proxy" && quality != "oracle") {

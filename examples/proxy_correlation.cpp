@@ -6,7 +6,7 @@
 //   ./proxy_correlation --dataset cifar100 --archs 60 --batch 16 --csv /tmp/proxies.csv
 #include <iostream>
 
-#include "src/common/cli.hpp"
+#include "examples/cli.hpp"
 #include "src/common/csv.hpp"
 #include "src/core/report.hpp"
 #include "src/data/synthetic.hpp"
@@ -21,7 +21,15 @@ using namespace micronas;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {"dataset", "archs", "batch", "csv", "seed"});
+    examples::ExampleCli cli(
+        "Score a random sample of NB201 cells with every zero-cost proxy and print\n"
+        "the cross-proxy rank-correlation matrix.");
+    cli.flag("dataset", "name", "cifar10", "NB201 dataset the proxies target")
+        .flag("archs", "N", "48", "random architectures to sample")
+        .flag("batch", "N", "16", "proxy batch size")
+        .flag("csv", "file", "", "also write the per-arch scores as CSV")
+        .flag("seed", "N", "1", "sampling seed");
+    const CliArgs args = cli.parse(argc, argv);
     const auto dataset = nb201::dataset_from_name(args.get_string("dataset", "cifar10"));
     const int n_archs = args.get_int("archs", 48);
     const int batch = args.get_int("batch", 16);

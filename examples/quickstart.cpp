@@ -7,7 +7,7 @@
 //   ./quickstart --threads 4                       # parallel eval engine
 #include <iostream>
 
-#include "src/common/cli.hpp"
+#include "examples/cli.hpp"
 #include "src/core/micronas.hpp"
 #include "src/core/report.hpp"
 
@@ -15,7 +15,16 @@ using namespace micronas;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv, {"arch", "index", "dataset", "seed", "threads", "cache"});
+    examples::ExampleCli cli(
+        "The 60-second tour: score one NB201 cell with the zero-cost proxies, then\n"
+        "compile and run it through the int8 deployment pipeline.");
+    cli.flag("arch", "genotype", "(residual cell)", "NB201 genotype string to score")
+        .flag("index", "N", "", "pick the genotype by NB201 index instead")
+        .flag("dataset", "name", "cifar10", "NB201 dataset the quality signal targets")
+        .flag("seed", "N", "1", "proxy + weights seed")
+        .flag("threads", "N", "1", "evaluation threads (0 = one per core)")
+        .flag("cache", "0|1", "1", "memoize genotype indicators");
+    const CliArgs args = cli.parse(argc, argv);
 
     // Pick the architecture: by string, by index, or the classic
     // residual-style strong cell by default.

@@ -11,7 +11,7 @@
 // every thread count. `--cache false` disables indicator memoization.
 #include <iostream>
 
-#include "src/common/cli.hpp"
+#include "examples/cli.hpp"
 #include "src/core/micronas.hpp"
 #include "src/core/report.hpp"
 
@@ -19,9 +19,19 @@ using namespace micronas;
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args(argc, argv,
-                       {"max-latency-ms", "max-flops-m", "max-params-m", "max-sram-kb",
-                        "dataset", "seed", "latency-weight", "threads", "cache"});
+    examples::ExampleCli cli(
+        "Run the constrained evolutionary search: maximize proxy quality under\n"
+        "hardware budgets (latency / FLOPs / params / SRAM).");
+    cli.flag("max-latency-ms", "ms", "", "latency budget")
+        .flag("max-flops-m", "M", "", "FLOPs budget, millions")
+        .flag("max-params-m", "M", "", "parameter budget, millions")
+        .flag("max-sram-kb", "KB", "", "SRAM budget")
+        .flag("dataset", "name", "cifar10", "NB201 dataset the quality signal targets")
+        .flag("seed", "N", "1", "search seed")
+        .flag("latency-weight", "w", "", "soft latency-penalty weight")
+        .flag("threads", "N", "1", "evaluation threads (0 = one per core)")
+        .flag("cache", "0|1", "1", "memoize genotype indicators");
+    const CliArgs args = cli.parse(argc, argv);
 
     MicroNasConfig cfg;
     cfg.dataset = nb201::dataset_from_name(args.get_string("dataset", "cifar10"));

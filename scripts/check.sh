@@ -77,6 +77,11 @@ echo "== smoke: serve_bench (compile -> save -> load -> golden hash -> batched s
   --out "$BUILD_DIR/smoke.mnpkg" --golden tests/golden/compile_report.golden >/dev/null
 echo "serve_bench OK"
 
+echo "== smoke: model registry (two packages, one process: mmap + dedup + routed serve) =="
+"./$BUILD_DIR/serve_bench" --mode multi --clients 2 --requests 8 --max-batch 4 --threads 2 \
+  --out "$BUILD_DIR/smoke_multi1.mnpkg" --out2 "$BUILD_DIR/smoke_multi2.mnpkg" >/dev/null
+echo "model registry OK"
+
 echo "== smoke: observability (trace + metrics written, strict re-parse) =="
 "./$BUILD_DIR/compile_and_run" --cells 1 --input 16 --runs 1 --threads 1 \
   --trace-out "$BUILD_DIR/smoke_trace.json" \

@@ -1,0 +1,103 @@
+// Owns-or-views immutable constant storage.
+//
+// The IR's const payloads (`ir::Node::i8_data`) and the packed GEMM
+// panels (`rt::PackedWeights::data`) historically were std::vectors —
+// every package load copied every weight byte out of the file image.
+// The .mnpkg format 64B-aligns CNST blobs relative to the file start
+// precisely so a deployment can run off the mapped file instead
+// (serialize::MappedPackage); a ConstView<T> is the storage type that
+// makes both worlds share one code path:
+//
+//   * owning mode (constructed from a std::vector<T>): the view owns
+//     its elements — graphs built in memory, copy-loaded packages and
+//     on-the-fly repacks behave exactly as before;
+//   * borrowed mode (ConstView::borrowed(ptr, n)): the view points
+//     into storage someone else keeps alive — a read-only mmap of a
+//     .mnpkg. The *caller* owns the lifetime contract: the mapping
+//     must outlive every graph/executor that references it (the
+//     registry enforces this with shared_ptr aliasing; see
+//     serialize::MappedPackage and docs/ARCHITECTURE.md).
+//
+// Read access is the std::vector subset the runtime and tests already
+// use (data/size/empty/operator[]/iteration/operator==); there is no
+// mutable access — constants are immutable by construction, which is
+// also what makes sharing one mapping across executors race-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace micronas {
+
+template <typename T>
+class ConstView {
+ public:
+  using value_type = T;
+
+  ConstView() = default;
+
+  /// Owning mode. Implicit on purpose: every site that used to assign
+  /// a std::vector into the field keeps compiling unchanged.
+  ConstView(std::vector<T> data)  // NOLINT(google-explicit-constructor)
+      : owned_(std::move(data)), ptr_(owned_.data()), size_(owned_.size()), owns_(true) {}
+
+  /// Borrowed mode: view `size` elements at `data` without copying.
+  /// The caller guarantees the storage outlives the view.
+  static ConstView borrowed(const T* data, std::size_t size) {
+    ConstView v;
+    v.ptr_ = data;
+    v.size_ = size;
+    return v;
+  }
+
+  ConstView(const ConstView& o) { *this = o; }
+  ConstView& operator=(const ConstView& o) {
+    if (this == &o) return *this;
+    owned_ = o.owned_;
+    owns_ = o.owns_;
+    ptr_ = owns_ ? owned_.data() : o.ptr_;
+    size_ = o.size_;
+    return *this;
+  }
+  ConstView(ConstView&& o) noexcept { *this = std::move(o); }
+  ConstView& operator=(ConstView&& o) noexcept {
+    if (this == &o) return *this;
+    owns_ = o.owns_;
+    size_ = o.size_;
+    owned_ = std::move(o.owned_);
+    ptr_ = owns_ ? owned_.data() : o.ptr_;
+    o.owned_.clear();
+    o.ptr_ = nullptr;
+    o.size_ = 0;
+    o.owns_ = false;
+    return *this;
+  }
+
+  const T* data() const { return ptr_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return ptr_[i]; }
+  const T* begin() const { return ptr_; }
+  const T* end() const { return ptr_ + size_; }
+
+  /// True when this view points into external storage (an mmap) rather
+  /// than owning its elements — what the zero-copy tests assert.
+  bool is_borrowed() const { return !owns_ && ptr_ != nullptr; }
+
+  /// Element-wise equality regardless of ownership mode.
+  friend bool operator==(const ConstView& a, const ConstView& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.ptr_[i] == b.ptr_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<T> owned_;
+  const T* ptr_ = nullptr;
+  std::size_t size_ = 0;
+  bool owns_ = false;
+};
+
+}  // namespace micronas

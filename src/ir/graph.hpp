@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/const_view.hpp"
 #include "src/hw/quant.hpp"
 #include "src/tensor/tensor.hpp"
 
@@ -106,8 +107,12 @@ struct Node {
   QuantAttrs quant;
 
   // Constant payload; exactly one is populated, per type.dtype.
+  // i8_data is a ConstView so a mapped package (serialize::
+  // MappedPackage) can point weights straight into the file image —
+  // graphs built in memory keep owning their payloads through the
+  // implicit vector conversion.
   Tensor f32_data;
-  std::vector<std::int8_t> i8_data;
+  ConstView<std::int8_t> i8_data;
   std::vector<std::int32_t> i32_data;
 
   bool is_const() const { return op == OpKind::kConst; }

@@ -314,13 +314,14 @@ PackedWeights pack_weights_dot16(const std::int8_t* weight, int cout, int patch)
   pw.cout = cout;
   pw.patch = patch;
   const int patchp = pw.padded_patch();
-  pw.data.assign(static_cast<std::size_t>(cout) * patchp, 0);
+  std::vector<std::int16_t> panels(static_cast<std::size_t>(cout) * patchp, 0);
   for (int c = 0; c < cout; ++c) {
     const std::int8_t* src = weight + static_cast<std::ptrdiff_t>(c) * patch;
-    std::int16_t* dst = pw.data.data() + static_cast<std::ptrdiff_t>(c) * patchp;
+    std::int16_t* dst = panels.data() + static_cast<std::ptrdiff_t>(c) * patchp;
     for (int k = 0; k < patch; ++k) dst[k] = src[k];
     // K tail stays zero: multiplied against zeroed operand padding.
   }
+  pw.data = std::move(panels);
   return pw;
 }
 

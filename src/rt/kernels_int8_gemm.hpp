@@ -53,6 +53,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/const_view.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/rt/kernels_int8.hpp"
 
@@ -82,12 +83,14 @@ const char* weight_layout_name(WeightLayout layout);
 inline constexpr int kDotLanes = 32;
 
 /// One tensor's packed weights: `data` holds cout * padded_patch()
-/// int16s (canonical rows widened, K tail zeroed).
+/// int16s (canonical rows widened, K tail zeroed). A ConstView so a
+/// mapped package's PACK blobs run in place (zero repack AND zero
+/// copy); on-the-fly repacks own their panels as before.
 struct PackedWeights {
   WeightLayout layout = WeightLayout::kRowMajor;
   int cout = 0;   // output channels (conv) / out_features (linear)
   int patch = 0;  // K dimension (cin*k*k for conv, in_features for linear)
-  std::vector<std::int16_t> data;
+  ConstView<std::int16_t> data;
 
   bool empty() const { return data.empty(); }
   /// patch rounded up to the kDotLanes grid (int16s actually stored

@@ -1,12 +1,24 @@
 #include "src/serialize/serialize.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "src/common/rng.hpp"  // fnv1a64
 #include "src/rt/memory_planner.hpp"
+
+// MappedPackage's zero-copy backend. The non-POSIX fallback reads the
+// file into an owned buffer — consts still borrow (from the buffer),
+// only the page-cache sharing is lost.
+#if defined(__unix__) || defined(__APPLE__)
+#define MICRONAS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 // Writer provenance stamped into the META section. The definition is
 // scoped to this translation unit (CMake set_source_files_properties)
@@ -258,7 +270,14 @@ ir::TensorType read_type(ByteReader& r) {
   return ir::TensorType{Shape(std::move(dims)), static_cast<ir::DType>(dtype)};
 }
 
-ir::Graph read_graph(ByteReader& r, std::span<const std::byte> consts) {
+/// zero_copy: leave int8 const payloads as ConstView::borrowed
+/// pointers into `consts` instead of copying — only valid when the
+/// caller keeps the backing storage alive past the returned Graph
+/// (MappedPackage). i8 is endian-neutral so borrowing is always safe;
+/// f32/i32 payloads are decoded little-endian element-wise as before
+/// (they are a few KB of scales/biases — copying them costs nothing,
+/// and Tensor owns its storage anyway).
+ir::Graph read_graph(ByteReader& r, std::span<const std::byte> consts, bool zero_copy = false) {
   const std::size_t node_count = r.count(16);
   const int input = r.i32();
   const int output = r.i32();
@@ -338,8 +357,14 @@ ir::Graph read_graph(ByteReader& r, std::span<const std::byte> consts) {
           break;
         }
         case ir::DType::kI8: {
-          node.i8_data.resize(numel);
-          payload.raw(node.i8_data.data(), numel);
+          if (zero_copy) {
+            node.i8_data = ConstView<std::int8_t>::borrowed(
+                reinterpret_cast<const std::int8_t*>(consts.data() + offset), numel);
+          } else {
+            std::vector<std::int8_t> values(numel);
+            payload.raw(values.data(), numel);
+            node.i8_data = std::move(values);
+          }
           break;
         }
         case ir::DType::kI32: {
@@ -455,7 +480,7 @@ void weight_geometry(const ir::Graph& graph, const ir::Node& node, int* cout, in
 /// with an unknown layout tag is skipped (a newer writer's layout),
 /// and the caller repacks that node from the canonical weights.
 rt::PackedWeightSet read_pack(ByteReader& r, std::span<const std::byte> consts,
-                              const ir::Graph& graph) {
+                              const ir::Graph& graph, bool zero_copy = false) {
   rt::PackedWeightSet set;
   set.by_node.resize(static_cast<std::size_t>(graph.size()));
   const std::size_t count = r.count(29);  // i32 + u8 + 2*i32 + 2*u64 per entry
@@ -499,9 +524,24 @@ rt::PackedWeightSet read_pack(ByteReader& r, std::span<const std::byte> consts,
     if (!set.by_node[static_cast<std::size_t>(node_id)].empty()) {
       throw SerializeError("PACK: duplicate entry for node %" + std::to_string(node_id));
     }
-    ByteReader payload(consts.subspan(offset, size), "CNST");
-    pw.data.resize(static_cast<std::size_t>(size) / sizeof(std::int16_t));
-    payload.raw(pw.data.data(), static_cast<std::size_t>(size));
+    // The int16 panels are multi-byte little-endian data, so borrowing
+    // them in place needs a little-endian host AND an int16-aligned
+    // file offset (CNST blobs are 64B-aligned relative to file start
+    // and mmap is page-aligned, so this holds for every mapped
+    // package; the check keeps a hand-built misaligned span safe).
+    const std::byte* blob = consts.data() + offset;
+    const bool can_borrow = zero_copy && std::endian::native == std::endian::little &&
+                            reinterpret_cast<std::uintptr_t>(blob) % alignof(std::int16_t) == 0;
+    if (can_borrow) {
+      pw.data = ConstView<std::int16_t>::borrowed(reinterpret_cast<const std::int16_t*>(blob),
+                                                  static_cast<std::size_t>(size) /
+                                                      sizeof(std::int16_t));
+    } else {
+      ByteReader payload(consts.subspan(offset, size), "CNST");
+      std::vector<std::int16_t> panels(static_cast<std::size_t>(size) / sizeof(std::int16_t));
+      payload.raw(panels.data(), static_cast<std::size_t>(size));
+      pw.data = std::move(panels);
+    }
     set.by_node[static_cast<std::size_t>(node_id)] = std::move(pw);
   }
   if (!r.exhausted()) throw SerializeError("PACK: trailing bytes after entries");
@@ -677,13 +717,19 @@ std::uint64_t save_model(const compile::CompiledModel& model, const std::string&
   return bytes.size();
 }
 
-compile::CompiledModel load_model_bytes(std::span<const std::byte> bytes) {
+namespace {
+
+/// Shared loader core: load_model_bytes copies every payload
+/// (self-contained model); MappedPackage::map passes zero_copy=true so
+/// i8 consts and packed panels borrow from `bytes`, which the caller
+/// then must keep alive. Validation is identical either way.
+compile::CompiledModel load_model_image(std::span<const std::byte> bytes, bool zero_copy) {
   const std::vector<RawSection> sections = read_sections(bytes, nullptr);
 
   compile::CompiledModel model;
   {
     ByteReader r(require_section(sections, kTagGraph), "GRPH");
-    model.graph = read_graph(r, require_section(sections, kTagConst));
+    model.graph = read_graph(r, require_section(sections, kTagConst), zero_copy);
   }
   {
     ByteReader r(require_section(sections, kTagPlan), "PLAN");
@@ -726,7 +772,7 @@ compile::CompiledModel load_model_bytes(std::span<const std::byte> bytes) {
   // reader doesn't know) simply lack usable entries.
   if (const RawSection* pack = find_section(sections, kTagPack)) {
     ByteReader r(pack->payload, "PACK");
-    model.packed = read_pack(r, require_section(sections, kTagConst), model.graph);
+    model.packed = read_pack(r, require_section(sections, kTagConst), model.graph, zero_copy);
   } else {
     model.packed.by_node.resize(static_cast<std::size_t>(model.graph.size()));
   }
@@ -747,8 +793,6 @@ compile::CompiledModel load_model_bytes(std::span<const std::byte> bytes) {
   return model;
 }
 
-namespace {
-
 std::vector<std::byte> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in.good()) throw SerializeError("cannot open " + path);
@@ -762,9 +806,68 @@ std::vector<std::byte> read_file(const std::string& path) {
 
 }  // namespace
 
+compile::CompiledModel load_model_bytes(std::span<const std::byte> bytes) {
+  return load_model_image(bytes, /*zero_copy=*/false);
+}
+
 compile::CompiledModel load_model(const std::string& path) {
   const std::vector<std::byte> bytes = read_file(path);
   return load_model_bytes(bytes);
+}
+
+// ------------------------------------------------------ MappedPackage
+
+std::shared_ptr<const MappedPackage> MappedPackage::map(const std::string& path) {
+  // shared_ptr wraps the raw `new` because the ctor is private; if
+  // validation below throws, the destructor runs and unmaps.
+  std::shared_ptr<MappedPackage> pkg(new MappedPackage());
+  pkg->path_ = path;
+#ifdef MICRONAS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw SerializeError("cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    throw SerializeError("cannot stat " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file referenced
+  if (addr == MAP_FAILED) throw SerializeError("mmap failed for " + path);
+  pkg->map_addr_ = addr;
+  pkg->base_ = static_cast<const std::byte*>(addr);
+  pkg->size_ = size;
+#else
+  pkg->fallback_ = read_file(path);
+  pkg->base_ = pkg->fallback_.data();
+  pkg->size_ = pkg->fallback_.size();
+#endif
+  const std::span<const std::byte> bytes(pkg->base_, static_cast<std::size_t>(pkg->size_));
+  // Full fail-closed validation against the mapping. The header's
+  // declared file size is checked against the actual mapping length
+  // FIRST (read_sections), so a truncated file is rejected before any
+  // payload byte is dereferenced — no SIGBUS window at load time.
+  pkg->model_ = load_model_image(bytes, /*zero_copy=*/true);
+  pkg->arch_ = pkg->model_.report.arch;
+  {
+    ByteReader r(bytes.subspan(kChecksumOffset, 8), "header");
+    pkg->checksum_ = r.u64();
+  }
+  std::uint64_t in_place = 0;
+  for (const ir::Node& node : pkg->model_.graph.nodes()) {
+    if (node.i8_data.is_borrowed()) in_place += node.i8_data.size();
+  }
+  for (const rt::PackedWeights& pw : pkg->model_.packed.by_node) {
+    if (pw.data.is_borrowed()) in_place += pw.data.size() * sizeof(std::int16_t);
+  }
+  pkg->zero_copy_bytes_ = in_place;
+  return pkg;
+}
+
+MappedPackage::~MappedPackage() {
+#ifdef MICRONAS_HAVE_MMAP
+  if (map_addr_ != nullptr) ::munmap(map_addr_, static_cast<std::size_t>(size_));
+#endif
 }
 
 PackageInfo read_package_info(std::span<const std::byte> bytes) {

@@ -42,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -88,6 +89,68 @@ compile::CompiledModel load_model_bytes(std::span<const std::byte> bytes);
 
 /// Load from `path`; throws SerializeError on I/O failure or corruption.
 compile::CompiledModel load_model(const std::string& path);
+
+/// A .mnpkg mapped read-only into the address space, validated, with
+/// the CompiledModel rebuilt IN PLACE: int8 const payloads and packed
+/// GEMM panels are ConstView::borrowed pointers into the mapping
+/// (zero-copy weights — this is what the CNST section's 64-byte
+/// file-relative alignment exists for), while the graph structure,
+/// plan and report are reconstructed through exactly the same
+/// fail-closed validation as load_model (header/section checksums,
+/// attr range checks, Graph::from_nodes re-inference, rt::check_plan).
+/// A corrupted or truncated file throws SerializeError at map() time —
+/// the declared-file-size check runs against the actual mapping length
+/// before any payload is dereferenced, so truncation can never SIGBUS.
+///
+/// Lifetime contract: model() borrows the mapping, so the
+/// MappedPackage must outlive every Graph/Executor that references the
+/// model. map() returns a shared_ptr precisely so callers (the serve
+/// registry) can alias model handles to the package's lifetime; the
+/// destructor unmaps. Instances are immutable after map() — sharing
+/// one across threads is race-free.
+class MappedPackage {
+ public:
+  static std::shared_ptr<const MappedPackage> map(const std::string& path);
+  ~MappedPackage();
+
+  MappedPackage(const MappedPackage&) = delete;
+  MappedPackage& operator=(const MappedPackage&) = delete;
+
+  const compile::CompiledModel& model() const { return model_; }
+  const std::string& path() const { return path_; }
+  std::uint64_t file_bytes() const { return size_; }
+  /// The package header's whole-file fnv1a64 — the content identity a
+  /// registry keys on (two byte-identical files share it).
+  std::uint64_t content_checksum() const { return checksum_; }
+  /// Canonical genotype string from META (registry key half two).
+  const std::string& arch() const { return arch_; }
+  /// True when `p` points inside the mapped file image — what the
+  /// zero-copy tests assert about every borrowed const.
+  bool contains(const void* p) const {
+    const auto* b = static_cast<const std::byte*>(p);
+    return b >= base_ && b < base_ + size_;
+  }
+  /// Bytes the model references in place instead of copying (i8 consts
+  /// + packed panels). On a non-POSIX or big-endian fallback some or
+  /// all payloads are copied and this shrinks accordingly.
+  std::uint64_t zero_copy_bytes() const { return zero_copy_bytes_; }
+  /// False when the platform fallback read the file into an owned
+  /// buffer instead of mmap (consts still point into that buffer).
+  bool is_mmap() const { return map_addr_ != nullptr; }
+
+ private:
+  MappedPackage() = default;
+
+  compile::CompiledModel model_;
+  std::string path_;
+  std::string arch_;
+  const std::byte* base_ = nullptr;
+  std::uint64_t size_ = 0;
+  std::uint64_t checksum_ = 0;
+  std::uint64_t zero_copy_bytes_ = 0;
+  void* map_addr_ = nullptr;  // munmap handle (null on fallback)
+  std::vector<std::byte> fallback_;  // owned image when mmap is unavailable
+};
 
 /// Header/section-table/META inspection without reconstructing the
 /// graph (still checksum-verifies the META section it reads).

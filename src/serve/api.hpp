@@ -1,0 +1,85 @@
+// The typed serving API surface: one request/response shape and one
+// error taxonomy, shared by ModelServer (single model) and
+// MultiModelServer (registry-routed).
+//
+// History: submit() grew by overload — submit(x), then
+// submit(x, deadline_us) — and the next axis (which model?) would have
+// doubled the set again. serve::Request names every axis instead, so
+// new ones are an aggregate field, not an overload; serve::Response
+// carries the logits plus the per-request timing the old Tensor future
+// silently discarded. The legacy overloads survive as thin deprecated
+// wrappers over the typed call (see model_server.hpp) so existing
+// clients and tests compile unchanged.
+//
+// Errors form one taxonomy rooted at ServeError (itself a
+// std::runtime_error, so pre-taxonomy clients that caught
+// runtime_error still work): clients that want "anything the serving
+// layer refused" catch ServeError; the concrete types say why.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "src/tensor/tensor.hpp"
+
+namespace micronas::serve {
+
+/// Root of the serving error taxonomy. Every refusal the serving layer
+/// itself originates (admission, deadlines, routing) derives from this
+/// one type; executor errors (bad input shape, runtime failures)
+/// propagate unwrapped, because they are the model's verdict, not the
+/// server's.
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// submit() refused the request because the bounded queue
+/// (ServerOptions::max_queue) is at capacity. Thrown synchronously —
+/// the caller never got a future, and the request counts as rejected.
+class QueueFullError : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// The request's deadline expired before the dispatcher placed it in a
+/// batch. The request's future rethrows this, and the request counts
+/// as dropped.
+class DeadlineExpiredError : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// The request named a model key the registry/router has not loaded
+/// (or has evicted). Thrown synchronously by MultiModelServer::submit
+/// and ModelRegistry::get.
+class UnknownModelError : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// One inference request, every axis named. Extend by adding fields —
+/// never by adding submit() overloads.
+struct Request {
+  Tensor input;
+  /// Deadline measured from submit(), in microseconds. nullopt defers
+  /// to ServerOptions::deadline_us; values <= 0 are already expired (a
+  /// guaranteed drop — tests use this for deterministic coverage).
+  std::optional<long long> deadline_us;
+  /// Which model serves this request. Ignored by a single-model
+  /// ModelServer; required routing key for MultiModelServer.
+  std::string model_key;
+};
+
+/// What the future resolves to: logits plus the per-request timing the
+/// server already measured for its own telemetry.
+struct Response {
+  Tensor logits;
+  std::string model_key;      // echo of Request::model_key
+  double queue_ms = 0.0;      // enqueue -> batch dispatch
+  double total_ms = 0.0;      // enqueue -> logits ready
+  int batch_size = 0;         // how many requests shared the invocation
+};
+
+}  // namespace micronas::serve

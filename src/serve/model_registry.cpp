@@ -1,0 +1,89 @@
+#include "src/serve/model_registry.hpp"
+
+#include <cstdio>
+
+namespace micronas::serve {
+
+ModelRegistry::ModelRegistry() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  metric_loaded_ = &registry.counter("serve.models_loaded");
+  metric_hits_ = &registry.counter("serve.registry_hits");
+  metric_resident_ = &registry.gauge("serve.models_resident");
+}
+
+std::string ModelRegistry::key_of(const serialize::MappedPackage& package) {
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(package.content_checksum()));
+  return package.arch() + "@" + hex;
+}
+
+ModelRegistry::Entry ModelRegistry::load(const std::string& path) {
+  // Map + validate OUTSIDE the lock: checksumming a large package must
+  // not serialize every other registry call behind it. A corrupt file
+  // throws here and never reaches the table.
+  std::shared_ptr<const serialize::MappedPackage> package = serialize::MappedPackage::map(path);
+  const std::string key = key_of(*package);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Dedup hit: this load's transient mapping is dropped (package
+    // releases on return) and the caller shares the FIRST load's
+    // mapping + model — one copy of the weights, however often the
+    // file is loaded.
+    metric_hits_->add();
+    return it->second;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.package = package;
+  // Aliasing ctor: the model handle shares the package's control
+  // block, so `model` alone keeps the mapping (and the borrowed
+  // weights inside it) alive.
+  entry.model = std::shared_ptr<const compile::CompiledModel>(package, &package->model());
+  it = entries_.emplace(key, std::move(entry)).first;
+  metric_loaded_->add();
+  metric_resident_->set(static_cast<double>(entries_.size()));
+  return it->second;
+}
+
+ModelRegistry::Entry ModelRegistry::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw UnknownModelError("ModelRegistry: unknown model key '" + key + "'");
+  }
+  return it->second;
+}
+
+bool ModelRegistry::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(key) != entries_.end();
+}
+
+bool ModelRegistry::evict(const std::string& key) {
+  Entry evicted;  // destroyed after the lock releases
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  evicted = std::move(it->second);
+  entries_.erase(it);
+  metric_resident_->set(static_cast<double>(entries_.size()));
+  return true;
+}
+
+std::vector<std::string> ModelRegistry::keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace micronas::serve

@@ -38,7 +38,12 @@ std::string ServerStats::to_string() const {
 }
 
 ModelServer::ModelServer(compile::CompiledModel model, ServerOptions options)
+    : ModelServer(std::make_shared<const compile::CompiledModel>(std::move(model)), options) {}
+
+ModelServer::ModelServer(std::shared_ptr<const compile::CompiledModel> model,
+                         ServerOptions options)
     : model_(std::move(model)), options_(options) {
+  if (!model_) throw std::invalid_argument("ModelServer: null model");
   obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
   metric_accepted_ = &registry.counter("serve.accepted");
   metric_rejected_ = &registry.counter("serve.rejected");
@@ -58,8 +63,8 @@ ModelServer::ModelServer(compile::CompiledModel model, ServerOptions options)
     for (int i = 0; i < options_.max_batch; ++i) {
       // The model's package-built packed weights flow into every lane:
       // the server never repacks, no matter how many executors it runs.
-      lanes_.push_back(std::make_unique<rt::Executor>(model_.graph, model_.plan,
-                                                      rt::ExecOptions{1, &model_.packed}));
+      lanes_.push_back(std::make_unique<rt::Executor>(model_->graph, model_->plan,
+                                                      rt::ExecOptions{1, &model_->packed}));
     }
     if (options_.max_batch > 1) pool_ = std::make_unique<ThreadPool>(options_.threads);
   } else {
@@ -67,30 +72,47 @@ ModelServer::ModelServer(compile::CompiledModel model, ServerOptions options)
     // max_batch — the arena holds max_batch samples of every value and
     // a coalesced batch is a single run_batch call.
     batched_ = std::make_unique<rt::BatchedExecutor>(
-        model_.graph, model_.plan_for_batch(options_.max_batch), options_.max_batch,
-        rt::ExecOptions{options_.threads, &model_.packed});
+        model_->graph, model_->plan_for_batch(options_.max_batch), options_.max_batch,
+        rt::ExecOptions{options_.threads, &model_->packed});
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
 ModelServer::~ModelServer() { stop(); }
 
+std::future<Response> ModelServer::submit(Request request) {
+  Pending pending;
+  pending.input = std::move(request.input);
+  pending.model_key = std::move(request.model_key);
+  pending.typed = true;
+  std::future<Response> result = pending.response_promise.get_future();
+  // An explicit deadline (even <= 0: already expired) always binds;
+  // nullopt defers to the server-wide default.
+  const bool has_deadline = request.deadline_us.has_value() || options_.deadline_us > 0;
+  enqueue(std::move(pending), has_deadline, request.deadline_us.value_or(options_.deadline_us));
+  return result;
+}
+
 std::future<Tensor> ModelServer::submit(Tensor input) {
-  return submit_internal(std::move(input), options_.deadline_us > 0, options_.deadline_us);
+  Pending pending;
+  pending.input = std::move(input);
+  std::future<Tensor> result = pending.tensor_promise.get_future();
+  enqueue(std::move(pending), options_.deadline_us > 0, options_.deadline_us);
+  return result;
 }
 
 std::future<Tensor> ModelServer::submit(Tensor input, long long deadline_us) {
-  return submit_internal(std::move(input), true, deadline_us);
+  Pending pending;
+  pending.input = std::move(input);
+  std::future<Tensor> result = pending.tensor_promise.get_future();
+  enqueue(std::move(pending), true, deadline_us);
+  return result;
 }
 
-std::future<Tensor> ModelServer::submit_internal(Tensor input, bool has_deadline,
-                                                 long long deadline_us) {
-  Request req;
-  req.input = std::move(input);
-  req.enqueued = std::chrono::steady_clock::now();
-  req.deadline = has_deadline ? req.enqueued + std::chrono::microseconds(deadline_us)
-                              : std::chrono::steady_clock::time_point::max();
-  std::future<Tensor> result = req.promise.get_future();
+void ModelServer::enqueue(Pending pending, bool has_deadline, long long deadline_us) {
+  pending.enqueued = std::chrono::steady_clock::now();
+  pending.deadline = has_deadline ? pending.enqueued + std::chrono::microseconds(deadline_us)
+                                  : std::chrono::steady_clock::time_point::max();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) throw std::runtime_error("ModelServer::submit: server is stopped");
@@ -104,12 +126,11 @@ std::future<Tensor> ModelServer::submit_internal(Tensor input, bool has_deadline
     metric_accepted_->add();
     if (!saw_first_) {
       saw_first_ = true;
-      first_enqueue_ = req.enqueued;
+      first_enqueue_ = pending.enqueued;
     }
-    queue_.push_back(std::move(req));
+    queue_.push_back(std::move(pending));
   }
   wake_.notify_all();
-  return result;
 }
 
 void ModelServer::stop() {
@@ -141,7 +162,7 @@ void ModelServer::stop() {
   }
 }
 
-void ModelServer::drop_expired_locked(std::vector<Request>& dropped) {
+void ModelServer::drop_expired_locked(std::vector<Pending>& dropped) {
   const auto now = std::chrono::steady_clock::now();
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->deadline <= now) {
@@ -157,8 +178,8 @@ void ModelServer::drop_expired_locked(std::vector<Request>& dropped) {
 
 void ModelServer::dispatcher_loop() {
   for (;;) {
-    std::vector<Request> batch;
-    std::vector<Request> dropped;
+    std::vector<Pending> batch;
+    std::vector<Pending> dropped;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -194,24 +215,26 @@ void ModelServer::dispatcher_loop() {
     }
     // Promises resolve outside the lock; dropped_ was already counted,
     // so a client that observed the error also observes the counter.
-    for (Request& req : dropped) {
-      req.promise.set_exception(std::make_exception_ptr(DeadlineExpiredError(
+    for (Pending& req : dropped) {
+      req.fail(std::make_exception_ptr(DeadlineExpiredError(
           "ModelServer: request deadline expired before a batch picked it up")));
     }
     if (!batch.empty()) run_batch(batch);
   }
 }
 
-void ModelServer::run_batch(std::vector<Request>& batch) {
+void ModelServer::run_batch(std::vector<Pending>& batch) {
   obs::Span span("serve.batch");
   span.tag("requests", static_cast<long long>(batch.size()));
+  // Dispatch timestamp: the queue_ms / total_ms split in Response.
+  const auto dispatched = std::chrono::steady_clock::now();
   std::vector<Tensor> results(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
   if (batched_) {
     // ONE executor invocation for the whole coalesced batch. Requests
     // with a bad input shape fail individually (their future rethrows)
     // without poisoning the batch for everyone else.
-    const ir::Node& in_node = model_.graph.node(model_.graph.input());
+    const ir::Node& in_node = model_->graph.node(model_->graph.input());
     std::vector<const Tensor*> good;
     std::vector<std::size_t> slot;  // good index -> batch index
     good.reserve(batch.size());
@@ -264,7 +287,7 @@ void ModelServer::run_batch(std::vector<Request>& batch) {
     completed_ += static_cast<long long>(batch.size());
     metric_completed_->add(batch.size());
     last_done_ = done;
-    for (const Request& req : batch) {
+    for (const Pending& req : batch) {
       const double ms = std::chrono::duration<double, std::milli>(done - req.enqueued).count();
       metric_latency_ms_->observe(ms);
       if (latency_ms_.size() < kLatencySampleCap) {
@@ -277,9 +300,18 @@ void ModelServer::run_batch(std::vector<Request>& batch) {
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (errors[i]) {
-      batch[i].promise.set_exception(errors[i]);
+      batch[i].fail(errors[i]);
+    } else if (batch[i].typed) {
+      Response resp;
+      resp.logits = std::move(results[i]);
+      resp.model_key = std::move(batch[i].model_key);
+      resp.queue_ms =
+          std::chrono::duration<double, std::milli>(dispatched - batch[i].enqueued).count();
+      resp.total_ms = std::chrono::duration<double, std::milli>(done - batch[i].enqueued).count();
+      resp.batch_size = static_cast<int>(batch.size());
+      batch[i].response_promise.set_value(std::move(resp));
     } else {
-      batch[i].promise.set_value(std::move(results[i]));
+      batch[i].tensor_promise.set_value(std::move(results[i]));
     }
   }
 }

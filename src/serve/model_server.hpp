@@ -2,8 +2,12 @@
 // deploy-once/serve-many half of the ROADMAP's "heavy traffic" North
 // star, fed by src/serialize/'s persistent model packages.
 //
-// A ModelServer owns one loaded CompiledModel, a request queue and a
-// dispatcher thread. Clients submit single inputs and get a future;
+// A ModelServer serves one immutable CompiledModel (shared_ptr —
+// typically a registry entry aliased to its mapped package) through a
+// request queue and a dispatcher thread. Clients submit a typed
+// serve::Request and get a std::future<serve::Response> (logits +
+// per-request timing; the legacy Tensor-future overloads remain as
+// deprecated wrappers — see api.hpp for the taxonomy rationale);
 // the dispatcher coalesces up to `max_batch` queued requests (waiting
 // at most `max_wait_us` after the first one arrived) and dispatches
 // the whole batch as ONE rt::BatchedExecutor::run_batch invocation —
@@ -45,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -52,24 +57,9 @@
 #include "src/compile/compiler.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/rt/runtime.hpp"
+#include "src/serve/api.hpp"
 
 namespace micronas::serve {
-
-/// submit() refused the request because the bounded queue
-/// (ServerOptions::max_queue) is at capacity. Thrown synchronously —
-/// the caller never got a future, and the request counts as rejected.
-class QueueFullError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// The request's deadline expired before the dispatcher placed it in a
-/// batch. The request's future rethrows this, and the request counts
-/// as dropped.
-class DeadlineExpiredError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 struct ServerOptions {
   /// Most requests coalesced into one batched executor invocation
@@ -115,24 +105,41 @@ struct ServerStats {
 
 class ModelServer {
  public:
-  /// Takes ownership of the model (typically fresh from
-  /// serialize::load_model) and starts the dispatcher.
+  /// Shares an immutable model (a registry entry, or a mapped
+  /// package's aliased handle — the shared_ptr is what keeps a
+  /// serialize::MappedPackage's mapping alive for as long as this
+  /// server might touch its weights) and starts the dispatcher.
+  ModelServer(std::shared_ptr<const compile::CompiledModel> model, ServerOptions options = {});
+
+  /// Takes ownership of a model by value (typically fresh from
+  /// serialize::load_model or compile_genotype) and starts the
+  /// dispatcher.
   ModelServer(compile::CompiledModel model, ServerOptions options = {});
+
   ~ModelServer();
 
   ModelServer(const ModelServer&) = delete;
   ModelServer& operator=(const ModelServer&) = delete;
 
-  /// Enqueue one input (must match the model's input shape). The
-  /// future yields the logits, or rethrows the executor's error (or
-  /// DeadlineExpiredError). Throws QueueFullError when the bounded
+  /// The typed API: enqueue one Request (input must match the model's
+  /// input shape). The future yields a Response (logits + per-request
+  /// timing), or rethrows the executor's error or
+  /// DeadlineExpiredError. Throws QueueFullError when the bounded
   /// queue is full and std::runtime_error after stop().
+  /// Request::model_key is echoed into the Response; a single-model
+  /// server does not route on it (MultiModelServer does).
+  std::future<Response> submit(Request request);
+
+  /// Deprecated: legacy overload, equivalent to
+  /// submit(Request{input, nullopt, ""}) with the Response reduced to
+  /// its logits. Prefer the typed submit(Request).
   std::future<Tensor> submit(Tensor input);
 
-  /// submit() with an explicit per-request deadline of now +
-  /// deadline_us (overriding ServerOptions::deadline_us; zero or
-  /// negative values are already expired — a guaranteed drop, which
-  /// tests use for deterministic drop coverage).
+  /// Deprecated: legacy overload, equivalent to submit(Request{input,
+  /// deadline_us, ""}) with the Response reduced to its logits (zero
+  /// or negative deadlines are already expired — a guaranteed drop,
+  /// which tests use for deterministic drop coverage). Prefer the
+  /// typed submit(Request).
   std::future<Tensor> submit(Tensor input, long long deadline_us);
 
   /// Blocking convenience wrapper around submit().
@@ -150,26 +157,43 @@ class ModelServer {
 
   ServerStats stats() const;
 
-  const compile::CompiledModel& model() const { return model_; }
+  const compile::CompiledModel& model() const { return *model_; }
+  /// The shared handle itself — what a router passes between lanes
+  /// without re-loading (keeps any backing mapping alive with it).
+  const std::shared_ptr<const compile::CompiledModel>& model_ptr() const { return model_; }
 
  private:
-  struct Request {
+  /// A queued request: the union of both submit surfaces. Exactly one
+  /// promise is live, per `typed`; resolve()/fail() pick it.
+  struct Pending {
     Tensor input;
-    std::promise<Tensor> promise;
+    std::string model_key;
+    bool typed = false;                   // which promise to resolve
+    std::promise<Response> response_promise;
+    std::promise<Tensor> tensor_promise;
     std::chrono::steady_clock::time_point enqueued;
     // time_point::max() = no deadline.
     std::chrono::steady_clock::time_point deadline;
+
+    void fail(std::exception_ptr error) {
+      if (typed) {
+        response_promise.set_exception(std::move(error));
+      } else {
+        tensor_promise.set_exception(std::move(error));
+      }
+    }
   };
 
-  std::future<Tensor> submit_internal(Tensor input, bool has_deadline, long long deadline_us);
+  /// Admission control + enqueue, shared by every submit surface.
+  void enqueue(Pending pending, bool has_deadline, long long deadline_us);
   void dispatcher_loop();
-  void run_batch(std::vector<Request>& batch);
+  void run_batch(std::vector<Pending>& batch);
   /// Move deadline-expired requests out of queue_ into `dropped`,
   /// bumping dropped_. Caller must hold mutex_ and resolve the
   /// promises after unlocking.
-  void drop_expired_locked(std::vector<Request>& dropped);
+  void drop_expired_locked(std::vector<Pending>& dropped);
 
-  compile::CompiledModel model_;
+  std::shared_ptr<const compile::CompiledModel> model_;
   ServerOptions options_;
   /// One-invocation path: the graph compiled at batch capacity
   /// max_batch (arena planned via CompiledModel::plan_for_batch).
@@ -181,7 +205,7 @@ class ModelServer {
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<Request> queue_;
+  std::deque<Pending> queue_;
   bool stopping_ = false;
   bool dispatcher_done_ = false;  // set by the stop() that joined
 

@@ -1,0 +1,234 @@
+// ModelRegistry + MappedPackage: the zero-copy contract, proven on
+// pointers.
+//
+//   * a mapped package's int8 weights point INTO the mapping
+//     (package->contains() on the actual node data pointers), not at
+//     copies;
+//   * two registry loads of the same .mnpkg share ONE mapping and ONE
+//     immutable CompiledModel (pointer identity, registry_hits metric);
+//   * registry-served logits are bit-identical to a serial Executor
+//     over a copy-loaded model;
+//   * eviction drops the table entry while outstanding model handles
+//     keep the mapping alive (run-after-evict still works);
+//   * concurrent load/get/evict is data-race-free (this test runs
+//     under the TSan CI lane).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/data/synthetic.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/rt/runtime.hpp"
+#include "src/serialize/serialize.hpp"
+#include "src/serve/model_registry.hpp"
+
+namespace micronas {
+namespace {
+
+compile::CompiledModel compile_small(const std::string& arch, std::uint64_t seed) {
+  compile::CompilerOptions options;
+  options.macro.cells_per_stage = 1;
+  options.macro.input_size = 8;
+  options.seed = seed;
+  return compile::compile_genotype(nb201::Genotype::from_string(arch), options);
+}
+
+constexpr const char* kArchA =
+    "|nor_conv_3x3~0|+|skip_connect~0|nor_conv_1x1~1|+|avg_pool_3x3~0|none~1|nor_conv_3x3~2|";
+constexpr const char* kArchB =
+    "|avg_pool_3x3~0|+|nor_conv_1x1~0|skip_connect~1|+|nor_conv_3x3~0|skip_connect~1|"
+    "nor_conv_1x1~2|";
+
+/// Save a freshly compiled model under a unique temp path.
+std::string save_package(const std::string& arch, std::uint64_t seed, const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  serialize::save_model(compile_small(arch, seed), path);
+  return path;
+}
+
+Tensor sample_input(std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.height = spec.width = 8;
+  Rng rng(seed);
+  SyntheticDataset data(spec, rng);
+  return data.sample_batch(1, rng).images;
+}
+
+TEST(MappedPackage, WeightsPointIntoTheMapping) {
+  const std::string path = save_package(kArchA, 3, "registry_zero_copy.mnpkg");
+  const std::shared_ptr<const serialize::MappedPackage> pkg = serialize::MappedPackage::map(path);
+  std::remove(path.c_str());
+
+  // Every int8 constant's storage must live inside the mapped file —
+  // borrowed views, not copies. (f32/i32 attrs stay owned: they are
+  // tiny and endian-sensitive.)
+  std::size_t borrowed_nodes = 0;
+  const ir::Graph& graph = pkg->model().graph;
+  for (int id = 0; id < graph.size(); ++id) {
+    const ir::Node& node = graph.node(id);
+    if (node.i8_data.empty()) continue;
+    EXPECT_TRUE(node.i8_data.is_borrowed()) << "node " << id << " copied its weights";
+    EXPECT_TRUE(pkg->contains(node.i8_data.data()))
+        << "node " << id << " weights outside the mapping";
+    EXPECT_TRUE(pkg->contains(node.i8_data.data() + node.i8_data.size() - 1))
+        << "node " << id << " weights overrun the mapping";
+    ++borrowed_nodes;
+  }
+  EXPECT_GT(borrowed_nodes, 0u);
+  EXPECT_GT(pkg->zero_copy_bytes(), 0u);
+
+  // Pre-packed GEMM panels ride the mapping too (little-endian hosts).
+  for (const rt::PackedWeights& packed : pkg->model().packed.by_node) {
+    if (packed.data.empty()) continue;
+    if (packed.data.is_borrowed()) {
+      EXPECT_TRUE(pkg->contains(packed.data.data())) << "packed panels outside the mapping";
+    }
+  }
+}
+
+TEST(ModelRegistry, TwoLoadsShareOneMappingAndOneModel) {
+  const std::string path = save_package(kArchA, 3, "registry_dedup.mnpkg");
+  obs::Counter& hits = obs::MetricsRegistry::instance().counter("serve.registry_hits");
+  obs::Counter& loads = obs::MetricsRegistry::instance().counter("serve.models_loaded");
+  const double hits0 = hits.value();
+  const double loads0 = loads.value();
+
+  serve::ModelRegistry registry;
+  const serve::ModelRegistry::Entry a = registry.load(path);
+  const serve::ModelRegistry::Entry b = registry.load(path);
+  std::remove(path.c_str());
+
+  // One mapping, one model, however often the file is loaded.
+  EXPECT_EQ(a.package.get(), b.package.get());
+  EXPECT_EQ(a.model.get(), b.model.get());
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(loads.value() - loads0, 1.0);
+  EXPECT_EQ(hits.value() - hits0, 1.0);
+
+  // The second handle's weights point into the FIRST load's mapping.
+  const ir::Graph& graph = b.model->graph;
+  for (int id = 0; id < graph.size(); ++id) {
+    const ir::Node& node = graph.node(id);
+    if (node.i8_data.empty()) continue;
+    EXPECT_TRUE(a.package->contains(node.i8_data.data()));
+  }
+}
+
+TEST(ModelRegistry, DistinctPackagesGetDistinctKeys) {
+  const std::string path_a = save_package(kArchA, 3, "registry_key_a.mnpkg");
+  const std::string path_b = save_package(kArchB, 4, "registry_key_b.mnpkg");
+  serve::ModelRegistry registry;
+  const std::string key_a = registry.load(path_a).key;
+  const std::string key_b = registry.load(path_b).key;
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  EXPECT_NE(key_a, key_b);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.contains(key_a));
+  EXPECT_TRUE(registry.contains(key_b));
+  // The key is content-addressed: arch string + content hash.
+  EXPECT_NE(key_a.find(kArchA), std::string::npos);
+  EXPECT_NE(key_a.find('@'), std::string::npos);
+}
+
+TEST(ModelRegistry, RegistryModelRunsBitIdenticalToCopiedLoad) {
+  const std::string path = save_package(kArchA, 3, "registry_bits.mnpkg");
+  const compile::CompiledModel copied = serialize::load_model(path);
+
+  serve::ModelRegistry registry;
+  const serve::ModelRegistry::Entry entry = registry.load(path);
+  std::remove(path.c_str());
+
+  rt::Executor mapped_exec(entry.model->graph, entry.model->plan,
+                           rt::ExecOptions{1, &entry.model->packed});
+  rt::Executor copied_exec(copied.graph, copied.plan, rt::ExecOptions{1, &copied.packed});
+  for (int i = 0; i < 4; ++i) {
+    const Tensor input = sample_input(100 + static_cast<std::uint64_t>(i));
+    const Tensor a = mapped_exec.run(input);
+    const Tensor b = copied_exec.run(input);
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::size_t k = 0; k < a.numel(); ++k) {
+      ASSERT_EQ(a[k], b[k]) << "input " << i << " logit " << k;
+    }
+  }
+}
+
+TEST(ModelRegistry, EvictionDropsEntryButHandlesKeepTheMappingAlive) {
+  const std::string path = save_package(kArchA, 3, "registry_evict.mnpkg");
+  serve::ModelRegistry registry;
+  const serve::ModelRegistry::Entry entry = registry.load(path);
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(registry.contains(entry.key));
+  EXPECT_TRUE(registry.evict(entry.key));
+  EXPECT_FALSE(registry.contains(entry.key));
+  EXPECT_FALSE(registry.evict(entry.key)) << "double evict must report absent";
+  EXPECT_THROW(registry.get(entry.key), serve::UnknownModelError);
+  EXPECT_EQ(registry.size(), 0u);
+
+  // The outstanding handle still pins the mapping: running the model
+  // after eviction reads the mapped weights safely.
+  rt::Executor exec(entry.model->graph, entry.model->plan,
+                    rt::ExecOptions{1, &entry.model->packed});
+  EXPECT_GT(exec.run(sample_input(7)).numel(), 0u);
+}
+
+TEST(ModelRegistry, ConcurrentLoadGetEvictIsRaceFree) {
+  const std::string path_a = save_package(kArchA, 3, "registry_race_a.mnpkg");
+  const std::string path_b = save_package(kArchB, 4, "registry_race_b.mnpkg");
+  serve::ModelRegistry registry;
+  const std::string key_a = registry.load(path_a).key;
+  const std::string key_b = registry.load(path_b).key;
+
+  // Loaders re-load both files, readers hammer get()/contains()/keys(),
+  // one evictor keeps deleting + re-loading package B. Every model
+  // handle that comes back must stay runnable regardless of eviction
+  // timing — the registry's shared_ptr graph is the only lifetime
+  // authority.
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const serve::ModelRegistry::Entry a = registry.load(path_a);
+        const serve::ModelRegistry::Entry b = registry.load(path_b);
+        if (a.model->graph.size() <= 0 || b.model->graph.size() <= 0) ++failures;
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!registry.contains(key_a)) continue;
+      try {
+        const serve::ModelRegistry::Entry e = registry.get(key_a);
+        if (e.key != key_a) ++failures;
+      } catch (const serve::UnknownModelError&) {
+        // a concurrent evictor won the race: acceptable, not a failure
+      }
+      (void)registry.keys();
+      (void)registry.size();
+    }
+  });
+  workers.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      registry.evict(key_b);
+      const serve::ModelRegistry::Entry e = registry.load(path_b);
+      rt::Executor exec(e.model->graph, e.model->plan, rt::ExecOptions{1, &e.model->packed});
+      if (exec.run(sample_input(7)).numel() == 0) ++failures;
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  for (std::thread& w : workers) w.join();
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(registry.contains(key_b));
+}
+
+}  // namespace
+}  // namespace micronas

@@ -196,6 +196,92 @@ TEST(Serialize, RejectsGarbageAndEmptyInput) {
   EXPECT_THROW(serialize::load_model("/nonexistent/path/model.mnpkg"), SerializeError);
 }
 
+// ------------------------------------------------- mmap-backed loading
+//
+// MappedPackage::map shares every fail-closed gate with the copying
+// loader (same load_model_image core), but the payload is a live file
+// mapping, so the corpora must ALSO hold through the mmap path: a
+// truncated or corrupted file throws SerializeError at map() time —
+// the declared-size check runs against the actual mapping length
+// before any payload byte is dereferenced, so a short file can never
+// SIGBUS.
+
+void write_file_bytes(const std::string& path, std::span<const std::byte> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Serialize, MappedLoadMatchesCopiedLoad) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::string path = ::testing::TempDir() + "micronas_mapped.mnpkg";
+  serialize::save_model(model, path);
+
+  const std::shared_ptr<const serialize::MappedPackage> pkg = serialize::MappedPackage::map(path);
+  const compile::CompiledModel copied = serialize::load_model(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(pkg->model().graph.size(), copied.graph.size());
+  EXPECT_EQ(pkg->model().plan.arena_bytes, copied.plan.arena_bytes);
+  EXPECT_EQ(pkg->arch(), copied.report.arch);
+  EXPECT_GT(pkg->zero_copy_bytes(), 0u);
+
+  // Bit-identical logits off the mapping (the file is already deleted:
+  // the mapping outlives the directory entry, POSIX semantics).
+  const Tensor input = sample_input(8, 7);
+  rt::Executor mapped_exec(pkg->model().graph, pkg->model().plan,
+                           rt::ExecOptions{1, &pkg->model().packed});
+  rt::Executor copied_exec(copied.graph, copied.plan, rt::ExecOptions{1, &copied.packed});
+  const Tensor a = mapped_exec.run(input);
+  const Tensor b = copied_exec.run(input);
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::size_t k = 0; k < a.numel(); ++k) ASSERT_EQ(a[k], b[k]) << "logit " << k;
+}
+
+TEST(Serialize, MappedTruncationsFailClosed) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+  const std::string path = ::testing::TempDir() + "micronas_mapped_trunc.mnpkg";
+
+  // Dense near the header/table, strided through the payload (sparser
+  // than the in-memory corpus: each cut is a file write + mmap).
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < std::min<std::size_t>(bytes.size(), 64); ++n) cuts.push_back(n);
+  const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 53);
+  for (std::size_t n = 64; n < bytes.size(); n += stride) cuts.push_back(n);
+  for (std::size_t n : cuts) {
+    write_file_bytes(path, std::span<const std::byte>(bytes.data(), n));
+    EXPECT_THROW(serialize::MappedPackage::map(path), SerializeError)
+        << "mapped truncation to " << n << " bytes must fail closed";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MappedByteFlipsFailClosed) {
+  const compile::CompiledModel model = compile_small(nb201::Genotype::from_index(888));
+  const std::vector<std::byte> bytes = serialize::save_model_bytes(model);
+  const std::string path = ::testing::TempDir() + "micronas_mapped_flip.mnpkg";
+
+  const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 101);
+  for (std::size_t pos = 0; pos < bytes.size(); pos += stride) {
+    std::vector<std::byte> corrupted = bytes;
+    corrupted[pos] ^= std::byte{0xFF};
+    write_file_bytes(path, corrupted);
+    EXPECT_THROW(serialize::MappedPackage::map(path), SerializeError)
+        << "mapped flipped byte at " << pos << " must fail closed";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MappedRejectsMissingAndEmptyFiles) {
+  EXPECT_THROW(serialize::MappedPackage::map("/nonexistent/path/model.mnpkg"), SerializeError);
+  const std::string path = ::testing::TempDir() + "micronas_mapped_empty.mnpkg";
+  write_file_bytes(path, {});
+  EXPECT_THROW(serialize::MappedPackage::map(path), SerializeError);
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------------ forged packages
 //
 // The truncation/byte-flip corpus above is caught by checksums, but
